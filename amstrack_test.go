@@ -1,0 +1,234 @@
+package amstrack_test
+
+import (
+	"math"
+	"testing"
+
+	"amstrack"
+	"amstrack/internal/xrand"
+)
+
+func TestPublicTrackersEndToEnd(t *testing.T) {
+	r := xrand.New(1)
+	values := make([]uint64, 50000)
+	for i := range values {
+		values[i] = r.Uint64n(500) * (r.Uint64n(3) + 1) // mildly skewed
+	}
+	ex := amstrack.NewExact()
+	for _, v := range values {
+		ex.Insert(v)
+	}
+	truth := ex.Estimate()
+
+	cfg := amstrack.Config{S1: 128, S2: 8, Seed: 7}
+	trackers := map[string]amstrack.Tracker{}
+	tw, err := amstrack.NewTugOfWar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers["tug-of-war"] = tw
+	sc, err := amstrack.NewSampleCount(cfg, amstrack.WithWindowFromStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers["sample-count"] = sc
+	ns, err := amstrack.NewNaiveSample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackers["naive-sampling"] = ns
+
+	for name, tr := range trackers {
+		for _, v := range values {
+			tr.Insert(v)
+		}
+		est := tr.Estimate()
+		relErr := math.Abs(est-truth) / truth
+		// s = 1024 words; all three should land within 30% here.
+		if relErr > 0.3 {
+			t.Errorf("%s: estimate %.3g vs exact %.3g (relerr %.2f)", name, est, truth, relErr)
+		}
+		if tr.MemoryWords() != 1024 {
+			t.Errorf("%s: MemoryWords = %d, want 1024", name, tr.MemoryWords())
+		}
+	}
+}
+
+func TestPublicDeletions(t *testing.T) {
+	cfg := amstrack.Config{S1: 64, S2: 4, Seed: 3}
+	tw, _ := amstrack.NewTugOfWar(cfg)
+	sc, _ := amstrack.NewSampleCount(cfg, amstrack.WithWindowFromStart())
+	ex := amstrack.NewExact()
+
+	r := xrand.New(5)
+	live := []uint64{}
+	for i := 0; i < 20000; i++ {
+		if len(live) > 10 && r.Float64() < 0.15 {
+			k := r.Intn(len(live))
+			v := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			for _, tr := range []amstrack.Tracker{tw, sc, ex} {
+				if err := tr.Delete(v); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+			}
+		} else {
+			v := r.Uint64n(100)
+			live = append(live, v)
+			tw.Insert(v)
+			sc.Insert(v)
+			ex.Insert(v)
+		}
+	}
+	truth := ex.Estimate()
+	for name, tr := range map[string]amstrack.Tracker{"tug-of-war": tw, "sample-count": sc} {
+		if relErr := math.Abs(tr.Estimate()-truth) / truth; relErr > 0.35 {
+			t.Errorf("%s after deletions: relerr %.2f (est %.3g, exact %.3g)", name, relErr, tr.Estimate(), truth)
+		}
+	}
+}
+
+func TestExactTracker(t *testing.T) {
+	ex := amstrack.NewExact()
+	ex.Insert(1)
+	ex.Insert(1)
+	ex.Insert(2)
+	if ex.Estimate() != 5 {
+		t.Fatalf("exact estimate = %v", ex.Estimate())
+	}
+	if ex.MemoryWords() != 2 {
+		t.Fatalf("exact memory = %d", ex.MemoryWords())
+	}
+	if ex.Len() != 3 {
+		t.Fatalf("exact len = %d", ex.Len())
+	}
+	if err := ex.Delete(3); err == nil {
+		t.Fatal("delete of absent value accepted")
+	}
+	other := amstrack.NewExact()
+	other.Insert(1)
+	if got := ex.JoinSize(other); got != 2 {
+		t.Fatalf("join size = %d", got)
+	}
+}
+
+func TestConfigForErrorPublic(t *testing.T) {
+	cfg, err := amstrack.ConfigForError(0.2, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.S1 != 400 {
+		t.Fatalf("S1 = %d, want 400", cfg.S1)
+	}
+	cfg2, err := amstrack.SampleCountConfigForError(0.2, 0.05, 1<<16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.S1 <= cfg.S1 {
+		t.Fatal("sample-count config not larger than tug-of-war's")
+	}
+}
+
+func TestJoinSignaturesEndToEnd(t *testing.T) {
+	fam, err := amstrack.NewSignatureFamily(512, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, sg := fam.NewSignature(), fam.NewSignature()
+	exF, exG := amstrack.NewExact(), amstrack.NewExact()
+	r := xrand.New(11)
+	for i := 0; i < 40000; i++ {
+		fv, gv := r.Uint64n(300), r.Uint64n(300)
+		sf.Insert(fv)
+		exF.Insert(fv)
+		sg.Insert(gv)
+		exG.Insert(gv)
+	}
+	truth := float64(exF.JoinSize(exG))
+	est, err := amstrack.EstimateJoin(sf, sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := amstrack.JoinErrorBound(exF.Estimate(), exG.Estimate(), 512)
+	if math.Abs(est-truth) > 4*bound {
+		t.Fatalf("join estimate %.3g off truth %.3g by more than 4σ (σ=%.3g)", est, truth, bound)
+	}
+	robust, err := amstrack.EstimateJoinRobust(sf, sg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust-truth) > 4*bound {
+		t.Fatalf("robust join estimate %.3g off truth %.3g", robust, truth)
+	}
+	// Fact 1.1 sanity: the bound must dominate the truth.
+	if ub := amstrack.JoinUpperBound(exF.Estimate(), exG.Estimate()); ub < truth {
+		t.Fatalf("Fact 1.1 bound %.3g below join size %.3g", ub, truth)
+	}
+}
+
+func TestSignatureSizeForError(t *testing.T) {
+	k, err := amstrack.SignatureSizeForError(0.5, 1000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 800 {
+		t.Fatalf("k = %d, want 800", k)
+	}
+}
+
+func TestExponentialParameterPublic(t *testing.T) {
+	// Idealized: SJ = n²(a−1)/(a+1) with a=3 → SJ = n²/2.
+	n := int64(1000)
+	a, err := amstrack.ExponentialParameter(n, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-9 {
+		t.Fatalf("a = %v, want 3", a)
+	}
+}
+
+func TestTugOfWarMergePublic(t *testing.T) {
+	cfg := amstrack.Config{S1: 32, S2: 4, Seed: 13}
+	a, _ := amstrack.NewTugOfWar(cfg)
+	b, _ := amstrack.NewTugOfWar(cfg)
+	whole, _ := amstrack.NewTugOfWar(cfg)
+	r := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Uint64n(200)
+		whole.Insert(v)
+		if i%2 == 0 {
+			a.Insert(v)
+		} else {
+			b.Insert(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Fatal("merged estimate differs from whole-stream estimate")
+	}
+}
+
+func TestSampleCountFQPublic(t *testing.T) {
+	cfg := amstrack.Config{S1: 32, S2: 4, Seed: 5}
+	sc, err := amstrack.NewSampleCount(cfg, amstrack.WithWindowFromStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := amstrack.NewSampleCountFQ(cfg, amstrack.WithWindowFromStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(8)
+	for i := 0; i < 20000; i++ {
+		v := r.Uint64n(64)
+		sc.Insert(v)
+		fq.Insert(v)
+	}
+	if sc.Estimate() != fq.Estimate() {
+		t.Fatalf("fast-query variant diverged: %v vs %v", fq.Estimate(), sc.Estimate())
+	}
+}

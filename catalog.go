@@ -1,0 +1,38 @@
+package amstrack
+
+import (
+	"amstrack/internal/catalog"
+	"amstrack/internal/core"
+)
+
+// Catalog maintains join signatures for a set of named relations — the
+// paper's deployment model: one signature per relation, maintained
+// independently, any pair estimable at planning time. Safe for concurrent
+// use; serializable as one blob for checkpointing.
+type Catalog = catalog.Catalog
+
+// CatalogOptions configures a Catalog.
+type CatalogOptions = catalog.Options
+
+// Relation is one tracked relation inside a Catalog.
+type Relation = catalog.Relation
+
+// CatalogJoinEstimate is the planner-facing join estimate with the paper's
+// error bounds attached (Lemma 4.4 σ and the Fact 1.1 upper bound).
+type CatalogJoinEstimate = catalog.JoinEstimate
+
+// NewCatalog creates an empty catalog with opts.SignatureWords words of
+// signature per relation.
+func NewCatalog(opts CatalogOptions) (*Catalog, error) { return catalog.New(opts) }
+
+// ShardedTugOfWar ingests updates concurrently from many goroutines while
+// remaining exactly equal to the single-stream sketch (linearity of the
+// tug-of-war counters). Use it for parallel bulk loads; Snapshot yields a
+// plain TugOfWar for serialization or merging.
+type ShardedTugOfWar = core.ShardedTugOfWar
+
+// NewShardedTugOfWar builds a concurrent sketch with the given shard count
+// (0 means GOMAXPROCS; rounded up to a power of two).
+func NewShardedTugOfWar(cfg Config, shards int) (*ShardedTugOfWar, error) {
+	return core.NewShardedTugOfWar(cfg, shards)
+}

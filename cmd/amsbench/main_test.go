@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCheapExperiments(t *testing.T) {
+	// The cheap experiments exercise the dispatcher end to end; the full
+	// figure sweeps are covered by the root benchmark harness.
+	for _, name := range []string{"table1", "sec44", "lemma23", "fig5"} {
+		if err := run(name, 1, "", 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("sec44", 1, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sec44.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("bogus", 1, "", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("fig99", 1, "", 1); err == nil {
+		t.Error("fig99 accepted")
+	}
+	if err := run("figx", 1, "", 1); err == nil {
+		t.Error("figx accepted")
+	}
+}
+
+func TestRunBadCSVDir(t *testing.T) {
+	// A file path (not a dir) must fail MkdirAll or Create.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sec44", 1, f, 1); err == nil {
+		t.Error("file-as-dir accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "mf2.txt")
+	if err := run("mf2", 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		if _, err := strconv.ParseUint(sc.Text(), 10, 64); err != nil {
+			t.Fatalf("line %d not a value: %q", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines != 19998 {
+		t.Fatalf("mf2 has %d lines, want 19998", lines)
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.txt"), filepath.Join(dir, "b.txt")
+	if err := run("poisson", 7, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("poisson", 7, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 1, ""); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run("nope", 1, ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("mf2", 1, "/nonexistent-dir/x.txt"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

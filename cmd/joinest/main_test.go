@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amstrack"
+)
+
+func writeValues(t *testing.T, path string, vals []string) {
+	t.Helper()
+	content := ""
+	for _, v := range vals {
+		content += v + "\n"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadParsesValuesAndComments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	writeValues(t, path, []string{"# header", "5", "", "  7 "})
+	ex := amstrack.NewExact()
+	if err := load(path, ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Len() != 2 {
+		t.Fatalf("loaded %d values, want 2", ex.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	writeValues(t, path, []string{"5", "xyz"})
+	if err := load(path, amstrack.NewExact()); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if err := load("/nonexistent.txt", amstrack.NewExact()); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	f, g := filepath.Join(dir, "f.txt"), filepath.Join(dir, "g.txt")
+	writeValues(t, f, []string{"1", "1", "2", "3"})
+	writeValues(t, g, []string{"1", "2", "2"})
+	if err := run(64, 42, f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 42, f, g); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run(64, 42, "/missing.txt", g); err == nil {
+		t.Error("missing F accepted")
+	}
+	if err := run(64, 42, f, "/missing.txt"); err == nil {
+		t.Error("missing G accepted")
+	}
+}

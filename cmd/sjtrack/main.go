@@ -1,0 +1,129 @@
+// Command sjtrack runs the paper's tracking scenario interactively: it
+// reads an operation stream (one op per line) and maintains a chosen
+// self-join tracker plus the exact reference.
+//
+// Operation format (stdin or -in FILE):
+//
+//	i <value>    insert value
+//	d <value>    delete value
+//	q            query: print estimate, exact value, relative error
+//	# ...        comment, ignored
+//
+// Usage:
+//
+//	sjtrack -algo tug-of-war -s1 64 -s2 8 < ops.txt
+//	datagen -dataset zipf1.5 | awk '{print "i", $1} END {print "q"}' | sjtrack
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"amstrack"
+)
+
+func main() {
+	var (
+		algo = flag.String("algo", "tug-of-war", "tracker: tug-of-war, sample-count, naive-sampling")
+		s1   = flag.Int("s1", 64, "estimators per group (accuracy)")
+		s2   = flag.Int("s2", 8, "groups (confidence)")
+		seed = flag.Uint64("seed", 1, "tracker seed")
+		in   = flag.String("in", "", "operation file (default stdin)")
+	)
+	flag.Parse()
+
+	if err := run(*algo, amstrack.Config{S1: *s1, S2: *s2, Seed: *seed}, *in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sjtrack:", err)
+		os.Exit(1)
+	}
+}
+
+func newTracker(algo string, cfg amstrack.Config) (amstrack.Tracker, error) {
+	switch algo {
+	case "tug-of-war":
+		return amstrack.NewTugOfWar(cfg)
+	case "sample-count":
+		return amstrack.NewSampleCount(cfg, amstrack.WithWindowFromStart())
+	case "naive-sampling":
+		return amstrack.NewNaiveSample(cfg)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func run(algo string, cfg amstrack.Config, in string, out io.Writer) error {
+	tr, err := newTracker(algo, cfg)
+	if err != nil {
+		return err
+	}
+	exact := amstrack.NewExact()
+
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "i", "insert":
+			v, err := parseValue(fields, line)
+			if err != nil {
+				return err
+			}
+			tr.Insert(v)
+			exact.Insert(v)
+		case "d", "delete":
+			v, err := parseValue(fields, line)
+			if err != nil {
+				return err
+			}
+			if err := exact.Delete(v); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if err := tr.Delete(v); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		case "q", "query":
+			est := tr.Estimate()
+			act := exact.Estimate()
+			relErr := 0.0
+			if act != 0 {
+				relErr = (est - act) / act
+			}
+			fmt.Fprintf(out, "n=%d estimate=%.6g exact=%.6g relerr=%+.2f%% words=%d (exact would need %d)\n",
+				exact.Len(), est, act, 100*relErr, tr.MemoryWords(), exact.MemoryWords())
+		default:
+			return fmt.Errorf("line %d: unknown op %q", line, fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+func parseValue(fields []string, line int) (uint64, error) {
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("line %d: missing value", line)
+	}
+	v, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %w", line, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amstrack"
+)
+
+func TestNewTrackerKinds(t *testing.T) {
+	cfg := amstrack.Config{S1: 4, S2: 2, Seed: 1}
+	for _, algo := range []string{"tug-of-war", "sample-count", "naive-sampling"} {
+		if _, err := newTracker(algo, cfg); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	if _, err := newTracker("bogus", cfg); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ops.txt")
+	input := strings.Join([]string{
+		"# a comment",
+		"i 5",
+		"insert 5",
+		"i 7",
+		"d 5",
+		"",
+		"q",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run("tug-of-war", amstrack.Config{S1: 8, S2: 2, Seed: 1}, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "n=2") {
+		t.Fatalf("query output missing n=2: %q", got)
+	}
+	// After i5, i5, i7, d5 the multiset is {5, 7}: SJ = 1 + 1 = 2.
+	if !strings.Contains(got, "exact=2") {
+		t.Fatalf("query output missing exact=2 (multiset {5,7}): %q", got)
+	}
+}
+
+func TestRunRejectsBadOps(t *testing.T) {
+	dir := t.TempDir()
+	cfg := amstrack.Config{S1: 4, S2: 2, Seed: 1}
+	cases := map[string]string{
+		"unknown op":     "x 5\n",
+		"missing value":  "i\n",
+		"bad number":     "i abc\n",
+		"invalid delete": "d 9\n",
+	}
+	for name, input := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".txt")
+		if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run("tug-of-war", cfg, path, &out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run("tug-of-war", amstrack.Config{S1: 4, S2: 2, Seed: 1}, "/nonexistent/ops.txt", &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run("tug-of-war", amstrack.Config{S1: 0, S2: 2, Seed: 1}, "", &out); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

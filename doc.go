@@ -1,0 +1,43 @@
+// Package amstrack tracks approximate join and self-join sizes of
+// relations in limited storage, under insertions and deletions, following
+// Alon, Gibbons, Matias and Szegedy, "Tracking Join and Self-Join Sizes in
+// Limited Storage" (PODS 1999; JCSS 64(3), 2002).
+//
+// # Self-join sizes
+//
+// The self-join size of a relation R on an attribute with frequencies f_v
+// is SJ(R) = Σ_v f_v² — the second frequency moment, a standard measure of
+// skew. Three trackers estimate it in limited storage:
+//
+//   - NewTugOfWar: the AMS sketch (§2.2). s = S1·S2 counters; O(s) per
+//     update; relative error ≤ 4/√S1 with probability ≥ 1−2^(−S2/2) on ANY
+//     data distribution (Theorem 2.2). Supports deletions exactly and
+//     merging of per-partition sketches.
+//   - NewSampleCount: the improved sample-count algorithm (§2.1, Fig. 1).
+//     O(1) amortized per update; error bound carries a t^(1/4) domain-size
+//     factor (Theorem 2.1). Supports deletions.
+//   - NewNaiveSample: the standard sampling baseline (§2.3); needs Ω(√n)
+//     samples in the worst case (Lemma 2.3). Insert-only.
+//
+// All three satisfy Tracker:
+//
+//	tr, _ := amstrack.NewTugOfWar(amstrack.Config{S1: 64, S2: 8, Seed: 1})
+//	for _, v := range values { tr.Insert(v) }
+//	est := tr.Estimate() // ≈ SJ within 4/√64 = 50% w.h.p.; see ConfigForError
+//
+// # Join sizes
+//
+// For joins, each relation independently maintains a small signature such
+// that |F ⋈ G| = Σ_v f_v·g_v can be estimated from any two signatures
+// (§4.3). Signatures from the same SignatureFamily share hash functions:
+//
+//	fam, _ := amstrack.NewSignatureFamily(256, 42)
+//	sf, sg := fam.NewSignature(), fam.NewSignature()
+//	// feed Insert/Delete as tuples arrive...
+//	est, _ := amstrack.EstimateJoin(sf, sg) // error ≤ √(2·SJ(F)·SJ(G)/256) (1σ)
+//
+// Random sampling signatures (the §4.1 baseline) and the paper's
+// lower-bound constructions live in the internal packages and are exercised
+// by the experiment harness (cmd/amsbench); the public API exposes the
+// schemes a downstream system would deploy.
+package amstrack

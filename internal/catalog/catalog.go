@@ -1,0 +1,315 @@
+// Package catalog maintains join signatures for a set of named relations —
+// the deployment shape the paper's §4 argues for: one small signature per
+// relation, maintained independently under updates, such that the join
+// size of ANY pair can be estimated at any time without touching base
+// data. It is the glue a query optimizer would integrate: define relations,
+// stream their updates, and ask for join estimates (with the paper's error
+// bounds) at planning time.
+//
+// The catalog is safe for concurrent use: relation updates take a
+// per-relation lock, catalog operations a catalog lock. The whole catalog
+// serializes to a single blob so signature state can be checkpointed with
+// the database's own metadata.
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+)
+
+// Options configures a catalog.
+type Options struct {
+	// SignatureWords is k, the per-relation signature size in memory words.
+	SignatureWords int
+	// Seed fixes the shared hash family; catalogs that must exchange
+	// signatures (e.g. across nodes) need equal Seed and SignatureWords.
+	Seed uint64
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.SignatureWords < 1 {
+		return fmt.Errorf("catalog: SignatureWords = %d, must be >= 1", o.SignatureWords)
+	}
+	return nil
+}
+
+// Catalog tracks join signatures for named relations.
+type Catalog struct {
+	opts Options
+	fam  *join.Family
+
+	mu   sync.RWMutex
+	rels map[string]*Relation
+}
+
+// New creates an empty catalog.
+func New(opts Options) (*Catalog, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	fam, err := join.NewFamily(opts.SignatureWords, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{opts: opts, fam: fam, rels: make(map[string]*Relation)}, nil
+}
+
+// Options returns the catalog's configuration.
+func (c *Catalog) Options() Options { return c.opts }
+
+// Relation is one tracked relation: a k-TW join signature over its joining
+// attribute, updated as tuples arrive and depart.
+type Relation struct {
+	name string
+	mu   sync.Mutex
+	sig  *join.TWSignature
+}
+
+// Define registers a new empty relation. It fails if the name exists.
+func (c *Catalog) Define(name string) (*Relation, error) {
+	if name == "" {
+		return nil, errors.New("catalog: empty relation name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rels[name]; ok {
+		return nil, fmt.Errorf("catalog: relation %q already defined", name)
+	}
+	r := &Relation{name: name, sig: c.fam.NewSignature()}
+	c.rels[name] = r
+	return r, nil
+}
+
+// Get returns a defined relation.
+func (c *Catalog) Get(name string) (*Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Drop removes a relation.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rels[name]; !ok {
+		return fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	delete(c.rels, name)
+	return nil
+}
+
+// Names lists the defined relations in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Insert adds a tuple with the given joining-attribute value.
+func (r *Relation) Insert(v uint64) {
+	r.mu.Lock()
+	r.sig.Insert(v)
+	r.mu.Unlock()
+}
+
+// Delete removes a tuple with the given joining-attribute value.
+func (r *Relation) Delete(v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sig.Delete(v)
+}
+
+// Len returns the relation's current tuple count.
+func (r *Relation) Len() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sig.Len()
+}
+
+// SelfJoinEstimate returns the relation's estimated self-join size (skew).
+func (r *Relation) SelfJoinEstimate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sig.SelfJoinEstimate()
+}
+
+// snapshot clones the signature under the relation lock.
+func (r *Relation) snapshot() *join.TWSignature {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clone := &join.TWSignature{}
+	blob, err := r.sig.MarshalBinary()
+	if err == nil {
+		err = clone.UnmarshalBinary(blob)
+	}
+	if err != nil {
+		// Marshal of a live signature cannot fail; treat as invariant.
+		panic(fmt.Sprintf("catalog: signature snapshot: %v", err))
+	}
+	return clone
+}
+
+// JoinEstimate is the planner-facing answer for one pair of relations.
+type JoinEstimate struct {
+	Estimate float64 // unbiased k-TW estimate of |F ⋈ G|
+	Sigma    float64 // Lemma 4.4 one-standard-deviation bound (from SJ estimates)
+	Fact11   float64 // Fact 1.1 upper bound (SJ(F)+SJ(G))/2, from estimates
+	SJF, SJG float64 // the self-join estimates used for the bounds
+}
+
+// EstimateJoin estimates the join size of two defined relations.
+func (c *Catalog) EstimateJoin(f, g string) (JoinEstimate, error) {
+	rf, err := c.Get(f)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	rg, err := c.Get(g)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	sf, sg := rf.snapshot(), rg.snapshot()
+	est, err := join.EstimateJoin(sf, sg)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	sjF, sjG := sf.SelfJoinEstimate(), sg.SelfJoinEstimate()
+	return JoinEstimate{
+		Estimate: est,
+		Sigma:    join.ErrorBound(sjF, sjG, c.opts.SignatureWords),
+		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:      sjF,
+		SJG:      sjG,
+	}, nil
+}
+
+// AllPairs estimates every pair of defined relations (planning-time
+// matrix). Pairs are returned in lexicographic order.
+type PairEstimate struct {
+	F, G string
+	JoinEstimate
+}
+
+// AllPairs returns estimates for all unordered pairs.
+func (c *Catalog) AllPairs() ([]PairEstimate, error) {
+	names := c.Names()
+	var out []PairEstimate
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			je, err := c.EstimateJoin(names[i], names[j])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PairEstimate{F: names[i], G: names[j], JoinEstimate: je})
+		}
+	}
+	return out, nil
+}
+
+// catMagic identifies serialized catalogs.
+const catMagic uint32 = 0xA0517003
+
+// MarshalBinary serializes the catalog: options, relation count, and per
+// relation its name and signature blob, with a trailing CRC32.
+func (c *Catalog) MarshalBinary() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	buf := binary.LittleEndian.AppendUint32(nil, catMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.opts.SignatureWords))
+	buf = binary.LittleEndian.AppendUint64(buf, c.opts.Seed)
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		r := c.rels[n]
+		r.mu.Lock()
+		blob, err := r.sig.MarshalBinary()
+		r.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n)))
+		buf = append(buf, n...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalBinary restores a catalog serialized by MarshalBinary.
+func (c *Catalog) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+16+4+4 {
+		return errors.New("catalog: blob too short")
+	}
+	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return errors.New("catalog: blob checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(payload) != catMagic {
+		return errors.New("catalog: not a catalog blob")
+	}
+	opts := Options{
+		SignatureWords: int(binary.LittleEndian.Uint64(payload[4:])),
+		Seed:           binary.LittleEndian.Uint64(payload[12:]),
+	}
+	fresh, err := New(opts)
+	if err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint32(payload[20:])
+	off := 24
+	for i := uint32(0); i < count; i++ {
+		if off+4 > len(payload) {
+			return errors.New("catalog: truncated relation header")
+		}
+		nameLen := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+nameLen+4 > len(payload) {
+			return errors.New("catalog: truncated relation name")
+		}
+		name := string(payload[off : off+nameLen])
+		off += nameLen
+		blobLen := int(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		if off+blobLen > len(payload) {
+			return errors.New("catalog: truncated signature blob")
+		}
+		sig := &join.TWSignature{}
+		if err := sig.UnmarshalBinary(payload[off : off+blobLen]); err != nil {
+			return fmt.Errorf("catalog: relation %q: %w", name, err)
+		}
+		off += blobLen
+		if sig.Family().K() != opts.SignatureWords || sig.Family().Seed() != opts.Seed {
+			return fmt.Errorf("catalog: relation %q signature family mismatch", name)
+		}
+		fresh.rels[name] = &Relation{name: name, sig: sig}
+	}
+	if off != len(payload) {
+		return errors.New("catalog: trailing bytes in blob")
+	}
+	*c = Catalog{opts: fresh.opts, fam: fresh.fam, rels: fresh.rels}
+	return nil
+}

@@ -1,0 +1,242 @@
+package catalog
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func newCat(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := New(Options{SignatureWords: 256, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if _, err := New(Options{SignatureWords: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestDefineGetDrop(t *testing.T) {
+	c := newCat(t)
+	r, err := c.Define("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "orders" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	if _, err := c.Define("orders"); err == nil {
+		t.Fatal("duplicate define accepted")
+	}
+	if _, err := c.Define(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	got, err := c.Get("orders")
+	if err != nil || got != r {
+		t.Fatalf("Get returned %v, %v", got, err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Fatal("unknown get accepted")
+	}
+	if err := c.Drop("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("orders"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := newCat(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEstimateJoinAccuracy(t *testing.T) {
+	c := newCat(t)
+	f, _ := c.Define("f")
+	g, _ := c.Define("g")
+	exF, exG := exact.NewHistogram(), exact.NewHistogram()
+	r := xrand.New(5)
+	for i := 0; i < 50000; i++ {
+		fv, gv := r.Uint64n(400), r.Uint64n(400)
+		f.Insert(fv)
+		exF.Insert(fv)
+		g.Insert(gv)
+		exG.Insert(gv)
+	}
+	je, err := c.EstimateJoin("f", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exF.JoinSize(exG))
+	if math.Abs(je.Estimate-truth) > 4*je.Sigma {
+		t.Fatalf("estimate %.3g off truth %.3g beyond 4σ (σ=%.3g)", je.Estimate, truth, je.Sigma)
+	}
+	if je.Fact11 < truth*0.8 {
+		t.Fatalf("Fact 1.1 bound %.3g implausibly below truth %.3g", je.Fact11, truth)
+	}
+	if je.SJF <= 0 || je.SJG <= 0 {
+		t.Fatal("self-join estimates missing")
+	}
+	if _, err := c.EstimateJoin("f", "missing"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := c.EstimateJoin("missing", "g"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestRelationDeleteReversesInsert(t *testing.T) {
+	c := newCat(t)
+	f, _ := c.Define("f")
+	f.Insert(9)
+	f.Insert(9)
+	if err := f.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if got := f.SelfJoinEstimate(); got != 1 {
+		t.Fatalf("SJ estimate = %v, want exactly 1 for single tuple", got)
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	c := newCat(t)
+	for _, n := range []string{"a", "b", "c"} {
+		rel, _ := c.Define(n)
+		for i := 0; i < 100; i++ {
+			rel.Insert(uint64(i % 10))
+		}
+	}
+	pairs, err := c.AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	if pairs[0].F != "a" || pairs[0].G != "b" {
+		t.Fatalf("pair order wrong: %+v", pairs[0])
+	}
+	// Identical relations: estimates must be positive and equal across
+	// pairs (same content, shared family).
+	for _, p := range pairs {
+		if p.Estimate != pairs[0].Estimate {
+			t.Fatalf("pair %s-%s estimate %v differs from %v", p.F, p.G, p.Estimate, pairs[0].Estimate)
+		}
+	}
+}
+
+func TestCatalogSerializationRoundTrip(t *testing.T) {
+	c := newCat(t)
+	r1, _ := c.Define("facts")
+	r2, _ := c.Define("dims")
+	rng := xrand.New(11)
+	for i := 0; i < 5000; i++ {
+		r1.Insert(rng.Uint64n(100))
+		r2.Insert(rng.Uint64n(100))
+	}
+	before, err := c.EstimateJoin("facts", "dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Catalog
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	after, err := back.EstimateJoin("facts", "dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Estimate != after.Estimate {
+		t.Fatalf("estimate changed across round trip: %v vs %v", before.Estimate, after.Estimate)
+	}
+	// The restored catalog keeps tracking.
+	rel, err := back.Get("facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Insert(1)
+	if rel.Len() != 5001 {
+		t.Fatalf("restored relation Len = %d", rel.Len())
+	}
+}
+
+func TestCatalogUnmarshalRejectsCorruption(t *testing.T) {
+	c := newCat(t)
+	r, _ := c.Define("x")
+	r.Insert(1)
+	blob, _ := c.MarshalBinary()
+	var back Catalog
+	if err := back.UnmarshalBinary(blob[:10]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[9] ^= 0xff
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("corrupted blob accepted")
+	}
+}
+
+func TestCatalogConcurrentUse(t *testing.T) {
+	c := newCat(t)
+	for _, n := range []string{"a", "b"} {
+		if _, err := c.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel, err := c.Get([]string{"a", "b"}[w%2])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := xrand.New(uint64(w))
+			for i := 0; i < 2000; i++ {
+				rel.Insert(r.Uint64n(50))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := c.EstimateJoin("a", "b"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	a, _ := c.Get("a")
+	b, _ := c.Get("b")
+	if a.Len()+b.Len() != 8000 {
+		t.Fatalf("total tuples = %d, want 8000", a.Len()+b.Len())
+	}
+}

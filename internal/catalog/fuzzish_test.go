@@ -1,0 +1,52 @@
+package catalog
+
+import "testing"
+
+// TestCatalogBlobTruncationNeverPanics truncates the catalog blob at every
+// offset; every prefix must be rejected cleanly.
+func TestCatalogBlobTruncationNeverPanics(t *testing.T) {
+	c, err := New(Options{SignatureWords: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := c.Define("aa")
+	r2, _ := c.Define("bb")
+	for i := 0; i < 50; i++ {
+		r1.Insert(uint64(i % 5))
+		r2.Insert(uint64(i % 3))
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		var back Catalog
+		if err := back.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(blob))
+		}
+	}
+	var back Catalog
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("full blob rejected: %v", err)
+	}
+	if got := back.Names(); len(got) != 2 || got[0] != "aa" || got[1] != "bb" {
+		t.Fatalf("restored names = %v", got)
+	}
+}
+
+// TestCatalogBlobBitFlipsDetected flips each byte once; the CRC must catch
+// every mutation.
+func TestCatalogBlobBitFlipsDetected(t *testing.T) {
+	c, _ := New(Options{SignatureWords: 2, Seed: 3})
+	r, _ := c.Define("x")
+	r.Insert(1)
+	blob, _ := c.MarshalBinary()
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x80
+		var back Catalog
+		if err := back.UnmarshalBinary(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}

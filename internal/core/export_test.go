@@ -1,0 +1,15 @@
+package core
+
+// CheckInvariants exposes the sample-count internal consistency check to
+// the package tests.
+func (sc *SampleCount) CheckInvariants() error { return sc.checkInvariants() }
+
+// Window exposes the initial position window for tests.
+func (sc *SampleCount) Window() int64 { return sc.window }
+
+// RawCounters exposes the live tug-of-war counter slice (not a copy) so the
+// tests can verify SetFrequencies equivalence cheaply.
+func (t *TugOfWar) RawCounters() []int64 { return t.z }
+
+// CheckInvariants exposes the fast-query consistency check to tests.
+func (fq *SampleCountFQ) CheckInvariants() error { return fq.checkInvariants() }

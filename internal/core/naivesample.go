@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+// NaiveSample is the standard sampling baseline of §2.3: a uniform random
+// sample of s items drawn without replacement from the insert sequence
+// (maintained online with reservoir sampling [Vit85]), from which the
+// self-join size is estimated by computing the sample's self-join size
+// SJ(S) and scaling:
+//
+//	X = n + (SJ(S) − s)·n·(n−1) / (s·(s−1))
+//
+// which is unbiased because E[SJ(S) − s] counts sampled pairs of equal
+// items, and each of the SJ(A) − n equal pairs of the data set is sampled
+// with probability s(s−1)/(n(n−1)).
+//
+// Lemma 2.3 shows this estimator needs Ω(√n) samples in the worst case; it
+// exists here as the paper's baseline. It supports insertions only — the
+// paper analyzes it in the insert-only scenario, and uniform reservoir
+// samples cannot in general survive adversarial deletions in O(s) space.
+type NaiveSample struct {
+	cfg    Config
+	rng    *xrand.Rand
+	size   int      // target sample size s
+	sample []uint64 // current reservoir, len <= size
+	n      int64    // items seen
+}
+
+// NewNaiveSample builds a naive-sampling tracker with sample size
+// s = cfg.S1 · cfg.S2 (the grouping parameters do not apply: the estimator
+// is a single scaled count, as in the paper).
+func NewNaiveSample(cfg Config) (*NaiveSample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.S1 * cfg.S2
+	if s < 2 {
+		return nil, fmt.Errorf("core: naive-sampling needs sample size >= 2, got %d", s)
+	}
+	return &NaiveSample{
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed),
+		size:   s,
+		sample: make([]uint64, 0, s),
+	}, nil
+}
+
+// Insert offers one item to the reservoir (Algorithm R).
+func (ns *NaiveSample) Insert(v uint64) {
+	ns.n++
+	if len(ns.sample) < ns.size {
+		ns.sample = append(ns.sample, v)
+		return
+	}
+	if j := ns.rng.Uint64n(uint64(ns.n)); j < uint64(ns.size) {
+		ns.sample[j] = v
+	}
+}
+
+// Delete is unsupported: the baseline is defined for insert-only sequences
+// (§2.3 considers "the simple scenario of a sequence A with only
+// insertions").
+func (ns *NaiveSample) Delete(v uint64) error {
+	return errors.New("core: naive-sampling does not support deletions")
+}
+
+// Estimate returns the scaled estimator X. With fewer than 2 items seen the
+// sample is the data set and the exact value is returned.
+func (ns *NaiveSample) Estimate() float64 {
+	s := int64(len(ns.sample))
+	if ns.n <= int64(ns.size) || s < 2 {
+		// Sample == data set; no scaling needed (and none defined).
+		return float64(exact.SelfJoinOf(ns.sample))
+	}
+	sjS := float64(exact.SelfJoinOf(ns.sample))
+	n := float64(ns.n)
+	sf := float64(s)
+	return n + (sjS-sf)*n*(n-1)/(sf*(sf-1))
+}
+
+// MemoryWords returns the sample size s.
+func (ns *NaiveSample) MemoryWords() int { return ns.size }
+
+// Len returns the number of items inserted.
+func (ns *NaiveSample) Len() int64 { return ns.n }
+
+// Config returns the tracker's configuration.
+func (ns *NaiveSample) Config() Config { return ns.cfg }
+
+// Sample returns a copy of the current reservoir contents.
+func (ns *NaiveSample) Sample() []uint64 {
+	out := make([]uint64, len(ns.sample))
+	copy(out, ns.sample)
+	return out
+}
+
+// Interface conformance checks.
+var (
+	_ Tracker = (*TugOfWar)(nil)
+	_ Tracker = (*SampleCount)(nil)
+	_ Tracker = (*NaiveSample)(nil)
+)

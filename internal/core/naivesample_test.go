@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func TestNewNaiveSampleRejectsBadConfig(t *testing.T) {
+	if _, err := NewNaiveSample(Config{S1: 0, S2: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewNaiveSample(Config{S1: 1, S2: 1}); err == nil {
+		t.Fatal("sample size 1 accepted (estimator needs s >= 2)")
+	}
+}
+
+func TestNaiveSampleExactWhenSampleHoldsEverything(t *testing.T) {
+	ns, err := NewNaiveSample(Config{S1: 100, S2: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{1, 1, 2, 3, 3, 3}
+	for _, v := range vals {
+		ns.Insert(v)
+	}
+	want := float64(exact.SelfJoinOf(vals))
+	if got := ns.Estimate(); got != want {
+		t.Fatalf("estimate = %v, want exact %v", got, want)
+	}
+}
+
+func TestNaiveSampleDeleteUnsupported(t *testing.T) {
+	ns, _ := NewNaiveSample(Config{S1: 4, S2: 1, Seed: 1})
+	ns.Insert(1)
+	if err := ns.Delete(1); err == nil {
+		t.Fatal("Delete succeeded; baseline must reject deletions")
+	}
+}
+
+func TestNaiveSampleReservoirUniform(t *testing.T) {
+	// Reservoir of size 1... size must be >= 2, use 2. Each of n items
+	// should appear in the reservoir with probability s/n.
+	const n = 100
+	const seeds = 5000
+	counts := make([]int, n)
+	for seed := uint64(0); seed < seeds; seed++ {
+		ns, _ := NewNaiveSample(Config{S1: 2, S2: 1, Seed: seed})
+		for i := 0; i < n; i++ {
+			ns.Insert(uint64(i))
+		}
+		for _, v := range ns.Sample() {
+			counts[v]++
+		}
+	}
+	// Expected 2*seeds/n = 100 per item; 6 sigma ≈ 60.
+	for i, c := range counts {
+		if math.Abs(float64(c)-100) > 70 {
+			t.Fatalf("item %d sampled %d times, want about 100", i, c)
+		}
+	}
+}
+
+func TestNaiveSampleUnbiasedOverSeeds(t *testing.T) {
+	r := xrand.New(44)
+	vals := make([]uint64, 3000)
+	for i := range vals {
+		vals[i] = r.Uint64n(30)
+	}
+	sj := float64(exact.SelfJoinOf(vals))
+	const seeds = 800
+	sum := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		ns, _ := NewNaiveSample(Config{S1: 50, S2: 1, Seed: seed})
+		for _, v := range vals {
+			ns.Insert(v)
+		}
+		sum += ns.Estimate()
+	}
+	mean := sum / seeds
+	if math.Abs(mean-sj)/sj > 0.1 {
+		t.Fatalf("mean estimate %.0f deviates from SJ %.0f by more than 10%%", mean, sj)
+	}
+}
+
+func TestNaiveSampleLemma23Blindspot(t *testing.T) {
+	// Lemma 2.3: R1 = n distinct values, R2 = n/2 pairs. A sample of size
+	// o(sqrt(n)) sees all-distinct values in both and estimates both as ~n,
+	// although SJ(R2) = 2·SJ(R1). With n = 40000 and s = 20 (<< sqrt(n)),
+	// the estimator must be fooled for most seeds.
+	const n = 40000
+	r1 := make([]uint64, n)
+	r2 := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		r1[i] = uint64(i)
+		r2[i] = uint64(i / 2)
+	}
+	fooled := 0
+	const trials = 20
+	for seed := uint64(0); seed < trials; seed++ {
+		est := func(vals []uint64) float64 {
+			ns, _ := NewNaiveSample(Config{S1: 20, S2: 1, Seed: seed})
+			for _, v := range vals {
+				ns.Insert(v)
+			}
+			return ns.Estimate()
+		}
+		e1, e2 := est(r1), est(r2)
+		// SJ(R1) = n, SJ(R2) = 2n. "Fooled" = estimates within 25% of each
+		// other although the truths differ by 2x.
+		if math.Abs(e1-e2) < 0.25*math.Max(e1, e2) {
+			fooled++
+		}
+	}
+	if fooled < trials/2 {
+		t.Fatalf("naive sampling fooled only %d/%d times; Lemma 2.3 predicts near-always at s << sqrt(n)", fooled, trials)
+	}
+}
+
+func TestNaiveSampleLen(t *testing.T) {
+	ns, _ := NewNaiveSample(Config{S1: 2, S2: 1, Seed: 1})
+	for i := 0; i < 10; i++ {
+		ns.Insert(uint64(i))
+	}
+	if ns.Len() != 10 {
+		t.Fatalf("Len = %d", ns.Len())
+	}
+	if ns.MemoryWords() != 2 {
+		t.Fatalf("MemoryWords = %d", ns.MemoryWords())
+	}
+	if got := len(ns.Sample()); got != 2 {
+		t.Fatalf("sample size = %d", got)
+	}
+}
+
+func TestNaiveSampleSampleIsCopy(t *testing.T) {
+	ns, _ := NewNaiveSample(Config{S1: 2, S2: 1, Seed: 1})
+	ns.Insert(5)
+	ns.Insert(6)
+	s := ns.Sample()
+	s[0] = 999
+	if ns.Sample()[0] == 999 {
+		t.Fatal("Sample returned live slice")
+	}
+}
+
+func BenchmarkNaiveSampleInsert(b *testing.B) {
+	ns, _ := NewNaiveSample(Config{S1: 1024, S2: 1, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		ns.Insert(uint64(i & 4095))
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/xrand"
+)
+
+// SampleCount is the improved sample-count tracker of §2.1 (Fig. 1 of the
+// paper). It keeps s = s1·s2 sample slots; slot i samples a uniformly
+// random position of the (canonical) insert sequence and maintains
+// r_i = the number of occurrences of its value at or after its position.
+// A query returns the median over s2 groups of the mean of the atomic
+// estimators X_i = n·(2·r_i − 1).
+//
+// The implementation carries the paper's data structures:
+//
+//   - Pos[i]: the next stream position at which slot i replaces its sample
+//     point, advanced with the reservoir "skipping" trick [Vit85] so that
+//     updates cost O(1) amortized with high probability rather than Θ(s).
+//   - Pm: a table position → waiting slots (the paper's look-up table of
+//     defined Pm sets).
+//   - Sv: for each value v occurring in the sample, a doubly-linked list of
+//     the slots holding v, ordered most-recently-entered first. The order
+//     is what lets a deletion find exactly the slots whose entry insert it
+//     cancels.
+//   - Nv: a running occurrence count per value occurring in the sample,
+//     together with EntryNv[i] (Nv just before slot i entered), so that
+//     r_i = Nv − EntryNv[i] is available at query time without touching
+//     any r counters during inserts — the fix for the Ω(k) insert cost of
+//     the straightforward implementation.
+//
+// Deletions reverse the most recent undeleted insert of the value (§2.1's
+// canonical-sequence semantics): n and Nv are decremented and any slot
+// whose EntryNv equals the decremented Nv is dropped from the sample (its
+// entry insert is the one being cancelled). Dropped slots re-enter the
+// sample when their already-scheduled next position arrives.
+//
+// Construct with NewSampleCount.
+type SampleCount struct {
+	cfg Config
+	rng *xrand.Rand
+
+	s        int   // number of slots = S1*S2
+	n        int64 // current multiset size (inserts − deletes)
+	inserts  int64 // number of insert ops processed (stream position)
+	window   int64 // initial position window (paper: s·log s)
+	initDone bool  // whether the first replacement has been scheduled per-slot
+
+	pos      []int64 // future replacement position per slot
+	val      []uint64
+	entryN   []int64
+	inSample []bool
+
+	// Sv doubly-linked lists over slots; -1 terminates.
+	next, prev []int
+	head       map[uint64]int   // value → most recent slot in sample
+	nv         map[uint64]int64 // value → running count while in sample
+	pm         map[int64][]int  // position → slots waiting to enter there
+
+	firstSkip []bool // slot has not yet had its first skipping application
+
+	scratch []float64
+}
+
+// SampleCountOption customizes construction.
+type SampleCountOption func(*SampleCount)
+
+// WithWindowFromStart makes every slot an independent size-1 reservoir from
+// the first insert onward, instead of the paper's initial window of
+// s·log s positions. The sample is then uniform for streams of any length
+// (the paper's window needs n ≥ s·log s); the price is Θ(s·log n) total
+// replacement work instead of Θ(n), still O(1) amortized once n ≫ s·log n.
+func WithWindowFromStart() SampleCountOption {
+	return func(sc *SampleCount) { sc.window = 1 }
+}
+
+// NewSampleCount builds a sample-count tracker.
+func NewSampleCount(cfg Config, opts ...SampleCountOption) (*SampleCount, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.S1 * cfg.S2
+	sc := &SampleCount{
+		cfg:       cfg,
+		rng:       xrand.New(cfg.Seed),
+		s:         s,
+		window:    initialWindow(s),
+		pos:       make([]int64, s),
+		val:       make([]uint64, s),
+		entryN:    make([]int64, s),
+		inSample:  make([]bool, s),
+		next:      make([]int, s),
+		prev:      make([]int, s),
+		head:      make(map[uint64]int, s),
+		nv:        make(map[uint64]int64, s),
+		pm:        make(map[int64][]int, s),
+		firstSkip: make([]bool, s),
+		scratch:   make([]float64, 0, cfg.S2),
+	}
+	for _, opt := range opts {
+		opt(sc)
+	}
+	for i := 0; i < s; i++ {
+		sc.next[i], sc.prev[i] = -1, -1
+		sc.firstSkip[i] = true
+		p := int64(sc.rng.Uint64n(uint64(sc.window))) + 1 // uniform in {1..window}
+		sc.pos[i] = p
+		sc.pm[p] = append(sc.pm[p], i)
+	}
+	return sc, nil
+}
+
+// initialWindow returns the paper's s·log s initial position window.
+func initialWindow(s int) int64 {
+	if s <= 1 {
+		return 1
+	}
+	w := int64(s) * int64(math.Ceil(math.Log2(float64(s))))
+	if w < int64(s) {
+		w = int64(s)
+	}
+	return w
+}
+
+// Insert processes insert(v): steps 7–19 of Fig. 1.
+func (sc *SampleCount) Insert(v uint64) {
+	sc.inserts++
+	sc.n++
+	m := sc.inserts
+
+	// Maintain the running count for values occurring in the sample
+	// (steps 19 / 23). Nv counts each insert op at most once.
+	if _, ok := sc.nv[v]; ok {
+		sc.nv[v]++
+	}
+
+	// Slots whose selected position is m enter the sample now.
+	if waiting, ok := sc.pm[m]; ok {
+		delete(sc.pm, m)
+		for _, i := range waiting {
+			// Discard the existing sample point, if any (steps 13–15).
+			if sc.inSample[i] {
+				sc.unlink(i)
+			}
+			// Add the new sample point (step 17). If v was not in the
+			// sample, Nv starts accumulating at this insert (created once
+			// even if several slots enter here).
+			if _, ok := sc.nv[v]; !ok {
+				sc.nv[v] = 1
+			}
+			sc.val[i] = v
+			sc.entryN[i] = sc.nv[v] - 1 // Nv just prior to entry; r starts at 1
+			sc.pushHead(i, v)
+			sc.inSample[i] = true
+
+			// Schedule the next replacement by skipping (steps 11–12).
+			sc.scheduleNext(i, m)
+		}
+	}
+}
+
+// scheduleNext draws slot i's next replacement position after firing at m.
+// The first application skips from the end of the initial window (the
+// paper's rule: "considers only positions greater than s log s");
+// subsequent ones skip from the position that just fired. The skip law is
+// size-1 reservoir sampling: the current point, taken at position q,
+// survives through position M−1 and is replaced at M with
+// P(M > x) = q/x, realized by M = ceil(q/u) for u uniform in (0,1].
+func (sc *SampleCount) scheduleNext(i int, m int64) {
+	q := m
+	if sc.firstSkip[i] {
+		sc.firstSkip[i] = false
+		if sc.window > m {
+			q = sc.window
+		}
+	}
+	u := sc.rng.Float64Open()
+	f := math.Ceil(float64(q) / u)
+	// A tiny u can push q/u beyond int64; such a position is unreachable in
+	// any real stream, so clamp instead of overflowing the conversion.
+	const maxPos = int64(1) << 62
+	next := maxPos
+	if f < float64(maxPos) {
+		next = int64(f)
+	}
+	if next <= m {
+		next = m + 1
+	}
+	sc.pos[i] = next
+	sc.pm[next] = append(sc.pm[next], i)
+}
+
+// Delete processes delete(v): steps 20–26 of Fig. 1. It reverses the most
+// recent undeleted insert(v). Deleting a value that the sketch has never
+// seen is not detectable in sublinear space; like the paper, we assume the
+// operation sequence is valid (Validate in package stream checks that), so
+// Delete only fails on an impossible internal state.
+func (sc *SampleCount) Delete(v uint64) error {
+	sc.n--
+	count, ok := sc.nv[v]
+	if !ok {
+		return nil // v does not occur in the sample; only n changes
+	}
+	count--
+	sc.nv[v] = count
+	// Remove every slot whose entry insert is the one being cancelled:
+	// those with EntryNv[i] == Nv (now-decremented). They sit at the head
+	// of Sv because the list is most-recent-first.
+	for {
+		h, ok := sc.head[v]
+		if !ok || sc.entryN[h] != count {
+			break
+		}
+		sc.unlink(h)
+	}
+	if _, ok := sc.head[v]; !ok {
+		// v no longer occurs in the sample; stop counting it (space bound).
+		delete(sc.nv, v)
+	}
+	if count < 0 {
+		return fmt.Errorf("core: sample-count underflow for value %d", v)
+	}
+	return nil
+}
+
+// pushHead inserts slot i at the head of Sv.
+func (sc *SampleCount) pushHead(i int, v uint64) {
+	if h, ok := sc.head[v]; ok {
+		sc.next[i] = h
+		sc.prev[h] = i
+	} else {
+		sc.next[i] = -1
+	}
+	sc.prev[i] = -1
+	sc.head[v] = i
+}
+
+// unlink removes slot i from its value's list and marks it out of sample.
+func (sc *SampleCount) unlink(i int) {
+	v := sc.val[i]
+	p, n := sc.prev[i], sc.next[i]
+	if p >= 0 {
+		sc.next[p] = n
+	} else {
+		if n >= 0 {
+			sc.head[v] = n
+		} else {
+			delete(sc.head, v)
+		}
+	}
+	if n >= 0 {
+		sc.prev[n] = p
+	}
+	sc.next[i], sc.prev[i] = -1, -1
+	sc.inSample[i] = false
+	if _, ok := sc.head[v]; !ok {
+		// Last slot holding v left the sample: drop its running count so
+		// the live tables stay O(s).
+		delete(sc.nv, v)
+	}
+}
+
+// Estimate returns the median over groups of the mean of X_i = n(2r_i − 1),
+// ignoring slots not currently in the sample (steps 27–32). Groups with no
+// live slots are skipped; if no slot is live the estimate is 0 (nothing is
+// known about the multiset beyond its size).
+func (sc *SampleCount) Estimate() float64 {
+	sc.scratch = sc.scratch[:0]
+	s1 := sc.cfg.S1
+	for j := 0; j < sc.cfg.S2; j++ {
+		sum := 0.0
+		live := 0
+		for i := j * s1; i < (j+1)*s1; i++ {
+			if !sc.inSample[i] {
+				continue
+			}
+			r := sc.nv[sc.val[i]] - sc.entryN[i]
+			sum += float64(sc.n) * (2*float64(r) - 1)
+			live++
+		}
+		if live > 0 {
+			sc.scratch = append(sc.scratch, sum/float64(live))
+		}
+	}
+	if len(sc.scratch) == 0 {
+		return 0
+	}
+	return Median(sc.scratch)
+}
+
+// MemoryWords returns s, the number of sample slots; every auxiliary table
+// is Θ(s) as in the paper's accounting.
+func (sc *SampleCount) MemoryWords() int { return sc.s }
+
+// Len returns the current multiset size implied by the update stream.
+func (sc *SampleCount) Len() int64 { return sc.n }
+
+// Config returns the tracker's configuration.
+func (sc *SampleCount) Config() Config { return sc.cfg }
+
+// LiveSlots returns how many slots currently hold a sample point. The
+// deletion analysis (Chernoff argument before Theorem 2.1) predicts at
+// least s/2 with high probability when deletes are ≤ 1/5 of any prefix.
+func (sc *SampleCount) LiveSlots() int {
+	live := 0
+	for _, in := range sc.inSample {
+		if in {
+			live++
+		}
+	}
+	return live
+}
+
+// checkInvariants verifies internal consistency; it is exported to the
+// package tests via export_test.go and is O(s).
+func (sc *SampleCount) checkInvariants() error {
+	// Every in-sample slot must be reachable from its value's head exactly
+	// once, and nv must exist exactly for values with a list.
+	seen := make(map[int]bool)
+	for v, h := range sc.head {
+		if _, ok := sc.nv[v]; !ok {
+			return fmt.Errorf("value %d has list but no Nv", v)
+		}
+		prevEntry := int64(math.MaxInt64)
+		for i := h; i >= 0; i = sc.next[i] {
+			if seen[i] {
+				return fmt.Errorf("slot %d linked twice", i)
+			}
+			seen[i] = true
+			if !sc.inSample[i] {
+				return fmt.Errorf("linked slot %d not in sample", i)
+			}
+			if sc.val[i] != v {
+				return fmt.Errorf("slot %d in list of %d holds %d", i, v, sc.val[i])
+			}
+			if sc.entryN[i] > prevEntry {
+				return fmt.Errorf("list of %d not most-recent-first", v)
+			}
+			prevEntry = sc.entryN[i]
+			r := sc.nv[v] - sc.entryN[i]
+			if r < 1 {
+				return fmt.Errorf("slot %d has r = %d < 1", i, r)
+			}
+		}
+	}
+	for i := 0; i < sc.s; i++ {
+		if sc.inSample[i] && !seen[i] {
+			return fmt.Errorf("in-sample slot %d not linked", i)
+		}
+	}
+	for v := range sc.nv {
+		if _, ok := sc.head[v]; !ok {
+			return fmt.Errorf("Nv exists for %d with no slots", v)
+		}
+	}
+	// Every slot must have exactly one pending position.
+	pending := make(map[int]int64)
+	for p, slots := range sc.pm {
+		if p <= sc.inserts {
+			return fmt.Errorf("stale pending position %d (stream at %d)", p, sc.inserts)
+		}
+		for _, i := range slots {
+			if _, dup := pending[i]; dup {
+				return fmt.Errorf("slot %d scheduled twice", i)
+			}
+			pending[i] = p
+		}
+	}
+	if len(pending) != sc.s {
+		return fmt.Errorf("%d slots scheduled, want %d", len(pending), sc.s)
+	}
+	return nil
+}

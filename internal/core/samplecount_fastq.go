@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/xrand"
+)
+
+// SampleCountFQ is the alternative sample-count implementation sketched at
+// the end of §2.1: it maintains each group sum Y_j during updates so that
+// queries run in O(s2) time, at the cost of O(s2) amortized update time
+// (instead of O(1) updates / O(s) queries for SampleCount).
+//
+// Additional state beyond SampleCount's:
+//
+//   - y[j]   = Σ r_i over live slots i in group j (the running group sums);
+//   - num[j] = number of live slots in group j;
+//   - kv     : per value v occurring in the sample, the per-group counts of
+//     live slots holding v, stored as a short (group, count) list — the
+//     paper's "list at most s2 long" — so total auxiliary state stays O(s).
+//
+// Every insert(v) advances the r of each live slot holding v by adding the
+// group counts to the group sums; deletes and reservoir replacements
+// reverse exactly the contributions of the slots they remove. A query
+// computes n·(2·median_j(y_j/num_j) − 1); since x ↦ n(2x−1) is monotone for
+// n ≥ 0, this equals SampleCount's median of group means, and the test
+// suite asserts bit-equality of the two implementations on random op
+// sequences.
+type SampleCountFQ struct {
+	cfg Config
+	rng *xrand.Rand
+
+	s       int
+	n       int64
+	inserts int64
+	window  int64
+
+	pos      []int64
+	val      []uint64
+	entryN   []int64
+	inSample []bool
+
+	next, prev []int
+	head       map[uint64]int
+	nv         map[uint64]int64
+	pm         map[int64][]int
+	firstSkip  []bool
+
+	// Fast-query state.
+	y   []int64 // group sums of r (integers: sums of occurrence counts)
+	num []int   // live slots per group
+	kv  map[uint64][]groupCount
+
+	scratch []float64
+}
+
+// groupCount is one entry of a value's per-group slot-count list.
+type groupCount struct {
+	group int
+	count int32
+}
+
+// NewSampleCountFQ builds the fast-query variant. The options of
+// NewSampleCount apply (window handling is identical).
+func NewSampleCountFQ(cfg Config, opts ...SampleCountOption) (*SampleCountFQ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Reuse SampleCount construction for the shared state so the two
+	// variants stay in lockstep (same RNG consumption, same tables).
+	base, err := NewSampleCount(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fq := &SampleCountFQ{
+		cfg:       base.cfg,
+		rng:       base.rng,
+		s:         base.s,
+		window:    base.window,
+		pos:       base.pos,
+		val:       base.val,
+		entryN:    base.entryN,
+		inSample:  base.inSample,
+		next:      base.next,
+		prev:      base.prev,
+		head:      base.head,
+		nv:        base.nv,
+		pm:        base.pm,
+		firstSkip: base.firstSkip,
+		y:         make([]int64, cfg.S2),
+		num:       make([]int, cfg.S2),
+		kv:        make(map[uint64][]groupCount, base.s),
+		scratch:   make([]float64, 0, cfg.S2),
+	}
+	return fq, nil
+}
+
+// group returns slot i's group index.
+func (fq *SampleCountFQ) group(i int) int { return i / fq.cfg.S1 }
+
+// kvAdd adjusts value v's count in group g by delta, keeping the list
+// compact.
+func (fq *SampleCountFQ) kvAdd(v uint64, g int, delta int32) {
+	list := fq.kv[v]
+	for idx := range list {
+		if list[idx].group == g {
+			list[idx].count += delta
+			if list[idx].count == 0 {
+				list[idx] = list[len(list)-1]
+				list = list[:len(list)-1]
+				if len(list) == 0 {
+					delete(fq.kv, v)
+					return
+				}
+			}
+			fq.kv[v] = list
+			return
+		}
+	}
+	if delta != 0 {
+		fq.kv[v] = append(list, groupCount{group: g, count: delta})
+	}
+}
+
+// Insert processes insert(v) with online Y maintenance.
+func (fq *SampleCountFQ) Insert(v uint64) {
+	fq.inserts++
+	fq.n++
+	m := fq.inserts
+
+	// Advance r for every slot already holding v: add the group counts to
+	// the group sums. This must happen BEFORE processing slot entries so
+	// that a reservoir discard of a slot holding v sees group sums
+	// consistent with the incremented Nv.
+	if _, ok := fq.nv[v]; ok {
+		fq.nv[v]++
+		for _, gc := range fq.kv[v] {
+			fq.y[gc.group] += int64(gc.count)
+		}
+	}
+
+	// Slot entries at position m, mirroring SampleCount.Insert.
+	if waiting, ok := fq.pm[m]; ok {
+		delete(fq.pm, m)
+		for _, i := range waiting {
+			if fq.inSample[i] {
+				// Reservoir discard: remove the slot's full contribution.
+				g := fq.group(i)
+				fq.y[g] -= fq.nv[fq.val[i]] - fq.entryN[i]
+				fq.num[g]--
+				fq.kvAdd(fq.val[i], g, -1)
+				fq.unlink(i)
+			}
+			if _, ok := fq.nv[v]; !ok {
+				fq.nv[v] = 1
+			}
+			fq.val[i] = v
+			fq.entryN[i] = fq.nv[v] - 1
+			fq.pushHead(i, v)
+			fq.inSample[i] = true
+			g := fq.group(i)
+			fq.num[g]++
+			fq.kvAdd(v, g, 1)
+			// The entering slot starts with r = 1 (this very insert); the
+			// advance above ran before it joined kv, so credit it here.
+			fq.y[g]++
+			fq.scheduleNext(i, m)
+		}
+	}
+}
+
+// Delete processes delete(v), reversing the most recent undeleted
+// insert(v) in the Y sums as well.
+func (fq *SampleCountFQ) Delete(v uint64) error {
+	fq.n--
+	count, ok := fq.nv[v]
+	if !ok {
+		return nil
+	}
+	count--
+	fq.nv[v] = count
+	// Remove slots whose entry insert is cancelled; each such slot has
+	// r = 1 right now (its EntryNv equals the decremented Nv).
+	for {
+		h, ok := fq.head[v]
+		if !ok || fq.entryN[h] != count {
+			break
+		}
+		g := fq.group(h)
+		fq.y[g]--
+		fq.num[g]--
+		fq.kvAdd(v, g, -1)
+		fq.unlink(h)
+	}
+	// Remaining slots holding v lose the cancelled occurrence from r.
+	for _, gc := range fq.kv[v] {
+		fq.y[gc.group] -= int64(gc.count)
+	}
+	if _, ok := fq.head[v]; !ok {
+		delete(fq.nv, v)
+	}
+	if count < 0 {
+		return fmt.Errorf("core: sample-count-fq underflow for value %d", v)
+	}
+	return nil
+}
+
+// pushHead / unlink mirror SampleCount's list maintenance.
+func (fq *SampleCountFQ) pushHead(i int, v uint64) {
+	if h, ok := fq.head[v]; ok {
+		fq.next[i] = h
+		fq.prev[h] = i
+	} else {
+		fq.next[i] = -1
+	}
+	fq.prev[i] = -1
+	fq.head[v] = i
+}
+
+func (fq *SampleCountFQ) unlink(i int) {
+	v := fq.val[i]
+	p, n := fq.prev[i], fq.next[i]
+	if p >= 0 {
+		fq.next[p] = n
+	} else {
+		if n >= 0 {
+			fq.head[v] = n
+		} else {
+			delete(fq.head, v)
+		}
+	}
+	if n >= 0 {
+		fq.prev[n] = p
+	}
+	fq.next[i], fq.prev[i] = -1, -1
+	fq.inSample[i] = false
+	if _, ok := fq.head[v]; !ok {
+		delete(fq.nv, v)
+	}
+}
+
+// scheduleNext mirrors SampleCount.scheduleNext (same RNG law, so the two
+// variants with equal seeds select identical positions).
+func (fq *SampleCountFQ) scheduleNext(i int, m int64) {
+	q := m
+	if fq.firstSkip[i] {
+		fq.firstSkip[i] = false
+		if fq.window > m {
+			q = fq.window
+		}
+	}
+	u := fq.rng.Float64Open()
+	f := math.Ceil(float64(q) / u)
+	const maxPos = int64(1) << 62
+	next := maxPos
+	if f < float64(maxPos) {
+		next = int64(f)
+	}
+	if next <= m {
+		next = m + 1
+	}
+	fq.pos[i] = next
+	fq.pm[next] = append(fq.pm[next], i)
+}
+
+// Estimate answers the query in O(s2): the median over non-empty groups of
+// n·(2·y_j − num_j)/num_j. The per-group expression equals SampleCount's
+// group mean of n(2r−1) exactly (y_j is the integer Σr), so the two
+// implementations return bit-identical estimates for equal seeds.
+func (fq *SampleCountFQ) Estimate() float64 {
+	fq.scratch = fq.scratch[:0]
+	n := float64(fq.n)
+	for j := 0; j < fq.cfg.S2; j++ {
+		if fq.num[j] > 0 {
+			num := float64(fq.num[j])
+			fq.scratch = append(fq.scratch, n*(2*float64(fq.y[j])-num)/num)
+		}
+	}
+	if len(fq.scratch) == 0 {
+		return 0
+	}
+	return Median(fq.scratch)
+}
+
+// MemoryWords returns s.
+func (fq *SampleCountFQ) MemoryWords() int { return fq.s }
+
+// Len returns the current multiset size implied by the update stream.
+func (fq *SampleCountFQ) Len() int64 { return fq.n }
+
+// Config returns the tracker's configuration.
+func (fq *SampleCountFQ) Config() Config { return fq.cfg }
+
+// LiveSlots returns the number of live sample slots.
+func (fq *SampleCountFQ) LiveSlots() int {
+	live := 0
+	for _, n := range fq.num {
+		live += n
+	}
+	return live
+}
+
+// checkInvariants verifies the fast-query bookkeeping against a from-
+// scratch recomputation (exported to tests via export_test.go).
+func (fq *SampleCountFQ) checkInvariants() error {
+	wantY := make([]int64, fq.cfg.S2)
+	wantNum := make([]int, fq.cfg.S2)
+	wantKV := map[uint64]map[int]int32{}
+	for i := 0; i < fq.s; i++ {
+		if !fq.inSample[i] {
+			continue
+		}
+		v := fq.val[i]
+		nv, ok := fq.nv[v]
+		if !ok {
+			return fmt.Errorf("live slot %d holds %d with no Nv", i, v)
+		}
+		r := nv - fq.entryN[i]
+		if r < 1 {
+			return fmt.Errorf("slot %d has r = %d", i, r)
+		}
+		g := fq.group(i)
+		wantY[g] += r
+		wantNum[g]++
+		if wantKV[v] == nil {
+			wantKV[v] = map[int]int32{}
+		}
+		wantKV[v][g]++
+	}
+	for j := 0; j < fq.cfg.S2; j++ {
+		if wantY[j] != fq.y[j] {
+			return fmt.Errorf("group %d: y = %v, recomputed %v", j, fq.y[j], wantY[j])
+		}
+		if wantNum[j] != fq.num[j] {
+			return fmt.Errorf("group %d: num = %d, recomputed %d", j, fq.num[j], wantNum[j])
+		}
+	}
+	for v, list := range fq.kv {
+		for _, gc := range list {
+			if wantKV[v][gc.group] != gc.count {
+				return fmt.Errorf("kv[%d] group %d = %d, recomputed %d", v, gc.group, gc.count, wantKV[v][gc.group])
+			}
+		}
+	}
+	for v, groups := range wantKV {
+		total := int32(0)
+		for _, c := range fq.kv[v] {
+			total += c.count
+		}
+		wantTotal := int32(0)
+		for _, c := range groups {
+			wantTotal += c
+		}
+		if total != wantTotal {
+			return fmt.Errorf("kv[%d] total = %d, recomputed %d", v, total, wantTotal)
+		}
+	}
+	return nil
+}
+
+var _ Tracker = (*SampleCountFQ)(nil)

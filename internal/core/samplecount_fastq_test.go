@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/xrand"
+)
+
+func newFQ(t *testing.T, s1, s2 int, seed uint64, opts ...SampleCountOption) *SampleCountFQ {
+	t.Helper()
+	fq, err := NewSampleCountFQ(Config{S1: s1, S2: s2, Seed: seed}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fq
+}
+
+func TestNewSampleCountFQRejectsBadConfig(t *testing.T) {
+	if _, err := NewSampleCountFQ(Config{S1: 0, S2: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// TestFQMatchesSampleCountExactly is the differential test: with equal
+// seeds the two variants select identical sample positions, so their
+// estimates must be bit-identical after any valid op sequence.
+func TestFQMatchesSampleCountExactly(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		sc, err := NewSampleCount(Config{S1: 4, S2: 3, Seed: seed}, WithWindowFromStart())
+		if err != nil {
+			return false
+		}
+		fq, err := NewSampleCountFQ(Config{S1: 4, S2: 3, Seed: seed}, WithWindowFromStart())
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed ^ 0x1234)
+		live := map[uint64]int{}
+		for _, x := range raw {
+			v := uint64(x % 24)
+			if live[v] > 0 && r.Float64() < 0.3 {
+				if sc.Delete(v) != nil || fq.Delete(v) != nil {
+					return false
+				}
+				live[v]--
+			} else {
+				sc.Insert(v)
+				fq.Insert(v)
+				live[v]++
+			}
+		}
+		return sc.Estimate() == fq.Estimate() && sc.Len() == fq.Len() && sc.LiveSlots() == fq.LiveSlots()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFQMatchesSampleCountLongStream(t *testing.T) {
+	cfg := Config{S1: 16, S2: 4, Seed: 77}
+	sc, _ := NewSampleCount(cfg, WithWindowFromStart())
+	fq, _ := NewSampleCountFQ(cfg, WithWindowFromStart())
+	r := xrand.New(3)
+	live := []uint64{}
+	for i := 0; i < 60000; i++ {
+		if len(live) > 10 && r.Float64() < 0.15 {
+			k := r.Intn(len(live))
+			v := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := sc.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := fq.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v := r.Uint64n(128)
+			sc.Insert(v)
+			fq.Insert(v)
+			live = append(live, v)
+		}
+		if i%9973 == 0 {
+			if sc.Estimate() != fq.Estimate() {
+				t.Fatalf("estimates diverged at op %d: %v vs %v", i, sc.Estimate(), fq.Estimate())
+			}
+			if err := fq.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if sc.Estimate() != fq.Estimate() {
+		t.Fatalf("final estimates differ: %v vs %v", sc.Estimate(), fq.Estimate())
+	}
+}
+
+func TestFQInvariantsUnderChurn(t *testing.T) {
+	fq := newFQ(t, 8, 4, 11, WithWindowFromStart())
+	r := xrand.New(13)
+	live := []uint64{}
+	for i := 0; i < 30000; i++ {
+		if len(live) > 5 && r.Float64() < 0.2 {
+			k := r.Intn(len(live))
+			v := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := fq.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v := r.Uint64n(32)
+			fq.Insert(v)
+			live = append(live, v)
+		}
+		if i%2503 == 0 {
+			if err := fq.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := fq.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFQEmptyEstimate(t *testing.T) {
+	fq := newFQ(t, 4, 2, 1)
+	if fq.Estimate() != 0 {
+		t.Fatalf("empty estimate = %v", fq.Estimate())
+	}
+	if fq.MemoryWords() != 8 || fq.Config().S1 != 4 {
+		t.Fatal("config accessors wrong")
+	}
+}
+
+func TestFQInsertDeleteAllEmpties(t *testing.T) {
+	fq := newFQ(t, 4, 2, 9, WithWindowFromStart())
+	vals := []uint64{1, 2, 1, 3, 1, 2}
+	for _, v := range vals {
+		fq.Insert(v)
+	}
+	for k := len(vals) - 1; k >= 0; k-- {
+		if err := fq.Delete(vals[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fq.Len() != 0 || fq.LiveSlots() != 0 || fq.Estimate() != 0 {
+		t.Fatalf("not empty: len=%d live=%d est=%v", fq.Len(), fq.LiveSlots(), fq.Estimate())
+	}
+	if err := fq.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSampleCountFQInsert(b *testing.B) {
+	fq, _ := NewSampleCountFQ(Config{S1: 128, S2: 8, Seed: 1}, WithWindowFromStart())
+	r := xrand.New(2)
+	vals := make([]uint64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Uint64n(1 << 14)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fq.Insert(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkSampleCountFQEstimate(b *testing.B) {
+	fq, _ := NewSampleCountFQ(Config{S1: 128, S2: 8, Seed: 1}, WithWindowFromStart())
+	r := xrand.New(2)
+	for i := 0; i < 100000; i++ {
+		fq.Insert(r.Uint64n(1 << 12))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += fq.Estimate()
+	}
+	_ = sink
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func newSC(t *testing.T, s1, s2 int, seed uint64, opts ...SampleCountOption) *SampleCount {
+	t.Helper()
+	sc, err := NewSampleCount(Config{S1: s1, S2: s2, Seed: seed}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestNewSampleCountRejectsBadConfig(t *testing.T) {
+	if _, err := NewSampleCount(Config{S1: 0, S2: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSampleCountWindow(t *testing.T) {
+	sc := newSC(t, 4, 4, 1)
+	// s = 16 → window = 16*ceil(log2(16)) = 64.
+	if sc.Window() != 64 {
+		t.Fatalf("window = %d, want 64", sc.Window())
+	}
+	sc2 := newSC(t, 1, 1, 1)
+	if sc2.Window() != 1 {
+		t.Fatalf("s=1 window = %d, want 1", sc2.Window())
+	}
+	sc3 := newSC(t, 4, 4, 1, WithWindowFromStart())
+	if sc3.Window() != 1 {
+		t.Fatalf("WithWindowFromStart window = %d, want 1", sc3.Window())
+	}
+}
+
+func TestSampleCountEmptyEstimate(t *testing.T) {
+	sc := newSC(t, 4, 2, 1)
+	if got := sc.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+}
+
+func TestSampleCountExactOnConstantStream(t *testing.T) {
+	// All items identical: every live slot has r = n − entry position + ...
+	// more precisely each slot's X = n(2r−1) and averaging over uniform
+	// positions gives SJ = n² in expectation; for a single value the
+	// estimate from any FULL sample is n(2·mean(r)−1) where the r are the
+	// suffix counts of sampled positions. With window-from-start and s
+	// large relative to n the sample is dense, so the estimate must land
+	// within the Theorem 2.1 band around n².
+	sc := newSC(t, 64, 4, 7, WithWindowFromStart())
+	const n = 4096
+	for i := 0; i < n; i++ {
+		sc.Insert(99)
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := sc.Estimate()
+	want := float64(n) * float64(n)
+	if exact.RelativeError(got, want) > 0.35 {
+		t.Fatalf("estimate = %v, want within 35%% of %v", got, want)
+	}
+}
+
+func TestSampleCountInvariantsUnderInserts(t *testing.T) {
+	r := xrand.New(3)
+	sc := newSC(t, 8, 4, 5, WithWindowFromStart())
+	for i := 0; i < 20000; i++ {
+		sc.Insert(r.Uint64n(64))
+		if i%997 == 0 {
+			if err := sc.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 20000 {
+		t.Fatalf("Len = %d", sc.Len())
+	}
+}
+
+func TestSampleCountInvariantsUnderMixedOps(t *testing.T) {
+	r := xrand.New(17)
+	sc := newSC(t, 8, 4, 9, WithWindowFromStart())
+	h := exact.NewHistogram()
+	live := []uint64{}
+	for i := 0; i < 30000; i++ {
+		if len(live) > 10 && r.Float64() < 0.18 {
+			k := r.Intn(len(live))
+			v := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := sc.Delete(v); err != nil {
+				t.Fatalf("delete %d: %v", v, err)
+			}
+			if err := h.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v := r.Uint64n(48)
+			sc.Insert(v)
+			h.Insert(v)
+			live = append(live, v)
+		}
+		if i%1371 == 0 {
+			if err := sc.CheckInvariants(); err != nil {
+				t.Fatalf("after %d ops: %v", i+1, err)
+			}
+		}
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != h.Len() {
+		t.Fatalf("Len = %d, exact = %d", sc.Len(), h.Len())
+	}
+}
+
+func TestSampleCountLiveSlotsAfterDeletions(t *testing.T) {
+	// Paper's Chernoff claim: with deletes <= 1/5 of any prefix, at least
+	// s/2 sample points survive with high probability.
+	r := xrand.New(23)
+	sc := newSC(t, 16, 4, 31, WithWindowFromStart())
+	live := []uint64{}
+	ops := 0
+	dels := 0
+	for ops < 50000 {
+		ops++
+		if len(live) > 10 && float64(dels+1) <= 0.2*float64(ops) && r.Float64() < 0.25 {
+			k := r.Intn(len(live))
+			v := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := sc.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+			dels++
+		} else {
+			v := r.Uint64n(256)
+			sc.Insert(v)
+			live = append(live, v)
+		}
+	}
+	if got, s := sc.LiveSlots(), sc.MemoryWords(); got < s/2 {
+		t.Fatalf("only %d/%d slots live after deletion mix", got, s)
+	}
+}
+
+func TestSampleCountDeletionEquivalenceDistribution(t *testing.T) {
+	// Â (with deletions) and its canonical A must give estimates in the
+	// same ballpark: run both on the same final multiset and compare the
+	// averaged estimates across seeds. This is a distributional check, not
+	// bit-equality (the two runs sample different positions).
+	r := xrand.New(5)
+	values := make([]uint64, 8000)
+	for i := range values {
+		values[i] = r.Uint64n(40)
+	}
+	// Build Â: values with 15% uniform deletions; A: its canonical form.
+	const seeds = 30
+	sumMixed, sumCanon := 0.0, 0.0
+	var exactSJ float64
+	for seed := uint64(0); seed < seeds; seed++ {
+		mixed := newSC(t, 32, 4, seed, WithWindowFromStart())
+		canon := newSC(t, 32, 4, seed+1000, WithWindowFromStart())
+		h := exact.NewHistogram()
+		liveVals := []uint64{}
+		rr := xrand.New(777) // same deletion pattern every seed
+		var canonical []uint64
+		for _, v := range values {
+			mixed.Insert(v)
+			h.Insert(v)
+			liveVals = append(liveVals, v)
+			if len(liveVals) > 5 && rr.Float64() < 0.15 {
+				k := rr.Intn(len(liveVals))
+				d := liveVals[k]
+				liveVals[k] = liveVals[len(liveVals)-1]
+				liveVals = liveVals[:len(liveVals)-1]
+				if err := mixed.Delete(d); err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Delete(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		canonical = liveVals
+		for _, v := range canonical {
+			canon.Insert(v)
+		}
+		exactSJ = float64(h.SelfJoin())
+		sumMixed += mixed.Estimate()
+		sumCanon += canon.Estimate()
+	}
+	meanMixed := sumMixed / seeds
+	meanCanon := sumCanon / seeds
+	if exact.RelativeError(meanMixed, exactSJ) > 0.25 {
+		t.Errorf("mixed-mean %.3g deviates from exact %.3g", meanMixed, exactSJ)
+	}
+	if exact.RelativeError(meanCanon, exactSJ) > 0.25 {
+		t.Errorf("canonical-mean %.3g deviates from exact %.3g", meanCanon, exactSJ)
+	}
+	if exact.RelativeError(meanMixed, meanCanon) > 0.3 {
+		t.Errorf("mixed %.3g vs canonical %.3g disagree", meanMixed, meanCanon)
+	}
+}
+
+func TestSampleCountUnbiasedOverSeeds(t *testing.T) {
+	// E[X] = SJ for the atomic estimator; mean estimate over many seeds on
+	// a small stream must approach the exact self-join size.
+	vals := []uint64{1, 1, 1, 1, 2, 2, 3, 3, 3, 4, 5, 5, 6, 7, 7, 7}
+	sj := float64(exact.SelfJoinOf(vals))
+	const seeds = 2000
+	sum := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		sc, _ := NewSampleCount(Config{S1: 1, S2: 1, Seed: seed}, WithWindowFromStart())
+		for _, v := range vals {
+			sc.Insert(v)
+		}
+		sum += sc.Estimate()
+	}
+	mean := sum / seeds
+	if math.Abs(mean-sj)/sj > 0.1 {
+		t.Fatalf("mean estimate %.2f deviates from SJ %.0f", mean, sj)
+	}
+}
+
+func TestSampleCountPositionUniformity(t *testing.T) {
+	// With a single slot and window-from-start, after n inserts the held
+	// position must be uniform over {1..n}: check the mean rank across
+	// seeds. Position is recovered via r on a stream of distinct values
+	// then all-same tail... simpler: stream of all-distinct values, the
+	// slot's r is always 1; instead use value=index to identify position.
+	const n = 200
+	const seeds = 3000
+	sumPos := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		sc, _ := NewSampleCount(Config{S1: 1, S2: 1, Seed: seed}, WithWindowFromStart())
+		for i := 1; i <= n; i++ {
+			sc.Insert(uint64(i))
+		}
+		// The single slot holds value = its sampled position.
+		est := sc.Estimate() // n(2r−1) with r = 1 → n; not informative.
+		_ = est
+		// Reach in via the public-ish surface: LiveSlots must be 1; recover
+		// the value through the estimate of a follow-up trick instead.
+		// Simplest: inspect via invariant check + the val array is not
+		// exported, so instead re-derive: insert n more copies of a marker
+		// value and... — rather than contort, check uniformity through r on
+		// an all-equal stream below.
+		sumPos += float64(sc.LiveSlots())
+	}
+	if sumPos != seeds {
+		t.Fatalf("slot not always live: %v/%v", sumPos, seeds)
+	}
+
+	// All-equal stream: r = n − p + 1, so E[p] uniform ⇔ E[r] = (n+1)/2.
+	sumR := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		sc, _ := NewSampleCount(Config{S1: 1, S2: 1, Seed: seed}, WithWindowFromStart())
+		for i := 0; i < n; i++ {
+			sc.Insert(7)
+		}
+		// X = n(2r−1) → r = (X/n + 1)/2.
+		r := (sc.Estimate()/float64(n) + 1) / 2
+		sumR += r
+	}
+	meanR := sumR / seeds
+	want := float64(n+1) / 2
+	// sigma of mean ≈ n/sqrt(12*seeds) ≈ 1.05; allow 5 sigma.
+	if math.Abs(meanR-want) > 5.5 {
+		t.Fatalf("mean r = %.2f, want %.2f (positions not uniform)", meanR, want)
+	}
+}
+
+func TestSampleCountAccuracyOnSkewedStream(t *testing.T) {
+	// End-to-end accuracy: zipf-ish stream, s = 512 words; sample-count
+	// should land within ~20% of the exact SJ for most seeds.
+	r := xrand.New(4)
+	z := xrand.NewZipf(r, 1.0, 1000)
+	values := make([]uint64, 60000)
+	for i := range values {
+		values[i] = uint64(z.Next())
+	}
+	sj := float64(exact.SelfJoinOf(values))
+	bad := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		sc, _ := NewSampleCount(Config{S1: 64, S2: 8, Seed: uint64(trial)}, WithWindowFromStart())
+		for _, v := range values {
+			sc.Insert(v)
+		}
+		if exact.RelativeError(sc.Estimate(), sj) > 0.25 {
+			bad++
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d/%d trials off by more than 25%%", bad, trials)
+	}
+}
+
+func TestSampleCountPaperWindowNeedsLongStream(t *testing.T) {
+	// With the paper's initial window (s log s), a stream shorter than the
+	// window fills only part of the sample — the theorem's n >= s·log s
+	// precondition. Verify slots stay empty on a short stream and the
+	// tracker still answers without panicking.
+	sc := newSC(t, 16, 4, 2) // s=64, window = 64*6 = 384
+	for i := 0; i < 100; i++ {
+		sc.Insert(uint64(i))
+	}
+	if live := sc.LiveSlots(); live >= 64 {
+		t.Fatalf("all %d slots live on a stream shorter than the window", live)
+	}
+	_ = sc.Estimate() // must not panic
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleCountDeleteOfUnseenValue(t *testing.T) {
+	// Deleting a value that is not in the sample only adjusts n; the caller
+	// (stream.Validate) guarantees the op sequence is valid.
+	sc := newSC(t, 4, 2, 3, WithWindowFromStart())
+	sc.Insert(1)
+	sc.Insert(2)
+	if err := sc.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", sc.Len())
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleCountInsertDeleteAllReturnsEmpty(t *testing.T) {
+	f := func(vals []uint8, seed uint64) bool {
+		sc, err := NewSampleCount(Config{S1: 4, S2: 2, Seed: seed}, WithWindowFromStart())
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			sc.Insert(uint64(v))
+		}
+		// Delete in LIFO order (always valid).
+		for k := len(vals) - 1; k >= 0; k-- {
+			if err := sc.Delete(uint64(vals[k])); err != nil {
+				return false
+			}
+		}
+		return sc.Len() == 0 && sc.LiveSlots() == 0 && sc.Estimate() == 0 && sc.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleCountMemoryWords(t *testing.T) {
+	sc := newSC(t, 8, 4, 1)
+	if sc.MemoryWords() != 32 {
+		t.Fatalf("MemoryWords = %d, want 32", sc.MemoryWords())
+	}
+	if sc.Config().S1 != 8 || sc.Config().S2 != 4 {
+		t.Fatalf("Config = %+v", sc.Config())
+	}
+}
+
+// TestSampleCountBoundedState verifies the O(s) space claim: the live
+// tables never exceed a constant multiple of s regardless of stream length
+// or domain size.
+func TestSampleCountBoundedState(t *testing.T) {
+	r := xrand.New(6)
+	sc := newSC(t, 8, 4, 12, WithWindowFromStart()) // s = 32
+	for i := 0; i < 100000; i++ {
+		sc.Insert(r.Uint64()) // huge domain: nearly all values distinct
+	}
+	if len(sc.nv) > sc.s {
+		t.Fatalf("nv table has %d entries for s = %d", len(sc.nv), sc.s)
+	}
+	if len(sc.head) > sc.s {
+		t.Fatalf("head table has %d entries for s = %d", len(sc.head), sc.s)
+	}
+	if len(sc.pm) > sc.s {
+		t.Fatalf("pm table has %d entries for s = %d", len(sc.pm), sc.s)
+	}
+}
+
+func BenchmarkSampleCountInsert(b *testing.B) {
+	sc, _ := NewSampleCount(Config{S1: 128, S2: 8, Seed: 1}, WithWindowFromStart())
+	r := xrand.New(2)
+	vals := make([]uint64, 1<<16)
+	for i := range vals {
+		vals[i] = r.Uint64n(1 << 14)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Insert(vals[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkSampleCountEstimate(b *testing.B) {
+	sc, _ := NewSampleCount(Config{S1: 128, S2: 8, Seed: 1}, WithWindowFromStart())
+	r := xrand.New(2)
+	for i := 0; i < 100000; i++ {
+		sc.Insert(r.Uint64n(1 << 12))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += sc.Estimate()
+	}
+	_ = sink
+}

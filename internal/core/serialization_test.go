@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/xrand"
+)
+
+// TestTugOfWarBlobTruncationNeverPanics injects failure at every possible
+// truncation point: UnmarshalBinary must return an error (or reconstruct a
+// valid sketch for the full blob), never panic or accept a prefix.
+func TestTugOfWarBlobTruncationNeverPanics(t *testing.T) {
+	tw, _ := NewTugOfWar(Config{S1: 4, S2: 2, Seed: 3})
+	for i := 0; i < 100; i++ {
+		tw.Insert(uint64(i % 7))
+	}
+	blob, err := tw.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		var back TugOfWar
+		if err := back.UnmarshalBinary(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(blob))
+		}
+	}
+	var back TugOfWar
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("full blob rejected: %v", err)
+	}
+}
+
+// TestTugOfWarBlobBitFlipsDetected flips each byte of the blob once; every
+// mutation must be rejected (the payload is fully covered by the CRC).
+func TestTugOfWarBlobBitFlipsDetected(t *testing.T) {
+	tw, _ := NewTugOfWar(Config{S1: 2, S2: 2, Seed: 9})
+	tw.Insert(5)
+	blob, _ := tw.MarshalBinary()
+	for i := 0; i < len(blob); i++ {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x01
+		var back TugOfWar
+		if err := back.UnmarshalBinary(mut); err == nil {
+			// A flip in the CRC field itself must also fail (checksum
+			// mismatch), so no byte may be silently accepted.
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+// TestGoldenBlobFormat pins the serialization layout so future edits that
+// silently change the wire format fail loudly.
+func TestGoldenBlobFormat(t *testing.T) {
+	tw, _ := NewTugOfWar(Config{S1: 1, S2: 1, Seed: 0})
+	tw.Insert(1)
+	blob, _ := tw.MarshalBinary()
+	// magic(4) + s1(8) + s2(8) + seed(8) + n(8) + 1 counter(8) + crc(4).
+	if len(blob) != 48 {
+		t.Fatalf("blob length = %d, want 48", len(blob))
+	}
+	if blob[0] != 0x01 || blob[1] != 0x70 || blob[2] != 0x51 || blob[3] != 0xA0 {
+		t.Fatalf("magic bytes = % x", blob[:4])
+	}
+	// s1 = 1 little endian.
+	if blob[4] != 1 || blob[5] != 0 {
+		t.Fatalf("s1 bytes = % x", blob[4:12])
+	}
+}
+
+func TestSetFrequenciesNegativeAndZero(t *testing.T) {
+	// The sketch is defined on any integer frequency vector; loading f and
+	// then -f must cancel, and zero frequencies must be no-ops.
+	f := func(vals []uint8, seed uint64) bool {
+		cfg := Config{S1: 4, S2: 2, Seed: seed}
+		a, _ := NewTugOfWar(cfg)
+		freq := map[uint64]int64{}
+		for _, v := range vals {
+			freq[uint64(v%16)]++
+		}
+		freq[99] = 0
+		neg := map[uint64]int64{}
+		for v, c := range freq {
+			neg[v] = -c
+		}
+		a.SetFrequencies(freq)
+		b, _ := NewTugOfWar(cfg)
+		b.SetFrequencies(neg)
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		for _, z := range a.RawCounters() {
+			if z != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeCommutativeAssociative: merging per-partition sketches must be
+// order-insensitive.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	cfg := Config{S1: 8, S2: 2, Seed: 21}
+	mk := func(seed uint64, n int) *TugOfWar {
+		tw, _ := NewTugOfWar(cfg)
+		r := xrand.New(seed)
+		for i := 0; i < n; i++ {
+			tw.Insert(r.Uint64n(64))
+		}
+		return tw
+	}
+	abc1 := mk(1, 500)
+	_ = abc1.Merge(mk(2, 600))
+	_ = abc1.Merge(mk(3, 700))
+
+	abc2 := mk(3, 700)
+	_ = abc2.Merge(mk(1, 500))
+	_ = abc2.Merge(mk(2, 600))
+
+	z1, z2 := abc1.RawCounters(), abc2.RawCounters()
+	for k := range z1 {
+		if z1[k] != z2[k] {
+			t.Fatalf("merge order changed counter %d: %d vs %d", k, z1[k], z2[k])
+		}
+	}
+}
+
+// TestMedianProperties: quick-check the Median helper against ordering
+// invariants.
+func TestMedianProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		minV, maxV := float64(raw[0]), float64(raw[0])
+		for i, v := range raw {
+			xs[i] = float64(v)
+			if xs[i] < minV {
+				minV = xs[i]
+			}
+			if xs[i] > maxV {
+				maxV = xs[i]
+			}
+		}
+		m := Median(xs)
+		if m < minV || m > maxV {
+			return false
+		}
+		// Permutation invariance: reverse and recompute.
+		rev := make([]float64, len(xs))
+		for i := range xs {
+			rev[i] = xs[len(xs)-1-i]
+		}
+		return Median(rev) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

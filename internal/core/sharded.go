@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ShardedTugOfWar ingests updates concurrently from many goroutines. It
+// exploits the tug-of-war sketch's linearity: each shard is an independent
+// TugOfWar over the SAME hash family (same Config), so the sum of shard
+// counters equals the counters of the whole stream regardless of how
+// updates were distributed across shards. Queries merge on the fly.
+//
+// This is the natural parallel-load construction for the paper's warehouse
+// scenario (§5): loader threads each own a shard, no cross-thread
+// contention on the hot path, and the synopsis stays exactly the
+// single-stream sketch.
+type ShardedTugOfWar struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	tw *TugOfWar
+	_  [40]byte // pad to reduce false sharing between shard locks
+}
+
+// NewShardedTugOfWar builds a sketch with the given number of shards
+// (rounded up to a power of two; 0 means GOMAXPROCS).
+func NewShardedTugOfWar(cfg Config, shards int) (*ShardedTugOfWar, error) {
+	if shards < 0 {
+		return nil, fmt.Errorf("core: negative shard count %d", shards)
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	st := &ShardedTugOfWar{cfg: cfg, shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range st.shards {
+		tw, err := NewTugOfWar(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.shards[i].tw = tw
+	}
+	return st, nil
+}
+
+// Shards returns the shard count.
+func (st *ShardedTugOfWar) Shards() int { return len(st.shards) }
+
+// shardFor spreads values across shards; ANY assignment is correct
+// (linearity), so a cheap mix of the value is used to balance load.
+func (st *ShardedTugOfWar) shardFor(v uint64) *shard {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	return &st.shards[v&st.mask]
+}
+
+// Insert adds one occurrence of v; safe for concurrent use.
+func (st *ShardedTugOfWar) Insert(v uint64) {
+	s := st.shardFor(v)
+	s.mu.Lock()
+	s.tw.Insert(v)
+	s.mu.Unlock()
+}
+
+// Delete removes one occurrence of v; safe for concurrent use.
+func (st *ShardedTugOfWar) Delete(v uint64) error {
+	s := st.shardFor(v)
+	s.mu.Lock()
+	err := s.tw.Delete(v)
+	s.mu.Unlock()
+	return err
+}
+
+// Estimate merges the shards and answers the query. Safe for concurrent
+// use with updates; the estimate reflects some linearization of the
+// concurrent operations.
+func (st *ShardedTugOfWar) Estimate() float64 {
+	merged, err := st.Snapshot()
+	if err != nil {
+		// Cannot happen: shards share one Config by construction.
+		panic(err)
+	}
+	return merged.Estimate()
+}
+
+// Snapshot returns a plain TugOfWar equal to the merge of all shards —
+// e.g. to serialize the sketch or to hand it to a query thread.
+func (st *ShardedTugOfWar) Snapshot() (*TugOfWar, error) {
+	merged, err := NewTugOfWar(st.cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		err = merged.Merge(s.tw)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// MemoryWords reports the total storage across shards.
+func (st *ShardedTugOfWar) MemoryWords() int {
+	return len(st.shards) * st.cfg.S1 * st.cfg.S2
+}
+
+// Len returns the current multiset size across shards.
+func (st *ShardedTugOfWar) Len() int64 {
+	var n int64
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		n += s.tw.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+var _ Tracker = (*ShardedTugOfWar)(nil)

@@ -1,0 +1,122 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	specs := All()
+	if len(specs) != 13 {
+		t.Fatalf("registry has %d data sets, want 13 (Table 1)", len(specs))
+	}
+	figures := map[int]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Type == "" || s.Gen == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+		if s.Figure < 2 || s.Figure > 14 {
+			t.Errorf("%s: figure %d outside 2..14", s.Name, s.Figure)
+		}
+		if figures[s.Figure] {
+			t.Errorf("duplicate figure %d", s.Figure)
+		}
+		figures[s.Figure] = true
+	}
+	for f := 2; f <= 14; f++ {
+		if !figures[f] {
+			t.Errorf("no data set for figure %d", f)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("zipf1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Figure != 2 {
+		t.Fatalf("zipf1.0 figure = %d", s.Figure)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if names[0] != "zipf1.0" || names[len(names)-1] != "path" {
+		t.Fatalf("names order wrong: %v", names)
+	}
+}
+
+func TestSortedByFigure(t *testing.T) {
+	specs := SortedByFigure()
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Figure <= specs[i-1].Figure {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s, _ := ByName("mf2")
+	a, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Generate(42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across same-seed runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("values differ at %d", i)
+		}
+	}
+	c, _ := s.Generate(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical stream")
+	}
+}
+
+// TestCalibrationAgainstTable1 measures every data set and checks the
+// generated characteristics against the paper's reported rows: length must
+// match exactly; domain size within 40%; self-join size within a factor of
+// 2.5. (The real-data stand-ins are calibrated models, not byte replicas;
+// EXPERIMENTS.md reports the exact measured numbers.)
+func TestCalibrationAgainstTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := s.Measure(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Length != s.PaperLength {
+				t.Errorf("length = %d, paper %d", m.Length, s.PaperLength)
+			}
+			domRatio := float64(m.Domain) / float64(s.PaperDomain)
+			if domRatio < 0.6 || domRatio > 1.4 {
+				t.Errorf("domain = %d, paper %d (ratio %.2f)", m.Domain, s.PaperDomain, domRatio)
+			}
+			sjRatio := float64(m.SelfJoin) / s.PaperSelfJoin
+			if sjRatio < 1/2.5 || sjRatio > 2.5 {
+				t.Errorf("self-join = %.3g, paper %.3g (ratio %.2f)", float64(m.SelfJoin), s.PaperSelfJoin, sjRatio)
+			}
+			if math.IsNaN(sjRatio) {
+				t.Error("self-join ratio NaN")
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+// Package exact maintains exact frequency statistics of a multiset under
+// insertions and deletions. It is the ground truth that every approximate
+// tracker in this repository is measured against, and it doubles as the
+// "full histogram" strawman the paper's introduction describes: computing
+// the self-join size exactly requires storage proportional to the number of
+// distinct values, which is precisely the cost the sketches avoid.
+//
+// All second-moment quantities are maintained incrementally: inserting a
+// value whose frequency is f changes the self-join size by
+// (f+1)² − f² = 2f+1, so Insert and Delete are O(1) and SelfJoin is a field
+// read. This matters because the experiment harness queries the exact
+// engine constantly.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an exact multiset of uint64 values with incrementally
+// maintained frequency moments. The zero value is not ready to use;
+// construct with NewHistogram.
+type Histogram struct {
+	freq     map[uint64]int64
+	n        int64 // F1: total number of items
+	selfJoin int64 // F2: sum of squared frequencies
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{freq: make(map[uint64]int64)}
+}
+
+// FromValues builds a histogram of an insert-only value sequence.
+func FromValues(values []uint64) *Histogram {
+	h := NewHistogram()
+	for _, v := range values {
+		h.Insert(v)
+	}
+	return h
+}
+
+// Insert adds one occurrence of v.
+func (h *Histogram) Insert(v uint64) {
+	f := h.freq[v]
+	h.freq[v] = f + 1
+	h.n++
+	h.selfJoin += 2*f + 1
+}
+
+// Delete removes one occurrence of v. It returns an error if v is not
+// present; the multiset is unchanged in that case.
+func (h *Histogram) Delete(v uint64) error {
+	f := h.freq[v]
+	if f == 0 {
+		return fmt.Errorf("exact: delete of absent value %d", v)
+	}
+	if f == 1 {
+		delete(h.freq, v)
+	} else {
+		h.freq[v] = f - 1
+	}
+	h.n--
+	h.selfJoin -= 2*f - 1
+	return nil
+}
+
+// Len returns the number of items currently in the multiset (F1).
+func (h *Histogram) Len() int64 { return h.n }
+
+// Distinct returns the number of distinct values present (F0).
+func (h *Histogram) Distinct() int64 { return int64(len(h.freq)) }
+
+// Frequency returns the multiplicity of v (zero if absent).
+func (h *Histogram) Frequency(v uint64) int64 { return h.freq[v] }
+
+// SelfJoin returns the exact self-join size SJ(R) = Σ_v f_v², the second
+// frequency moment F2. O(1).
+func (h *Histogram) SelfJoin() int64 { return h.selfJoin }
+
+// JoinSize returns the exact equi-join size |R ⋈ S| = Σ_v f_v · g_v.
+// It iterates over the smaller histogram.
+func (h *Histogram) JoinSize(other *Histogram) int64 {
+	a, b := h, other
+	if len(b.freq) < len(a.freq) {
+		a, b = b, a
+	}
+	var total int64
+	for v, f := range a.freq {
+		total += f * b.freq[v]
+	}
+	return total
+}
+
+// Moment returns the k-th frequency moment F_k = Σ_v f_v^k as a float64.
+// Moment(0) counts distinct values, Moment(1) the length, Moment(2) the
+// self-join size. For k > 2 the result may lose precision beyond 2^53.
+func (h *Histogram) Moment(k int) float64 {
+	switch k {
+	case 0:
+		return float64(len(h.freq))
+	case 1:
+		return float64(h.n)
+	case 2:
+		return float64(h.selfJoin)
+	}
+	total := 0.0
+	for _, f := range h.freq {
+		total += math.Pow(float64(f), float64(k))
+	}
+	return total
+}
+
+// MaxFrequency returns F∞, the largest multiplicity (0 when empty).
+func (h *Histogram) MaxFrequency() int64 {
+	var maxF int64
+	for _, f := range h.freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	return maxF
+}
+
+// Values returns the distinct values in ascending order. Intended for tests
+// and small diagnostic dumps, not hot paths.
+func (h *Histogram) Values() []uint64 {
+	vs := make([]uint64, 0, len(h.freq))
+	for v := range h.freq {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Frequencies returns a copy of the frequency table. Intended for the
+// experiment harness, which evaluates sketches directly from frequencies.
+func (h *Histogram) Frequencies() map[uint64]int64 {
+	m := make(map[uint64]int64, len(h.freq))
+	for v, f := range h.freq {
+		m[v] = f
+	}
+	return m
+}
+
+// Each calls fn for every (value, frequency) pair in unspecified order,
+// without copying. fn must not mutate the histogram.
+func (h *Histogram) Each(fn func(v uint64, f int64)) {
+	for v, f := range h.freq {
+		fn(v, f)
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{freq: h.Frequencies(), n: h.n, selfJoin: h.selfJoin}
+}
+
+// Equal reports whether two histograms describe the same multiset.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.n != other.n || len(h.freq) != len(other.freq) {
+		return false
+	}
+	for v, f := range h.freq {
+		if other.freq[v] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// SkewSummary describes how concentrated a distribution is; the paper uses
+// the self-join size as "a well-studied measure of the degree of skew".
+type SkewSummary struct {
+	Length    int64   // F1
+	Distinct  int64   // F0
+	SelfJoin  int64   // F2
+	MaxFreq   int64   // F∞
+	UniformF2 float64 // F2 a uniform spread over Distinct values would have
+	SkewRatio float64 // SelfJoin / UniformF2; 1 means no skew
+}
+
+// Skew computes the summary. For an empty histogram all fields are zero.
+func (h *Histogram) Skew() SkewSummary {
+	s := SkewSummary{
+		Length:   h.n,
+		Distinct: h.Distinct(),
+		SelfJoin: h.selfJoin,
+		MaxFreq:  h.MaxFrequency(),
+	}
+	if s.Distinct > 0 {
+		avg := float64(s.Length) / float64(s.Distinct)
+		s.UniformF2 = avg * avg * float64(s.Distinct)
+		if s.UniformF2 > 0 {
+			s.SkewRatio = float64(s.SelfJoin) / s.UniformF2
+		}
+	}
+	return s
+}
+
+// SelfJoinOf computes Σ f_v² of a value sequence directly; convenience for
+// tests and one-shot calibration.
+func SelfJoinOf(values []uint64) int64 {
+	return FromValues(values).SelfJoin()
+}

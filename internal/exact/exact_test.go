@@ -1,0 +1,345 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/xrand"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Len() != 0 || h.Distinct() != 0 || h.SelfJoin() != 0 {
+		t.Fatalf("empty histogram non-zero: len=%d distinct=%d sj=%d", h.Len(), h.Distinct(), h.SelfJoin())
+	}
+	if h.MaxFrequency() != 0 {
+		t.Fatalf("empty MaxFrequency = %d", h.MaxFrequency())
+	}
+}
+
+func TestInsertIncrements(t *testing.T) {
+	h := NewHistogram()
+	h.Insert(7)
+	h.Insert(7)
+	h.Insert(9)
+	if h.Len() != 3 {
+		t.Errorf("Len = %d, want 3", h.Len())
+	}
+	if h.Distinct() != 2 {
+		t.Errorf("Distinct = %d, want 2", h.Distinct())
+	}
+	if h.Frequency(7) != 2 || h.Frequency(9) != 1 || h.Frequency(8) != 0 {
+		t.Errorf("frequencies wrong: f(7)=%d f(9)=%d f(8)=%d", h.Frequency(7), h.Frequency(9), h.Frequency(8))
+	}
+	if h.SelfJoin() != 4+1 {
+		t.Errorf("SelfJoin = %d, want 5", h.SelfJoin())
+	}
+}
+
+func TestDeleteReversesInsert(t *testing.T) {
+	h := NewHistogram()
+	h.Insert(1)
+	h.Insert(1)
+	h.Insert(2)
+	if err := h.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.SelfJoin() != 1+1 {
+		t.Errorf("SelfJoin after delete = %d, want 2", h.SelfJoin())
+	}
+	if err := h.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Frequency(1) != 0 || h.Distinct() != 1 {
+		t.Errorf("value 1 not fully removed: f=%d distinct=%d", h.Frequency(1), h.Distinct())
+	}
+}
+
+func TestDeleteAbsentFails(t *testing.T) {
+	h := NewHistogram()
+	h.Insert(5)
+	if err := h.Delete(6); err == nil {
+		t.Fatal("Delete of absent value did not error")
+	}
+	// The failed delete must not corrupt state.
+	if h.Len() != 1 || h.SelfJoin() != 1 {
+		t.Fatalf("state corrupted by failed delete: len=%d sj=%d", h.Len(), h.SelfJoin())
+	}
+}
+
+// TestIncrementalSelfJoinMatchesRecompute is the core invariant: the O(1)
+// incremental F2 must always equal the from-scratch recomputation.
+func TestIncrementalSelfJoinMatchesRecompute(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := NewHistogram()
+		live := map[uint64]int64{}
+		for _, op := range ops {
+			v := uint64(op % 64)
+			if op&0x8000 != 0 && live[v] > 0 {
+				if err := h.Delete(v); err != nil {
+					return false
+				}
+				live[v]--
+			} else {
+				h.Insert(v)
+				live[v]++
+			}
+		}
+		var want int64
+		for _, f := range live {
+			want += f * f
+		}
+		return h.SelfJoin() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSizeSmallCase(t *testing.T) {
+	a := FromValues([]uint64{1, 1, 2, 3})
+	b := FromValues([]uint64{1, 2, 2, 4})
+	// Join on value: 1 appears 2x1, 2 appears 1x2 → 2 + 2 = 4.
+	if got := a.JoinSize(b); got != 4 {
+		t.Fatalf("JoinSize = %d, want 4", got)
+	}
+	if got := b.JoinSize(a); got != 4 {
+		t.Fatalf("JoinSize not symmetric: %d", got)
+	}
+}
+
+func TestJoinSizeSelfEqualsSelfJoin(t *testing.T) {
+	f := func(vals []uint8) bool {
+		vs := make([]uint64, len(vals))
+		for i, v := range vals {
+			vs[i] = uint64(v % 16)
+		}
+		h := FromValues(vs)
+		return h.JoinSize(h) == h.SelfJoin()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSizeDisjoint(t *testing.T) {
+	a := FromValues([]uint64{1, 2, 3})
+	b := FromValues([]uint64{4, 5, 6})
+	if got := a.JoinSize(b); got != 0 {
+		t.Fatalf("disjoint JoinSize = %d, want 0", got)
+	}
+}
+
+func TestMoments(t *testing.T) {
+	h := FromValues([]uint64{1, 1, 1, 2, 2, 3})
+	if got := h.Moment(0); got != 3 {
+		t.Errorf("F0 = %v, want 3", got)
+	}
+	if got := h.Moment(1); got != 6 {
+		t.Errorf("F1 = %v, want 6", got)
+	}
+	if got := h.Moment(2); got != 9+4+1 {
+		t.Errorf("F2 = %v, want 14", got)
+	}
+	if got := h.Moment(3); got != 27+8+1 {
+		t.Errorf("F3 = %v, want 36", got)
+	}
+}
+
+func TestMaxFrequency(t *testing.T) {
+	h := FromValues([]uint64{5, 5, 5, 9, 9, 1})
+	if got := h.MaxFrequency(); got != 3 {
+		t.Fatalf("MaxFrequency = %d, want 3", got)
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	h := FromValues([]uint64{9, 1, 5, 5, 3})
+	got := h.Values()
+	want := []uint64{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := FromValues([]uint64{1, 2, 2})
+	c := h.Clone()
+	if !h.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Insert(3)
+	if h.Equal(c) {
+		t.Fatal("mutating clone affected original (or Equal is broken)")
+	}
+	if h.Frequency(3) != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromValues([]uint64{1, 2, 2})
+	b := FromValues([]uint64{2, 1, 2})
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	b.Insert(1)
+	if a.Equal(b) {
+		t.Fatal("histograms with different counts reported equal")
+	}
+	c := FromValues([]uint64{1, 2, 3})
+	if a.Equal(c) {
+		t.Fatal("histograms with different support reported equal")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	h := FromValues([]uint64{1, 1, 4})
+	total := int64(0)
+	h.Each(func(v uint64, f int64) { total += f })
+	if total != 3 {
+		t.Fatalf("Each visited total frequency %d, want 3", total)
+	}
+}
+
+func TestSkewSummaryUniform(t *testing.T) {
+	// Perfectly uniform: skew ratio exactly 1.
+	h := FromValues([]uint64{1, 2, 3, 4, 1, 2, 3, 4})
+	s := h.Skew()
+	if s.SkewRatio != 1 {
+		t.Fatalf("uniform SkewRatio = %v, want 1", s.SkewRatio)
+	}
+	if s.MaxFreq != 2 || s.Distinct != 4 || s.Length != 8 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+}
+
+func TestSkewSummarySkewed(t *testing.T) {
+	h := FromValues([]uint64{7, 7, 7, 7, 7, 7, 7, 1})
+	s := h.Skew()
+	if s.SkewRatio <= 1 {
+		t.Fatalf("skewed SkewRatio = %v, want > 1", s.SkewRatio)
+	}
+}
+
+func TestSkewEmpty(t *testing.T) {
+	s := NewHistogram().Skew()
+	if s.SkewRatio != 0 || s.UniformF2 != 0 {
+		t.Fatalf("empty skew summary non-zero: %+v", s)
+	}
+}
+
+func TestJoinUpperBoundFact11(t *testing.T) {
+	// Fact 1.1: for any pair, join size ≤ (SJ1+SJ2)/2. Check on random data.
+	r := xrand.New(42)
+	for trial := 0; trial < 50; trial++ {
+		a := NewHistogram()
+		b := NewHistogram()
+		for i := 0; i < 500; i++ {
+			a.Insert(r.Uint64n(50))
+			b.Insert(r.Uint64n(50))
+		}
+		join := float64(a.JoinSize(b))
+		bound := JoinUpperBound(a.SelfJoin(), b.SelfJoin())
+		if join > bound {
+			t.Fatalf("Fact 1.1 violated: join=%v > bound=%v", join, bound)
+		}
+	}
+}
+
+func TestJoinUpperBoundTight(t *testing.T) {
+	// The bound is tight when the relations are identical.
+	h := FromValues([]uint64{1, 1, 2})
+	join := float64(h.JoinSize(h))
+	bound := JoinUpperBound(h.SelfJoin(), h.SelfJoin())
+	if join != bound {
+		t.Fatalf("bound not tight on identical relations: join=%v bound=%v", join, bound)
+	}
+}
+
+func TestExponentialParameterRoundTrip(t *testing.T) {
+	// Fact 1.2 round trip: a -> SJ -> a.
+	for _, a := range []float64{1.1, 1.5, 2, 4, 16} {
+		n := int64(100000)
+		sj := ExponentialSelfJoin(n, a)
+		got, err := ExponentialParameter(n, int64(sj))
+		if err != nil {
+			t.Fatalf("a=%v: %v", a, err)
+		}
+		if math.Abs(got-a) > 1e-6*a {
+			t.Errorf("round trip a=%v got %v", a, got)
+		}
+	}
+}
+
+func TestExponentialParameterErrors(t *testing.T) {
+	if _, err := ExponentialParameter(10, 0); err == nil {
+		t.Error("sj=0 did not error")
+	}
+	if _, err := ExponentialParameter(10, 100); err == nil {
+		t.Error("sj=n² did not error")
+	}
+	if _, err := ExponentialParameter(10, 200); err == nil {
+		t.Error("sj>n² did not error")
+	}
+}
+
+func TestExponentialSelfJoinPanicsOnBadA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("a=1 did not panic")
+		}
+	}()
+	ExponentialSelfJoin(10, 1)
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(110,100) = %v", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(90,100) = %v", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %v", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestSelfJoinOf(t *testing.T) {
+	if got := SelfJoinOf([]uint64{3, 3, 3}); got != 9 {
+		t.Fatalf("SelfJoinOf = %d, want 9", got)
+	}
+	if got := SelfJoinOf(nil); got != 0 {
+		t.Fatalf("SelfJoinOf(nil) = %d, want 0", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Insert(uint64(i % 4096))
+	}
+}
+
+func BenchmarkJoinSize(b *testing.B) {
+	r := xrand.New(1)
+	x := NewHistogram()
+	y := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		x.Insert(r.Uint64n(10000))
+		y.Insert(r.Uint64n(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.JoinSize(y)
+	}
+}

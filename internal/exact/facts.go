@@ -1,0 +1,58 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+)
+
+// JoinUpperBound returns the Fact 1.1 bound:
+// |R1 ⋈ R2| ≤ (SJ(R1) + SJ(R2)) / 2, computed from the two self-join sizes.
+// The bound follows from xy ≤ (x²+y²)/2 applied per joining value.
+func JoinUpperBound(sj1, sj2 int64) float64 {
+	return (float64(sj1) + float64(sj2)) / 2
+}
+
+// ExponentialParameter recovers the parameter a of an exponential
+// distribution from a relation's length n and self-join size sj, using
+// Fact 1.2: SJ(R) = n²(a−1)/(a+1), hence a = (n² + SJ)/(n² − SJ).
+//
+// The fact assumes the idealized model in which the i-th most popular value
+// has frequency n(a−1)a^{−i}; for real (sampled) data the recovered a is an
+// estimate. An error is returned when sj ≥ n², where no exponential
+// parameter exists (that regime means a single value carries everything).
+func ExponentialParameter(n, sj int64) (float64, error) {
+	n2 := float64(n) * float64(n)
+	s := float64(sj)
+	if s <= 0 {
+		return 0, fmt.Errorf("exact: non-positive self-join size %d", sj)
+	}
+	if s >= n2 {
+		return 0, fmt.Errorf("exact: self-join size %d not below n² = %.0f", sj, n2)
+	}
+	return (n2 + s) / (n2 - s), nil
+}
+
+// ExponentialSelfJoin is the forward direction of Fact 1.2:
+// the self-join size n²(a−1)/(a+1) of the idealized exponential model.
+// It panics if a <= 1, where the model is undefined.
+func ExponentialSelfJoin(n int64, a float64) float64 {
+	if a <= 1 {
+		panic("exact: exponential parameter must exceed 1")
+	}
+	nf := float64(n)
+	return nf * nf * (a - 1) / (a + 1)
+}
+
+// RelativeError returns |estimate − actual| / actual. It returns +Inf when
+// actual is zero and the estimate is not, and 0 when both are zero; the
+// experiment harness relies on these conventions when a sweep hits an empty
+// relation.
+func RelativeError(estimate, actual float64) float64 {
+	if actual == 0 {
+		if estimate == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(estimate-actual) / math.Abs(actual)
+}

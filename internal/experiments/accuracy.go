@@ -1,0 +1,339 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§3 and §4.4), plus the lower-bound demonstrations of
+// Lemma 2.3 and Theorem 4.3. Each experiment returns a structured result
+// with a Table() renderer; cmd/amsbench and the root benchmark harness are
+// thin wrappers around this package.
+//
+// Protocol (following §3): for each data set, accuracy is measured for
+// sample sizes 2^0 .. 2^14; each plotted point is one run; the y-value is
+// the estimate normalized by the exact self-join size. "Sample size" means
+// memory words, and for sample-count and tug-of-war the s words are split
+// into s2 = min(s, 8) groups of s1 = s/s2 (median of group means) — the
+// paper does not state its split, so this one is fixed and shared by both
+// algorithms (DESIGN.md §4).
+//
+// The harness evaluates the sketches offline from the exact histogram and
+// from position ranks rather than streaming every insert through 16384
+// counters. For tug-of-war this is bit-identical to streaming (the sketch
+// is linear; asserted by TestOfflineMatchesStreaming); for sample-count it
+// draws the same distribution of atomic estimators (uniform positions ×
+// suffix occurrence counts).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"amstrack/internal/core"
+	"amstrack/internal/datasets"
+	"amstrack/internal/exact"
+	"amstrack/internal/hash"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// Algo names the three self-join algorithms, with the paper's spelling.
+type Algo string
+
+// The three algorithms compared throughout §3.
+const (
+	SampleCount   Algo = "sample-count"
+	TugOfWar      Algo = "tug-of-war"
+	NaiveSampling Algo = "naive-sampling"
+)
+
+// Algos lists the algorithms in the paper's plot-legend order.
+func Algos() []Algo { return []Algo{SampleCount, TugOfWar, NaiveSampling} }
+
+// MaxLog2SampleSize is the largest sweep point, 2^14 = 16384, as in §3.
+const MaxLog2SampleSize = 14
+
+// SplitS2 is the number of median groups used for sample-count and
+// tug-of-war at sample size s (DESIGN.md §4): s2 = clamp(s/16, 1, 8), so
+// groups hold at least 16 estimators before the median kicks in. Medians of
+// small group means of the right-skewed estimators (Z² is ≈ SJ·χ²₁ for
+// near-normal Z) would bias low — the plain mean is unbiased at small s,
+// and the median over 8 groups adds tail robustness at large s.
+func SplitS2(s int) int {
+	s2 := s / 16
+	if s2 < 1 {
+		return 1
+	}
+	if s2 > 8 {
+		return 8
+	}
+	return s2
+}
+
+// AccuracyPoint is one x-position of a Fig. 2–14 plot.
+type AccuracyPoint struct {
+	SampleSize int
+	// Normalized holds estimate/actual per algorithm (y-axis of the plots).
+	Normalized map[Algo]float64
+}
+
+// FigureResult is a full accuracy sweep for one data set.
+type FigureResult struct {
+	Figure   int
+	Dataset  datasets.Measured
+	ActualSJ float64
+	Points   []AccuracyPoint
+}
+
+// Evaluator computes the three algorithms' estimates for any sample size
+// on one materialized data set. Building it costs one pass per algorithm;
+// each EstimateX call is then O(s) or cheaper.
+type Evaluator struct {
+	values []uint64
+	n      int
+	hist   *exact.Histogram
+	sj     float64
+
+	// Tug-of-war pool: one atomic counter per potential memory word.
+	twZ []float64
+
+	// Suffix occurrence ranks: rank[p] = |{q >= p : v_q = v_p}|.
+	rank []int32
+
+	seed uint64
+}
+
+// NewEvaluator materializes the pools for sweeps up to maxSampleSize words.
+func NewEvaluator(values []uint64, maxSampleSize int, seed uint64) (*Evaluator, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("experiments: empty data set")
+	}
+	if maxSampleSize < 1 {
+		return nil, fmt.Errorf("experiments: max sample size %d < 1", maxSampleSize)
+	}
+	ev := &Evaluator{
+		values: values,
+		n:      len(values),
+		hist:   exact.FromValues(values),
+		seed:   seed,
+	}
+	ev.sj = float64(ev.hist.SelfJoin())
+	ev.buildTWPool(maxSampleSize)
+	ev.buildRanks()
+	return ev, nil
+}
+
+// ActualSelfJoin returns the exact SJ of the data set.
+func (ev *Evaluator) ActualSelfJoin() float64 { return ev.sj }
+
+// Histogram exposes the exact histogram (read-only by convention).
+func (ev *Evaluator) Histogram() *exact.Histogram { return ev.hist }
+
+// buildTWPool computes Z_k = Σ_v ε_k(v)·f_v for k < maxSampleSize,
+// parallelized over counter ranges (each worker scans the distinct values
+// once for its own k-range; counters are independent, so no locking).
+func (ev *Evaluator) buildTWPool(maxSampleSize int) {
+	type vf struct {
+		v uint64
+		f int64
+	}
+	pairs := make([]vf, 0, ev.hist.Distinct())
+	ev.hist.Each(func(v uint64, f int64) { pairs = append(pairs, vf{v, f}) })
+
+	ev.twZ = make([]float64, maxSampleSize)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxSampleSize {
+		workers = maxSampleSize
+	}
+	var wg sync.WaitGroup
+	chunk := (maxSampleSize + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > maxSampleSize {
+			hi = maxSampleSize
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				fn := twHash(ev.seed, k)
+				var z int64
+				for _, p := range pairs {
+					z += fn.Sign(p.v) * p.f
+				}
+				ev.twZ[k] = float64(z)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// twHash derives the pool's k-th hash function. The derivation matches
+// core.NewTugOfWar's so that offline and streaming sketches are
+// bit-identical for equal (seed, k).
+func twHash(seed uint64, k int) hash.FourWise {
+	return hash.NewFourWise(xrand.Mix64(seed ^ uint64(k)*0x9e3779b97f4a7c15))
+}
+
+// buildRanks computes suffix occurrence ranks in one backward pass.
+func (ev *Evaluator) buildRanks() {
+	ev.rank = make([]int32, ev.n)
+	counts := make(map[uint64]int32, ev.hist.Distinct())
+	for p := ev.n - 1; p >= 0; p-- {
+		v := ev.values[p]
+		counts[v]++
+		ev.rank[p] = counts[v]
+	}
+}
+
+// EstimateTugOfWar returns the §2.2 estimate using the first s pool
+// counters with the shared split policy.
+func (ev *Evaluator) EstimateTugOfWar(s int) (float64, error) {
+	if s < 1 || s > len(ev.twZ) {
+		return 0, fmt.Errorf("experiments: tug-of-war sample size %d outside pool [1,%d]", s, len(ev.twZ))
+	}
+	xs := make([]float64, s)
+	for k := 0; k < s; k++ {
+		xs[k] = ev.twZ[k] * ev.twZ[k]
+	}
+	return core.MedianOfMeans(xs, s/SplitS2(s))
+}
+
+// EstimateSampleCount returns the §2.1 estimate from s uniformly random
+// positions (slots are independent, as in the algorithm) with the shared
+// split policy. The trial index varies the random positions so different
+// sweep points use independent draws.
+func (ev *Evaluator) EstimateSampleCount(s int, trial uint64) (float64, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("experiments: sample-count sample size %d < 1", s)
+	}
+	r := xrand.New(xrand.Mix64(ev.seed ^ 0x5c5c5c5c ^ trial<<20 ^ uint64(s)))
+	xs := make([]float64, s)
+	n := float64(ev.n)
+	for i := 0; i < s; i++ {
+		p := r.Intn(ev.n)
+		xs[i] = n * (2*float64(ev.rank[p]) - 1)
+	}
+	return core.MedianOfMeans(xs, s/SplitS2(s))
+}
+
+// EstimateNaive returns the §2.3 estimate from a uniform sample of
+// min(s, n) items drawn without replacement (partial Fisher–Yates over a
+// virtual index array).
+func (ev *Evaluator) EstimateNaive(s int, trial uint64) (float64, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("experiments: naive sample size %d < 1", s)
+	}
+	if s > ev.n {
+		s = ev.n
+	}
+	r := xrand.New(xrand.Mix64(ev.seed ^ 0xa3a3a3a3 ^ trial<<20 ^ uint64(s)))
+	swapped := make(map[int]int, s)
+	sample := exact.NewHistogram()
+	for i := 0; i < s; i++ {
+		j := i + r.Intn(ev.n-i)
+		vi, ok := swapped[j]
+		if !ok {
+			vi = j
+		}
+		// Record the swap: position j now holds what position i held.
+		wi, ok := swapped[i]
+		if !ok {
+			wi = i
+		}
+		swapped[j] = wi
+		sample.Insert(ev.values[vi])
+	}
+	if s >= ev.n || s < 2 {
+		return float64(sample.SelfJoin()), nil
+	}
+	sjS := float64(sample.SelfJoin())
+	n := float64(ev.n)
+	sf := float64(s)
+	return n + (sjS-sf)*n*(n-1)/(sf*(sf-1)), nil
+}
+
+// Estimate dispatches on the algorithm name.
+func (ev *Evaluator) Estimate(a Algo, s int, trial uint64) (float64, error) {
+	switch a {
+	case TugOfWar:
+		return ev.EstimateTugOfWar(s)
+	case SampleCount:
+		return ev.EstimateSampleCount(s, trial)
+	case NaiveSampling:
+		return ev.EstimateNaive(s, trial)
+	}
+	return 0, fmt.Errorf("experiments: unknown algorithm %q", a)
+}
+
+// RunFigure produces the Fig. 2–14 sweep for one data set.
+func RunFigure(spec datasets.Spec, seed uint64) (*FigureResult, error) {
+	values, err := spec.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := NewEvaluator(values, 1<<MaxLog2SampleSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{
+		Figure: spec.Figure,
+		Dataset: datasets.Measured{
+			Spec:     spec,
+			Length:   len(values),
+			Domain:   ev.hist.Distinct(),
+			SelfJoin: ev.hist.SelfJoin(),
+		},
+		ActualSJ: ev.sj,
+	}
+	for lg := 0; lg <= MaxLog2SampleSize; lg++ {
+		s := 1 << lg
+		pt := AccuracyPoint{SampleSize: s, Normalized: make(map[Algo]float64, 3)}
+		for _, a := range Algos() {
+			est, err := ev.Estimate(a, s, 0)
+			if err != nil {
+				return nil, err
+			}
+			pt.Normalized[a] = est / res.ActualSJ
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Table renders the sweep in the paper's plot coordinates: log2 sample
+// size on the x-axis, normalized estimates per algorithm.
+func (r *FigureResult) Table() *tablefmt.Table {
+	t := tablefmt.New("log2(s)", "s", string(SampleCount), string(TugOfWar), string(NaiveSampling), "actual")
+	for _, pt := range r.Points {
+		t.AddRow(
+			int(math.Log2(float64(pt.SampleSize))),
+			pt.SampleSize,
+			pt.Normalized[SampleCount],
+			pt.Normalized[TugOfWar],
+			pt.Normalized[NaiveSampling],
+			1.0,
+		)
+	}
+	return t
+}
+
+// ConvergenceAt returns, per algorithm, the paper's §3.1 metric: the
+// minimum sample size within relative tolerance tol of the actual value
+// "for this and all larger sample sizes" in the sweep; -1 if the largest
+// size still misses.
+func (r *FigureResult) ConvergenceAt(tol float64) map[Algo]int {
+	out := make(map[Algo]int, 3)
+	for _, a := range Algos() {
+		conv := -1
+		for i := len(r.Points) - 1; i >= 0; i-- {
+			if math.Abs(r.Points[i].Normalized[a]-1) <= tol {
+				conv = r.Points[i].SampleSize
+			} else {
+				break
+			}
+		}
+		out[a] = conv
+	}
+	return out
+}

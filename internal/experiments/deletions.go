@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amstrack/internal/core"
+	"amstrack/internal/datasets"
+	"amstrack/internal/exact"
+	"amstrack/internal/stream"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file measures what the paper asserts but never plots: tracking
+// accuracy in the PRESENCE OF DELETIONS (Theorems 2.1/2.2 extend the
+// insert-only guarantees to mixed sequences with deletes ≤ 1/5 of any
+// prefix). For each data set, the insert stream is interleaved with
+// uniform deletions at several rates; tug-of-war and sample-count are run
+// streaming (the genuine tracking code paths, not the offline harness) and
+// scored against the exact self-join size of the surviving multiset.
+
+// DeletionRow is one (dataset, deletion-rate) measurement.
+type DeletionRow struct {
+	Dataset   string
+	DelFrac   float64 // target deletion rate (deletes per insert)
+	Deletes   int     // actual deletes interleaved
+	Survivors int64   // final multiset size
+	TWRelErr  float64 // tug-of-war relative error (signed)
+	SCRelErr  float64 // sample-count relative error (signed)
+	SCLive    float64 // fraction of sample-count slots still live
+}
+
+// DeletionResult carries the sweep.
+type DeletionResult struct {
+	Words int
+	Rows  []DeletionRow
+}
+
+// RunDeletions interleaves deletions into the named data sets and runs the
+// streaming trackers with s = words memory words.
+func RunDeletions(names []string, delFracs []float64, words int, seed uint64) (*DeletionResult, error) {
+	if words < 16 {
+		return nil, fmt.Errorf("experiments: deletion sweep needs >= 16 words")
+	}
+	s2 := SplitS2(words)
+	s1 := words / s2
+	res := &DeletionResult{Words: words}
+	for _, name := range names {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		values, err := spec.Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range delFracs {
+			ops := stream.WithDeletions(values, frac, xrand.Mix64(seed^uint64(frac*1000)))
+			tw, err := core.NewTugOfWar(core.Config{S1: s1, S2: s2, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			sc, err := core.NewSampleCount(core.Config{S1: s1, S2: s2, Seed: seed}, core.WithWindowFromStart())
+			if err != nil {
+				return nil, err
+			}
+			hist := exact.NewHistogram()
+			for _, op := range ops {
+				switch op.Kind {
+				case stream.Insert:
+					tw.Insert(op.Value)
+					sc.Insert(op.Value)
+					hist.Insert(op.Value)
+				case stream.Delete:
+					if err := tw.Delete(op.Value); err != nil {
+						return nil, err
+					}
+					if err := sc.Delete(op.Value); err != nil {
+						return nil, err
+					}
+					if err := hist.Delete(op.Value); err != nil {
+						return nil, err
+					}
+				}
+			}
+			truth := float64(hist.SelfJoin())
+			stats := stream.Summarize(ops)
+			res.Rows = append(res.Rows, DeletionRow{
+				Dataset:   name,
+				DelFrac:   frac,
+				Deletes:   stats.Deletes,
+				Survivors: hist.Len(),
+				TWRelErr:  (tw.Estimate() - truth) / truth,
+				SCRelErr:  (sc.Estimate() - truth) / truth,
+				SCLive:    float64(sc.LiveSlots()) / float64(words),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the deletion sweep.
+func (r *DeletionResult) Table() *tablefmt.Table {
+	t := tablefmt.New("data set", "del rate", "deletes", "survivors",
+		"tug-of-war relerr", "sample-count relerr", "sc slots live")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.DelFrac, row.Deletes, row.Survivors,
+			row.TWRelErr, row.SCRelErr, row.SCLive)
+	}
+	return t
+}

@@ -1,0 +1,484 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"amstrack/internal/core"
+	"amstrack/internal/datasets"
+	"amstrack/internal/xrand"
+)
+
+func smallValues(n int, domain uint64, seed uint64) []uint64 {
+	r := xrand.New(seed)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = r.Uint64n(domain)
+	}
+	return vals
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(nil, 4, 1); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := NewEvaluator([]uint64{1}, 0, 1); err == nil {
+		t.Error("max size 0 accepted")
+	}
+}
+
+// TestOfflineMatchesStreaming is the keystone of the harness: the offline
+// tug-of-war pool must be bit-identical to the streaming sketch with the
+// same seed, since the figures are generated offline.
+func TestOfflineMatchesStreaming(t *testing.T) {
+	vals := smallValues(5000, 300, 7)
+	const s = 64
+	ev, err := NewEvaluator(vals, s, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := core.NewTugOfWar(core.Config{S1: s, S2: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		tw.Insert(v)
+	}
+	zs := tw.Counters()
+	for k := 0; k < s; k++ {
+		if float64(zs[k]) != ev.twZ[k] {
+			t.Fatalf("counter %d: offline %v, streaming %d", k, ev.twZ[k], zs[k])
+		}
+	}
+}
+
+func TestSuffixRanks(t *testing.T) {
+	ev, err := NewEvaluator([]uint64{5, 7, 5, 5, 7}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 2, 2, 1, 1}
+	for i, w := range want {
+		if ev.rank[i] != w {
+			t.Fatalf("rank[%d] = %d, want %d (ranks %v)", i, ev.rank[i], w, ev.rank)
+		}
+	}
+}
+
+func TestSplitS2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 4: 1, 8: 1, 16: 1, 32: 2, 64: 4, 128: 8, 16384: 8}
+	for s, want := range cases {
+		if got := SplitS2(s); got != want {
+			t.Errorf("SplitS2(%d) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestEstimateTugOfWarExactSingleValue(t *testing.T) {
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = 9
+	}
+	ev, _ := NewEvaluator(vals, 16, 3)
+	est, err := ev.EstimateTugOfWar(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 100*100 {
+		t.Fatalf("estimate = %v, want exactly 10000", est)
+	}
+	if _, err := ev.EstimateTugOfWar(32); err == nil {
+		t.Error("size beyond pool accepted")
+	}
+	if _, err := ev.EstimateTugOfWar(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestEstimateSampleCountUnbiased(t *testing.T) {
+	vals := smallValues(2000, 50, 11)
+	ev, _ := NewEvaluator(vals, 1, 5)
+	sj := ev.ActualSelfJoin()
+	const trials = 400
+	sum := 0.0
+	for trial := uint64(0); trial < trials; trial++ {
+		est, err := ev.EstimateSampleCount(64, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-sj)/sj > 0.1 {
+		t.Fatalf("mean sample-count estimate %.0f vs SJ %.0f", mean, sj)
+	}
+	if _, err := ev.EstimateSampleCount(0, 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func TestEstimateNaiveUnbiased(t *testing.T) {
+	vals := smallValues(2000, 50, 13)
+	ev, _ := NewEvaluator(vals, 1, 5)
+	sj := ev.ActualSelfJoin()
+	const trials = 400
+	sum := 0.0
+	for trial := uint64(0); trial < trials; trial++ {
+		est, err := ev.EstimateNaive(64, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / trials
+	if math.Abs(mean-sj)/sj > 0.1 {
+		t.Fatalf("mean naive estimate %.0f vs SJ %.0f", mean, sj)
+	}
+}
+
+func TestEstimateNaiveWithoutReplacement(t *testing.T) {
+	// Sampling ALL of an all-distinct data set must give exactly SJ = n:
+	// with replacement it would overcount duplicates.
+	vals := make([]uint64, 256)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	ev, _ := NewEvaluator(vals, 1, 9)
+	for trial := uint64(0); trial < 20; trial++ {
+		est, err := ev.EstimateNaive(256, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != 256 {
+			t.Fatalf("trial %d: full-sample estimate %v, want exactly 256", trial, est)
+		}
+	}
+}
+
+func TestEstimateNaiveClampsToN(t *testing.T) {
+	vals := smallValues(100, 10, 1)
+	ev, _ := NewEvaluator(vals, 1, 1)
+	est, err := ev.EstimateNaive(1<<14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != ev.ActualSelfJoin() {
+		t.Fatalf("oversized sample estimate %v, want exact %v", est, ev.ActualSelfJoin())
+	}
+}
+
+func TestEstimateDispatch(t *testing.T) {
+	vals := smallValues(100, 10, 1)
+	ev, _ := NewEvaluator(vals, 8, 1)
+	for _, a := range Algos() {
+		if _, err := ev.Estimate(a, 8, 0); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+	if _, err := ev.Estimate(Algo("bogus"), 8, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunFigureSmall(t *testing.T) {
+	// Use the smallest data set (mf2, ~20k values) end to end.
+	spec, err := datasets.ByName("mf2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFigure(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figure != 5 {
+		t.Fatalf("figure = %d", res.Figure)
+	}
+	if len(res.Points) != MaxLog2SampleSize+1 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// All algorithms must converge to within 20% at the top size (which is
+	// most of the data set for mf2).
+	top := res.Points[len(res.Points)-1]
+	for _, a := range Algos() {
+		if math.Abs(top.Normalized[a]-1) > 0.2 {
+			t.Errorf("%s at s=16384: normalized %.3f, want ≈ 1", a, top.Normalized[a])
+		}
+	}
+	tab := res.Table()
+	if tab.NumRows() != len(res.Points) {
+		t.Fatalf("table rows = %d", tab.NumRows())
+	}
+	if !strings.Contains(tab.String(), "tug-of-war") {
+		t.Fatal("table missing algorithm column")
+	}
+}
+
+func TestConvergenceAt(t *testing.T) {
+	res := &FigureResult{
+		Points: []AccuracyPoint{
+			{SampleSize: 1, Normalized: map[Algo]float64{TugOfWar: 3.0, SampleCount: 1.0, NaiveSampling: 0.1}},
+			{SampleSize: 2, Normalized: map[Algo]float64{TugOfWar: 1.1, SampleCount: 2.0, NaiveSampling: 0.2}},
+			{SampleSize: 4, Normalized: map[Algo]float64{TugOfWar: 1.05, SampleCount: 1.1, NaiveSampling: 0.4}},
+		},
+	}
+	conv := res.ConvergenceAt(0.15)
+	if conv[TugOfWar] != 2 {
+		t.Errorf("tug-of-war conv = %d, want 2", conv[TugOfWar])
+	}
+	// sample-count is within 15% at size 1 but NOT at 2 — the metric
+	// requires all larger sizes to hold, so the answer is 4.
+	if conv[SampleCount] != 4 {
+		t.Errorf("sample-count conv = %d, want 4", conv[SampleCount])
+	}
+	if conv[NaiveSampling] != -1 {
+		t.Errorf("naive conv = %d, want -1", conv[NaiveSampling])
+	}
+}
+
+func TestRunFig15(t *testing.T) {
+	res, err := RunFig15(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimators) != 128 {
+		t.Fatalf("estimators = %d", len(res.Estimators))
+	}
+	for i := 1; i < len(res.Estimators); i++ {
+		if res.Estimators[i] < res.Estimators[i-1] {
+			t.Fatal("estimators not sorted")
+		}
+	}
+	sum := res.Summary()
+	// The paper's observation: individual estimators spread widely; the
+	// fraction within 50% of actual should be well below 1.
+	if sum.FracWithin50Pct > 0.9 {
+		t.Errorf("estimators too clustered: %.2f within 50%%", sum.FracWithin50Pct)
+	}
+	if sum.MinNormalized > sum.MedianNormalized || sum.MedianNormalized > sum.MaxNormalized {
+		t.Error("summary ordering violated")
+	}
+	if res.Table().NumRows() == 0 {
+		t.Error("empty Fig 15 table")
+	}
+	if _, err := RunFig15(0, 1); err == nil {
+		t.Error("count 0 accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 13 {
+		t.Fatalf("Table 1 rows = %d, want 13", tab.NumRows())
+	}
+	s := tab.String()
+	for _, name := range []string{"zipf1.0", "path", "brown2"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestRunSection44(t *testing.T) {
+	res, err := RunSection44(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Section44Row{}
+	for _, r := range res.Rows {
+		byName[r.Dataset] = r
+	}
+	// Paper checks: uniform advantage ≈ 1000 at B=n; mf3 ≈ 20; path ≈ 150.
+	if adv := byName["uniform"].AdvantageAtBEqualN; adv < 300 || adv > 3000 {
+		t.Errorf("uniform advantage = %.0f, paper ≈ 1000", adv)
+	}
+	if adv := byName["mf3"].AdvantageAtBEqualN; adv < 7 || adv > 60 {
+		t.Errorf("mf3 advantage = %.0f, paper ≈ 20", adv)
+	}
+	if adv := byName["path"].AdvantageAtBEqualN; adv < 50 || adv > 450 {
+		t.Errorf("path advantage = %.0f, paper ≈ 150", adv)
+	}
+	// selfsimilar needs the largest B/n (paper ≈ 6700); must exceed
+	// zipf1.0's (paper ≈ 150).
+	if byName["selfsimilar"].BreakevenBOverN <= byName["zipf1.0"].BreakevenBOverN {
+		t.Error("selfsimilar breakeven not above zipf1.0")
+	}
+	if res.Table().NumRows() != 13 {
+		t.Error("table rows wrong")
+	}
+}
+
+func TestRound3(t *testing.T) {
+	if got := round3(6726.4); got != 6730 {
+		t.Errorf("round3(6726.4) = %v", got)
+	}
+	if got := round3(0); got != 0 {
+		t.Errorf("round3(0) = %v", got)
+	}
+	if got := round3(0.00123456); math.Abs(got-0.00123) > 1e-9 {
+		t.Errorf("round3(0.00123456) = %v", got)
+	}
+}
+
+func TestRunLemma23(t *testing.T) {
+	res, err := RunLemma23(40000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small samples: both relations estimated near SJ(R1) = n, so the R2
+	// column sits near 0.5 (fooled). Large samples: R2 near 1.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if math.Abs(first.EstR2-0.5) > 0.2 {
+		t.Errorf("small-sample R2 estimate %.3f, want ≈ 0.5 (fooled)", first.EstR2)
+	}
+	if math.Abs(last.EstR2-1) > 0.25 {
+		t.Errorf("large-sample R2 estimate %.3f, want ≈ 1", last.EstR2)
+	}
+	if math.Abs(last.EstR1-1) > 0.25 {
+		t.Errorf("large-sample R1 estimate %.3f, want ≈ 1", last.EstR1)
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Error("table size mismatch")
+	}
+}
+
+func TestRunTheorem43Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// n=1000, B=10000: critical sampling size n²/B = 100 words.
+	res, err := RunTheorem43(1000, 10000, []int{4, 64, 1000}, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalW != 100 {
+		t.Fatalf("critical words = %v", res.CriticalW)
+	}
+	// At 1000 words (p=1, exact sampling) classification must be perfect.
+	last := res.Rows[len(res.Rows)-1]
+	if last.SampAcc != 1 {
+		t.Errorf("full-sample accuracy = %.2f, want 1", last.SampAcc)
+	}
+	// At 4 words (far below critical) accuracy should be notably worse.
+	first := res.Rows[0]
+	if first.SampAcc > 0.97 {
+		t.Errorf("4-word sampling accuracy = %.2f; lower bound predicts failures", first.SampAcc)
+	}
+	if res.Table().NumRows() != 3 {
+		t.Error("table rows wrong")
+	}
+	if _, err := RunTheorem43(1000, 10000, []int{4}, 0, 1); err == nil {
+		t.Error("0 instances accepted")
+	}
+}
+
+func TestRunJoinAccuracySmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := RunJoinAccuracy([]int{16, 256}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(JoinWorkloads())*2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Error must decrease (or at least not blow up) with more words for
+	// the k-TW scheme on each workload.
+	byWorkload := map[string][]JoinAccuracyRow{}
+	for _, r := range res.Rows {
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for w, rows := range byWorkload {
+		if rows[1].TWRelErr > rows[0].TWRelErr*1.5+0.02 {
+			t.Errorf("%s: k-TW error grew with words: %v -> %v", w, rows[0].TWRelErr, rows[1].TWRelErr)
+		}
+	}
+	if res.Table().NumRows() != len(res.Rows) {
+		t.Error("table mismatch")
+	}
+	if _, err := RunJoinAccuracy([]int{4}, 0, 1); err == nil {
+		t.Error("0 trials accepted")
+	}
+}
+
+func TestRunConvergenceAndAdvantage(t *testing.T) {
+	figs := []*FigureResult{
+		{
+			Dataset: datasets.Measured{Spec: datasets.Spec{Name: "a"}},
+			Points: []AccuracyPoint{
+				{SampleSize: 4, Normalized: map[Algo]float64{TugOfWar: 1.0, SampleCount: 2.0, NaiveSampling: 2.0}},
+				{SampleSize: 8, Normalized: map[Algo]float64{TugOfWar: 1.0, SampleCount: 1.0, NaiveSampling: 2.0}},
+				{SampleSize: 16, Normalized: map[Algo]float64{TugOfWar: 1.0, SampleCount: 1.0, NaiveSampling: 1.0}},
+			},
+		},
+	}
+	conv := RunConvergence(figs, 0.15)
+	if conv.Rows[0].MinSize[TugOfWar] != 4 || conv.Rows[0].MinSize[SampleCount] != 8 || conv.Rows[0].MinSize[NaiveSampling] != 16 {
+		t.Fatalf("convergence rows wrong: %+v", conv.Rows[0].MinSize)
+	}
+	if adv := conv.MeanAdvantage(TugOfWar, SampleCount); adv != 2 {
+		t.Fatalf("advantage = %v, want 2", adv)
+	}
+	if adv := conv.MeanAdvantage(TugOfWar, NaiveSampling); adv != 4 {
+		t.Fatalf("advantage = %v, want 4", adv)
+	}
+	if conv.Table().NumRows() != 1 {
+		t.Fatal("table rows wrong")
+	}
+	empty := &ConvergenceResult{}
+	if empty.MeanAdvantage(TugOfWar, SampleCount) != 0 {
+		t.Fatal("empty advantage not 0")
+	}
+}
+
+func TestRunDeletions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := RunDeletions([]string{"mf2"}, []float64{0, 0.25}, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if abs(row.TWRelErr) > 0.3 {
+			t.Errorf("%s@%.2f: tug-of-war relerr %.3f too large", row.Dataset, row.DelFrac, row.TWRelErr)
+		}
+		if abs(row.SCRelErr) > 0.5 {
+			t.Errorf("%s@%.2f: sample-count relerr %.3f too large", row.Dataset, row.DelFrac, row.SCRelErr)
+		}
+	}
+	// Paper's Chernoff claim: ≥ 1/2 of slots alive at the 1/5-of-prefix
+	// deletion cap.
+	if res.Rows[1].SCLive < 0.5 {
+		t.Errorf("only %.2f of sample-count slots live", res.Rows[1].SCLive)
+	}
+	if res.Rows[0].Deletes != 0 {
+		t.Error("zero-rate row has deletes")
+	}
+	if res.Table().NumRows() != 2 {
+		t.Error("table rows wrong")
+	}
+	if _, err := RunDeletions([]string{"mf2"}, []float64{0}, 4, 1); err == nil {
+		t.Error("tiny word budget accepted")
+	}
+	if _, err := RunDeletions([]string{"nope"}, []float64{0}, 512, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amstrack/internal/core"
+	"amstrack/internal/datasets"
+	"amstrack/internal/tablefmt"
+)
+
+// RunAllFigures runs the Fig. 2–14 sweeps for every Table 1 data set.
+func RunAllFigures(seed uint64) ([]*FigureResult, error) {
+	var out []*FigureResult
+	for _, spec := range datasets.SortedByFigure() {
+		r, err := RunFigure(spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table1 reproduces the paper's Table 1: data sets and their
+// characteristics, paper-reported versus measured.
+func Table1(seed uint64) (*tablefmt.Table, error) {
+	t := tablefmt.New("data set", "length", "domain (paper)", "domain (ours)",
+		"self-join (paper)", "self-join (ours)", "type", "figure")
+	for _, spec := range datasets.All() {
+		m, err := spec.Measure(seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name, m.Length, spec.PaperDomain, m.Domain,
+			spec.PaperSelfJoin, float64(m.SelfJoin), spec.Type, spec.Figure)
+	}
+	return t, nil
+}
+
+// Fig15Result holds the §3.3 robustness data: individual tug-of-war
+// estimators X_ij for zipf1.5, sorted ascending, against the actual SJ.
+type Fig15Result struct {
+	ActualSJ   float64
+	Estimators []float64 // sorted ascending
+}
+
+// RunFig15 computes count individual estimators (the paper plots 1024) on
+// the zipf1.5 data set.
+func RunFig15(count int, seed uint64) (*Fig15Result, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("experiments: Fig 15 needs count >= 1")
+	}
+	spec, err := datasets.ByName("zipf1.5")
+	if err != nil {
+		return nil, err
+	}
+	values, err := spec.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := NewEvaluator(values, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, count)
+	for k := 0; k < count; k++ {
+		xs[k] = ev.twZ[k] * ev.twZ[k]
+	}
+	sort.Float64s(xs)
+	return &Fig15Result{ActualSJ: ev.sj, Estimators: xs}, nil
+}
+
+// Table renders rank vs estimator value (normalized), sub-sampled to at
+// most 32 rows so the output stays printable; Summary carries the
+// quantities the paper's §3.3 narrates.
+func (r *Fig15Result) Table() *tablefmt.Table {
+	t := tablefmt.New("rank", "X (normalized)")
+	step := len(r.Estimators) / 32
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Estimators); i += step {
+		t.AddRow(i+1, r.Estimators[i]/r.ActualSJ)
+	}
+	if (len(r.Estimators)-1)%step != 0 {
+		t.AddRow(len(r.Estimators), r.Estimators[len(r.Estimators)-1]/r.ActualSJ)
+	}
+	return t
+}
+
+// Summary reports the paper's observations: the median individual
+// estimator (slightly below the actual SJ in the paper), the worst
+// under- and over-estimates, and the fraction within 50% of actual
+// ("lack of clustering" around the true value).
+type Fig15Summary struct {
+	MedianNormalized float64
+	MinNormalized    float64
+	MaxNormalized    float64
+	FracWithin50Pct  float64
+}
+
+// Summary computes the §3.3 observations from the sorted estimators.
+func (r *Fig15Result) Summary() Fig15Summary {
+	norm := func(x float64) float64 { return x / r.ActualSJ }
+	within := 0
+	for _, x := range r.Estimators {
+		if v := norm(x); v >= 0.5 && v <= 1.5 {
+			within++
+		}
+	}
+	med := core.Median(r.Estimators)
+	return Fig15Summary{
+		MedianNormalized: norm(med),
+		MinNormalized:    norm(r.Estimators[0]),
+		MaxNormalized:    norm(r.Estimators[len(r.Estimators)-1]),
+		FracWithin50Pct:  float64(within) / float64(len(r.Estimators)),
+	}
+}
+
+// ConvergenceResult is the §3.1 summary across all data sets: the minimum
+// sample size reaching 15% relative error per algorithm.
+type ConvergenceResult struct {
+	Rows []ConvergenceRow
+}
+
+// ConvergenceRow is one data set's convergence triple.
+type ConvergenceRow struct {
+	Dataset string
+	MinSize map[Algo]int
+}
+
+// RunConvergence computes the §3.1 metric for every data set at tol=0.15.
+func RunConvergence(figures []*FigureResult, tol float64) *ConvergenceResult {
+	res := &ConvergenceResult{}
+	for _, f := range figures {
+		res.Rows = append(res.Rows, ConvergenceRow{
+			Dataset: f.Dataset.Spec.Name,
+			MinSize: f.ConvergenceAt(tol),
+		})
+	}
+	return res
+}
+
+// Table renders the convergence summary.
+func (c *ConvergenceResult) Table() *tablefmt.Table {
+	t := tablefmt.New("data set", string(TugOfWar), string(SampleCount), string(NaiveSampling))
+	fmtSize := func(s int) interface{} {
+		if s < 0 {
+			return ">16384"
+		}
+		return s
+	}
+	for _, row := range c.Rows {
+		t.AddRow(row.Dataset, fmtSize(row.MinSize[TugOfWar]),
+			fmtSize(row.MinSize[SampleCount]), fmtSize(row.MinSize[NaiveSampling]))
+	}
+	return t
+}
+
+// MeanAdvantage returns the geometric-mean multiplicative factor by which
+// algorithm b needs more memory than algorithm a to converge, over data
+// sets where both converge. (The paper reports "over 4 times" for
+// sample-count vs tug-of-war and "over 50 times" for naive-sampling; a
+// geometric mean is used here because single pathological rows — path's
+// 4096x — would otherwise dominate an arithmetic mean.)
+func (c *ConvergenceResult) MeanAdvantage(a, b Algo) float64 {
+	logSum, cnt := 0.0, 0
+	for _, row := range c.Rows {
+		sa, sb := row.MinSize[a], row.MinSize[b]
+		if sa > 0 && sb > 0 {
+			logSum += math.Log(float64(sb) / float64(sa))
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(cnt))
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/dist"
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file implements the join-signature accuracy experiment the paper's
+// conclusion proposes as future work: "performing an experimental study of
+// the tug-of-war join signature scheme to complement our analytical
+// comparison". Two relations are drawn from a named workload; both schemes
+// get the same memory budget (k words = k sampled tuples) and are scored
+// by relative error against the exact join size, averaged over trials.
+
+// JoinWorkload names a pair-of-relations generator.
+type JoinWorkload struct {
+	Name string
+	// Gen returns the two relations' value streams for a trial seed.
+	Gen func(seed uint64) (f, g []uint64, err error)
+}
+
+// JoinWorkloads returns the experiment's standard workloads: pairs from the
+// paper's workload families with shared domains so the joins are non-empty.
+func JoinWorkloads() []JoinWorkload {
+	zipfPair := func(alpha float64, n, domain int) func(uint64) ([]uint64, []uint64, error) {
+		return func(seed uint64) ([]uint64, []uint64, error) {
+			g1, err := dist.NewZipf(alpha, domain, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			g2, err := dist.NewZipf(alpha, domain, seed^0xabcdef)
+			if err != nil {
+				return nil, nil, err
+			}
+			return dist.Take(g1, n), dist.Take(g2, n), nil
+		}
+	}
+	return []JoinWorkload{
+		{Name: "zipf1.0-pair", Gen: zipfPair(1.0, 100000, 10000)},
+		{Name: "zipf1.5-pair", Gen: zipfPair(1.5, 100000, 10000)},
+		{
+			Name: "uniform-pair",
+			Gen: func(seed uint64) ([]uint64, []uint64, error) {
+				g1, err := dist.NewUniform(4096, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				g2, err := dist.NewUniform(4096, seed^0x123456)
+				if err != nil {
+					return nil, nil, err
+				}
+				return dist.Take(g1, 100000), dist.Take(g2, 100000), nil
+			},
+		},
+		{
+			// Skew-vs-uniform: the regime Fact 1.1 and §4.4 discuss, where
+			// one self-join size is large and the other small.
+			Name: "zipf-vs-uniform",
+			Gen: func(seed uint64) ([]uint64, []uint64, error) {
+				g1, err := dist.NewZipf(1.0, 4096, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				g2, err := dist.NewUniform(4096, seed^0x9999)
+				if err != nil {
+					return nil, nil, err
+				}
+				return dist.Take(g1, 100000), dist.Take(g2, 100000), nil
+			},
+		},
+	}
+}
+
+// JoinAccuracyRow is one (workload, memory budget) cell.
+type JoinAccuracyRow struct {
+	Workload    string
+	Words       int
+	JoinSize    float64
+	TWRelErr    float64 // mean |rel err| of the k-TW estimator over trials
+	SampRelErr  float64 // mean |rel err| of the sampling signature
+	HistRelErr  float64 // |rel err| of the end-biased histogram signature
+	TWBoundRel  float64 // Lemma 4.4 one-sigma bound / join size
+	Fact11Bound float64 // (SJ(F)+SJ(G))/2 / join size
+}
+
+// JoinAccuracyResult carries the sweep.
+type JoinAccuracyResult struct {
+	Rows []JoinAccuracyRow
+}
+
+// RunJoinAccuracy sweeps memory budgets (in words) for every workload,
+// averaging relative errors across trials.
+func RunJoinAccuracy(words []int, trials int, seed uint64) (*JoinAccuracyResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: join accuracy needs >= 1 trial")
+	}
+	res := &JoinAccuracyResult{}
+	for _, w := range JoinWorkloads() {
+		fvals, gvals, err := w.Gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		fh, gh := exact.FromValues(fvals), exact.FromValues(gvals)
+		truth := float64(fh.JoinSize(gh))
+		if truth == 0 {
+			return nil, fmt.Errorf("experiments: workload %s has empty join", w.Name)
+		}
+		n := float64(len(fvals))
+		for _, k := range words {
+			twErr, sampErr := 0.0, 0.0
+			for trial := 0; trial < trials; trial++ {
+				tseed := xrand.Mix64(seed ^ uint64(trial)<<32 ^ uint64(k))
+				// k-TW with k words.
+				fam, err := join.NewFamily(k, tseed)
+				if err != nil {
+					return nil, err
+				}
+				sf, sg := fam.NewSignature(), fam.NewSignature()
+				sf.SetFrequencies(fh.Frequencies())
+				sg.SetFrequencies(gh.Frequencies())
+				est, err := join.EstimateJoin(sf, sg)
+				if err != nil {
+					return nil, err
+				}
+				twErr += exact.RelativeError(est, truth)
+
+				// Sampling signature with expected k words: p = k/n.
+				p := float64(k) / n
+				if p > 1 {
+					p = 1
+				}
+				a, err := join.NewSampleSignature(p, tseed^1)
+				if err != nil {
+					return nil, err
+				}
+				b, err := join.NewSampleSignature(p, tseed^2)
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range fvals {
+					a.Insert(v)
+				}
+				for _, v := range gvals {
+					b.Insert(v)
+				}
+				sest, err := join.EstimateJoinSamples(a, b)
+				if err != nil {
+					return nil, err
+				}
+				sampErr += exact.RelativeError(sest, truth)
+			}
+			// Histogram signature at equal memory: (k−4)/2 top entries,
+			// deterministic (no trials needed).
+			histErr := 0.0
+			if topK := (k - 4) / 2; topK >= 1 {
+				ha, err := join.NewHistSignature(fh, topK)
+				if err != nil {
+					return nil, err
+				}
+				hb, err := join.NewHistSignature(gh, topK)
+				if err != nil {
+					return nil, err
+				}
+				hest, err := join.EstimateJoinHist(ha, hb)
+				if err != nil {
+					return nil, err
+				}
+				histErr = exact.RelativeError(hest, truth)
+			} else {
+				histErr = math.NaN()
+			}
+			res.Rows = append(res.Rows, JoinAccuracyRow{
+				Workload:    w.Name,
+				Words:       k,
+				JoinSize:    truth,
+				TWRelErr:    twErr / float64(trials),
+				SampRelErr:  sampErr / float64(trials),
+				HistRelErr:  histErr,
+				TWBoundRel:  join.ErrorBound(float64(fh.SelfJoin()), float64(gh.SelfJoin()), k) / truth,
+				Fact11Bound: exact.JoinUpperBound(fh.SelfJoin(), gh.SelfJoin()) / truth,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the join accuracy sweep.
+func (r *JoinAccuracyResult) Table() *tablefmt.Table {
+	t := tablefmt.New("workload", "words", "join size", "k-TW relerr",
+		"sampling relerr", "hist relerr", "k-TW 1σ bound", "Fact1.1 bound ratio")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Words, row.JoinSize,
+			row.TWRelErr, row.SampRelErr, row.HistRelErr, row.TWBoundRel, row.Fact11Bound)
+	}
+	return t
+}
+
+// Lemma23Result demonstrates the §2.3 lower bound: naive-sampling cannot
+// tell R1 (all-distinct, SJ = n) from R2 (pairs, SJ = 2n) until the sample
+// size reaches Ω(√n).
+type Lemma23Result struct {
+	N    int
+	Rows []Lemma23Row
+}
+
+// Lemma23Row is one sample size's normalized estimates.
+type Lemma23Row struct {
+	SampleSize int
+	EstR1      float64 // estimate/SJ(R1); 1 means correct
+	EstR2      float64 // estimate/SJ(R2); 0.5 means fooled (reports n for 2n)
+}
+
+// RunLemma23 sweeps sample sizes on the Lemma 2.3 pair.
+func RunLemma23(n int, seed uint64) (*Lemma23Result, error) {
+	r1, r2, err := join.Lemma23Pair(n)
+	if err != nil {
+		return nil, err
+	}
+	ev1, err := NewEvaluator(r1, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	ev2, err := NewEvaluator(r2, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Lemma23Result{N: n}
+	for lg := 2; lg <= MaxLog2SampleSize; lg++ {
+		s := 1 << lg
+		e1, err := ev1.EstimateNaive(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := ev2.EstimateNaive(s, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Lemma23Row{
+			SampleSize: s,
+			EstR1:      e1 / float64(n),
+			EstR2:      e2 / float64(2*n),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Lemma 2.3 demonstration; sqrt(n) is printed so the
+// transition point is visible.
+func (r *Lemma23Result) Table() *tablefmt.Table {
+	t := tablefmt.New("sample size", "R1 est/SJ(R1)", "R2 est/SJ(R2)", "sqrt(n)")
+	for _, row := range r.Rows {
+		t.AddRow(row.SampleSize, row.EstR1, row.EstR2, math.Sqrt(float64(r.N)))
+	}
+	return t
+}
+
+// Theorem43Result demonstrates the §4.2 lower bound: classification
+// accuracy (join size B vs 2B) of the sampling signature as its size
+// crosses n²/B words.
+type Theorem43Result struct {
+	N         int
+	B         int64
+	CriticalW float64 // n²/B, the lower-bound threshold
+	Rows      []Theorem43Row
+}
+
+// Theorem43Row is one signature size's classification accuracy.
+type Theorem43Row struct {
+	Words      int
+	SampAcc    float64 // sampling-signature accuracy over instances
+	TWAcc      float64 // k-TW accuracy with k = Words
+	TWBoundRel float64 // k-TW 1σ bound / B
+}
+
+// RunTheorem43 draws instances from the hard distribution and scores both
+// schemes' ability to separate join size B from 2B at each budget.
+func RunTheorem43(n int, b int64, words []int, instances int, seed uint64) (*Theorem43Result, error) {
+	if instances < 1 {
+		return nil, fmt.Errorf("experiments: Theorem 4.3 needs >= 1 instance")
+	}
+	res := &Theorem43Result{N: n, B: b, CriticalW: float64(n) * float64(n) / float64(b)}
+	for _, w := range words {
+		sampOK, twOK := 0, 0
+		var twBound float64
+		for inst := 0; inst < instances; inst++ {
+			iseed := xrand.Mix64(seed ^ uint64(inst)<<24 ^ uint64(w))
+			in, err := join.NewTheorem43Instance(n, b, iseed)
+			if err != nil {
+				return nil, err
+			}
+			fh, gh := exact.FromValues(in.F), exact.FromValues(in.G)
+
+			// Sampling signature at expected w words.
+			p := float64(w) / float64(n)
+			if p > 1 {
+				p = 1
+			}
+			sa, err := join.NewSampleSignature(p, iseed^1)
+			if err != nil {
+				return nil, err
+			}
+			sb, err := join.NewSampleSignature(p, iseed^2)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range in.F {
+				sa.Insert(v)
+			}
+			for _, v := range in.G {
+				sb.Insert(v)
+			}
+			sest, err := join.EstimateJoinSamples(sa, sb)
+			if err != nil {
+				return nil, err
+			}
+			if in.SeparationTrial(sest) {
+				sampOK++
+			}
+
+			// k-TW at k = w words.
+			fam, err := join.NewFamily(w, iseed^3)
+			if err != nil {
+				return nil, err
+			}
+			tf, tg := fam.NewSignature(), fam.NewSignature()
+			tf.SetFrequencies(fh.Frequencies())
+			tg.SetFrequencies(gh.Frequencies())
+			test, err := join.EstimateJoin(tf, tg)
+			if err != nil {
+				return nil, err
+			}
+			if in.SeparationTrial(test) {
+				twOK++
+			}
+			twBound = join.ErrorBound(float64(fh.SelfJoin()), float64(gh.SelfJoin()), w) / float64(b)
+		}
+		res.Rows = append(res.Rows, Theorem43Row{
+			Words:      w,
+			SampAcc:    float64(sampOK) / float64(instances),
+			TWAcc:      float64(twOK) / float64(instances),
+			TWBoundRel: twBound,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Theorem 4.3 demonstration.
+func (r *Theorem43Result) Table() *tablefmt.Table {
+	t := tablefmt.New("words", "sampling acc", "k-TW acc", "k-TW 1σ/B", "n²/B")
+	for _, row := range r.Rows {
+		t.AddRow(row.Words, row.SampAcc, row.TWAcc, row.TWBoundRel, r.CriticalW)
+	}
+	return t
+}

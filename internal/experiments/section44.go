@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+
+	"amstrack/internal/datasets"
+	"amstrack/internal/tablefmt"
+)
+
+// Section44Row is one data set's entry in the §4.4 analytical comparison of
+// the two join-signature schemes. Random sampling needs Θ(n²/B) words for a
+// join-size sanity bound B; k-TW needs O(C²/B²) words where C bounds the
+// self-join sizes. k-TW wins when C < n·√B, i.e. when B > C²/n².
+type Section44Row struct {
+	Dataset string
+	N       float64 // relation size
+	C       float64 // self-join size (measured)
+	// BreakevenBOverN is the B/n ratio above which k-TW beats sampling:
+	// (C²/n²)/n = C²/n³. Values <= 1 mean k-TW wins even at the minimum
+	// sanity bound B = n.
+	BreakevenBOverN float64
+	// AdvantageAtBEqualN is the memory ratio sampling/k-TW at B = n:
+	// (n²/B)/(C²/B²) = n³/C². Values > 1 favor k-TW.
+	AdvantageAtBEqualN float64
+}
+
+// Section44Result carries all rows.
+type Section44Result struct {
+	Rows []Section44Row
+}
+
+// RunSection44 computes the comparison from the measured self-join sizes.
+// The paper's narration to check against: k-TW is better even at B = n for
+// uniform (advantage ≈ 1000), mf3 (≈ 20) and path (≈ 150); B/n must exceed
+// ≈ 6700 for selfsimilar, 4000 for zipf1.5, 500 for poisson, 150 for
+// zipf1.0, 50 for brown2, and 1–10 for mf2, wuther, genesis, xout1, yout1.
+func RunSection44(seed uint64) (*Section44Result, error) {
+	res := &Section44Result{}
+	for _, spec := range datasets.All() {
+		m, err := spec.Measure(seed)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(m.Length)
+		c := float64(m.SelfJoin)
+		res.Rows = append(res.Rows, Section44Row{
+			Dataset:            spec.Name,
+			N:                  n,
+			C:                  c,
+			BreakevenBOverN:    c * c / (n * n * n),
+			AdvantageAtBEqualN: n * n * n / (c * c),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *Section44Result) Table() *tablefmt.Table {
+	t := tablefmt.New("data set", "n", "C = SJ", "breakeven B/n = C²/n³", "k-TW advantage at B=n")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.N, row.C,
+			round3(row.BreakevenBOverN), round3(row.AdvantageAtBEqualN))
+	}
+	return t
+}
+
+func round3(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(math.Abs(v)))-2)
+	return math.Round(v/mag) * mag
+}

@@ -1,0 +1,153 @@
+// Package hash implements the k-wise independent hash families required by
+// the paper's tug-of-war sketches.
+//
+// The tug-of-war estimator (Alon, Matias, Szegedy; used in §2.2 and §4.3 of
+// the paper) needs, for each atomic sketch, a mapping v -> ε_v ∈ {-1, +1}
+// where the ε_v are four-wise independent. Four-wise independence is exactly
+// what makes the variance bound Var(Z²) ≤ 2·F2² go through, so the family
+// used here is not an implementation detail but part of the algorithm's
+// correctness contract.
+//
+// We realize the family as random polynomials of degree 3 over the prime
+// field GF(p) with p = 2^61 - 1 (a Mersenne prime, so reduction is two adds
+// and a shift). A classical fact: a uniformly random degree-(k-1) polynomial
+// over a field is a k-wise independent function family. The sign is taken
+// from the lowest bit of the polynomial value; conditioning on a single bit
+// of a (nearly) uniform field element preserves four-wise independence up to
+// a bias of 1/p ≈ 4.3e-19, which is negligible against the sketch's own
+// sampling error.
+//
+// A pairwise (degree-1) family is also provided; it is used by ablation
+// benchmarks that demonstrate why the paper insists on four-wise
+// independence.
+package hash
+
+import "math/bits"
+
+// MersennePrime61 is the field modulus 2^61 - 1.
+const MersennePrime61 = (1 << 61) - 1
+
+// mulMod61 returns a*b mod 2^61-1 for a, b < 2^61-1.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod 2^61-1), split lo.
+	r := (lo & MersennePrime61) + (lo >> 61) + (hi << 3)
+	r = (r & MersennePrime61) + (r >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// addMod61 returns a+b mod 2^61-1 for a, b < 2^61-1.
+func addMod61(a, b uint64) uint64 {
+	r := a + b
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// reduce61 maps an arbitrary 64-bit value into [0, 2^61-1).
+func reduce61(x uint64) uint64 {
+	r := (x & MersennePrime61) + (x >> 61)
+	if r >= MersennePrime61 {
+		r -= MersennePrime61
+	}
+	return r
+}
+
+// FourWise is a single member of a four-wise independent hash family over
+// GF(2^61-1): h(x) = a3·x³ + a2·x² + a1·x + a0 (mod p). The zero value is a
+// valid (constant-zero) function but has no independence guarantees;
+// construct members with NewFourWise.
+type FourWise struct {
+	a0, a1, a2, a3 uint64
+}
+
+// NewFourWise returns the family member whose four coefficients are derived
+// deterministically from seed. Distinct seeds give (computationally)
+// independent members; the same seed always gives the same member, which is
+// what lets two relations share a family for join signatures (§4.3).
+func NewFourWise(seed uint64) FourWise {
+	// Derive coefficients by strong 64-bit mixing of (seed, index).
+	return FourWise{
+		a0: reduce61(mix(seed, 0)),
+		a1: reduce61(mix(seed, 1)),
+		a2: reduce61(mix(seed, 2)),
+		a3: reduce61(mix(seed, 3)),
+	}
+}
+
+func mix(seed, i uint64) uint64 {
+	x := seed + 0x9e3779b97f4a7c15*(i+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Eval returns h(x) ∈ [0, 2^61-1).
+func (h FourWise) Eval(x uint64) uint64 {
+	x = reduce61(x)
+	// Horner evaluation: ((a3·x + a2)·x + a1)·x + a0.
+	r := addMod61(mulMod61(h.a3, x), h.a2)
+	r = addMod61(mulMod61(r, x), h.a1)
+	r = addMod61(mulMod61(r, x), h.a0)
+	return r
+}
+
+// Sign returns ε(x) ∈ {-1, +1}, four-wise independent across distinct x.
+func (h FourWise) Sign(x uint64) int64 {
+	return int64(h.Eval(x)&1)*2 - 1
+}
+
+// TwoWise is a member of a pairwise independent family:
+// h(x) = a1·x + a0 (mod p). It exists for ablation experiments only — the
+// paper's variance analysis genuinely requires four-wise independence, and
+// the ablation benchmark shows the estimator degrading without it.
+type TwoWise struct {
+	a0, a1 uint64
+}
+
+// NewTwoWise returns the pairwise family member derived from seed.
+func NewTwoWise(seed uint64) TwoWise {
+	return TwoWise{
+		a0: reduce61(mix(seed, 10)),
+		a1: reduce61(mix(seed, 11)),
+	}
+}
+
+// Eval returns h(x) ∈ [0, 2^61-1).
+func (h TwoWise) Eval(x uint64) uint64 {
+	return addMod61(mulMod61(h.a1, reduce61(x)), h.a0)
+}
+
+// Sign returns ε(x) ∈ {-1, +1}, pairwise independent across distinct x.
+func (h TwoWise) Sign(x uint64) int64 {
+	return int64(h.Eval(x)&1)*2 - 1
+}
+
+// SignFamily is the interface shared by the two families; the sketch code is
+// written against it so ablations can swap families.
+type SignFamily interface {
+	// Sign maps a value to -1 or +1.
+	Sign(x uint64) int64
+}
+
+var (
+	_ SignFamily = FourWise{}
+	_ SignFamily = TwoWise{}
+)
+
+// Uniform64 returns a well-mixed 64-bit hash of x under seed. It is used
+// where the code needs a deterministic "random" decision per (seed, value)
+// pair — e.g. the Bernoulli join-signature sampler, which must make the
+// same keep/drop decision when a tuple is later deleted.
+func Uniform64(seed, x uint64) uint64 {
+	v := x + 0x9e3779b97f4a7c15
+	v ^= seed
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v ^= seed >> 32 * 0x94d049bb133111eb
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

@@ -1,0 +1,133 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func TestNewHistSignatureValidation(t *testing.T) {
+	if _, err := NewHistSignature(exact.NewHistogram(), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestHistSignatureKeepsTopK(t *testing.T) {
+	h := exact.FromValues([]uint64{1, 1, 1, 2, 2, 3, 4, 5})
+	s, err := NewHistSignature(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.top[1] != 3 || s.top[2] != 2 {
+		t.Fatalf("top = %v", s.top)
+	}
+	if s.restN != 3 || s.restD != 3 {
+		t.Fatalf("rest = (%d, %d), want (3, 3)", s.restN, s.restD)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.MemoryWords() != 2*2+4 {
+		t.Fatalf("MemoryWords = %d", s.MemoryWords())
+	}
+}
+
+func TestHistJoinExactWhenEverythingTop(t *testing.T) {
+	// k large enough to hold all values on both sides: the estimate equals
+	// the exact join size.
+	fa := exact.FromValues([]uint64{1, 1, 2, 3})
+	fb := exact.FromValues([]uint64{1, 2, 2, 9})
+	sa, _ := NewHistSignature(fa, 10)
+	sb, _ := NewHistSignature(fb, 10)
+	got, err := EstimateJoinHist(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(fa.JoinSize(fb)); got != want {
+		t.Fatalf("estimate = %v, want exact %v", got, want)
+	}
+}
+
+func TestHistJoinEmpty(t *testing.T) {
+	sa, _ := NewHistSignature(exact.NewHistogram(), 2)
+	sb, _ := NewHistSignature(exact.NewHistogram(), 2)
+	got, err := EstimateJoinHist(sa, sb)
+	if err != nil || got != 0 {
+		t.Fatalf("empty join = %v, %v", got, err)
+	}
+	if _, err := EstimateJoinHist(nil, sb); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestHistJoinReasonableOnZipf(t *testing.T) {
+	// Benign case: two iid Zipf relations — the skew lives in the top-k,
+	// so the histogram estimate should be within a factor of ~2.
+	r := xrand.New(3)
+	z1 := xrand.NewZipf(r, 1.0, 2000)
+	z2 := xrand.NewZipf(xrand.New(4), 1.0, 2000)
+	fa, fb := exact.NewHistogram(), exact.NewHistogram()
+	for i := 0; i < 100000; i++ {
+		fa.Insert(uint64(z1.Next()))
+		fb.Insert(uint64(z2.Next()))
+	}
+	sa, _ := NewHistSignature(fa, 128)
+	sb, _ := NewHistSignature(fb, 128)
+	got, err := EstimateJoinHist(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(fa.JoinSize(fb))
+	if got < truth/2.5 || got > truth*2.5 {
+		t.Fatalf("benign-case estimate %.3g vs truth %.3g (outside 2.5x)", got, truth)
+	}
+}
+
+func TestHistJoinFailsOnCorrelatedRests(t *testing.T) {
+	// Adversarial case (the paper's "no good guarantees"): the rests of F
+	// and G either align perfectly or are disjoint; the histogram sees the
+	// SAME signature either way and must be badly wrong on at least one.
+	const k = 8
+	const vals = 2000
+	head := func(h *exact.Histogram) {
+		for v := uint64(0); v < k; v++ {
+			for i := 0; i < 5; i++ {
+				h.Insert(v)
+			}
+		}
+	}
+	// F rest: values 1000..2999; G_aligned rest: the same; G_disjoint
+	// rest: 5000..6999.
+	fa, gAligned, gDisjoint := exact.NewHistogram(), exact.NewHistogram(), exact.NewHistogram()
+	head(fa)
+	head(gAligned)
+	head(gDisjoint)
+	for v := uint64(0); v < vals; v++ {
+		fa.Insert(1000 + v)
+		gAligned.Insert(1000 + v)
+		gDisjoint.Insert(5000 + v)
+	}
+	sa, _ := NewHistSignature(fa, k)
+	sal, _ := NewHistSignature(gAligned, k)
+	sdj, _ := NewHistSignature(gDisjoint, k)
+
+	estAligned, _ := EstimateJoinHist(sa, sal)
+	estDisjoint, _ := EstimateJoinHist(sa, sdj)
+	// Identical summaries → identical estimates...
+	if estAligned != estDisjoint {
+		t.Fatalf("structurally identical signatures gave different estimates: %v vs %v", estAligned, estDisjoint)
+	}
+	// ...but the true join sizes differ by the whole rest mass.
+	truthAligned := float64(fa.JoinSize(gAligned))
+	truthDisjoint := float64(fa.JoinSize(gDisjoint))
+	if truthAligned == truthDisjoint {
+		t.Fatal("construction broken: truths equal")
+	}
+	errA := math.Abs(estAligned-truthAligned) / truthAligned
+	errD := math.Abs(estDisjoint-truthDisjoint) / truthDisjoint
+	if math.Max(errA, errD) < 0.2 {
+		t.Fatalf("histogram signature unexpectedly accurate on both: %.3f / %.3f", errA, errD)
+	}
+}

@@ -1,0 +1,593 @@
+package join
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func TestNewFamilyValidation(t *testing.T) {
+	if _, err := NewFamily(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	f, err := NewFamily(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.K() != 8 || f.Seed() != 42 {
+		t.Fatalf("K=%d Seed=%d", f.K(), f.Seed())
+	}
+}
+
+func TestFamilySharedAcrossRelations(t *testing.T) {
+	// Two signatures of the SAME relation content from the same family must
+	// have identical counters — the defining property of a shared family.
+	f, _ := NewFamily(16, 7)
+	a := f.NewSignature()
+	b := f.NewSignature()
+	for _, v := range []uint64{5, 9, 5, 1} {
+		a.Insert(v)
+		b.Insert(v)
+	}
+	ca, cb := a.Counters(), b.Counters()
+	for m := range ca {
+		if ca[m] != cb[m] {
+			t.Fatalf("counter %d differs: %d vs %d", m, ca[m], cb[m])
+		}
+	}
+}
+
+func TestEstimateJoinExactOnSingleSharedValue(t *testing.T) {
+	// F = a copies of v, G = b copies of v: every atomic product is
+	// (±a)(±b) with the SAME sign (shared hash), so the estimate is exactly
+	// a·b.
+	f, _ := NewFamily(4, 3)
+	sa, sb := f.NewSignature(), f.NewSignature()
+	for i := 0; i < 6; i++ {
+		sa.Insert(77)
+	}
+	for i := 0; i < 9; i++ {
+		sb.Insert(77)
+	}
+	got, err := EstimateJoin(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 54 {
+		t.Fatalf("estimate = %v, want exactly 54", got)
+	}
+}
+
+func TestEstimateJoinRejectsDifferentFamilies(t *testing.T) {
+	f1, _ := NewFamily(4, 1)
+	f2, _ := NewFamily(4, 2)
+	f3, _ := NewFamily(8, 1)
+	if _, err := EstimateJoin(f1.NewSignature(), f2.NewSignature()); err == nil {
+		t.Fatal("different seeds accepted")
+	}
+	if _, err := EstimateJoin(f1.NewSignature(), f3.NewSignature()); err == nil {
+		t.Fatal("different k accepted")
+	}
+	if _, err := EstimateJoin(nil, f1.NewSignature()); err == nil {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestTWSignatureLinearity(t *testing.T) {
+	f, _ := NewFamily(8, 5)
+	sig := f.NewSignature()
+	vals := []uint64{1, 2, 3, 2, 1, 9}
+	for _, v := range vals {
+		sig.Insert(v)
+	}
+	for _, v := range vals {
+		if err := sig.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, z := range sig.Counters() {
+		if z != 0 {
+			t.Fatal("insert+delete did not cancel")
+		}
+	}
+	if sig.Len() != 0 {
+		t.Fatalf("Len = %d", sig.Len())
+	}
+}
+
+func TestTWSignatureSetFrequenciesMatchesStreaming(t *testing.T) {
+	fam, _ := NewFamily(6, 11)
+	f := func(vals []uint8) bool {
+		a := fam.NewSignature()
+		b := fam.NewSignature()
+		h := exact.NewHistogram()
+		for _, v := range vals {
+			a.Insert(uint64(v))
+			h.Insert(uint64(v))
+		}
+		b.SetFrequencies(h.Frequencies())
+		ca, cb := a.Counters(), b.Counters()
+		for m := range ca {
+			if ca[m] != cb[m] {
+				return false
+			}
+		}
+		return a.Len() == b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateJoinUnbiasedOverFamilies(t *testing.T) {
+	// E[S(F)·S(G)] = |F ⋈ G| (Lemma 4.4 Eq. 1): average the 1-TW estimate
+	// across many independent families.
+	r := xrand.New(13)
+	fvals := make([]uint64, 2000)
+	gvals := make([]uint64, 2000)
+	for i := range fvals {
+		fvals[i] = r.Uint64n(60)
+		gvals[i] = r.Uint64n(60)
+	}
+	truth := float64(exact.FromValues(fvals).JoinSize(exact.FromValues(gvals)))
+	const fams = 3000
+	sum := 0.0
+	for seed := uint64(0); seed < fams; seed++ {
+		fam, _ := NewFamily(1, seed)
+		sf, sg := fam.NewSignature(), fam.NewSignature()
+		sf.SetFrequencies(exact.FromValues(fvals).Frequencies())
+		sg.SetFrequencies(exact.FromValues(gvals).Frequencies())
+		est, err := EstimateJoin(sf, sg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / fams
+	if math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean 1-TW estimate %.0f deviates from join size %.0f", mean, truth)
+	}
+}
+
+func TestEstimateJoinVarianceBound(t *testing.T) {
+	// Lemma 4.4 Eq. 2: Var(S(F)·S(G)) <= 2·SJ(F)·SJ(G). Estimate the
+	// variance empirically across families and compare.
+	r := xrand.New(21)
+	fvals := make([]uint64, 1000)
+	gvals := make([]uint64, 1000)
+	for i := range fvals {
+		fvals[i] = r.Uint64n(25)
+		gvals[i] = r.Uint64n(25)
+	}
+	fh, gh := exact.FromValues(fvals), exact.FromValues(gvals)
+	truth := float64(fh.JoinSize(gh))
+	bound := 2 * float64(fh.SelfJoin()) * float64(gh.SelfJoin())
+	const fams = 2000
+	sumSq := 0.0
+	for seed := uint64(0); seed < fams; seed++ {
+		fam, _ := NewFamily(1, seed)
+		sf, sg := fam.NewSignature(), fam.NewSignature()
+		sf.SetFrequencies(fh.Frequencies())
+		sg.SetFrequencies(gh.Frequencies())
+		est, _ := EstimateJoin(sf, sg)
+		d := est - truth
+		sumSq += d * d
+	}
+	variance := sumSq / fams
+	// Allow 20% estimation slack on the empirical variance.
+	if variance > bound*1.2 {
+		t.Fatalf("empirical variance %.3g exceeds Lemma 4.4 bound %.3g", variance, bound)
+	}
+}
+
+func TestEstimateJoinAccuracyImprovesWithK(t *testing.T) {
+	r := xrand.New(31)
+	fvals := make([]uint64, 20000)
+	gvals := make([]uint64, 20000)
+	for i := range fvals {
+		fvals[i] = r.Uint64n(500)
+		gvals[i] = r.Uint64n(500)
+	}
+	fh, gh := exact.FromValues(fvals), exact.FromValues(gvals)
+	truth := float64(fh.JoinSize(gh))
+	errAt := func(k int) float64 {
+		// Average absolute error over a few seeds for stability.
+		const seeds = 8
+		sum := 0.0
+		for seed := uint64(0); seed < seeds; seed++ {
+			fam, _ := NewFamily(k, 100+seed)
+			sf, sg := fam.NewSignature(), fam.NewSignature()
+			sf.SetFrequencies(fh.Frequencies())
+			sg.SetFrequencies(gh.Frequencies())
+			est, _ := EstimateJoin(sf, sg)
+			sum += math.Abs(est - truth)
+		}
+		return sum / seeds
+	}
+	e4, e256 := errAt(4), errAt(256)
+	// Theorem 4.5: error shrinks like 1/sqrt(k); 8x k-growth → ~8x shrink.
+	// Demand at least 2x to keep the test robust.
+	if e256 >= e4/2 {
+		t.Fatalf("error did not shrink with k: e4=%.3g e256=%.3g", e4, e256)
+	}
+}
+
+func TestEstimateJoinMedianOfMeans(t *testing.T) {
+	fam, _ := NewFamily(8, 9)
+	a, b := fam.NewSignature(), fam.NewSignature()
+	for i := 0; i < 10; i++ {
+		a.Insert(uint64(i % 3))
+		b.Insert(uint64(i % 3))
+	}
+	mean, err := EstimateJoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := EstimateJoinMedianOfMeans(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != mean {
+		t.Fatalf("groupSize=k must equal plain mean: %v vs %v", whole, mean)
+	}
+	if _, err := EstimateJoinMedianOfMeans(a, b, 3); err == nil {
+		t.Fatal("non-divisor group size accepted")
+	}
+	if _, err := EstimateJoinMedianOfMeans(a, b, 0); err == nil {
+		t.Fatal("group size 0 accepted")
+	}
+	got, err := EstimateJoinMedianOfMeans(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("median-of-means estimate %v not positive on identical relations", got)
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	if got := ErrorBound(100, 200, 2); math.Abs(got-math.Sqrt(2*100*200/2.0)) > 1e-9 {
+		t.Fatalf("ErrorBound = %v", got)
+	}
+	if !math.IsInf(ErrorBound(1, 1, 0), 1) {
+		t.Fatal("k=0 bound not infinite")
+	}
+}
+
+func TestKForError(t *testing.T) {
+	k, err := KForError(0.5, 1000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = ceil(2·(1e4)² / (0.5·1e3)²) = ceil(2e8/2.5e5) = 800.
+	if k != 800 {
+		t.Fatalf("k = %d, want 800", k)
+	}
+	if _, err := KForError(0, 1, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := KForError(1e-12, 1, 1e12); err == nil {
+		t.Fatal("impractical k accepted")
+	}
+	k, err = KForError(10, 1e6, 1)
+	if err != nil || k != 1 {
+		t.Fatalf("tiny requirement should clamp to k=1: k=%d err=%v", k, err)
+	}
+}
+
+func TestTWSignatureSerializationRoundTrip(t *testing.T) {
+	fam, _ := NewFamily(8, 77)
+	sig := fam.NewSignature()
+	r := xrand.New(3)
+	for i := 0; i < 300; i++ {
+		sig.Insert(r.Uint64n(40))
+	}
+	blob, err := sig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TWSignature
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != sig.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), sig.Len())
+	}
+	// The restored signature must join-estimate against a fresh signature
+	// from the same family parameters.
+	other := fam.NewSignature()
+	for i := 0; i < 300; i++ {
+		other.Insert(r.Uint64n(40))
+	}
+	e1, err := EstimateJoin(sig, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EstimateJoin(&back, other)
+	if err != nil {
+		t.Fatalf("restored signature incompatible: %v", err)
+	}
+	if e1 != e2 {
+		t.Fatalf("estimates differ after round trip: %v vs %v", e1, e2)
+	}
+}
+
+func TestTWSignatureUnmarshalRejectsCorruption(t *testing.T) {
+	fam, _ := NewFamily(2, 1)
+	sig := fam.NewSignature()
+	sig.Insert(4)
+	blob, _ := sig.MarshalBinary()
+	var back TWSignature
+	if err := back.UnmarshalBinary(blob[:8]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[6] ^= 1
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("corrupt blob accepted")
+	}
+}
+
+func TestSelfJoinEstimate(t *testing.T) {
+	// Single value: estimate is exact.
+	fam, _ := NewFamily(4, 2)
+	sig := fam.NewSignature()
+	for i := 0; i < 7; i++ {
+		sig.Insert(3)
+	}
+	if got := sig.SelfJoinEstimate(); got != 49 {
+		t.Fatalf("SelfJoinEstimate = %v, want exactly 49", got)
+	}
+}
+
+func TestSampleSignatureValidation(t *testing.T) {
+	if _, err := NewSampleSignature(0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewSampleSignature(1.5, 1); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestSampleSignatureFullRate(t *testing.T) {
+	// p=1 keeps everything; the estimate is then exact.
+	a, _ := NewSampleSignature(1, 1)
+	b, _ := NewSampleSignature(1, 2)
+	fvals := []uint64{1, 1, 2, 3}
+	gvals := []uint64{1, 2, 2, 5}
+	for _, v := range fvals {
+		a.Insert(v)
+	}
+	for _, v := range gvals {
+		b.Insert(v)
+	}
+	got, err := EstimateJoinSamples(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(exact.FromValues(fvals).JoinSize(exact.FromValues(gvals)))
+	if got != want {
+		t.Fatalf("estimate = %v, want exact %v", got, want)
+	}
+	if a.SampleSize() != 4 || a.MemoryWords() != 4 {
+		t.Fatalf("p=1 sample size = %d", a.SampleSize())
+	}
+}
+
+func TestSampleSignatureRejectsSameSeed(t *testing.T) {
+	a, _ := NewSampleSignature(0.5, 9)
+	b, _ := NewSampleSignature(0.5, 9)
+	if _, err := EstimateJoinSamples(a, b); err == nil {
+		t.Fatal("same-seed pair accepted")
+	}
+	if _, err := EstimateJoinSamples(nil, b); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestSampleSignatureDeleteExactlyReverses(t *testing.T) {
+	f := func(vals []uint8, seed uint64) bool {
+		s, err := NewSampleSignature(0.5, seed)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			s.Insert(uint64(v))
+		}
+		// Delete everything in LIFO-per-value order (canonical semantics
+		// allow any valid order; LIFO is simplest).
+		for k := len(vals) - 1; k >= 0; k-- {
+			if err := s.Delete(uint64(vals[k])); err != nil {
+				return false
+			}
+		}
+		return s.Len() == 0 && s.SampleSize() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSignatureDeleteAbsent(t *testing.T) {
+	s, _ := NewSampleSignature(0.5, 1)
+	if err := s.Delete(9); err == nil {
+		t.Fatal("delete of absent value accepted")
+	}
+}
+
+func TestSampleSignatureExpectedSize(t *testing.T) {
+	s, _ := NewSampleSignature(0.1, 5)
+	const n = 50000
+	r := xrand.New(2)
+	for i := 0; i < n; i++ {
+		s.Insert(r.Uint64n(1000))
+	}
+	size := float64(s.SampleSize())
+	want := 0.1 * n
+	// 6 sigma ≈ 6*sqrt(n·p(1−p)) ≈ 402.
+	if math.Abs(size-want) > 450 {
+		t.Fatalf("sample size %v, want about %v", size, want)
+	}
+	if s.P() != 0.1 {
+		t.Fatalf("P = %v", s.P())
+	}
+}
+
+func TestSampleSignatureUnbiasedOverSeeds(t *testing.T) {
+	r := xrand.New(71)
+	fvals := make([]uint64, 4000)
+	gvals := make([]uint64, 4000)
+	for i := range fvals {
+		fvals[i] = r.Uint64n(100)
+		gvals[i] = r.Uint64n(100)
+	}
+	truth := float64(exact.FromValues(fvals).JoinSize(exact.FromValues(gvals)))
+	const seeds = 300
+	sum := 0.0
+	for seed := uint64(0); seed < seeds; seed++ {
+		a, _ := NewSampleSignature(0.2, 2*seed)
+		b, _ := NewSampleSignature(0.2, 2*seed+1)
+		for _, v := range fvals {
+			a.Insert(v)
+		}
+		for _, v := range gvals {
+			b.Insert(v)
+		}
+		est, err := EstimateJoinSamples(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / seeds
+	if math.Abs(mean-truth)/truth > 0.1 {
+		t.Fatalf("mean t_cross estimate %.0f deviates from %.0f", mean, truth)
+	}
+}
+
+func TestSampleSizeForBound(t *testing.T) {
+	got, err := SampleSizeForBound(1000, 10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4·10⁶/10⁴ = 400.
+	if got != 400 {
+		t.Fatalf("size = %d, want 400", got)
+	}
+	// Clamps at n.
+	got, err = SampleSizeForBound(1000, 1000, 4)
+	if err != nil || got != 1000 {
+		t.Fatalf("size = %d err=%v, want clamp to 1000", got, err)
+	}
+	if _, err := SampleSizeForBound(0, 1, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestLemma23Pair(t *testing.T) {
+	r1, r2, err := Lemma23Pair(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := exact.FromValues(r1), exact.FromValues(r2)
+	if h1.SelfJoin() != 100 {
+		t.Fatalf("SJ(R1) = %d, want n", h1.SelfJoin())
+	}
+	if h2.SelfJoin() != 200 {
+		t.Fatalf("SJ(R2) = %d, want 2n", h2.SelfJoin())
+	}
+	if _, _, err := Lemma23Pair(7); err == nil {
+		t.Fatal("odd n accepted")
+	}
+	if _, _, err := Lemma23Pair(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestTheorem43InstanceProperties(t *testing.T) {
+	const n = 1000
+	const b = 10000 // within [n, n²/2]
+	sawIn, sawOut := false, false
+	for seed := uint64(0); seed < 30; seed++ {
+		inst, err := NewTheorem43Instance(n, b, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.F) != n || len(inst.G) != n {
+			t.Fatalf("relation sizes %d/%d, want %d", len(inst.F), len(inst.G), n)
+		}
+		truth := exact.FromValues(inst.F).JoinSize(exact.FromValues(inst.G))
+		if truth != inst.JoinSize {
+			t.Fatalf("recorded join size %d != exact %d", inst.JoinSize, truth)
+		}
+		if float64(inst.JoinSize) < 0.8*float64(b) {
+			t.Fatalf("join size %d below sanity bound %d", inst.JoinSize, b)
+		}
+		if inst.InS {
+			sawIn = true
+			if float64(inst.JoinSize) < 1.5*float64(b) {
+				t.Fatalf("InS instance has join size %d, want ≈2B", inst.JoinSize)
+			}
+		} else {
+			sawOut = true
+		}
+	}
+	if !sawOut {
+		t.Error("no out-of-set instance drawn in 30 seeds")
+	}
+	_ = sawIn // in-set instances have probability 1/10 per draw; not guaranteed in 30
+}
+
+func TestTheorem43InstanceValidation(t *testing.T) {
+	if _, err := NewTheorem43Instance(2, 2, 1); err == nil {
+		t.Error("n<4 accepted")
+	}
+	if _, err := NewTheorem43Instance(100, 50, 1); err == nil {
+		t.Error("B<n accepted")
+	}
+	if _, err := NewTheorem43Instance(100, 100*100, 1); err == nil {
+		t.Error("B>n²/2 accepted")
+	}
+}
+
+func TestSeparationTrial(t *testing.T) {
+	inst := &Theorem43Instance{B: 100, JoinSize: 200}
+	if !inst.SeparationTrial(190) {
+		t.Error("correct big classification rejected")
+	}
+	if inst.SeparationTrial(110) {
+		t.Error("wrong small classification accepted")
+	}
+	inst2 := &Theorem43Instance{B: 100, JoinSize: 100}
+	if !inst2.SeparationTrial(90) {
+		t.Error("correct small classification rejected")
+	}
+}
+
+func BenchmarkTWSignatureInsertK64(b *testing.B) {
+	fam, _ := NewFamily(64, 1)
+	sig := fam.NewSignature()
+	for i := 0; i < b.N; i++ {
+		sig.Insert(uint64(i & 1023))
+	}
+}
+
+func BenchmarkEstimateJoinK256(b *testing.B) {
+	fam, _ := NewFamily(256, 1)
+	x, y := fam.NewSignature(), fam.NewSignature()
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		x.Insert(r.Uint64n(100))
+		y.Insert(r.Uint64n(100))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		est, _ := EstimateJoin(x, y)
+		sink += est
+	}
+	_ = sink
+}

@@ -1,0 +1,131 @@
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/xrand"
+)
+
+// This file holds the paper's two lower-bound constructions as runnable
+// generators, so the experiments can demonstrate the failure modes the
+// proofs predict.
+
+// Lemma23Pair returns the two relations of Lemma 2.3:
+//
+//	R1: n items, all values distinct            (SJ = n)
+//	R2: n/2 pairs of equal values               (SJ = 2n)
+//
+// A uniform sample of size o(√n) almost surely contains no duplicated
+// value from R2 and therefore cannot distinguish the two, although their
+// self-join sizes differ by a factor of 2. n must be even and positive.
+func Lemma23Pair(n int) (r1, r2 []uint64, err error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, nil, fmt.Errorf("join: Lemma23Pair needs positive even n, got %d", n)
+	}
+	r1 = make([]uint64, n)
+	r2 = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		r1[i] = uint64(i)
+		r2[i] = uint64(i / 2)
+	}
+	return r1, r2, nil
+}
+
+// Theorem43Instance is one draw of the Theorem 4.3 hard distribution: a
+// relation F from D1 (uni-type) and a relation G from D2 (set-system),
+// both padded with √B tuples of type 0 so every join size is at least B.
+// The join size is 2B when F's type belongs to G's set, and exactly B
+// otherwise; InS records which case was drawn.
+type Theorem43Instance struct {
+	F        []uint64 // n tuples
+	G        []uint64 // n tuples
+	JoinSize int64    // B or 2B
+	InS      bool     // whether F's type ∈ G's set
+	B        int64
+	N        int
+	T        int64 // number of types, 10·m²/B
+}
+
+// NewTheorem43Instance draws one instance with relation size n and sanity
+// bound B (n ≤ B ≤ n²/2, as in the theorem). The set S has size m²/B
+// drawn uniformly without replacement from the t = 10·m²/B types, where
+// m = n − √B; F's type is uniform. Types are encoded as values 1..t, with
+// 0 reserved for the padding type.
+func NewTheorem43Instance(n int, b int64, seed uint64) (*Theorem43Instance, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("join: Theorem43 needs n >= 4, got %d", n)
+	}
+	nf := float64(n)
+	if float64(b) < nf || float64(b) > nf*nf/2 {
+		return nil, fmt.Errorf("join: Theorem43 needs n <= B <= n²/2, got n=%d B=%d", n, b)
+	}
+	sqrtB := int(math.Round(math.Sqrt(float64(b))))
+	m := n - sqrtB
+	if m < 1 {
+		return nil, fmt.Errorf("join: B=%d too large for n=%d (m = n−√B <= 0)", b, n)
+	}
+	setSize := int64(m) * int64(m) / b
+	if setSize < 1 {
+		setSize = 1
+	}
+	t := 10 * setSize
+	perType := int64(m) / setSize // B/m in the paper up to rounding
+	if perType < 1 {
+		perType = 1
+	}
+
+	r := xrand.New(seed)
+	inst := &Theorem43Instance{B: b, N: n, T: t}
+
+	// F ∈ D1: m tuples of one uniform type, √B tuples of type 0.
+	fType := r.Uint64n(uint64(t)) + 1
+	inst.F = make([]uint64, 0, n)
+	for i := 0; i < m; i++ {
+		inst.F = append(inst.F, fType)
+	}
+	for i := 0; i < sqrtB; i++ {
+		inst.F = append(inst.F, 0)
+	}
+
+	// G ∈ D2: perType tuples of each of setSize distinct types, type-0 pad.
+	set := make(map[uint64]bool, setSize)
+	for int64(len(set)) < setSize {
+		set[r.Uint64n(uint64(t))+1] = true
+	}
+	inst.G = make([]uint64, 0, n)
+	for v := range set {
+		for j := int64(0); j < perType; j++ {
+			inst.G = append(inst.G, v)
+		}
+	}
+	for len(inst.G) < n {
+		inst.G = append(inst.G, 0)
+	}
+	inst.G = inst.G[:n]
+
+	inst.InS = set[fType]
+	// Join size: pad contributes √B·(#type-0 in G); F's type contributes
+	// m·perType if fType ∈ S. Compute exactly from the materialized data to
+	// absorb the integer roundings.
+	var pad0 int64
+	for _, v := range inst.G {
+		if v == 0 {
+			pad0++
+		}
+	}
+	inst.JoinSize = int64(sqrtB) * pad0
+	if inst.InS {
+		inst.JoinSize += int64(m) * perType
+	}
+	return inst, nil
+}
+
+// SeparationTrial reports whether a join-size estimate correctly classifies
+// an instance as "large" (≈2B) or "small" (≈B): the decision threshold is
+// the midpoint 1.5B. The Theorem 4.3 experiment counts classification
+// failures across instances.
+func (inst *Theorem43Instance) SeparationTrial(estimate float64) bool {
+	big := float64(inst.JoinSize) > 1.5*float64(inst.B)
+	return (estimate > 1.5*float64(inst.B)) == big
+}

@@ -1,0 +1,150 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"amstrack/internal/hash"
+	"amstrack/internal/xrand"
+)
+
+// This file realizes the paper's §5 future-work item — "extending the
+// work to more general scenarios such as three-way joins" — for chain
+// joins F ⋈_a G ⋈_b H, following the construction that became standard in
+// the follow-up literature (Dobra, Garofalakis, Gehrke, Rastogi, SIGMOD
+// 2002): one independent four-wise family PER JOIN ATTRIBUTE, with the
+// middle relation sketched by the product of its attributes' signs:
+//
+//	S(F)[m] = Σ_a f_a · ε⁰_m(a)
+//	S(G)[m] = Σ_{(a,b)} g_{a,b} · ε⁰_m(a) · ε¹_m(b)
+//	S(H)[m] = Σ_b h_b · ε¹_m(b)
+//
+// Independence across attributes and four-wise independence within each
+// make E[S(F)·S(G)·S(H)] = Σ_{a,b} f_a·g_{a,b}·h_b — the chain join size —
+// with variance bounded by a product of the relations' self-join-type
+// moments, so averaging k atomic products again shrinks the error as 1/√k.
+
+// ChainFamily is a shared family for three-way chain joins: k independent
+// hash functions for each of the two join attributes.
+type ChainFamily struct {
+	k    int
+	seed uint64
+	fns  [2][]hash.FourWise
+}
+
+// NewChainFamily creates a chain family of size k (memory words per end
+// relation; the middle relation also uses k words).
+func NewChainFamily(k int, seed uint64) (*ChainFamily, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("join: chain family size k = %d, must be >= 1", k)
+	}
+	f := &ChainFamily{k: k, seed: seed}
+	for attr := 0; attr < 2; attr++ {
+		f.fns[attr] = make([]hash.FourWise, k)
+		for m := 0; m < k; m++ {
+			f.fns[attr][m] = hash.NewFourWise(xrand.Mix64(seed ^ uint64(attr)<<62 ^ uint64(m)*0x94d049bb133111eb))
+		}
+	}
+	return f, nil
+}
+
+// K returns the signature size.
+func (f *ChainFamily) K() int { return f.k }
+
+// NewEndSignature returns an empty signature for an end relation joined on
+// the given attribute (0 for the F-side attribute a, 1 for the H-side
+// attribute b).
+func (f *ChainFamily) NewEndSignature(attr int) (*ChainEndSignature, error) {
+	if attr != 0 && attr != 1 {
+		return nil, fmt.Errorf("join: chain attribute %d out of range {0,1}", attr)
+	}
+	return &ChainEndSignature{family: f, attr: attr, z: make([]int64, f.k)}, nil
+}
+
+// NewMiddleSignature returns an empty signature for the middle relation,
+// which carries both join attributes.
+func (f *ChainFamily) NewMiddleSignature() *ChainMiddleSignature {
+	return &ChainMiddleSignature{family: f, z: make([]int64, f.k)}
+}
+
+// ChainEndSignature sketches an end relation of the chain.
+type ChainEndSignature struct {
+	family *ChainFamily
+	attr   int
+	z      []int64
+	n      int64
+}
+
+// Insert adds a tuple with join-attribute value v.
+func (s *ChainEndSignature) Insert(v uint64) {
+	for m, fn := range s.family.fns[s.attr] {
+		s.z[m] += fn.Sign(v)
+	}
+	s.n++
+}
+
+// Delete removes a tuple with join-attribute value v (linear, exact).
+func (s *ChainEndSignature) Delete(v uint64) error {
+	for m, fn := range s.family.fns[s.attr] {
+		s.z[m] -= fn.Sign(v)
+	}
+	s.n--
+	return nil
+}
+
+// Len returns the tracked tuple count.
+func (s *ChainEndSignature) Len() int64 { return s.n }
+
+// MemoryWords returns k.
+func (s *ChainEndSignature) MemoryWords() int { return len(s.z) }
+
+// ChainMiddleSignature sketches the middle relation on both attributes.
+type ChainMiddleSignature struct {
+	family *ChainFamily
+	z      []int64
+	n      int64
+}
+
+// Insert adds a tuple with join-attribute values (a, b).
+func (s *ChainMiddleSignature) Insert(a, b uint64) {
+	for m := range s.z {
+		s.z[m] += s.family.fns[0][m].Sign(a) * s.family.fns[1][m].Sign(b)
+	}
+	s.n++
+}
+
+// Delete removes a tuple with join-attribute values (a, b).
+func (s *ChainMiddleSignature) Delete(a, b uint64) error {
+	for m := range s.z {
+		s.z[m] -= s.family.fns[0][m].Sign(a) * s.family.fns[1][m].Sign(b)
+	}
+	s.n--
+	return nil
+}
+
+// Len returns the tracked tuple count.
+func (s *ChainMiddleSignature) Len() int64 { return s.n }
+
+// MemoryWords returns k.
+func (s *ChainMiddleSignature) MemoryWords() int { return len(s.z) }
+
+// EstimateChainJoin returns the unbiased estimator of the three-way chain
+// join size |F ⋈_a G ⋈_b H|: the mean over the family of the triple
+// products S(F)[m]·S(G)[m]·S(H)[m]. All three signatures must come from
+// the same ChainFamily, with f on attribute 0 and h on attribute 1.
+func EstimateChainJoin(f *ChainEndSignature, g *ChainMiddleSignature, h *ChainEndSignature) (float64, error) {
+	if f == nil || g == nil || h == nil {
+		return 0, errors.New("join: nil chain signature")
+	}
+	if f.family != g.family || g.family != h.family {
+		return 0, errors.New("join: chain signatures from different families")
+	}
+	if f.attr != 0 || h.attr != 1 {
+		return 0, errors.New("join: chain ends bound to wrong attributes (want f=attr0, h=attr1)")
+	}
+	sum := 0.0
+	for m := range g.z {
+		sum += float64(f.z[m]) * float64(g.z[m]) * float64(h.z[m])
+	}
+	return sum / float64(len(g.z)), nil
+}

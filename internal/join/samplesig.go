@@ -1,0 +1,133 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/hash"
+)
+
+// SampleSignature is the §4.1 baseline: keep each tuple of the relation
+// independently with probability p, storing the joining-attribute value of
+// kept tuples; estimate |F ⋈ G| as the join size of the two samples scaled
+// by 1/(p_F · p_G) (t_cross in [HNSS93]; the paper uses p_F = p_G = p and
+// scale p⁻²).
+//
+// Keep/drop decisions are made by hashing the tuple identity
+// (value, occurrence-index) under the signature's seed rather than by a
+// live coin flip. The decision is therefore a deterministic function of the
+// tuple, which is what makes deletion possible in a Bernoulli sample: when
+// the most recent occurrence of v is deleted, the same hash is recomputed
+// and the sample is corrected exactly. (Occurrence indices follow the
+// paper's canonical-sequence semantics: a delete(v) reverses the most
+// recent undeleted insert(v).)
+//
+// Expected size is p·n values; Lemma 4.2 shows p·n ≳ c·n²/B is required
+// once the only guarantee is a join-size sanity bound B — this scheme
+// exists as the baseline the k-TW signature is compared against.
+type SampleSignature struct {
+	p      float64
+	seed   uint64
+	occ    map[uint64]int64 // live occurrence count per value
+	sample *exact.Histogram // multiset of sampled values
+	n      int64
+}
+
+// NewSampleSignature creates an empty sampling signature with keep
+// probability p in (0, 1].
+func NewSampleSignature(p float64, seed uint64) (*SampleSignature, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("join: sampling probability %v outside (0, 1]", p)
+	}
+	return &SampleSignature{
+		p:      p,
+		seed:   seed,
+		occ:    make(map[uint64]int64),
+		sample: exact.NewHistogram(),
+	}, nil
+}
+
+// keeps reports the deterministic keep decision for the i-th occurrence of
+// value v (i is 1-based).
+func (s *SampleSignature) keeps(v uint64, i int64) bool {
+	u := hash.Uniform64(s.seed, v*0x9e3779b97f4a7c15+uint64(i))
+	return float64(u>>11)/(1<<53) < s.p
+}
+
+// Insert adds a tuple with joining-attribute value v.
+func (s *SampleSignature) Insert(v uint64) {
+	s.n++
+	s.occ[v]++
+	if s.keeps(v, s.occ[v]) {
+		s.sample.Insert(v)
+	}
+}
+
+// Delete removes the most recent undeleted tuple with value v, correcting
+// the sample exactly. An error is returned if no such tuple exists.
+func (s *SampleSignature) Delete(v uint64) error {
+	i := s.occ[v]
+	if i == 0 {
+		return fmt.Errorf("join: delete of absent value %d", v)
+	}
+	if s.keeps(v, i) {
+		if err := s.sample.Delete(v); err != nil {
+			return fmt.Errorf("join: sample out of sync: %w", err)
+		}
+	}
+	if i == 1 {
+		delete(s.occ, v)
+	} else {
+		s.occ[v] = i - 1
+	}
+	s.n--
+	return nil
+}
+
+// Len returns the number of tuples in the tracked relation.
+func (s *SampleSignature) Len() int64 { return s.n }
+
+// SampleSize returns the current number of sampled tuples (the signature's
+// actual storage, expected p·n).
+func (s *SampleSignature) SampleSize() int64 { return s.sample.Len() }
+
+// MemoryWords reports the signature size in memory words: one word per
+// sampled tuple (the occurrence table is bookkeeping shared with the base
+// relation's maintenance in a real system; the paper counts the sample).
+func (s *SampleSignature) MemoryWords() int { return int(s.sample.Len()) }
+
+// P returns the sampling probability.
+func (s *SampleSignature) P() float64 { return s.p }
+
+// EstimateJoinSamples returns the t_cross estimate
+// |sample(F) ⋈ sample(G)| / (p_F·p_G).
+func EstimateJoinSamples(a, b *SampleSignature) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("join: nil sample signature")
+	}
+	if a.seed == b.seed {
+		// Correlated keep decisions would bias the estimator on shared
+		// values: the same occurrence indices would be kept on both sides.
+		return 0, errors.New("join: sample signatures must use distinct seeds")
+	}
+	return float64(a.sample.JoinSize(b.sample)) / (a.p * b.p), nil
+}
+
+// SampleSizeForBound returns the Lemma 4.2 sample size cn²/B sufficient for
+// constant relative error with high probability given join-size sanity
+// bound B, with c the lemma's constant (c > 3; we expose it as a
+// parameter).
+func SampleSizeForBound(n int64, sanityB float64, c float64) (int64, error) {
+	if n < 1 || sanityB < 1 || c <= 0 {
+		return 0, errors.New("join: SampleSizeForBound arguments must be positive")
+	}
+	size := c * float64(n) * float64(n) / sanityB
+	if size > float64(n) {
+		size = float64(n) // cannot usefully exceed the relation itself
+	}
+	if size < 1 {
+		size = 1
+	}
+	return int64(size), nil
+}

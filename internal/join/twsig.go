@@ -1,0 +1,276 @@
+// Package join implements the paper's §4: signature schemes for join size
+// estimation. Each relation maintains a small signature independently; the
+// join size of any pair of relations is estimated from their signatures
+// alone, with no access to the base data.
+//
+// Two schemes are provided:
+//
+//   - the k-TW tug-of-war signature (§4.3): per relation, k counters
+//     S_m = Σ_v ε_m(v)·f_v over a SHARED four-wise independent family; the
+//     estimator mean_m(S_F[m]·S_G[m]) is unbiased with
+//     Var ≤ 2·SJ(F)·SJ(G)/k (Lemma 4.4, Theorem 4.5);
+//
+//   - the Bernoulli sampling signature (§4.1): each tuple kept with
+//     probability p, join size estimated as the sample-join size scaled by
+//     1/(p_F·p_G) (the "t_cross" procedure), accurate only when the sample
+//     holds Ω(n²/B) tuples (Lemma 4.2) — and Theorem 4.3 proves no scheme
+//     beats that bound without extra assumptions.
+//
+// The lower-bound constructions of Lemma 2.3 and Theorem 4.3 live in
+// lowerbound.go so that the experiments can exercise them.
+package join
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"amstrack/internal/hash"
+	"amstrack/internal/xrand"
+)
+
+// Family identifies a shared set of k four-wise independent ±1 hash
+// functions. Signatures can only be combined when built from the same
+// family — the estimator E[S(F)·S(G)] = |F ⋈ G| requires the SAME ε_v on
+// both sides. A Family is cheap (seeds only) and safe to copy.
+type Family struct {
+	k    int
+	seed uint64
+	fns  []hash.FourWise
+}
+
+// NewFamily creates a family of k hash functions derived from seed.
+func NewFamily(k int, seed uint64) (*Family, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("join: family size k = %d, must be >= 1", k)
+	}
+	f := &Family{k: k, seed: seed, fns: make([]hash.FourWise, k)}
+	for m := 0; m < k; m++ {
+		f.fns[m] = hash.NewFourWise(xrand.Mix64(seed ^ uint64(m)*0xbf58476d1ce4e5b9))
+	}
+	return f, nil
+}
+
+// K returns the number of atomic signatures (memory words per relation).
+func (f *Family) K() int { return f.k }
+
+// Seed returns the family seed.
+func (f *Family) Seed() uint64 { return f.seed }
+
+// NewSignature returns an empty signature bound to this family.
+func (f *Family) NewSignature() *TWSignature {
+	return &TWSignature{family: f, z: make([]int64, f.k)}
+}
+
+// TWSignature is a k-TW join signature for one relation: k atomic
+// tug-of-war counters over the family's shared hash functions. It is
+// maintained incrementally under inserts and deletes of joining-attribute
+// values and occupies k memory words.
+type TWSignature struct {
+	family *Family
+	z      []int64
+	n      int64
+}
+
+// Insert adds a tuple with joining-attribute value v.
+func (s *TWSignature) Insert(v uint64) {
+	for m, fn := range s.family.fns {
+		s.z[m] += fn.Sign(v)
+	}
+	s.n++
+}
+
+// Delete removes a tuple with joining-attribute value v. Like the
+// tug-of-war self-join sketch, the signature is linear, so deletion is
+// exact; validity of the op sequence is the caller's contract.
+func (s *TWSignature) Delete(v uint64) error {
+	for m, fn := range s.family.fns {
+		s.z[m] -= fn.Sign(v)
+	}
+	s.n--
+	return nil
+}
+
+// SetFrequencies loads the signature from a frequency vector, replacing
+// current state. Linearity makes this identical to streaming the inserts.
+func (s *TWSignature) SetFrequencies(freq map[uint64]int64) {
+	for m := range s.z {
+		s.z[m] = 0
+	}
+	s.n = 0
+	for v, f := range freq {
+		for m, fn := range s.family.fns {
+			s.z[m] += fn.Sign(v) * f
+		}
+		s.n += f
+	}
+}
+
+// Len returns the current number of tuples in the tracked relation.
+func (s *TWSignature) Len() int64 { return s.n }
+
+// MemoryWords returns k.
+func (s *TWSignature) MemoryWords() int { return len(s.z) }
+
+// Family returns the signature's family.
+func (s *TWSignature) Family() *Family { return s.family }
+
+// Counters returns a copy of the raw atomic signatures.
+func (s *TWSignature) Counters() []int64 {
+	out := make([]int64, len(s.z))
+	copy(out, s.z)
+	return out
+}
+
+// SelfJoinEstimate returns the tug-of-war self-join estimate mean(Z²) from
+// the signature's own counters — a k-TW signature doubles as a §2.2 sketch
+// with s1 = k, s2 = 1, which is how §4.4's analytical comparison connects
+// the two halves of the paper.
+func (s *TWSignature) SelfJoinEstimate() float64 {
+	sum := 0.0
+	for _, z := range s.z {
+		sum += float64(z) * float64(z)
+	}
+	return sum / float64(len(s.z))
+}
+
+// EstimateJoin returns the k-TW estimator of |F ⋈ G|: the arithmetic mean
+// of the k products S_F[m]·S_G[m] (§4.3). An error is returned when the
+// signatures belong to different families.
+func EstimateJoin(a, b *TWSignature) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for m := range a.z {
+		sum += float64(a.z[m]) * float64(b.z[m])
+	}
+	return sum / float64(len(a.z)), nil
+}
+
+// EstimateJoinMedianOfMeans splits the k products into groups of size
+// groupSize and returns the median of the group means. With
+// groupSize = k the result equals EstimateJoin. The paper's §4.3 uses the
+// plain mean; the median-of-means variant trades a constant factor of
+// variance for exponentially better tail bounds and is provided for
+// production use.
+func EstimateJoinMedianOfMeans(a, b *TWSignature, groupSize int) (float64, error) {
+	if err := compatible(a, b); err != nil {
+		return 0, err
+	}
+	k := len(a.z)
+	if groupSize < 1 || k%groupSize != 0 {
+		return 0, fmt.Errorf("join: cannot split %d products into groups of %d", k, groupSize)
+	}
+	groups := k / groupSize
+	means := make([]float64, groups)
+	for g := 0; g < groups; g++ {
+		sum := 0.0
+		for m := g * groupSize; m < (g+1)*groupSize; m++ {
+			sum += float64(a.z[m]) * float64(b.z[m])
+		}
+		means[g] = sum / float64(groupSize)
+	}
+	// Median (insertion sort; groups is small).
+	for i := 1; i < len(means); i++ {
+		for j := i; j > 0 && means[j] < means[j-1]; j-- {
+			means[j], means[j-1] = means[j-1], means[j]
+		}
+	}
+	if groups%2 == 1 {
+		return means[groups/2], nil
+	}
+	return (means[groups/2-1] + means[groups/2]) / 2, nil
+}
+
+// ErrorBound returns the Lemma 4.4 / Theorem 4.5 standard-deviation bound
+// on the k-TW estimator: sqrt(2·SJ(F)·SJ(G)/k), computed from the exact (or
+// estimated) self-join sizes of the two relations.
+func ErrorBound(sjF, sjG float64, k int) float64 {
+	if k < 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * sjF * sjG / float64(k))
+}
+
+// KForError returns the Theorem 4.5 signature size: the number of atomic
+// tug-of-war signatures needed to estimate a join of size at least
+// joinLB within relative error eps (one standard deviation) when both
+// self-join sizes are at most sjUB: k = ceil(2·sjUB² / (eps·joinLB)²).
+func KForError(eps, joinLB, sjUB float64) (int, error) {
+	if eps <= 0 || joinLB <= 0 || sjUB <= 0 {
+		return 0, errors.New("join: KForError arguments must be positive")
+	}
+	k := math.Ceil(2 * sjUB * sjUB / (eps * eps * joinLB * joinLB))
+	if k < 1 {
+		k = 1
+	}
+	if k > 1<<40 {
+		return 0, fmt.Errorf("join: required k = %.3g is impractical; raise eps or the join lower bound", k)
+	}
+	return int(k), nil
+}
+
+func compatible(a, b *TWSignature) error {
+	if a == nil || b == nil {
+		return errors.New("join: nil signature")
+	}
+	if a.family == nil || b.family == nil {
+		return errors.New("join: signature without family")
+	}
+	if a.family.k != b.family.k || a.family.seed != b.family.seed {
+		return errors.New("join: signatures from different families cannot be combined")
+	}
+	return nil
+}
+
+// twMagic identifies serialized k-TW signatures.
+const twMagic uint32 = 0xA0517002
+
+// MarshalBinary serializes the signature (family parameters, counters,
+// CRC32). The hash functions are re-derived from the family seed on load.
+func (s *TWSignature) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+8*3+8*len(s.z)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, twMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.family.k))
+	buf = binary.LittleEndian.AppendUint64(buf, s.family.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
+	for _, z := range s.z {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(z))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalBinary restores a signature serialized by MarshalBinary.
+func (s *TWSignature) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+8*3+4 {
+		return errors.New("join: signature blob too short")
+	}
+	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return errors.New("join: signature blob checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(payload) != twMagic {
+		return errors.New("join: not a k-TW signature blob")
+	}
+	k := int(binary.LittleEndian.Uint64(payload[4:]))
+	seed := binary.LittleEndian.Uint64(payload[12:])
+	n := int64(binary.LittleEndian.Uint64(payload[20:]))
+	if k < 1 || len(payload) != 28+8*k {
+		return fmt.Errorf("join: signature blob length %d inconsistent with k = %d", len(data), k)
+	}
+	fam, err := NewFamily(k, seed)
+	if err != nil {
+		return err
+	}
+	fresh := fam.NewSignature()
+	fresh.n = n
+	for m := 0; m < k; m++ {
+		fresh.z[m] = int64(binary.LittleEndian.Uint64(payload[28+8*m:]))
+	}
+	*s = *fresh
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package oplog persists operation streams as append-only binary logs —
+// the "update log" of the paper's §5 warehouse scenario, where tracking
+// algorithms periodically catch up "by stepping through any additions to
+// the update log since the previous run".
+//
+// Record format (little endian):
+//
+//	byte   kind (0 insert, 1 delete, 2 query)
+//	uint64 value (0 for query)
+//	uint32 crc32 of the 9 bytes above
+//
+// Each record is independently checksummed so a torn tail write is
+// detected and reported as a clean truncation point rather than silent
+// corruption. A Reader hands back stream.Op values; a Writer appends them.
+package oplog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"amstrack/internal/stream"
+)
+
+const recordSize = 1 + 8 + 4
+
+// ErrCorrupt is returned when a record fails its checksum.
+var ErrCorrupt = errors.New("oplog: corrupt record")
+
+// Writer appends operations to an underlying writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append writes one operation.
+func (lw *Writer) Append(op stream.Op) error {
+	switch op.Kind {
+	case stream.Insert, stream.Delete, stream.Query:
+	default:
+		return fmt.Errorf("oplog: invalid op kind %d", op.Kind)
+	}
+	lw.buf[0] = byte(op.Kind)
+	binary.LittleEndian.PutUint64(lw.buf[1:], op.Value)
+	binary.LittleEndian.PutUint32(lw.buf[9:], crc32.ChecksumIEEE(lw.buf[:9]))
+	if _, err := lw.w.Write(lw.buf[:]); err != nil {
+		return err
+	}
+	lw.n++
+	return nil
+}
+
+// AppendAll writes a batch of operations.
+func (lw *Writer) AppendAll(ops []stream.Op) error {
+	for _, op := range ops {
+		if err := lw.Append(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns how many records have been appended.
+func (lw *Writer) Count() int64 { return lw.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (lw *Writer) Flush() error { return lw.w.Flush() }
+
+// Reader decodes operations from an underlying reader.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+	n   int64
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next operation. io.EOF signals a clean end;
+// io.ErrUnexpectedEOF a torn tail; ErrCorrupt a checksum failure.
+func (lr *Reader) Next() (stream.Op, error) {
+	if _, err := io.ReadFull(lr.r, lr.buf[:]); err != nil {
+		if err == io.EOF {
+			return stream.Op{}, io.EOF
+		}
+		return stream.Op{}, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(lr.buf[:9]) != binary.LittleEndian.Uint32(lr.buf[9:]) {
+		return stream.Op{}, fmt.Errorf("%w at record %d", ErrCorrupt, lr.n)
+	}
+	kind := stream.OpKind(lr.buf[0])
+	switch kind {
+	case stream.Insert, stream.Delete, stream.Query:
+	default:
+		return stream.Op{}, fmt.Errorf("%w at record %d: kind %d", ErrCorrupt, lr.n, kind)
+	}
+	lr.n++
+	return stream.Op{Kind: kind, Value: binary.LittleEndian.Uint64(lr.buf[1:])}, nil
+}
+
+// Count returns how many records have been read so far.
+func (lr *Reader) Count() int64 { return lr.n }
+
+// ReadAll decodes every remaining record.
+func ReadAll(r io.Reader) ([]stream.Op, error) {
+	lr := NewReader(r)
+	var ops []stream.Op
+	for {
+		op, err := lr.Next()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return ops, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Replay streams every remaining record into a tracker, returning the
+// number of update operations applied. Queries invoke onQuery if non-nil.
+func Replay(r io.Reader, tr stream.Tracker, onQuery func()) (int64, error) {
+	lr := NewReader(r)
+	applied := int64(0)
+	for {
+		op, err := lr.Next()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		switch op.Kind {
+		case stream.Insert:
+			tr.Insert(op.Value)
+			applied++
+		case stream.Delete:
+			if err := tr.Delete(op.Value); err != nil {
+				return applied, fmt.Errorf("oplog: replay record %d: %w", lr.Count()-1, err)
+			}
+			applied++
+		case stream.Query:
+			if onQuery != nil {
+				onQuery()
+			}
+		}
+	}
+}

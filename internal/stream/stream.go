@@ -1,0 +1,279 @@
+// Package stream models the paper's tracking scenario: a sequence of
+// operations on an initially empty multiset R, where each operation is an
+// insertion of a value, a deletion of an existing value, or a query for an
+// estimate of the self-join size (§2).
+//
+// It also implements the canonical-sequence reduction of §2.1: any sequence
+// Â of insertions and deletions is equivalent, for the purpose of self-join
+// estimation, to the insert-only sequence A obtained by cancelling each
+// delete(v) against the most recent undeleted insert(v). The reduction is
+// what lets the sample-count deletion handling be analyzed as if the input
+// had been insert-only, and the tests in this repository use it to verify
+// that trackers fed Â behave like trackers fed A.
+package stream
+
+import (
+	"fmt"
+
+	"amstrack/internal/xrand"
+)
+
+// OpKind discriminates the three tracking operations.
+type OpKind uint8
+
+// The three operation kinds of the paper's tracking model.
+const (
+	Insert OpKind = iota
+	Delete
+	Query
+)
+
+// String returns the conventional lowercase name of the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Query:
+		return "query"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one tracking operation. Value is ignored for Query.
+type Op struct {
+	Kind  OpKind
+	Value uint64
+}
+
+// FromValues converts an insert-only value sequence into operations.
+func FromValues(values []uint64) []Op {
+	ops := make([]Op, len(values))
+	for i, v := range values {
+		ops[i] = Op{Kind: Insert, Value: v}
+	}
+	return ops
+}
+
+// Canonicalize applies the Â → A reduction of §2.1: scanning left to right,
+// every delete(v) cancels the nearest preceding uncancelled insert(v); the
+// surviving inserts, in order, form the returned insert-only sequence.
+// Query operations are dropped (they do not change the multiset).
+//
+// An error is returned if some delete has no matching prior insert — such a
+// sequence is invalid under the paper's model, which deletes only existing
+// items.
+func Canonicalize(ops []Op) ([]uint64, error) {
+	// For each value, keep a stack of indices of uncancelled inserts.
+	type mark struct{ cancelled bool }
+	marks := make([]mark, len(ops))
+	pending := make(map[uint64][]int)
+	for i, op := range ops {
+		switch op.Kind {
+		case Insert:
+			pending[op.Value] = append(pending[op.Value], i)
+		case Delete:
+			stack := pending[op.Value]
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("stream: op %d deletes value %d with no live insert", i, op.Value)
+			}
+			j := stack[len(stack)-1]
+			pending[op.Value] = stack[:len(stack)-1]
+			marks[j].cancelled = true
+			marks[i].cancelled = true
+		case Query:
+			marks[i].cancelled = true
+		default:
+			return nil, fmt.Errorf("stream: op %d has invalid kind %d", i, op.Kind)
+		}
+	}
+	var out []uint64
+	for i, op := range ops {
+		if op.Kind == Insert && !marks[i].cancelled {
+			out = append(out, op.Value)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks that every delete in ops has a live matching insert and
+// that every kind is known. It is Canonicalize without materializing A.
+func Validate(ops []Op) error {
+	live := make(map[uint64]int)
+	for i, op := range ops {
+		switch op.Kind {
+		case Insert:
+			live[op.Value]++
+		case Delete:
+			if live[op.Value] == 0 {
+				return fmt.Errorf("stream: op %d deletes value %d with no live insert", i, op.Value)
+			}
+			live[op.Value]--
+		case Query:
+		default:
+			return fmt.Errorf("stream: op %d has invalid kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the composition of an operation sequence.
+type Stats struct {
+	Inserts int
+	Deletes int
+	Queries int
+}
+
+// Summarize counts the operations by kind.
+func Summarize(ops []Op) Stats {
+	var s Stats
+	for _, op := range ops {
+		switch op.Kind {
+		case Insert:
+			s.Inserts++
+		case Delete:
+			s.Deletes++
+		case Query:
+			s.Queries++
+		}
+	}
+	return s
+}
+
+// WithDeletions builds a mixed insert/delete sequence from an insert-only
+// value sequence: each original insert is emitted in order, and with
+// probability delFrac a delete of a currently live value is interleaved
+// (chosen uniformly from the live multiset). The result satisfies Validate
+// by construction, and the deletion count of *every prefix* is capped at
+// the delFrac/(1+delFrac) fraction of the prefix length — the regime
+// Theorem 2.1's analysis assumes (at most 1/5 of any prefix when
+// delFrac = 0.25). A delete whose emission would breach the cap is simply
+// skipped, so delFrac is an upper target, not an exact rate.
+//
+// The deleted value is drawn uniformly from the live items, so the
+// canonical multiset remains a uniform thinning of the original sequence.
+func WithDeletions(values []uint64, delFrac float64, seed uint64) []Op {
+	if delFrac < 0 {
+		delFrac = 0
+	}
+	capFrac := delFrac / (1 + delFrac)
+	r := xrand.New(seed)
+	ops := make([]Op, 0, int(float64(len(values))*(1+delFrac))+1)
+	// Live multiset maintained as a slice for O(1) uniform removal.
+	live := make([]uint64, 0, len(values))
+	deletes := 0
+	for _, v := range values {
+		ops = append(ops, Op{Kind: Insert, Value: v})
+		live = append(live, v)
+		withinCap := float64(deletes+1) <= capFrac*float64(len(ops)+1)
+		if delFrac > 0 && withinCap && r.Float64() < delFrac && len(live) > 1 {
+			i := r.Intn(len(live))
+			victim := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ops = append(ops, Op{Kind: Delete, Value: victim})
+			deletes++
+		}
+	}
+	return ops
+}
+
+// InsertDeleteChurn builds a sequence that inserts all values, then applies
+// rounds of churn: each round deletes k random live items and reinserts k
+// fresh draws from the provided generator. It models the paper's "data
+// warehouse" scenario in which the relation is updated in batches (§5).
+func InsertDeleteChurn(values []uint64, rounds, k int, next func() uint64, seed uint64) []Op {
+	r := xrand.New(seed)
+	ops := FromValues(values)
+	live := append([]uint64(nil), values...)
+	for round := 0; round < rounds; round++ {
+		for j := 0; j < k && len(live) > 0; j++ {
+			i := r.Intn(len(live))
+			victim := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ops = append(ops, Op{Kind: Delete, Value: victim})
+		}
+		for j := 0; j < k; j++ {
+			v := next()
+			ops = append(ops, Op{Kind: Insert, Value: v})
+			live = append(live, v)
+		}
+		ops = append(ops, Op{Kind: Query})
+	}
+	return ops
+}
+
+// Tracker is the minimal update interface a tracking algorithm exposes to
+// the replayer. Both the exact engine and every sketch in this repository
+// satisfy it (the exact engine via a tiny adapter).
+type Tracker interface {
+	Insert(v uint64)
+	Delete(v uint64) error
+}
+
+// Replay feeds every insert/delete in ops to tr, calling onQuery (if
+// non-nil) at each Query op with the index of that op. It stops at the
+// first error.
+func Replay(ops []Op, tr Tracker, onQuery func(opIndex int)) error {
+	for i, op := range ops {
+		switch op.Kind {
+		case Insert:
+			tr.Insert(op.Value)
+		case Delete:
+			if err := tr.Delete(op.Value); err != nil {
+				return fmt.Errorf("stream: replay op %d: %w", i, err)
+			}
+		case Query:
+			if onQuery != nil {
+				onQuery(i)
+			}
+		default:
+			return fmt.Errorf("stream: replay op %d: invalid kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// BatchReplay models the §5 offline warehouse mode: the operation log is
+// applied in batches of batchSize update operations; after each batch,
+// onBatch is invoked (e.g. to run queries against the freshly caught-up
+// tracker). Query ops inside the log are ignored in this mode — queries
+// happen between batches. It returns the number of batches applied.
+func BatchReplay(ops []Op, tr Tracker, batchSize int, onBatch func(applied int)) (int, error) {
+	if batchSize <= 0 {
+		return 0, fmt.Errorf("stream: batch size %d must be positive", batchSize)
+	}
+	batches := 0
+	inBatch := 0
+	applied := 0
+	flush := func() {
+		if inBatch > 0 {
+			batches++
+			if onBatch != nil {
+				onBatch(applied)
+			}
+			inBatch = 0
+		}
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case Insert:
+			tr.Insert(op.Value)
+		case Delete:
+			if err := tr.Delete(op.Value); err != nil {
+				return batches, fmt.Errorf("stream: batch replay op %d: %w", i, err)
+			}
+		case Query:
+			continue
+		}
+		applied++
+		inBatch++
+		if inBatch == batchSize {
+			flush()
+		}
+	}
+	flush()
+	return batches, nil
+}

@@ -1,0 +1,337 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func TestOpKindString(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" || Query.String() != "query" {
+		t.Fatal("OpKind names wrong")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatalf("unknown kind string = %q", OpKind(9).String())
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	ops := FromValues([]uint64{3, 1, 4})
+	if len(ops) != 3 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	for i, v := range []uint64{3, 1, 4} {
+		if ops[i].Kind != Insert || ops[i].Value != v {
+			t.Fatalf("ops[%d] = %+v", i, ops[i])
+		}
+	}
+}
+
+func TestCanonicalizeInsertOnly(t *testing.T) {
+	vals := []uint64{5, 5, 7}
+	got, err := Canonicalize(FromValues(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 5 || got[1] != 5 || got[2] != 7 {
+		t.Fatalf("canonical = %v", got)
+	}
+}
+
+func TestCanonicalizeCancelsMostRecent(t *testing.T) {
+	// insert 1, insert 2, insert 1, delete 1 → surviving sequence is (1, 2):
+	// the delete cancels the SECOND insert of 1 (the most recent), so the
+	// first insert's position survives.
+	ops := []Op{
+		{Insert, 1}, {Insert, 2}, {Insert, 1}, {Delete, 1},
+	}
+	got, err := Canonicalize(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("canonical = %v, want [1 2]", got)
+	}
+}
+
+func TestCanonicalizeDropsQueries(t *testing.T) {
+	ops := []Op{{Insert, 1}, {Query, 0}, {Insert, 2}}
+	got, err := Canonicalize(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("canonical = %v", got)
+	}
+}
+
+func TestCanonicalizeInvalidDelete(t *testing.T) {
+	if _, err := Canonicalize([]Op{{Delete, 1}}); err == nil {
+		t.Fatal("delete-before-insert did not error")
+	}
+	if _, err := Canonicalize([]Op{{Insert, 1}, {Delete, 1}, {Delete, 1}}); err == nil {
+		t.Fatal("double delete did not error")
+	}
+}
+
+func TestCanonicalizeInvalidKind(t *testing.T) {
+	if _, err := Canonicalize([]Op{{Kind: OpKind(9)}}); err == nil {
+		t.Fatal("invalid kind did not error")
+	}
+}
+
+// TestCanonicalMultisetMatchesReplay: the canonical sequence must describe
+// exactly the multiset left after replaying the full op sequence.
+func TestCanonicalMultisetMatchesReplay(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		// Build a random valid op sequence from raw bytes.
+		r := xrand.New(seed)
+		var ops []Op
+		live := map[uint64]int{}
+		total := 0
+		for _, x := range raw {
+			v := uint64(x % 32)
+			if r.Float64() < 0.3 && live[v] > 0 {
+				ops = append(ops, Op{Delete, v})
+				live[v]--
+				total--
+			} else {
+				ops = append(ops, Op{Insert, v})
+				live[v]++
+				total++
+			}
+		}
+		canon, err := Canonicalize(ops)
+		if err != nil {
+			return false
+		}
+		if len(canon) != total {
+			return false
+		}
+		h := exact.FromValues(canon)
+		for v, c := range live {
+			if h.Frequency(v) != int64(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalPreservesOrder: surviving inserts appear in their original
+// relative order.
+func TestCanonicalPreservesOrder(t *testing.T) {
+	ops := []Op{
+		{Insert, 10}, {Insert, 20}, {Insert, 10}, {Insert, 30},
+		{Delete, 10}, // cancels second insert of 10
+		{Insert, 40},
+		{Delete, 30},
+	}
+	got, err := Canonicalize(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("canonical = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("canonical = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidateAgreesWithCanonicalize(t *testing.T) {
+	good := []Op{{Insert, 1}, {Delete, 1}, {Insert, 2}}
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	bad := []Op{{Insert, 1}, {Delete, 2}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("invalid sequence accepted")
+	}
+	if err := Validate([]Op{{Kind: OpKind(7)}}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]Op{{Insert, 1}, {Insert, 2}, {Delete, 1}, {Query, 0}})
+	if s.Inserts != 2 || s.Deletes != 1 || s.Queries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWithDeletionsValid(t *testing.T) {
+	r := xrand.New(9)
+	values := make([]uint64, 5000)
+	for i := range values {
+		values[i] = r.Uint64n(100)
+	}
+	ops := WithDeletions(values, 0.2, 1)
+	if err := Validate(ops); err != nil {
+		t.Fatalf("WithDeletions produced invalid sequence: %v", err)
+	}
+	s := Summarize(ops)
+	if s.Inserts != len(values) {
+		t.Fatalf("inserts = %d, want %d", s.Inserts, len(values))
+	}
+	// Expected deletes ≈ 0.2 per insert.
+	if s.Deletes < 700 || s.Deletes > 1300 {
+		t.Fatalf("deletes = %d, want about 1000", s.Deletes)
+	}
+}
+
+func TestWithDeletionsZeroFraction(t *testing.T) {
+	ops := WithDeletions([]uint64{1, 2, 3}, 0, 1)
+	if Summarize(ops).Deletes != 0 {
+		t.Fatal("delFrac=0 produced deletes")
+	}
+	ops = WithDeletions([]uint64{1, 2, 3}, -1, 1)
+	if Summarize(ops).Deletes != 0 {
+		t.Fatal("negative delFrac produced deletes")
+	}
+}
+
+func TestWithDeletionsPrefixInvariant(t *testing.T) {
+	// The paper's deletion analysis assumes deletes are at most 1/5 of any
+	// prefix (for delFrac 0.25 interleaved singly this holds after the
+	// first few ops since a delete is always preceded by its insert).
+	r := xrand.New(4)
+	values := make([]uint64, 10000)
+	for i := range values {
+		values[i] = r.Uint64n(64)
+	}
+	ops := WithDeletions(values, 0.25, 7)
+	// delFrac = 0.25 → prefix cap is 0.25/1.25 = 1/5 of every prefix.
+	del, tot := 0, 0
+	for _, op := range ops {
+		tot++
+		if op.Kind == Delete {
+			del++
+		}
+		if float64(del) > 0.2*float64(tot)+1 {
+			t.Fatalf("prefix %d has %d deletes (> 1/5)", tot, del)
+		}
+	}
+}
+
+type recordingTracker struct {
+	inserted []uint64
+	deleted  []uint64
+}
+
+func (r *recordingTracker) Insert(v uint64) { r.inserted = append(r.inserted, v) }
+func (r *recordingTracker) Delete(v uint64) error {
+	r.deleted = append(r.deleted, v)
+	return nil
+}
+
+func TestReplay(t *testing.T) {
+	tr := &recordingTracker{}
+	queries := 0
+	ops := []Op{{Insert, 1}, {Query, 0}, {Delete, 1}, {Query, 0}}
+	if err := Replay(ops, tr, func(int) { queries++ }); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.inserted) != 1 || len(tr.deleted) != 1 || queries != 2 {
+		t.Fatalf("replay visited wrong ops: %+v queries=%d", tr, queries)
+	}
+}
+
+func TestReplayNilOnQuery(t *testing.T) {
+	tr := &recordingTracker{}
+	if err := Replay([]Op{{Query, 0}}, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayInvalidKind(t *testing.T) {
+	tr := &recordingTracker{}
+	if err := Replay([]Op{{Kind: OpKind(8)}}, tr, nil); err == nil {
+		t.Fatal("invalid kind accepted by Replay")
+	}
+}
+
+func TestInsertDeleteChurnValid(t *testing.T) {
+	r := xrand.New(2)
+	base := make([]uint64, 1000)
+	for i := range base {
+		base[i] = r.Uint64n(50)
+	}
+	next := func() uint64 { return r.Uint64n(50) }
+	ops := InsertDeleteChurn(base, 5, 100, next, 3)
+	if err := Validate(ops); err != nil {
+		t.Fatalf("churn sequence invalid: %v", err)
+	}
+	s := Summarize(ops)
+	if s.Queries != 5 {
+		t.Fatalf("queries = %d, want 5", s.Queries)
+	}
+	if s.Inserts != 1000+500 || s.Deletes != 500 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBatchReplay(t *testing.T) {
+	tr := &recordingTracker{}
+	ops := FromValues([]uint64{1, 2, 3, 4, 5, 6, 7})
+	var sizes []int
+	n, err := BatchReplay(ops, tr, 3, func(applied int) { sizes = append(sizes, applied) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("batches = %d, want 3", n)
+	}
+	// Cumulative applied counts after each batch: 3, 6, 7.
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 6 || sizes[2] != 7 {
+		t.Fatalf("batch sizes = %v", sizes)
+	}
+}
+
+func TestBatchReplaySkipsQueries(t *testing.T) {
+	tr := &recordingTracker{}
+	ops := []Op{{Insert, 1}, {Query, 0}, {Insert, 2}}
+	n, err := BatchReplay(ops, tr, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(tr.inserted) != 2 {
+		t.Fatalf("batches=%d inserted=%v", n, tr.inserted)
+	}
+}
+
+func TestBatchReplayBadSize(t *testing.T) {
+	if _, err := BatchReplay(nil, &recordingTracker{}, 0, nil); err == nil {
+		t.Fatal("batchSize=0 accepted")
+	}
+}
+
+// failingTracker rejects deletes, to exercise error propagation.
+type failingTracker struct{ recordingTracker }
+
+func (f *failingTracker) Delete(v uint64) error {
+	return errFail
+}
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "boom" }
+
+func TestReplayPropagatesDeleteError(t *testing.T) {
+	if err := Replay([]Op{{Insert, 1}, {Delete, 1}}, &failingTracker{}, nil); err == nil {
+		t.Fatal("delete error not propagated")
+	}
+	if _, err := BatchReplay([]Op{{Insert, 1}, {Delete, 1}}, &failingTracker{}, 1, nil); err == nil {
+		t.Fatal("delete error not propagated by BatchReplay")
+	}
+}

@@ -1,0 +1,144 @@
+// Package tablefmt renders small column-aligned text tables and CSV files
+// for the experiment harness. It exists so every experiment prints its
+// rows in the same, diffable format.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and writes them aligned. The zero value is not
+// usable; construct with New.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table with space-aligned columns. It implements
+// io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int64
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+		n, err := io.WriteString(w, b.String())
+		total += int64(n)
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas, quotes or newlines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, cell); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a float compactly: integers without decimals, large
+// or tiny magnitudes in scientific notation, everything else with four
+// significant decimals.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e7 || v <= -1e7 || (v < 1e-3 && v > -1e-3):
+		return fmt.Sprintf("%.3e", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -1,0 +1,81 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// Value column must start at the same offset in all rows.
+	off := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "22") != off {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("x")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tb.AddRow(1)
+	if tb.NumRows() != 1 {
+		t.Fatal("row not counted")
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow(`say "hi"`, "x,y")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"say \"\"hi\"\"\",\"x,y\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-7, "-7"},
+		{1.5, "1.5000"},
+		{4.3e9, "4.300e+09"},
+		{0.0001, "1.000e-04"},
+		{-12345678, "-1.235e+07"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tb := New("v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.1416") {
+		t.Fatalf("float not formatted: %s", tb.String())
+	}
+}

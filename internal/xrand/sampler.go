@@ -1,0 +1,154 @@
+package xrand
+
+import "math"
+
+// Exp returns an exponentially distributed value with rate 1 (mean 1).
+func (r *Rand) Exp() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Normal returns a standard normal value (mean 0, standard deviation 1),
+// generated with the Marsaglia polar method. One of the two values the
+// method produces is discarded to keep the generator stateless beyond its
+// core state; the data-set generators are not throughput-critical.
+func (r *Rand) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson-distributed value with mean lambda.
+// For small lambda it uses Knuth's product-of-uniforms method; for large
+// lambda it uses the PTRS transformed-rejection sampler of Hörmann (1993),
+// which has bounded expected time for all lambda.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		// Knuth: multiply uniforms until the product drops below e^-lambda.
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64Open()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return r.poissonPTRS(lambda)
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for lambda >= 10.
+func (r *Rand) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64Open()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, i.e. a value k >= 0 with P(k) = (1-p)^k p.
+// It panics if p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U) / log(1-p)).
+	return int(math.Log(r.Float64Open()) / math.Log1p(-p))
+}
+
+// Binomial returns a Binomial(n, p) value. It is used by generators that
+// need exact per-level counts (the multifractal cascade). For the modest n
+// used there a waiting-time method suffices; for large n·p it falls back to
+// a normal approximation only in the extreme tail guard, never silently.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Waiting-time (geometric skips): expected time O(n*p + 1).
+	if float64(n)*p < 1024 {
+		count := 0
+		i := r.Geometric(p)
+		for i < n {
+			count++
+			i += 1 + r.Geometric(p)
+		}
+		return count
+	}
+	// Split recursively around the median to keep n*p small. This stays
+	// exact (binomial thinning identity) and needs only O(log) depth.
+	half := n / 2
+	return r.Binomial(half, p) + r.Binomial(n-half, p)
+}
+
+// Zipf draws from a Zipf distribution over ranks {1, ..., n} with exponent
+// alpha > 0 using a precomputed cumulative table; see dist.Zipf for the
+// generator used in experiments. This method exists for ad-hoc sampling in
+// tests. It is O(log n) per draw.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over {1..n} with exponent alpha.
+func NewZipf(r *Rand, alpha float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf requires n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += math.Pow(float64(i), -alpha)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next returns a rank in {1, ..., n}.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

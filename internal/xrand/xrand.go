@@ -1,0 +1,164 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository.
+//
+// The experiments in the paper must be exactly reproducible: a data set is
+// identified by a name and a seed, and every figure is regenerated from
+// those alone. Go's math/rand does not guarantee a stable stream across
+// releases, so we implement two well-known generators with fixed, portable
+// output:
+//
+//   - SplitMix64 (Steele, Lea, Flood 2014): used for seeding and for cheap
+//     one-shot mixing.
+//   - Xoshiro256++ (Blackman, Vigna 2019): the workhorse generator behind
+//     all data-set generation and sampling decisions.
+//
+// Neither generator is cryptographic; they are statistical-quality PRNGs,
+// which is all the paper's algorithms require.
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is a tiny 64-bit PRNG with a 64-bit state. Its primary role
+// here is expanding a single user seed into the larger state of Xoshiro and
+// into independent per-structure seeds.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns the SplitMix64 finalizer applied to x. It is a high-quality
+// 64-bit mixing function: distinct inputs give uncorrelated outputs. It is
+// used to derive independent sub-seeds from (seed, index) pairs.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a Xoshiro256++ generator. The zero value is not usable; construct
+// with New. Methods are not safe for concurrent use; create one Rand per
+// goroutine (they are cheap).
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand seeded deterministically from seed. Any seed value,
+// including zero, yields a full-quality stream (the state is expanded with
+// SplitMix64, which never produces the all-zero state in four consecutive
+// outputs).
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which is
+	// the one fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method, which is unbiased.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1]; it never returns exactly 0,
+// which makes it safe as the argument of a logarithm or a divisor.
+func (r *Rand) Float64Open() float64 {
+	return float64(r.Uint64()>>11+1) / (1 << 53)
+}
+
+// Sign returns -1 or +1, each with probability 1/2.
+func (r *Rand) Sign() int {
+	if r.Uint64()&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the elements of a slice of length n using the provided
+// swap function, exactly like math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork returns a new Rand whose stream is independent of the receiver's
+// future output. It is used to give each sub-structure (hash function,
+// generator, sampler) its own generator derived from one master seed.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,73 @@
+package amstrack
+
+import (
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+)
+
+// SignatureFamily identifies a shared set of k four-wise independent ±1
+// hash functions. Every relation whose join sizes should be mutually
+// estimable must build its signature from the same family (same k and
+// seed) — the unbiasedness E[S(F)·S(G)] = |F ⋈ G| holds only under shared
+// hash functions (§4.3).
+type SignatureFamily = join.Family
+
+// NewSignatureFamily creates a family of k hash functions from seed.
+// k is the per-relation signature size in memory words.
+func NewSignatureFamily(k int, seed uint64) (*SignatureFamily, error) {
+	return join.NewFamily(k, seed)
+}
+
+// JoinSignature is a k-TW join signature for one relation, maintained
+// incrementally under tuple inserts and deletes (§4.3). It also answers
+// self-join estimates from its own counters, which is how the k-TW error
+// bound √(2·SJ(F)·SJ(G)/k) can be evaluated online.
+type JoinSignature = join.TWSignature
+
+// EstimateJoin returns the k-TW estimator of |F ⋈ G| from two signatures
+// of the same family (Lemma 4.4: unbiased, Var ≤ 2·SJ(F)·SJ(G)/k).
+func EstimateJoin(f, g *JoinSignature) (float64, error) { return join.EstimateJoin(f, g) }
+
+// EstimateJoinRobust is EstimateJoin with a median-of-means combination
+// over groups of groupSize products (groupSize must divide k); it trades a
+// constant variance factor for exponentially better tail bounds.
+func EstimateJoinRobust(f, g *JoinSignature, groupSize int) (float64, error) {
+	return join.EstimateJoinMedianOfMeans(f, g, groupSize)
+}
+
+// JoinErrorBound returns the one-standard-deviation bound
+// √(2·sjF·sjG/k) of Lemma 4.4 / Theorem 4.5.
+func JoinErrorBound(sjF, sjG float64, k int) float64 { return join.ErrorBound(sjF, sjG, k) }
+
+// SignatureSizeForError returns the Theorem 4.5 signature size k needed to
+// estimate joins of size ≥ joinLB within relative error eps (one standard
+// deviation) when both self-join sizes are ≤ sjUB.
+func SignatureSizeForError(eps, joinLB, sjUB float64) (int, error) {
+	return join.KForError(eps, joinLB, sjUB)
+}
+
+// JoinUpperBound returns the Fact 1.1 bound |F ⋈ G| ≤ (SJ(F)+SJ(G))/2 from
+// two self-join sizes (exact or estimated).
+func JoinUpperBound(sjF, sjG float64) float64 {
+	return exact.JoinUpperBound(int64(sjF), int64(sjG))
+}
+
+// ChainFamily is a shared hash family for three-way chain joins
+// F ⋈_a G ⋈_b H — the paper's §5 future-work scenario, realized with one
+// independent four-wise family per join attribute (Dobra et al. 2002).
+type ChainFamily = join.ChainFamily
+
+// NewChainFamily creates a chain family of k words per relation.
+func NewChainFamily(k int, seed uint64) (*ChainFamily, error) { return join.NewChainFamily(k, seed) }
+
+// ChainEndSignature sketches an end relation of a three-way chain join.
+type ChainEndSignature = join.ChainEndSignature
+
+// ChainMiddleSignature sketches the middle relation (both attributes).
+type ChainMiddleSignature = join.ChainMiddleSignature
+
+// EstimateChainJoin returns the unbiased three-way chain join estimate
+// mean_m S(F)[m]·S(G)[m]·S(H)[m] for signatures of one ChainFamily.
+func EstimateChainJoin(f *ChainEndSignature, g *ChainMiddleSignature, h *ChainEndSignature) (float64, error) {
+	return join.EstimateChainJoin(f, g, h)
+}

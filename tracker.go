@@ -1,0 +1,128 @@
+package amstrack
+
+import (
+	"amstrack/internal/core"
+	"amstrack/internal/exact"
+)
+
+// Tracker is a limited-storage synopsis of a multiset of uint64 values
+// (joining-attribute values of a relation's tuples), maintained under
+// insertions and deletions, answering self-join size queries on demand.
+type Tracker interface {
+	// Insert adds one occurrence of v.
+	Insert(v uint64)
+	// Delete removes one occurrence of v. The operation sequence must be
+	// valid (never delete a value not currently present); trackers that
+	// cannot support deletion return an error.
+	Delete(v uint64) error
+	// Estimate returns the current self-join size estimate.
+	Estimate() float64
+	// MemoryWords returns the synopsis size in memory words, the paper's
+	// storage unit.
+	MemoryWords() int
+}
+
+// Config carries the accuracy/confidence parameters shared by the
+// trackers: S1 estimators per group (accuracy), S2 groups (confidence).
+// Total storage is S1·S2 memory words. Seed makes runs reproducible; two
+// tug-of-war trackers with equal Config are mergeable.
+type Config = core.Config
+
+// ConfigForError returns the Config Theorem 2.2 prescribes for tug-of-war
+// to reach relative error eps with confidence 1−delta.
+func ConfigForError(eps, delta float64, seed uint64) (Config, error) {
+	return core.ConfigForError(eps, delta, seed)
+}
+
+// SampleCountConfigForError returns the Config Theorem 2.1 prescribes for
+// sample-count on a domain of size domainSize.
+func SampleCountConfigForError(eps, delta float64, domainSize int64, seed uint64) (Config, error) {
+	return core.SampleCountConfigForError(eps, delta, domainSize, seed)
+}
+
+// TugOfWar is the AMS tug-of-war tracker (§2.2). Beyond Tracker it
+// supports Merge of per-partition sketches and binary serialization.
+type TugOfWar = core.TugOfWar
+
+// NewTugOfWar builds a tug-of-war tracker.
+func NewTugOfWar(cfg Config) (*TugOfWar, error) { return core.NewTugOfWar(cfg) }
+
+// SampleCount is the improved sample-count tracker (§2.1, Fig. 1) with
+// O(1) amortized updates and deletion support.
+type SampleCount = core.SampleCount
+
+// NewSampleCount builds a sample-count tracker. By default every sample
+// slot becomes valid only after s·log s inserts (the paper's initial
+// window); pass WithWindowFromStart for streams of any length.
+func NewSampleCount(cfg Config, opts ...core.SampleCountOption) (*SampleCount, error) {
+	return core.NewSampleCount(cfg, opts...)
+}
+
+// WithWindowFromStart makes every sample-count slot an independent size-1
+// reservoir from the first insert, so the sample is uniform for streams of
+// any length (see internal/core for the trade-off).
+func WithWindowFromStart() core.SampleCountOption { return core.WithWindowFromStart() }
+
+// SampleCountFQ is the §2.1 fast-query sample-count variant: O(s2)
+// amortized updates and O(s2) queries, with estimates bit-identical to
+// SampleCount's for equal seeds.
+type SampleCountFQ = core.SampleCountFQ
+
+// NewSampleCountFQ builds the fast-query sample-count variant.
+func NewSampleCountFQ(cfg Config, opts ...core.SampleCountOption) (*SampleCountFQ, error) {
+	return core.NewSampleCountFQ(cfg, opts...)
+}
+
+// NaiveSample is the standard sampling baseline (§2.3). Insert-only.
+type NaiveSample = core.NaiveSample
+
+// NewNaiveSample builds a naive-sampling tracker with sample size S1·S2.
+func NewNaiveSample(cfg Config) (*NaiveSample, error) { return core.NewNaiveSample(cfg) }
+
+// Exact is a Tracker that maintains the self-join size exactly using a
+// full histogram — the strawman the paper's introduction rules out for
+// large domains (storage grows with the number of distinct values). It is
+// exported because downstream users routinely want it for validation, and
+// it doubles as the ground truth in this repository's own experiments.
+type Exact struct {
+	h *exact.Histogram
+}
+
+// NewExact returns an exact tracker.
+func NewExact() *Exact { return &Exact{h: exact.NewHistogram()} }
+
+// Insert adds one occurrence of v.
+func (e *Exact) Insert(v uint64) { e.h.Insert(v) }
+
+// Delete removes one occurrence of v, failing if v is absent.
+func (e *Exact) Delete(v uint64) error { return e.h.Delete(v) }
+
+// Estimate returns the exact self-join size.
+func (e *Exact) Estimate() float64 { return float64(e.h.SelfJoin()) }
+
+// MemoryWords reports the histogram's size: one word per distinct value
+// (the storage cost the sketches avoid).
+func (e *Exact) MemoryWords() int { return int(e.h.Distinct()) }
+
+// Len returns the current multiset size.
+func (e *Exact) Len() int64 { return e.h.Len() }
+
+// JoinSize returns the exact join size against another exact tracker.
+func (e *Exact) JoinSize(other *Exact) int64 { return e.h.JoinSize(other.h) }
+
+// Interface conformance.
+var (
+	_ Tracker = (*TugOfWar)(nil)
+	_ Tracker = (*SampleCount)(nil)
+	_ Tracker = (*SampleCountFQ)(nil)
+	_ Tracker = (*NaiveSample)(nil)
+	_ Tracker = (*Exact)(nil)
+)
+
+// ExponentialParameter recovers the parameter a of an exponentially
+// distributed attribute from its length and self-join size (Fact 1.2):
+// a = (n² + SJ)/(n² − SJ). Combined with a Tracker's Estimate, this turns a
+// self-join synopsis into a distribution-parameter monitor.
+func ExponentialParameter(n int64, selfJoin float64) (float64, error) {
+	return exact.ExponentialParameter(n, int64(selfJoin))
+}
