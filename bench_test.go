@@ -13,6 +13,7 @@ package amstrack_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"amstrack"
@@ -244,7 +245,9 @@ func BenchmarkDeletionTracking(b *testing.B) {
 
 // ---- Operation-cost benchmarks (Theorems 2.1 and 2.2 time bounds) ----
 
-// Tug-of-war updates are O(s): ns/op must scale linearly with s.
+// Tug-of-war updates are O(s): ns/op must scale linearly with s. The
+// s1=1024,s2=16 run is the flat baseline for BenchmarkUpdateFastTugOfWar's
+// matching sub-benchmark (the Fast-AMS acceptance comparison).
 func BenchmarkUpdateTugOfWar(b *testing.B) {
 	for _, s := range []int{16, 256, 4096} {
 		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
@@ -263,6 +266,109 @@ func BenchmarkUpdateTugOfWar(b *testing.B) {
 			}
 		})
 	}
+	b.Run("s1=1024,s2=16", func(b *testing.B) {
+		tw, err := amstrack.NewTugOfWar(amstrack.Config{S1: 1024, S2: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := xrand.New(2)
+		vals := make([]uint64, 1<<14)
+		for i := range vals {
+			vals[i] = r.Uint64n(1 << 16)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tw.Insert(vals[i&(1<<14-1)])
+		}
+	})
+}
+
+// Fast-AMS updates are O(S2), independent of S1: ns/op must stay flat as
+// s (and with it S1) grows, and at the acceptance config S1=1024, S2=16 it
+// must beat the flat sketch's matching sub-benchmark by ≥ 10×.
+func BenchmarkUpdateFastTugOfWar(b *testing.B) {
+	for _, s := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			ft, err := amstrack.NewFastTugOfWar(amstrack.Config{S1: s / 8, S2: 8, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := xrand.New(2)
+			vals := make([]uint64, 1<<14)
+			for i := range vals {
+				vals[i] = r.Uint64n(1 << 16)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft.Insert(vals[i&(1<<14-1)])
+			}
+		})
+	}
+	b.Run("s1=1024,s2=16", func(b *testing.B) {
+		ft, err := amstrack.NewFastTugOfWar(amstrack.Config{S1: 1024, S2: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := xrand.New(2)
+		vals := make([]uint64, 1<<14)
+		for i := range vals {
+			vals[i] = r.Uint64n(1 << 16)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ft.Insert(vals[i&(1<<14-1)])
+		}
+	})
+}
+
+// Batch ingestion: whole-slice updates amortize per-call overhead and keep
+// each row's tables cache-resident (fast) or aggregate duplicates (flat).
+func BenchmarkUpdateFastTugOfWarBatch(b *testing.B) {
+	ft, err := amstrack.NewFastTugOfWar(amstrack.Config{S1: 1024, S2: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(2)
+	vals := make([]uint64, 1<<14)
+	for i := range vals {
+		vals[i] = r.Uint64n(1 << 16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(vals) {
+		ft.InsertBatch(vals)
+	}
+}
+
+func BenchmarkUpdateTugOfWarBatch(b *testing.B) {
+	tw, err := amstrack.NewTugOfWar(amstrack.Config{S1: 512, S2: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(2)
+	vals := make([]uint64, 1<<14)
+	for i := range vals {
+		vals[i] = r.Uint64n(1 << 12) // duplicate-heavy: aggregation pays off
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(vals) {
+		tw.InsertBatch(vals)
+	}
+}
+
+// Parallel ingest throughput of the sharded fast sketch.
+func BenchmarkUpdateShardedFastTugOfWar(b *testing.B) {
+	st, err := amstrack.NewShardedFastTugOfWar(amstrack.Config{S1: 1024, S2: 16, Seed: 1}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var worker atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := xrand.New(worker.Add(1))
+		for pb.Next() {
+			st.Insert(r.Uint64n(1 << 16))
+		}
+	})
 }
 
 // Sample-count updates are O(1) amortized: ns/op must stay flat in s.

@@ -36,3 +36,15 @@ type ShardedTugOfWar = core.ShardedTugOfWar
 func NewShardedTugOfWar(cfg Config, shards int) (*ShardedTugOfWar, error) {
 	return core.NewShardedTugOfWar(cfg, shards)
 }
+
+// ShardedFastTugOfWar is the concurrent wrapper around FastTugOfWar: the
+// same linearity-based sharding as ShardedTugOfWar, with O(S2) per-update
+// work inside each shard lock — the construction for parallel bulk ingest
+// at high accuracy (large S1).
+type ShardedFastTugOfWar = core.ShardedFastTugOfWar
+
+// NewShardedFastTugOfWar builds a concurrent fast sketch with the given
+// shard count (0 means GOMAXPROCS; rounded up to a power of two).
+func NewShardedFastTugOfWar(cfg Config, shards int) (*ShardedFastTugOfWar, error) {
+	return core.NewShardedFastTugOfWar(cfg, shards)
+}

@@ -11,6 +11,7 @@
 //	amsbench -experiment thm43             # Theorem 4.3 signature lower bound
 //	amsbench -experiment joinacc           # §4.3 join-signature accuracy study
 //	amsbench -experiment deletions         # tracking accuracy under deletions
+//	amsbench -experiment fastacc           # Fast-AMS vs flat tug-of-war accuracy
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -176,6 +177,13 @@ func run(experiment string, seed uint64, csvDir string, trials int) error {
 			}
 			return emit("joinacc", "§4.3/§5: k-TW vs sampling vs histogram join signatures at equal memory", r.Table())
 
+		case name == "fastacc":
+			r, err := experiments.RunFastAccuracy(nil, 1024, 8, trials, seed)
+			if err != nil {
+				return err
+			}
+			return emit("fastacc", "Fast-AMS vs flat tug-of-war at equal memory (s=8192 words)", r.Table())
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -191,7 +199,7 @@ func run(experiment string, seed uint64, csvDir string, trials int) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		algo = flag.String("algo", "tug-of-war", "tracker: tug-of-war, sample-count, naive-sampling")
+		algo = flag.String("algo", "tug-of-war", "tracker: tug-of-war, fast-tug-of-war, sample-count, naive-sampling")
 		s1   = flag.Int("s1", 64, "estimators per group (accuracy)")
 		s2   = flag.Int("s2", 8, "groups (confidence)")
 		seed = flag.Uint64("seed", 1, "tracker seed")
@@ -47,6 +47,8 @@ func newTracker(algo string, cfg amstrack.Config) (amstrack.Tracker, error) {
 	switch algo {
 	case "tug-of-war":
 		return amstrack.NewTugOfWar(cfg)
+	case "fast-tug-of-war":
+		return amstrack.NewFastTugOfWar(cfg)
 	case "sample-count":
 		return amstrack.NewSampleCount(cfg, amstrack.WithWindowFromStart())
 	case "naive-sampling":

@@ -13,6 +13,12 @@
 //     update; relative error ≤ 4/√S1 with probability ≥ 1−2^(−S2/2) on ANY
 //     data distribution (Theorem 2.2). Supports deletions exactly and
 //     merging of per-partition sketches.
+//   - NewFastTugOfWar: the bucketed Fast-AMS variant (Thorup–Zhang). Same
+//     storage, same Theorem 2.2 error bound, but each update touches one
+//     bucket per group — O(S2) per update, independent of the accuracy
+//     knob S1 — using a tabulation-based four-wise hash whose single
+//     evaluation yields both bucket and sign. Supports deletions, merging
+//     and batch ingest; see below for when to prefer it.
 //   - NewSampleCount: the improved sample-count algorithm (§2.1, Fig. 1).
 //     O(1) amortized per update; error bound carries a t^(1/4) domain-size
 //     factor (Theorem 2.1). Supports deletions.
@@ -24,6 +30,22 @@
 //	tr, _ := amstrack.NewTugOfWar(amstrack.Config{S1: 64, S2: 8, Seed: 1})
 //	for _, v := range values { tr.Insert(v) }
 //	est := tr.Estimate() // ≈ SJ within 4/√64 = 50% w.h.p.; see ConfigForError
+//
+// # Fast-AMS: speed vs the flat sketch
+//
+// TugOfWar and FastTugOfWar estimate the same quantity with the same
+// accuracy guarantee at the same word count; they differ in update cost
+// and compatibility. The flat sketch pays O(S1·S2) polynomial evaluations
+// per update, so tightening the error bound (growing S1) slows every
+// insert; the fast sketch pays O(S2) table-lookup hashes regardless of S1
+// (≈700× faster at S1=1024, S2=16 on commodity hardware), at the price of
+// 64 KiB of fixed hash tables per group and a counter layout that is not
+// bit-compatible with the flat sketch (blobs of one kind do not unmarshal
+// as the other). Prefer FastTugOfWar for high-throughput or high-accuracy
+// tracking — streams, bulk loads (InsertBatch), parallel ingest
+// (NewShardedFastTugOfWar) — and keep TugOfWar when individual estimator
+// counters matter (Fig. 15-style diagnostics) or when sketches must merge
+// with existing flat-sketch deployments. DESIGN.md §3 has the analysis.
 //
 // # Join sizes
 //

@@ -1,0 +1,3 @@
+module amstrack
+
+go 1.24

@@ -1,0 +1,95 @@
+package core
+
+// Bulk update paths. Every tracker accepts whole slices of values so
+// callers replaying update logs or loading partitions do not pay per-call
+// overhead, and so trackers whose state has cache-unfriendly per-update
+// access patterns can reorder work across the batch. Semantics are exactly
+// those of the equivalent sequence of Insert/Delete calls; DeleteBatch
+// stops at the first failing delete and reports it (values before the
+// failure remain applied, matching a plain loop).
+
+// InsertBatch adds every value in vs. Duplicate-heavy batches are
+// aggregated into frequencies first, so each counter pays one hash
+// evaluation per DISTINCT value instead of one per occurrence — by
+// linearity the result is bit-identical to inserting one at a time.
+func (t *TugOfWar) InsertBatch(vs []uint64) { t.applyBatch(vs, 1) }
+
+// DeleteBatch removes every value in vs. Always succeeds (see Delete).
+func (t *TugOfWar) DeleteBatch(vs []uint64) error {
+	t.applyBatch(vs, -1)
+	return nil
+}
+
+func (t *TugOfWar) applyBatch(vs []uint64, dir int64) {
+	if len(vs) < 32 {
+		// Aggregation overhead dominates tiny batches.
+		for _, v := range vs {
+			for k := range t.z {
+				t.z[k] += dir * t.fns[k].Sign(v)
+			}
+		}
+		t.n += dir * int64(len(vs))
+		return
+	}
+	freq := make(map[uint64]int64, len(vs))
+	for _, v := range vs {
+		freq[v]++
+	}
+	for v, f := range freq {
+		df := dir * f
+		for k := range t.z {
+			t.z[k] += t.fns[k].Sign(v) * df
+		}
+	}
+	t.n += dir * int64(len(vs))
+}
+
+// InsertBatch adds every value in vs.
+func (sc *SampleCount) InsertBatch(vs []uint64) {
+	for _, v := range vs {
+		sc.Insert(v)
+	}
+}
+
+// DeleteBatch removes every value in vs, stopping at the first error.
+func (sc *SampleCount) DeleteBatch(vs []uint64) error {
+	for _, v := range vs {
+		if err := sc.Delete(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch adds every value in vs.
+func (fq *SampleCountFQ) InsertBatch(vs []uint64) {
+	for _, v := range vs {
+		fq.Insert(v)
+	}
+}
+
+// DeleteBatch removes every value in vs, stopping at the first error.
+func (fq *SampleCountFQ) DeleteBatch(vs []uint64) error {
+	for _, v := range vs {
+		if err := fq.Delete(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch adds every value in vs.
+func (ns *NaiveSample) InsertBatch(vs []uint64) {
+	for _, v := range vs {
+		ns.Insert(v)
+	}
+}
+
+// DeleteBatch fails at the first value like a plain Delete loop: the naive
+// baseline cannot reverse a uniform sample. An empty batch is a no-op.
+func (ns *NaiveSample) DeleteBatch(vs []uint64) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return ns.Delete(vs[0])
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"amstrack/internal/hash"
+	"amstrack/internal/xrand"
+)
+
+// FastTugOfWar is the bucketed tug-of-war sketch (Fast-AMS): the estimator
+// of Thorup & Zhang (SODA 2004) / Cormode & Garofalakis that keeps the
+// accuracy of §2.2's flat sketch while making the update cost independent
+// of the accuracy parameter S1.
+//
+// Layout: S2 rows, each with S1 counters and its own tabulation hash. An
+// update hashes the value ONCE per row; the high output bits select a
+// bucket b, the low bit a sign ε, and only Z[j][b] += ε is touched — O(S2)
+// work per update versus the flat sketch's O(S1·S2).
+//
+// Estimator: per row, X_j = Σ_b Z[j][b]²; the answer is the median over
+// rows. Writing f_v for the frequencies, E[X_j] = Σ_v f_v² = SJ exactly
+// (signs are pairwise independent across distinct values), and
+// Var(X_j) ≤ 2·SJ²/S1 — the same bound as a row of S1 averaged independent
+// tug-of-war estimators, because two distinct values only interact when
+// the bucket hash collides them (probability 1/S1) and the sign hash is
+// four-wise independent (Thorup–Zhang Theorem 1). Theorem 2.2's guarantee
+// therefore carries over verbatim: relative error ≤ 4/√S1 with probability
+// ≥ 1 − 2^(−S2/2).
+//
+// Like the flat sketch, the counters are a linear function of the
+// frequency vector: deletions are exact, sketches with equal Config merge
+// by addition, and SetFrequencies is bit-identical to streaming.
+type FastTugOfWar struct {
+	cfg     Config
+	rows    []hash.Tab4 // one tabulation hash per row (group)
+	z       []int64     // counters, row-major: row j occupies [j*S1, (j+1)*S1)
+	n       int64       // current multiset size (diagnostics only)
+	scratch []float64   // reusable buffer for row sums
+}
+
+// NewFastTugOfWar builds a bucketed tug-of-war tracker. As with NewTugOfWar,
+// the hash family is derived deterministically from cfg.Seed, so equal
+// Configs yield mergeable sketches. The row hashes use a seed stream
+// disjoint from the flat sketch's counter hashes, so the two trackers are
+// statistically independent even under one seed.
+func NewFastTugOfWar(cfg Config) (*FastTugOfWar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &FastTugOfWar{
+		cfg:     cfg,
+		rows:    make([]hash.Tab4, cfg.S2),
+		z:       make([]int64, cfg.S1*cfg.S2),
+		scratch: make([]float64, cfg.S2),
+	}
+	for j := range t.rows {
+		t.rows[j] = hash.NewTab4(fastRowSeed(cfg.Seed, j))
+	}
+	return t, nil
+}
+
+// fastRowSeed derives row j's hash seed from the master seed.
+func fastRowSeed(seed uint64, j int) uint64 {
+	return xrand.Mix64(seed ^ (uint64(j)+1)*0xbf58476d1ce4e5b9)
+}
+
+// bucket maps a hash output to a row-local counter index in [0, s1) using
+// the high 32 output bits (disjoint from the sign bit, so bucket and sign
+// are jointly four-wise independent). The multiply-shift reduction is
+// unbiased up to s1/2^32, negligible for any practical row width.
+func bucket(h uint64, s1 int) int {
+	return int((h >> 32) * uint64(s1) >> 32)
+}
+
+// Insert adds one occurrence of v. O(S2) time — one hash evaluation and one
+// counter touch per row, independent of S1.
+func (t *FastTugOfWar) Insert(v uint64) {
+	s1 := t.cfg.S1
+	for j := range t.rows {
+		h := t.rows[j].Hash(v)
+		t.z[j*s1+bucket(h, s1)] += int64(h&1)*2 - 1
+	}
+	t.n++
+}
+
+// Delete removes one occurrence of v. Exact, by linearity (see
+// TugOfWar.Delete for the contract on the op sequence).
+func (t *FastTugOfWar) Delete(v uint64) error {
+	s1 := t.cfg.S1
+	for j := range t.rows {
+		h := t.rows[j].Hash(v)
+		t.z[j*s1+bucket(h, s1)] -= int64(h&1)*2 - 1
+	}
+	t.n--
+	return nil
+}
+
+// InsertBatch adds every value in vs. The row loop is hoisted outside the
+// value loop so each row's tables and counters stay cache-resident for the
+// whole batch — measurably faster than per-value Insert on large batches.
+func (t *FastTugOfWar) InsertBatch(vs []uint64) {
+	t.applyBatch(vs, +1)
+	t.n += int64(len(vs))
+}
+
+// DeleteBatch removes every value in vs.
+func (t *FastTugOfWar) DeleteBatch(vs []uint64) error {
+	t.applyBatch(vs, -1)
+	t.n -= int64(len(vs))
+	return nil
+}
+
+func (t *FastTugOfWar) applyBatch(vs []uint64, dir int64) {
+	s1 := t.cfg.S1
+	for j := range t.rows {
+		row := t.z[j*s1 : (j+1)*s1 : (j+1)*s1]
+		hj := t.rows[j]
+		for _, v := range vs {
+			h := hj.Hash(v)
+			row[bucket(h, s1)] += dir * (int64(h&1)*2 - 1)
+		}
+	}
+}
+
+// Estimate returns the median over rows of Σ_b Z². O(S1·S2) — queries pay
+// the full sketch scan, updates do not.
+func (t *FastTugOfWar) Estimate() float64 {
+	return fastEstimate(t.z, t.cfg.S1, t.cfg.S2, t.scratch)
+}
+
+// fastEstimate computes the Fast-AMS estimator — the median over s2 rows
+// of the row bucket sums Σ_b z² — from a row-major counter array. Shared
+// with ShardedFastTugOfWar, whose query path merges raw counters without
+// materializing a full sketch.
+func fastEstimate(z []int64, s1, s2 int, scratch []float64) float64 {
+	for j := 0; j < s2; j++ {
+		sum := 0.0
+		for _, v := range z[j*s1 : (j+1)*s1] {
+			sum += float64(v) * float64(v)
+		}
+		scratch[j] = sum
+	}
+	return Median(scratch)
+}
+
+// MemoryWords returns S1·S2: one word per counter, the paper's storage
+// unit. The tabulation tables add a fixed 64 KiB per row that does not
+// scale with S1 (the accuracy knob), which is the point of the scheme.
+func (t *FastTugOfWar) MemoryWords() int { return len(t.z) }
+
+// Len returns the current multiset size implied by the update stream.
+func (t *FastTugOfWar) Len() int64 { return t.n }
+
+// Config returns the tracker's configuration.
+func (t *FastTugOfWar) Config() Config { return t.cfg }
+
+// Counters returns a copy of the raw counters (row-major, row j at
+// [j*S1, (j+1)*S1)).
+func (t *FastTugOfWar) Counters() []int64 {
+	out := make([]int64, len(t.z))
+	copy(out, t.z)
+	return out
+}
+
+// SetFrequencies loads the sketch directly from a frequency vector,
+// replacing the current state. Bit-identical to streaming every occurrence
+// (linearity); one hash evaluation per (row, distinct value).
+func (t *FastTugOfWar) SetFrequencies(freq map[uint64]int64) {
+	for k := range t.z {
+		t.z[k] = 0
+	}
+	t.n = 0
+	s1 := t.cfg.S1
+	for v, f := range freq {
+		for j := range t.rows {
+			h := t.rows[j].Hash(v)
+			t.z[j*s1+bucket(h, s1)] += (int64(h&1)*2 - 1) * f
+		}
+		t.n += f
+	}
+}
+
+// Merge adds the counters of other into t. Equal Configs share one hash
+// family, so the merged sketch is exactly the sketch of the concatenated
+// streams.
+func (t *FastTugOfWar) Merge(other *FastTugOfWar) error {
+	if t.cfg != other.cfg {
+		return errors.New("core: cannot merge fast tug-of-war sketches with different configs")
+	}
+	for k := range t.z {
+		t.z[k] += other.z[k]
+	}
+	t.n += other.n
+	return nil
+}
+
+// ftwMagic identifies serialized fast tug-of-war sketches.
+const ftwMagic uint32 = 0xA0517002
+
+// MarshalBinary serializes the sketch in the same layout as TugOfWar's
+// format under a distinct magic: magic, config, length, counters, CRC32.
+// Hash tables are re-derived from the seed on load, so blobs stay small.
+func (t *FastTugOfWar) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+8*3+8+8*len(t.z)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, ftwMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S1))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S2))
+	buf = binary.LittleEndian.AppendUint64(buf, t.cfg.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.n))
+	for _, z := range t.z {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(z))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary.
+func (t *FastTugOfWar) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+8*3+8+4 {
+		return errors.New("core: fast tug-of-war blob too short")
+	}
+	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return errors.New("core: fast tug-of-war blob checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(payload) != ftwMagic {
+		return errors.New("core: not a fast tug-of-war blob")
+	}
+	cfg := Config{
+		S1:   int(binary.LittleEndian.Uint64(payload[4:])),
+		S2:   int(binary.LittleEndian.Uint64(payload[12:])),
+		Seed: binary.LittleEndian.Uint64(payload[20:]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n := int64(binary.LittleEndian.Uint64(payload[28:]))
+	// Validate the config against the payload size BEFORE allocating: the
+	// counter count must be exactly what the blob carries. Division avoids
+	// any S1·S2 overflow on hostile headers.
+	s := (len(payload) - 36) / 8
+	if len(payload) != 36+8*s || cfg.S1 > s || s%cfg.S1 != 0 || s/cfg.S1 != cfg.S2 {
+		return fmt.Errorf("core: fast tug-of-war blob length %d does not match config %dx%d", len(data), cfg.S1, cfg.S2)
+	}
+	fresh, err := NewFastTugOfWar(cfg)
+	if err != nil {
+		return err
+	}
+	fresh.n = n
+	for k := 0; k < s; k++ {
+		fresh.z[k] = int64(binary.LittleEndian.Uint64(payload[36+8*k:]))
+	}
+	*t = *fresh
+	return nil
+}
+
+var _ Tracker = (*FastTugOfWar)(nil)

@@ -55,12 +55,28 @@ func NewShardedTugOfWar(cfg Config, shards int) (*ShardedTugOfWar, error) {
 // Shards returns the shard count.
 func (st *ShardedTugOfWar) Shards() int { return len(st.shards) }
 
-// shardFor spreads values across shards; ANY assignment is correct
-// (linearity), so a cheap mix of the value is used to balance load.
-func (st *ShardedTugOfWar) shardFor(v uint64) *shard {
+// shardIndex spreads values across mask+1 (a power of two) shards; ANY
+// assignment is correct for the linear sketches, so a cheap mix of the
+// value is used purely to balance load. Shared by both sharded trackers'
+// single-value and batch paths so the assignment can never diverge.
+func shardIndex(v, mask uint64) uint64 {
 	v ^= v >> 33
 	v *= 0xff51afd7ed558ccd
-	return &st.shards[v&st.mask]
+	return v & mask
+}
+
+// groupByShard partitions vs into per-shard slices under shardIndex.
+func groupByShard(vs []uint64, shards int, mask uint64) [][]uint64 {
+	groups := make([][]uint64, shards)
+	for _, v := range vs {
+		i := shardIndex(v, mask)
+		groups[i] = append(groups[i], v)
+	}
+	return groups
+}
+
+func (st *ShardedTugOfWar) shardFor(v uint64) *shard {
+	return &st.shards[shardIndex(v, st.mask)]
 }
 
 // Insert adds one occurrence of v; safe for concurrent use.
@@ -78,6 +94,36 @@ func (st *ShardedTugOfWar) Delete(v uint64) error {
 	err := s.tw.Delete(v)
 	s.mu.Unlock()
 	return err
+}
+
+// InsertBatch partitions vs by shard, then applies each group under a
+// single lock acquisition so concurrent loaders contend once per batch per
+// shard. Safe for concurrent use.
+func (st *ShardedTugOfWar) InsertBatch(vs []uint64) {
+	st.applyBatch(vs, false)
+}
+
+// DeleteBatch removes every value in vs; safe for concurrent use.
+// Tug-of-war deletes always succeed.
+func (st *ShardedTugOfWar) DeleteBatch(vs []uint64) error {
+	st.applyBatch(vs, true)
+	return nil
+}
+
+func (st *ShardedTugOfWar) applyBatch(vs []uint64, del bool) {
+	for i, g := range groupByShard(vs, len(st.shards), st.mask) {
+		if len(g) == 0 {
+			continue
+		}
+		s := &st.shards[i]
+		s.mu.Lock()
+		if del {
+			_ = s.tw.DeleteBatch(g)
+		} else {
+			s.tw.InsertBatch(g)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Estimate merges the shards and answers the query. Safe for concurrent

@@ -35,9 +35,15 @@ import (
 type Tracker interface {
 	// Insert adds one occurrence of v to the tracked multiset.
 	Insert(v uint64)
+	// InsertBatch adds every value in vs, equivalent to calling Insert on
+	// each in order; implementations may reorder internally for speed.
+	InsertBatch(vs []uint64)
 	// Delete removes one occurrence of v. Implementations that cannot
 	// support deletion (NaiveSample) return an error.
 	Delete(v uint64) error
+	// DeleteBatch removes every value in vs, stopping at (and reporting)
+	// the first failing delete.
+	DeleteBatch(vs []uint64) error
 	// Estimate returns the current self-join size estimate.
 	Estimate() float64
 	// MemoryWords returns the synopsis size in the paper's unit: the
@@ -264,8 +270,10 @@ func (t *TugOfWar) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	n := int64(binary.LittleEndian.Uint64(payload[28:]))
-	s := cfg.S1 * cfg.S2
-	if len(payload) != 36+8*s {
+	// Validate the config against the payload size BEFORE allocating (the
+	// division form cannot overflow on hostile headers).
+	s := (len(payload) - 36) / 8
+	if len(payload) != 36+8*s || cfg.S1 > s || s%cfg.S1 != 0 || s/cfg.S1 != cfg.S2 {
 		return fmt.Errorf("core: tug-of-war blob length %d does not match config %dx%d", len(data), cfg.S1, cfg.S2)
 	}
 	fresh, err := NewTugOfWar(cfg)

@@ -1,0 +1,357 @@
+// Package dist implements the value-distribution generators behind the
+// paper's Table 1 data sets.
+//
+// Every generator is deterministic in its seed (built on xrand, whose
+// streams are stable across Go releases), so a data set is fully identified
+// by (generator, parameters, seed) — the property the experiment harness
+// relies on to regenerate any figure from a name and a seed alone.
+//
+// The seven synthetic families (§3, Table 1) are implemented exactly as
+// described: Zipf, uniform, multifractal, self-similar and Poisson. The
+// five real-world sets (three literary texts, two spatial coordinate dumps)
+// are replaced by calibrated synthetic models — Zipf–Mandelbrot word
+// frequencies for the texts, clustered Gaussian mixtures for the
+// coordinates — whose calibration against the paper's (n, t, SJ) triples is
+// documented in DESIGN.md §2. The artificial "path" set of §3.2 is built
+// exactly by PathSet.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/xrand"
+)
+
+// Generator produces one attribute value per call. Implementations are
+// deterministic in their construction seed and are not safe for concurrent
+// use (create one per goroutine; they are cheap).
+type Generator interface {
+	Next() uint64
+}
+
+// Take returns the next n values of g as a slice.
+func Take(g Generator, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Zipf draws ranks 1..Domain with P(rank k) ∝ 1/(k+q)^alpha — the
+// Zipf–Mandelbrot family; q = 0 recovers pure Zipf. Values are the
+// zero-based ranks, so the most frequent value is 0. Sampling is inversion
+// on a precomputed cumulative table: O(domain) memory, O(log domain) per
+// draw.
+type Zipf struct {
+	cdf []float64
+	r   *xrand.Rand
+}
+
+// NewZipf returns a pure Zipf generator over ranks 1..domain with exponent
+// alpha > 0.
+func NewZipf(alpha float64, domain int, seed uint64) (*Zipf, error) {
+	return NewZipfMandelbrot(alpha, 0, domain, seed)
+}
+
+// NewZipfMandelbrot returns a Zipf–Mandelbrot generator: P(k) ∝ 1/(k+q)^alpha
+// for k = 1..domain, q >= 0. The flattening parameter q damps the head of
+// the distribution, which is how the text data sets are calibrated to the
+// paper's self-join sizes (DESIGN.md §2).
+func NewZipfMandelbrot(alpha, q float64, domain int, seed uint64) (*Zipf, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dist: zipf exponent alpha = %v, must be > 0", alpha)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("dist: zipf-mandelbrot shift q = %v, must be >= 0", q)
+	}
+	if domain < 1 {
+		return nil, fmt.Errorf("dist: zipf domain = %d, must be >= 1", domain)
+	}
+	z := &Zipf{cdf: make([]float64, domain), r: xrand.New(seed)}
+	sum := 0.0
+	for k := 1; k <= domain; k++ {
+		sum += math.Pow(float64(k)+q, -alpha)
+		z.cdf[k-1] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z, nil
+}
+
+// Next returns the zero-based rank of one draw.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// Uniform draws values uniformly from [0, domain).
+type Uniform struct {
+	domain uint64
+	r      *xrand.Rand
+}
+
+// NewUniform returns a uniform generator over [0, domain).
+func NewUniform(domain uint64, seed uint64) (*Uniform, error) {
+	if domain < 1 {
+		return nil, fmt.Errorf("dist: uniform domain = %d, must be >= 1", domain)
+	}
+	return &Uniform{domain: domain, r: xrand.New(seed)}, nil
+}
+
+// Next returns one uniform draw.
+func (u *Uniform) Next() uint64 { return u.r.Uint64n(u.domain) }
+
+// Exponential draws from the paper's exponentially distributed attribute
+// (Fact 1.2): P(v) = (1 − 1/a)·(1/a)^v for v = 0, 1, 2, ... with parameter
+// a > 1. Its self-join size satisfies SJ/n² = (a−1)/(a+1), which is what
+// lets ExponentialParameter recover a from (n, SJ) alone.
+type Exponential struct {
+	p float64 // success probability 1 - 1/a of the equivalent geometric
+	r *xrand.Rand
+}
+
+// NewExponential returns an exponential-attribute generator with parameter
+// a > 1.
+func NewExponential(a float64, seed uint64) (*Exponential, error) {
+	if a <= 1 {
+		return nil, fmt.Errorf("dist: exponential parameter a = %v, must be > 1", a)
+	}
+	return &Exponential{p: 1 - 1/a, r: xrand.New(seed)}, nil
+}
+
+// Next returns one draw (a geometric value with ratio 1/a).
+func (e *Exponential) Next() uint64 { return uint64(e.r.Geometric(e.p)) }
+
+// Poisson draws Poisson(lambda) values.
+type Poisson struct {
+	lambda float64
+	r      *xrand.Rand
+}
+
+// NewPoisson returns a Poisson generator with mean lambda > 0.
+func NewPoisson(lambda float64, seed uint64) (*Poisson, error) {
+	if lambda <= 0 {
+		return nil, fmt.Errorf("dist: poisson lambda = %v, must be > 0", lambda)
+	}
+	return &Poisson{lambda: lambda, r: xrand.New(seed)}, nil
+}
+
+// Next returns one Poisson draw.
+func (p *Poisson) Next() uint64 { return uint64(p.r.Poisson(p.lambda)) }
+
+// MultiFractal draws from the binomial multifractal (multiplicative
+// cascade) over [0, 2^levels): each of the value's `levels` bits is set
+// independently with probability bias, so P(v) = bias^ones(v) ·
+// (1−bias)^(levels−ones(v)). Its self-join size is exactly
+// n²·(bias² + (1−bias)²)^levels, which matches the paper's mf2/mf3 rows
+// for bias 0.2/0.3 at 12 levels.
+type MultiFractal struct {
+	bias   float64
+	levels int
+	r      *xrand.Rand
+}
+
+// NewMultiFractal returns a multifractal generator with the given per-bit
+// bias in (0, 1) and level count in [1, 63].
+func NewMultiFractal(bias float64, levels int, seed uint64) (*MultiFractal, error) {
+	if bias <= 0 || bias >= 1 {
+		return nil, fmt.Errorf("dist: multifractal bias = %v, must be in (0,1)", bias)
+	}
+	if levels < 1 || levels > 63 {
+		return nil, fmt.Errorf("dist: multifractal levels = %d, must be in [1,63]", levels)
+	}
+	return &MultiFractal{bias: bias, levels: levels, r: xrand.New(seed)}, nil
+}
+
+// Next returns one cascade draw.
+func (m *MultiFractal) Next() uint64 {
+	var v uint64
+	for i := 0; i < m.levels; i++ {
+		if m.r.Float64() < m.bias {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// SelfSimilar draws from the 80–20-style self-similar distribution over
+// [0, domain): at every binary split of the (conceptual) domain, the lower
+// half receives probability h. Draws falling at or beyond domain are
+// rejected and redrawn, preserving the relative probabilities of the
+// surviving values.
+type SelfSimilar struct {
+	h      float64
+	bits   int
+	domain uint64
+	r      *xrand.Rand
+}
+
+// NewSelfSimilar returns a self-similar generator with skew h in (0, 1)
+// (h = 0.9 means 90% of the mass on the lower half at every scale).
+func NewSelfSimilar(h float64, domain int, seed uint64) (*SelfSimilar, error) {
+	if h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("dist: self-similar skew h = %v, must be in (0,1)", h)
+	}
+	if domain < 2 {
+		return nil, fmt.Errorf("dist: self-similar domain = %d, must be >= 2", domain)
+	}
+	bits := 0
+	for 1<<bits < domain {
+		bits++
+	}
+	return &SelfSimilar{h: h, bits: bits, domain: uint64(domain), r: xrand.New(seed)}, nil
+}
+
+// Next returns one self-similar draw.
+func (s *SelfSimilar) Next() uint64 {
+	for {
+		var v uint64
+		for i := 0; i < s.bits; i++ {
+			v <<= 1
+			if s.r.Float64() >= s.h {
+				v |= 1
+			}
+		}
+		if v < s.domain {
+			return v
+		}
+	}
+}
+
+// Spatial models the marginal of a clustered spatial coordinate dump as a
+// hierarchical Gaussian mixture over [0, domain): cluster centers are
+// uniform, cluster weights decay geometrically (dense regions dominate),
+// and each draw adds Gaussian noise whose scale is sigma^level·domain with
+// tighter levels more likely — broad levels populate the domain, tight
+// levels concentrate the self-join mass. Calibration against the paper's
+// xout1/yout1 rows is in DESIGN.md §2.
+type Spatial struct {
+	centers []uint64
+	cw      []float64 // cumulative cluster weights
+	lw      []float64 // cumulative level weights
+	stds    []float64 // per-level Gaussian std deviations
+	domain  uint64
+	r       *xrand.Rand
+}
+
+// NewSpatial returns a spatial-marginal generator with the given cluster
+// count, hierarchy depth (levels >= 1), domain and relative spread
+// sigma in (0, 1).
+func NewSpatial(clusters, levels int, domain uint64, sigma float64, seed uint64) (*Spatial, error) {
+	if clusters < 1 {
+		return nil, fmt.Errorf("dist: spatial clusters = %d, must be >= 1", clusters)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("dist: spatial levels = %d, must be >= 1", levels)
+	}
+	if domain < 2 {
+		return nil, fmt.Errorf("dist: spatial domain = %d, must be >= 2", domain)
+	}
+	if sigma <= 0 || sigma >= 1 {
+		return nil, fmt.Errorf("dist: spatial sigma = %v, must be in (0,1)", sigma)
+	}
+	sp := &Spatial{
+		centers: make([]uint64, clusters),
+		cw:      make([]float64, clusters),
+		lw:      make([]float64, levels),
+		stds:    make([]float64, levels),
+		domain:  domain,
+		r:       xrand.New(seed),
+	}
+	for i := range sp.centers {
+		sp.centers[i] = sp.r.Uint64n(domain)
+	}
+	// Cluster weights: geometric with ratio 3/4 (a few dense regions).
+	wsum, w := 0.0, 1.0
+	for i := range sp.cw {
+		wsum += w
+		sp.cw[i] = wsum
+		w *= 0.75
+	}
+	for i := range sp.cw {
+		sp.cw[i] /= wsum
+	}
+	// Level weights ∝ 2^level: the tightest scale is the most likely, so
+	// the mixture is peaked but still covers the domain.
+	wsum, w = 0.0, 1.0
+	for i := range sp.lw {
+		wsum += w
+		sp.lw[i] = wsum
+		sp.stds[i] = math.Pow(sigma, float64(i+1)) * float64(domain)
+		w *= 2
+	}
+	for i := range sp.lw {
+		sp.lw[i] /= wsum
+	}
+	return sp, nil
+}
+
+// Next returns one spatial draw.
+func (s *Spatial) Next() uint64 {
+	c := pickCumulative(s.cw, s.r.Float64())
+	l := pickCumulative(s.lw, s.r.Float64())
+	off := s.stds[l] * s.r.Normal()
+	v := int64(s.centers[c]) + int64(math.Round(off))
+	d := int64(s.domain)
+	// Wrap into [0, domain) so the marginal stays a proper distribution.
+	v %= d
+	if v < 0 {
+		v += d
+	}
+	return uint64(v)
+}
+
+// pickCumulative returns the index of the first cumulative weight >= u.
+func pickCumulative(cdf []float64, u float64) int {
+	for i, c := range cdf {
+		if u <= c {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}
+
+// PathSet materializes the §3.2 artificial "path" data set: values
+// 1..n each occurring exactly once plus reps occurrences of the value 0,
+// shuffled by seed. Length is n+reps, the domain has n+1 distinct values,
+// and the self-join size is exactly n + reps² (6.8·10⁵ for the paper's
+// n = 40000, reps = 800).
+func PathSet(n, reps int, seed uint64) ([]uint64, error) {
+	if n < 1 || reps < 1 {
+		return nil, fmt.Errorf("dist: path set needs n >= 1 and reps >= 1, got (%d, %d)", n, reps)
+	}
+	out := make([]uint64, 0, n+reps)
+	for v := 1; v <= n; v++ {
+		out = append(out, uint64(v))
+	}
+	for i := 0; i < reps; i++ {
+		out = append(out, 0)
+	}
+	r := xrand.New(seed)
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// Interface conformance for every generator type.
+var (
+	_ Generator = (*Zipf)(nil)
+	_ Generator = (*Uniform)(nil)
+	_ Generator = (*Exponential)(nil)
+	_ Generator = (*Poisson)(nil)
+	_ Generator = (*MultiFractal)(nil)
+	_ Generator = (*SelfSimilar)(nil)
+	_ Generator = (*Spatial)(nil)
+)

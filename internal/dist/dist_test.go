@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// sj returns the exact self-join size (Σ f_v²) of a value stream.
+func sj(vals []uint64) float64 {
+	freq := map[uint64]int64{}
+	for _, v := range vals {
+		freq[v]++
+	}
+	var s float64
+	for _, f := range freq {
+		s += float64(f) * float64(f)
+	}
+	return s
+}
+
+func distinct(vals []uint64) int {
+	seen := map[uint64]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+func mean(vals []uint64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += float64(v)
+	}
+	return s / float64(len(vals))
+}
+
+func TestTakeAndDeterminism(t *testing.T) {
+	g1, err := NewZipf(1.0, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewZipf(1.0, 100, 7)
+	a, b := Take(g1, 500), Take(g2, 500)
+	if len(a) != 500 {
+		t.Fatalf("Take length = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	g3, _ := NewZipf(1.0, 100, 8)
+	c := Take(g3, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	g, err := NewZipf(1.0, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Take(g, 50000)
+	freq := map[uint64]int64{}
+	for _, v := range vals {
+		if v >= 1000 {
+			t.Fatalf("value %d outside domain", v)
+		}
+		freq[v]++
+	}
+	// Rank 0 carries P ≈ 1/H(1000) ≈ 13% of the mass; it must dominate a
+	// mid-rank value by a wide margin.
+	if freq[0] < 4*freq[100] {
+		t.Errorf("zipf head not dominant: f(0)=%d, f(100)=%d", freq[0], freq[100])
+	}
+	if freq[0] < 4000 || freq[0] > 9000 {
+		t.Errorf("zipf f(0) = %d, want ≈ 6700 (13%% of 50000)", freq[0])
+	}
+}
+
+func TestZipfMandelbrotFlattensHead(t *testing.T) {
+	pure, _ := NewZipf(1.0, 1000, 5)
+	flat, err := NewZipfMandelbrot(1.0, 5, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40000
+	if sjFlat, sjPure := sj(Take(flat, n)), sj(Take(pure, n)); sjFlat >= sjPure {
+		t.Errorf("shift q=5 did not reduce self-join: %v vs %v", sjFlat, sjPure)
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	g, err := NewUniform(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Take(g, 100000)
+	for _, v := range vals {
+		if v >= 4096 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+	if m := mean(vals); math.Abs(m-2047.5) > 40 {
+		t.Errorf("uniform mean = %.1f, want ≈ 2047.5", m)
+	}
+	// SJ of n uniform draws over t values ≈ n²/t + n.
+	want := float64(100000)*100000/4096 + 100000
+	if got := sj(vals); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("uniform SJ = %.0f, want ≈ %.0f", got, want)
+	}
+}
+
+func TestExponentialShape(t *testing.T) {
+	const a = 3.0
+	g, err := NewExponential(a, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Take(g, 200000)
+	// Geometric with ratio 1/a: mean = 1/(a-1), P(0) = 1-1/a.
+	if m := mean(vals); math.Abs(m-1/(a-1)) > 0.02 {
+		t.Errorf("exponential mean = %.3f, want %.3f", m, 1/(a-1))
+	}
+	zeros := 0
+	for _, v := range vals {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if p0 := float64(zeros) / float64(len(vals)); math.Abs(p0-(1-1/a)) > 0.01 {
+		t.Errorf("exponential P(0) = %.3f, want %.3f", p0, 1-1/a)
+	}
+	// Fact 1.2: SJ/n² = (a-1)/(a+1).
+	n := float64(len(vals))
+	if ratio := sj(vals) / (n * n); math.Abs(ratio-(a-1)/(a+1)) > 0.02 {
+		t.Errorf("exponential SJ/n² = %.3f, want %.3f", ratio, (a-1)/(a+1))
+	}
+}
+
+func TestPoissonShape(t *testing.T) {
+	g, err := NewPoisson(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Take(g, 100000)
+	if m := mean(vals); math.Abs(m-20) > 0.2 {
+		t.Errorf("poisson mean = %.2f, want 20", m)
+	}
+	var varSum float64
+	m := mean(vals)
+	for _, v := range vals {
+		d := float64(v) - m
+		varSum += d * d
+	}
+	if vr := varSum / float64(len(vals)); math.Abs(vr-20) > 1.5 {
+		t.Errorf("poisson variance = %.2f, want 20", vr)
+	}
+}
+
+func TestMultiFractalShape(t *testing.T) {
+	const bias, levels = 0.2, 12
+	g, err := NewMultiFractal(bias, levels, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	vals := Take(g, n)
+	for _, v := range vals {
+		if v >= 1<<levels {
+			t.Fatalf("value %d outside 2^%d domain", v, levels)
+		}
+	}
+	// SJ/n² → (bias² + (1-bias)²)^levels; mf2's paper row follows from it.
+	want := math.Pow(bias*bias+(1-bias)*(1-bias), levels)
+	got := sj(vals) / (float64(n) * float64(n))
+	if got < want/2 || got > want*2 {
+		t.Errorf("multifractal SJ/n² = %.4g, want ≈ %.4g", got, want)
+	}
+	if d := distinct(vals); d < 800 || d > 3000 {
+		t.Errorf("multifractal distinct = %d, paper mf2 measures ≈ 1693", d)
+	}
+}
+
+func TestSelfSimilarShape(t *testing.T) {
+	g, err := NewSelfSimilar(0.9, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := Take(g, 100000)
+	low := 0
+	for _, v := range vals {
+		if v >= 256 {
+			t.Fatalf("value %d outside domain", v)
+		}
+		if v < 128 {
+			low++
+		}
+	}
+	// Power-of-two domain: no rejection, so exactly h of the mass is low.
+	if p := float64(low) / float64(len(vals)); math.Abs(p-0.9) > 0.01 {
+		t.Errorf("self-similar lower-half mass = %.3f, want 0.9", p)
+	}
+	// Highly skewed: SJ far above uniform's n²/t.
+	if ratio := sj(vals) / (float64(len(vals)) * float64(len(vals))); ratio < 0.1 {
+		t.Errorf("self-similar SJ/n² = %.3f, want > 0.1 (paper: 0.24)", ratio)
+	}
+}
+
+func TestSpatialShape(t *testing.T) {
+	g, err := NewSpatial(15, 4, 1<<15, 0.12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 142732
+	vals := Take(g, n)
+	for _, v := range vals {
+		if v >= 1<<15 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+	d := distinct(vals)
+	if d < 3000 || d > 30000 {
+		t.Errorf("spatial distinct = %d, paper xout1 measures ≈ 12113", d)
+	}
+	// Clustered: far more skewed than uniform (SJ/n² ≈ 1/32768 ≈ 3e-5)
+	// but nowhere near a point mass.
+	ratio := sj(vals) / (float64(n) * float64(n))
+	if ratio < 1e-4 || ratio > 0.1 {
+		t.Errorf("spatial SJ/n² = %.2g, want within [1e-4, 0.1] (paper: 4.5e-3)", ratio)
+	}
+}
+
+func TestPathSetExact(t *testing.T) {
+	vals, err := PathSet(40000, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 40800 {
+		t.Fatalf("length = %d, want 40800", len(vals))
+	}
+	if d := distinct(vals); d != 40001 {
+		t.Fatalf("distinct = %d, want 40001", d)
+	}
+	if got := sj(vals); got != 40000+800*800 {
+		t.Fatalf("SJ = %.0f, want %d", got, 40000+800*800)
+	}
+	// Shuffled: the 800 copies of 0 must not sit in one contiguous block.
+	firstZero, lastZero := -1, -1
+	for i, v := range vals {
+		if v == 0 {
+			if firstZero < 0 {
+				firstZero = i
+			}
+			lastZero = i
+		}
+	}
+	if lastZero-firstZero < 1000 {
+		t.Error("path set does not look shuffled")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"zipf alpha", errOf(NewZipf(0, 10, 1))},
+		{"zipf domain", errOf(NewZipf(1, 0, 1))},
+		{"zm shift", errOf(NewZipfMandelbrot(1, -1, 10, 1))},
+		{"uniform domain", errOf(NewUniform(0, 1))},
+		{"exponential a", errOf(NewExponential(1, 1))},
+		{"poisson lambda", errOf(NewPoisson(0, 1))},
+		{"mf bias", errOf(NewMultiFractal(1, 12, 1))},
+		{"mf levels", errOf(NewMultiFractal(0.2, 0, 1))},
+		{"selfsim h", errOf(NewSelfSimilar(0, 10, 1))},
+		{"selfsim domain", errOf(NewSelfSimilar(0.9, 1, 1))},
+		{"spatial clusters", errOf(NewSpatial(0, 4, 100, 0.1, 1))},
+		{"spatial sigma", errOf(NewSpatial(4, 4, 100, 1, 1))},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: invalid parameters accepted", c.name)
+		}
+	}
+	if _, err := PathSet(0, 1, 1); err == nil {
+		t.Error("PathSet(0, 1): invalid parameters accepted")
+	}
+}
+
+// errOf collapses a (generator, error) pair to its error, so the validation
+// table works across constructor return types.
+func errOf[T any](_ T, err error) error { return err }

@@ -34,18 +34,22 @@ import (
 	"amstrack/internal/xrand"
 )
 
-// Algo names the three self-join algorithms, with the paper's spelling.
+// Algo names the self-join algorithms, with the paper's spelling.
 type Algo string
 
-// The three algorithms compared throughout §3.
+// The three algorithms compared throughout §3, plus the bucketed Fast-AMS
+// variant this repository adds (same guarantees as tug-of-war, O(S2)
+// updates; see core.FastTugOfWar).
 const (
 	SampleCount   Algo = "sample-count"
 	TugOfWar      Algo = "tug-of-war"
+	FastTugOfWar  Algo = "fast-tug-of-war"
 	NaiveSampling Algo = "naive-sampling"
 )
 
-// Algos lists the algorithms in the paper's plot-legend order.
-func Algos() []Algo { return []Algo{SampleCount, TugOfWar, NaiveSampling} }
+// Algos lists the algorithms in the paper's plot-legend order, with the
+// fast variant next to the flat sketch it must track.
+func Algos() []Algo { return []Algo{SampleCount, TugOfWar, FastTugOfWar, NaiveSampling} }
 
 // MaxLog2SampleSize is the largest sweep point, 2^14 = 16384, as in §3.
 const MaxLog2SampleSize = 14
@@ -97,6 +101,13 @@ type Evaluator struct {
 	// Suffix occurrence ranks: rank[p] = |{q >= p : v_q = v_p}|.
 	rank []int32
 
+	// Fast-AMS estimates per sample size, built lazily: the bucketed
+	// sketch has no per-counter pool to slice, so each size gets its own
+	// sketch loaded once via SetFrequencies (cheap: S2 hashes per
+	// distinct value).
+	fastMu  sync.Mutex
+	fastEst map[int]float64
+
 	seed uint64
 }
 
@@ -109,10 +120,11 @@ func NewEvaluator(values []uint64, maxSampleSize int, seed uint64) (*Evaluator, 
 		return nil, fmt.Errorf("experiments: max sample size %d < 1", maxSampleSize)
 	}
 	ev := &Evaluator{
-		values: values,
-		n:      len(values),
-		hist:   exact.FromValues(values),
-		seed:   seed,
+		values:  values,
+		n:       len(values),
+		hist:    exact.FromValues(values),
+		fastEst: make(map[int]float64),
+		seed:    seed,
 	}
 	ev.sj = float64(ev.hist.SelfJoin())
 	ev.buildTWPool(maxSampleSize)
@@ -199,6 +211,30 @@ func (ev *Evaluator) EstimateTugOfWar(s int) (float64, error) {
 	return core.MedianOfMeans(xs, s/SplitS2(s))
 }
 
+// EstimateFastTugOfWar returns the Fast-AMS estimate at s memory words,
+// using the shared split policy: s2 = SplitS2(s) rows of s1 = s/s2 buckets.
+// The estimate for a given size is deterministic in the evaluator seed
+// (like tug-of-war's) and cached after the first call.
+func (ev *Evaluator) EstimateFastTugOfWar(s int) (float64, error) {
+	if s < 1 {
+		return 0, fmt.Errorf("experiments: fast tug-of-war sample size %d < 1", s)
+	}
+	ev.fastMu.Lock()
+	defer ev.fastMu.Unlock()
+	if est, ok := ev.fastEst[s]; ok {
+		return est, nil
+	}
+	s2 := SplitS2(s)
+	ft, err := core.NewFastTugOfWar(core.Config{S1: s / s2, S2: s2, Seed: ev.seed})
+	if err != nil {
+		return 0, err
+	}
+	ft.SetFrequencies(ev.hist.Frequencies())
+	est := ft.Estimate()
+	ev.fastEst[s] = est
+	return est, nil
+}
+
 // EstimateSampleCount returns the §2.1 estimate from s uniformly random
 // positions (slots are independent, as in the algorithm) with the shared
 // split policy. The trial index varies the random positions so different
@@ -258,6 +294,8 @@ func (ev *Evaluator) Estimate(a Algo, s int, trial uint64) (float64, error) {
 	switch a {
 	case TugOfWar:
 		return ev.EstimateTugOfWar(s)
+	case FastTugOfWar:
+		return ev.EstimateFastTugOfWar(s)
 	case SampleCount:
 		return ev.EstimateSampleCount(s, trial)
 	case NaiveSampling:
@@ -304,13 +342,14 @@ func RunFigure(spec datasets.Spec, seed uint64) (*FigureResult, error) {
 // Table renders the sweep in the paper's plot coordinates: log2 sample
 // size on the x-axis, normalized estimates per algorithm.
 func (r *FigureResult) Table() *tablefmt.Table {
-	t := tablefmt.New("log2(s)", "s", string(SampleCount), string(TugOfWar), string(NaiveSampling), "actual")
+	t := tablefmt.New("log2(s)", "s", string(SampleCount), string(TugOfWar), string(FastTugOfWar), string(NaiveSampling), "actual")
 	for _, pt := range r.Points {
 		t.AddRow(
 			int(math.Log2(float64(pt.SampleSize))),
 			pt.SampleSize,
 			pt.Normalized[SampleCount],
 			pt.Normalized[TugOfWar],
+			pt.Normalized[FastTugOfWar],
 			pt.Normalized[NaiveSampling],
 			1.0,
 		)

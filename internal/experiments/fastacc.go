@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"amstrack/internal/core"
+	"amstrack/internal/datasets"
+	"amstrack/internal/exact"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file compares the flat §2.2 tug-of-war sketch against the bucketed
+// Fast-AMS variant at EQUAL memory on the Table 1 data sets: same (S1, S2),
+// independent seeds per trial, mean absolute relative error against the
+// exact self-join size. The point of the experiment is the acceptance
+// criterion of the Fast-AMS change: the O(S2)-update sketch must not give
+// up accuracy — Thorup–Zhang's analysis says its per-row variance bound
+// 2·SJ²/S1 matches the flat sketch's, so the observed errors should be
+// statistically indistinguishable, not merely "within 2×".
+
+// FastAccuracyRow is one data set's flat-vs-fast comparison.
+type FastAccuracyRow struct {
+	Dataset    string
+	SelfJoin   float64
+	FlatRelErr float64 // mean |rel err| of TugOfWar over trials
+	FastRelErr float64 // mean |rel err| of FastTugOfWar over trials
+	Ratio      float64 // FastRelErr / FlatRelErr (NaN when flat is exact)
+	Bound      float64 // Theorem 2.2 bound 4/√S1, shared by both
+}
+
+// FastAccuracyResult carries the sweep.
+type FastAccuracyResult struct {
+	S1, S2 int
+	Trials int
+	Rows   []FastAccuracyRow
+}
+
+// RunFastAccuracy scores both sketches with s1·s2 words on the named data
+// sets (all of Table 1 when names is empty), averaging absolute relative
+// errors over trials independent sketch seeds.
+func RunFastAccuracy(names []string, s1, s2, trials int, seed uint64) (*FastAccuracyResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: fast accuracy needs >= 1 trial")
+	}
+	cfg := core.Config{S1: s1, S2: s2}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		names = datasets.Names()
+	}
+	res := &FastAccuracyResult{S1: s1, S2: s2, Trials: trials}
+	for _, name := range names {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		values, err := spec.Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		hist := exact.FromValues(values)
+		freq := hist.Frequencies()
+		truth := float64(hist.SelfJoin())
+
+		flatErr, fastErr := 0.0, 0.0
+		for trial := 0; trial < trials; trial++ {
+			tseed := xrand.Mix64(seed ^ uint64(trial)<<40 ^ uint64(len(name)))
+			tcfg := core.Config{S1: s1, S2: s2, Seed: tseed}
+			flat, err := core.NewTugOfWar(tcfg)
+			if err != nil {
+				return nil, err
+			}
+			flat.SetFrequencies(freq)
+			flatErr += math.Abs(flat.Estimate()-truth) / truth
+
+			fast, err := core.NewFastTugOfWar(tcfg)
+			if err != nil {
+				return nil, err
+			}
+			fast.SetFrequencies(freq)
+			fastErr += math.Abs(fast.Estimate()-truth) / truth
+		}
+		flatErr /= float64(trials)
+		fastErr /= float64(trials)
+		ratio := math.NaN()
+		if flatErr > 0 {
+			ratio = fastErr / flatErr
+		}
+		res.Rows = append(res.Rows, FastAccuracyRow{
+			Dataset:    name,
+			SelfJoin:   truth,
+			FlatRelErr: flatErr,
+			FastRelErr: fastErr,
+			Ratio:      ratio,
+			Bound:      4 / math.Sqrt(float64(s1)),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the flat-vs-fast accuracy comparison.
+func (r *FastAccuracyResult) Table() *tablefmt.Table {
+	t := tablefmt.New("data set", "self-join", "tug-of-war relerr",
+		"fast-tug-of-war relerr", "fast/flat", "4/sqrt(S1) bound")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.SelfJoin, row.FlatRelErr, row.FastRelErr,
+			row.Ratio, row.Bound)
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"amstrack/internal/core"
+)
+
+// TestRunFastAccuracy is the acceptance check for the Fast-AMS change: at
+// equal memory the bucketed sketch's observed error must stay within 2× of
+// the flat sketch's on Table 1 workloads (the analysis says they should be
+// statistically indistinguishable; 2× plus an absolute floor absorbs trial
+// noise on these small runs).
+func TestRunFastAccuracy(t *testing.T) {
+	names := []string{"mf2", "zipf1.5", "poisson", "selfsimilar"}
+	res, err := RunFastAccuracy(names, 1024, 8, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(names) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(names))
+	}
+	for _, row := range res.Rows {
+		if row.FastRelErr > row.Bound {
+			t.Errorf("%s: fast relerr %.4f exceeds the Theorem 2.2 bound %.4f",
+				row.Dataset, row.FastRelErr, row.Bound)
+		}
+		if row.FastRelErr > 2*row.FlatRelErr+0.01 {
+			t.Errorf("%s: fast relerr %.4f more than 2× flat's %.4f",
+				row.Dataset, row.FastRelErr, row.FlatRelErr)
+		}
+	}
+	if res.Table().NumRows() != len(names) {
+		t.Error("table rows wrong")
+	}
+}
+
+func TestRunFastAccuracyValidation(t *testing.T) {
+	if _, err := RunFastAccuracy(nil, 64, 4, 0, 1); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, err := RunFastAccuracy(nil, 0, 4, 1, 1); err == nil {
+		t.Error("S1=0 accepted")
+	}
+	if _, err := RunFastAccuracy([]string{"nope"}, 64, 4, 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestEstimateFastTugOfWarExactSingleValue mirrors the flat sketch's
+// single-value exactness: a stream of one repeated value lands in one
+// bucket per row, so every row reports exactly n².
+func TestEstimateFastTugOfWarExactSingleValue(t *testing.T) {
+	vals := make([]uint64, 100)
+	for i := range vals {
+		vals[i] = 9
+	}
+	ev, err := NewEvaluator(vals, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ev.EstimateFastTugOfWar(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 100*100 {
+		t.Fatalf("estimate = %v, want exactly 10000", est)
+	}
+	// Cached second call must agree.
+	est2, err := ev.EstimateFastTugOfWar(16)
+	if err != nil || est2 != est {
+		t.Fatalf("cached estimate %v (err %v), want %v", est2, err, est)
+	}
+	if _, err := ev.EstimateFastTugOfWar(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+// TestFastEvaluatorMatchesDirectSketch pins the evaluator's Fast-AMS path
+// to the core tracker: the evaluator's estimate at s words must equal a
+// streaming core.FastTugOfWar with the same seed and split policy.
+func TestFastEvaluatorMatchesDirectSketch(t *testing.T) {
+	vals := smallValues(5000, 300, 7)
+	ev, err := NewEvaluator(vals, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const s = 256
+	got, err := ev.EstimateFastTugOfWar(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := SplitS2(s)
+	ft, err := core.NewFastTugOfWar(core.Config{S1: s / s2, S2: s2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.InsertBatch(vals)
+	if want := ft.Estimate(); got != want {
+		t.Fatalf("evaluator estimate %v != streaming sketch %v", got, want)
+	}
+	if math.IsNaN(got) || got <= 0 {
+		t.Fatalf("estimate = %v", got)
+	}
+}

@@ -145,7 +145,7 @@ func RunConvergence(figures []*FigureResult, tol float64) *ConvergenceResult {
 
 // Table renders the convergence summary.
 func (c *ConvergenceResult) Table() *tablefmt.Table {
-	t := tablefmt.New("data set", string(TugOfWar), string(SampleCount), string(NaiveSampling))
+	t := tablefmt.New("data set", string(TugOfWar), string(FastTugOfWar), string(SampleCount), string(NaiveSampling))
 	fmtSize := func(s int) interface{} {
 		if s < 0 {
 			return ">16384"
@@ -153,7 +153,7 @@ func (c *ConvergenceResult) Table() *tablefmt.Table {
 		return s
 	}
 	for _, row := range c.Rows {
-		t.AddRow(row.Dataset, fmtSize(row.MinSize[TugOfWar]),
+		t.AddRow(row.Dataset, fmtSize(row.MinSize[TugOfWar]), fmtSize(row.MinSize[FastTugOfWar]),
 			fmtSize(row.MinSize[SampleCount]), fmtSize(row.MinSize[NaiveSampling]))
 	}
 	return t

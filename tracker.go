@@ -11,10 +11,17 @@ import (
 type Tracker interface {
 	// Insert adds one occurrence of v.
 	Insert(v uint64)
+	// InsertBatch adds every value in vs — equivalent to calling Insert on
+	// each in order, but trackers may reorder work internally for speed
+	// (bulk loads, update-log replay).
+	InsertBatch(vs []uint64)
 	// Delete removes one occurrence of v. The operation sequence must be
 	// valid (never delete a value not currently present); trackers that
 	// cannot support deletion return an error.
 	Delete(v uint64) error
+	// DeleteBatch removes every value in vs, stopping at (and reporting)
+	// the first failing delete.
+	DeleteBatch(vs []uint64) error
 	// Estimate returns the current self-join size estimate.
 	Estimate() float64
 	// MemoryWords returns the synopsis size in memory words, the paper's
@@ -46,6 +53,18 @@ type TugOfWar = core.TugOfWar
 
 // NewTugOfWar builds a tug-of-war tracker.
 func NewTugOfWar(cfg Config) (*TugOfWar, error) { return core.NewTugOfWar(cfg) }
+
+// FastTugOfWar is the bucketed tug-of-war tracker (Fast-AMS, after Thorup
+// & Zhang): same unbiasedness and Theorem 2.2 error bounds as TugOfWar,
+// but each update touches one bucket per group — O(S2) per update instead
+// of O(S1·S2), with the per-group sign and bucket drawn from a single
+// tabulation-hash evaluation. Use it whenever update throughput matters;
+// keep TugOfWar when sketches must stay bit-compatible with the flat §2.2
+// layout (e.g. the per-counter robustness plot of Fig. 15).
+type FastTugOfWar = core.FastTugOfWar
+
+// NewFastTugOfWar builds a bucketed (Fast-AMS) tug-of-war tracker.
+func NewFastTugOfWar(cfg Config) (*FastTugOfWar, error) { return core.NewFastTugOfWar(cfg) }
 
 // SampleCount is the improved sample-count tracker (§2.1, Fig. 1) with
 // O(1) amortized updates and deletion support.
@@ -94,8 +113,25 @@ func NewExact() *Exact { return &Exact{h: exact.NewHistogram()} }
 // Insert adds one occurrence of v.
 func (e *Exact) Insert(v uint64) { e.h.Insert(v) }
 
+// InsertBatch adds every value in vs.
+func (e *Exact) InsertBatch(vs []uint64) {
+	for _, v := range vs {
+		e.h.Insert(v)
+	}
+}
+
 // Delete removes one occurrence of v, failing if v is absent.
 func (e *Exact) Delete(v uint64) error { return e.h.Delete(v) }
+
+// DeleteBatch removes every value in vs, stopping at the first absent one.
+func (e *Exact) DeleteBatch(vs []uint64) error {
+	for _, v := range vs {
+		if err := e.h.Delete(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Estimate returns the exact self-join size.
 func (e *Exact) Estimate() float64 { return float64(e.h.SelfJoin()) }
@@ -113,6 +149,7 @@ func (e *Exact) JoinSize(other *Exact) int64 { return e.h.JoinSize(other.h) }
 // Interface conformance.
 var (
 	_ Tracker = (*TugOfWar)(nil)
+	_ Tracker = (*FastTugOfWar)(nil)
 	_ Tracker = (*SampleCount)(nil)
 	_ Tracker = (*SampleCountFQ)(nil)
 	_ Tracker = (*NaiveSample)(nil)
