@@ -1,29 +1,60 @@
 package amstrack
 
 import (
-	"amstrack/internal/catalog"
 	"amstrack/internal/core"
+	"amstrack/internal/engine"
 )
 
-// Catalog maintains join signatures for a set of named relations — the
-// paper's deployment model: one signature per relation, maintained
-// independently, any pair estimable at planning time. Safe for concurrent
-// use; serializable as one blob for checkpointing.
-type Catalog = catalog.Catalog
+// Engine is the synopsis engine — the paper's §4–§5 deployment model
+// grown into a service core: named relations, each carrying a fast join
+// signature and a Fast-AMS self-join sketch behind sharded ingest, with
+// optional oplog-backed durability (checkpoint + log replay recovery).
+// Safe for concurrent use.
+type Engine = engine.Engine
 
-// CatalogOptions configures a Catalog.
-type CatalogOptions = catalog.Options
+// EngineOptions configures an Engine. The zero value of every field
+// except SignatureWords picks a sensible default; see engine.Options.
+type EngineOptions = engine.Options
 
-// Relation is one tracked relation inside a Catalog.
-type Relation = catalog.Relation
+// Scheme selects the join-signature implementation of an Engine.
+type Scheme = engine.Scheme
 
-// CatalogJoinEstimate is the planner-facing join estimate with the paper's
-// error bounds attached (Lemma 4.4 σ and the Fact 1.1 upper bound).
-type CatalogJoinEstimate = catalog.JoinEstimate
+// The available signature schemes: bucketed fast updates (default) or
+// the paper's flat O(k)-per-tuple layout.
+const (
+	SchemeFast = engine.SchemeFast
+	SchemeFlat = engine.SchemeFlat
+)
 
-// NewCatalog creates an empty catalog with opts.SignatureWords words of
-// signature per relation.
-func NewCatalog(opts CatalogOptions) (*Catalog, error) { return catalog.New(opts) }
+// NewEngine creates an in-memory engine.
+func NewEngine(opts EngineOptions) (*Engine, error) { return engine.New(opts) }
+
+// OpenEngine creates or recovers a durable engine rooted at opts.Dir:
+// checkpoint load plus per-relation oplog replay, including torn-tail
+// truncation after a crash mid-append.
+func OpenEngine(opts EngineOptions) (*Engine, error) { return engine.Open(opts) }
+
+// Catalog is the former name of the synopsis engine, kept as a thin
+// compatibility alias: one signature per relation, any pair estimable at
+// planning time, the whole state serializable as one blob.
+type Catalog = engine.Engine
+
+// CatalogOptions configures a Catalog; SignatureWords and Seed behave as
+// they always did, the added fields default to the engine's standard
+// synopsis set.
+type CatalogOptions = engine.Options
+
+// Relation is one tracked relation inside an Engine (or Catalog).
+type Relation = engine.Relation
+
+// CatalogJoinEstimate is the planner-facing join estimate with the
+// paper's error bounds attached (Lemma 4.4 σ and the Fact 1.1 upper
+// bound).
+type CatalogJoinEstimate = engine.JoinEstimate
+
+// NewCatalog creates an empty in-memory catalog with opts.SignatureWords
+// words of signature per relation.
+func NewCatalog(opts CatalogOptions) (*Catalog, error) { return engine.New(opts) }
 
 // ShardedTugOfWar ingests updates concurrently from many goroutines while
 // remaining exactly equal to the single-stream sketch (linearity of the

@@ -12,11 +12,14 @@
 //	amsbench -experiment joinacc           # §4.3 join-signature accuracy study
 //	amsbench -experiment deletions         # tracking accuracy under deletions
 //	amsbench -experiment fastacc           # Fast-AMS vs flat tug-of-war accuracy
+//	amsbench -experiment fastjoin          # fast vs flat join signature speed+accuracy
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
 // file per experiment into DIR. -seed fixes the data-set seed (default 1),
-// making every figure exactly reproducible.
+// making every figure exactly reproducible. -json additionally writes
+// machine-readable results for experiments that support it (currently
+// fastjoin → BENCH_fastjoin.json), so CI can track the perf trajectory.
 package main
 
 import (
@@ -34,20 +37,21 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, fastjoin, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
+		jsonOut    = flag.Bool("json", false, "additionally write machine-readable BENCH_<experiment>.json where supported")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *seed, *csvDir, *trials); err != nil {
+	if err := run(*experiment, *seed, *csvDir, *trials, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "amsbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, seed uint64, csvDir string, trials int) error {
+func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool) error {
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
@@ -184,6 +188,28 @@ func run(experiment string, seed uint64, csvDir string, trials int) error {
 			}
 			return emit("fastacc", "Fast-AMS vs flat tug-of-war at equal memory (s=8192 words)", r.Table())
 
+		case name == "fastjoin":
+			r, err := experiments.RunFastJoin(nil, 1024, 8, trials, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("fastjoin", "Fast vs flat join signatures at k=1024 words", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("update cost: flat %.1f ns/op, fast %.1f ns/op → %.1fx speedup; mean relerr ratio fast/flat = %.3f\n\n",
+				r.FlatNsPerUpdate, r.FastNsPerUpdate, r.Speedup, r.MeanRatio())
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_fastjoin.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_fastjoin.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -199,7 +225,7 @@ func run(experiment string, seed uint64, csvDir string, trials int) error {
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc", "fastjoin"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

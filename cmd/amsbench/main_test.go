@@ -10,7 +10,7 @@ func TestRunCheapExperiments(t *testing.T) {
 	// The cheap experiments exercise the dispatcher end to end; the full
 	// figure sweeps are covered by the root benchmark harness.
 	for _, name := range []string{"table1", "sec44", "lemma23", "fig5"} {
-		if err := run(name, 1, "", 1); err != nil {
+		if err := run(name, 1, "", 1, false); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -18,7 +18,7 @@ func TestRunCheapExperiments(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("sec44", 1, dir, 1); err != nil {
+	if err := run("sec44", 1, dir, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "sec44.csv"))
@@ -31,13 +31,13 @@ func TestRunWritesCSV(t *testing.T) {
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("bogus", 1, "", 1); err == nil {
+	if err := run("bogus", 1, "", 1, false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("fig99", 1, "", 1); err == nil {
+	if err := run("fig99", 1, "", 1, false); err == nil {
 		t.Error("fig99 accepted")
 	}
-	if err := run("figx", 1, "", 1); err == nil {
+	if err := run("figx", 1, "", 1, false); err == nil {
 		t.Error("figx accepted")
 	}
 }
@@ -48,7 +48,7 @@ func TestRunBadCSVDir(t *testing.T) {
 	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("sec44", 1, f, 1); err == nil {
+	if err := run("sec44", 1, f, 1, false); err == nil {
 		t.Error("file-as-dir accepted")
 	}
 }

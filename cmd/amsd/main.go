@@ -1,0 +1,137 @@
+// Command amsd serves the synopsis engine over HTTP JSON — the paper's
+// §5 deployment: a long-lived daemon maintaining per-relation synopses
+// under a continuous update stream and answering join/self-join size
+// estimates at planning time.
+//
+// Usage:
+//
+//	amsd -addr :7600 -dir /var/lib/amsd -k 1024
+//
+// With -dir the engine is durable: every update is oplog-appended before
+// it is applied, POST /v1/checkpoint (or -checkpoint-every) folds the
+// logs into a checkpoint blob, and a restart recovers by checkpoint load
+// plus log replay — including truncating a torn final record after a
+// crash. Without -dir the engine is in-memory only.
+//
+// See internal/amsd for the endpoint reference and examples/amsdclient
+// for a complete client round trip.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/engine"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7600", "listen address")
+		dir       = flag.String("dir", "", "durability directory (empty: in-memory engine)")
+		k         = flag.Int("k", 1024, "join-signature size in memory words per relation")
+		rows      = flag.Int("rows", 0, "fast-signature rows (0: auto; per-update cost knob)")
+		seed      = flag.Uint64("seed", 42, "master hash-family seed")
+		shards    = flag.Int("shards", 0, "per-relation ingest shards (0: default)")
+		flat      = flag.Bool("flat", false, "use the paper's flat O(k)-per-update signature")
+		noSketch  = flag.Bool("nosketch", false, "disable the dedicated self-join sketch")
+		sketchS1  = flag.Int("sketch-s1", 0, "self-join sketch buckets per row (0: default)")
+		sketchS2  = flag.Int("sketch-s2", 0, "self-join sketch rows (0: default)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "automatic checkpoint interval (0: manual only; needs -dir)")
+	)
+	flag.Parse()
+
+	opts := engine.Options{
+		SignatureWords: *k,
+		Seed:           *seed,
+		SignatureRows:  *rows,
+		SketchS1:       *sketchS1,
+		SketchS2:       *sketchS2,
+		NoSketch:       *noSketch,
+		Shards:         *shards,
+		Dir:            *dir,
+	}
+	if *flat {
+		opts.Scheme = engine.SchemeFlat
+	}
+	if err := run(opts, *addr, *ckptEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "amsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opts engine.Options, addr string, ckptEvery time.Duration) error {
+	var (
+		eng *engine.Engine
+		err error
+	)
+	if opts.Dir != "" {
+		eng, err = engine.Open(opts)
+	} else {
+		eng, err = engine.New(opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: amsd.NewServer(eng)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if ckptEvery > 0 {
+		if opts.Dir == "" {
+			return errors.New("-checkpoint-every requires -dir")
+		}
+		go func() {
+			t := time.NewTicker(ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n, err := eng.Checkpoint(); err != nil {
+						log.Printf("amsd: checkpoint: %v", err)
+					} else {
+						log.Printf("amsd: checkpoint written (%d bytes)", n)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("amsd: serving on %s (durable: %v, k=%d)", addr, opts.Dir != "", opts.SignatureWords)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Print("amsd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("amsd: shutdown: %v", err)
+	}
+	if eng.Dir() != "" {
+		// Final checkpoint so restart recovery is instant (empty logs).
+		if _, err := eng.Checkpoint(); err != nil {
+			log.Printf("amsd: final checkpoint: %v", err)
+		}
+	}
+	return eng.Close()
+}

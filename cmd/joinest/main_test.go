@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"amstrack"
+	"amstrack/internal/oplog"
+	"amstrack/internal/stream"
 )
 
 func writeValues(t *testing.T, path string, vals []string) {
@@ -60,5 +62,123 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run(64, 42, f, "/missing.txt"); err == nil {
 		t.Error("missing G accepted")
+	}
+}
+
+func writeOplog(t *testing.T, path string, ops []stream.Op) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := oplog.NewWriter(f)
+	if err := w.AppendAll(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOplogEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	fp, gp := filepath.Join(dir, "f.oplog"), filepath.Join(dir, "g.oplog")
+	// F inserts 1,1,2,3 then deletes one 1; G inserts 1,2,2.
+	writeOplog(t, fp, []stream.Op{
+		{Kind: stream.Insert, Value: 1},
+		{Kind: stream.Insert, Value: 1},
+		{Kind: stream.Insert, Value: 2},
+		{Kind: stream.Insert, Value: 3},
+		{Kind: stream.Delete, Value: 1},
+	})
+	writeOplog(t, gp, []stream.Op{
+		{Kind: stream.Insert, Value: 1},
+		{Kind: stream.Insert, Value: 2},
+		{Kind: stream.Insert, Value: 2},
+	})
+	if err := runOplog(64, 42, fp, gp); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOplog(0, 42, fp, gp); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := runOplog(64, 42, "/missing.oplog", gp); err == nil {
+		t.Error("missing F log accepted")
+	}
+
+	// A torn tail is tolerated (warn + ignore), like engine recovery.
+	raw, err := os.ReadFile(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fp, append(raw, 0x00, 0x01, 0x02), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOplog(64, 42, fp, gp); err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+
+	// A delete with no matching insert is invalid input, not a torn tail.
+	writeOplog(t, fp, []stream.Op{{Kind: stream.Delete, Value: 9}})
+	if err := runOplog(64, 42, fp, gp); err == nil {
+		t.Error("invalid delete accepted")
+	}
+}
+
+// TestReplayLogMatchesEngineRecovery pins the estimator equivalence: a
+// log replayed via joinest produces the same signature state as direct
+// engine ingest of the same ops.
+func TestReplayLogMatchesEngineRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.oplog")
+	ops := make([]stream.Op, 0, 600)
+	for i := 0; i < 500; i++ {
+		ops = append(ops, stream.Op{Kind: stream.Insert, Value: uint64(i % 37)})
+	}
+	for i := 0; i < 100; i++ {
+		ops = append(ops, stream.Op{Kind: stream.Delete, Value: uint64(i % 37)})
+	}
+	writeOplog(t, path, ops)
+
+	eng, err := amstrack.NewEngine(amstrack.EngineOptions{SignatureWords: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := eng.Define("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := amstrack.NewExact()
+	applied, err := replayLog(path, rel, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 600 {
+		t.Fatalf("applied = %d, want 600", applied)
+	}
+
+	ref, err := amstrack.NewEngine(amstrack.EngineOptions{SignatureWords: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRel, _ := ref.Define("R")
+	for _, op := range ops {
+		switch op.Kind {
+		case stream.Insert:
+			refRel.Insert(op.Value)
+		case stream.Delete:
+			if err := refRel.Delete(op.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if rel.SelfJoinEstimate() != refRel.SelfJoinEstimate() {
+		t.Fatal("replayed state differs from direct ingest")
+	}
+	if rel.Len() != refRel.Len() || ex.Len() != rel.Len() {
+		t.Fatalf("lengths diverge: rel=%d ref=%d exact=%d", rel.Len(), refRel.Len(), ex.Len())
 	}
 }

@@ -58,6 +58,25 @@
 //	// feed Insert/Delete as tuples arrive...
 //	est, _ := amstrack.EstimateJoin(sf, sg) // error ≤ √(2·SJ(F)·SJ(G)/256) (1σ)
 //
+// Two signature schemes exist behind one Signature interface: the flat
+// k-TW layout above (O(k) per update) and the bucketed FastJoinSignature
+// (NewFastSignatureFamily) that touches one counter per row — O(rows) per
+// update however large k grows, with the same Lemma 4.4 variance bound at
+// equal memory (≈100× faster updates at k=1024). EstimateJoin and
+// EstimateJoinRobust accept either.
+//
+// # The synopsis engine
+//
+// NewEngine/OpenEngine expose the deployment shape of §4–§5: named
+// relations, each carrying a fast join signature plus a Fast-AMS
+// self-join sketch behind sharded concurrent ingest, any pair estimable
+// at planning time with the Lemma 4.4 σ and Fact 1.1 bounds attached.
+// OpenEngine adds oplog-backed durability — updates append to
+// per-relation logs, Checkpoint folds them into one blob, and reopening
+// recovers via checkpoint load plus log replay (torn tails truncated).
+// cmd/amsd serves the engine over HTTP JSON; DESIGN.md §5 documents the
+// architecture.
+//
 // Random sampling signatures (the §4.1 baseline) and the paper's
 // lower-bound constructions live in the internal packages and are exercised
 // by the experiment harness (cmd/amsbench); the public API exposes the

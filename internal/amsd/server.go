@@ -1,0 +1,292 @@
+// Package amsd is the HTTP JSON surface of the synopsis engine — the
+// long-lived service the paper's §5 deployment sketch implies: update
+// streams flow in as batch ingests, the query optimizer asks for join and
+// self-join estimates at planning time, and an operator (or a timer)
+// triggers checkpoints. cmd/amsd wraps it in a daemon; tests and the
+// examples drive the same handler through httptest / an in-process
+// listener.
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz                  liveness + relation count
+//	GET    /v1/relations             list defined relations
+//	POST   /v1/relations             {"name": N} — define a relation
+//	DELETE /v1/relations/{name}      drop a relation
+//	POST   /v1/ingest                {"relation": N, "inserts": [...], "deletes": [...]}
+//	GET    /v1/selfjoin?relation=N   self-join (skew) estimate
+//	GET    /v1/join?f=F&g=G          join estimate + Lemma 4.4 σ + Fact 1.1 bound
+//	GET    /v1/pairs                 the all-pairs planning matrix
+//	POST   /v1/checkpoint            serialize state, reset oplogs (durable engines)
+//
+// Errors are {"error": "..."} with conventional status codes (400 bad
+// request, 404 unknown relation, 409 conflict).
+package amsd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"amstrack/internal/engine"
+)
+
+// Server answers HTTP requests from one engine. The engine is safe for
+// concurrent use, so the server adds no locking of its own.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler for eng.
+func NewServer(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
+	s.mux.HandleFunc("POST /v1/relations", s.handleDefine)
+	// {name...} (multi-segment) so relation names containing '/' stay
+	// droppable through the API.
+	s.mux.HandleFunc("DELETE /v1/relations/{name...}", s.handleDrop)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/selfjoin", s.handleSelfJoin)
+	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
+	s.mux.HandleFunc("GET /v1/pairs", s.handlePairs)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps engine errors onto HTTP codes: unknown relations are
+// 404, duplicates 409, the rest 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownRelation):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrAlreadyDefined):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// HealthzBody is the GET /healthz response.
+type HealthzBody struct {
+	Status    string `json:"status"`
+	Relations int    `json:"relations"`
+	Durable   bool   `json:"durable"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzBody{
+		Status:    "ok",
+		Relations: len(s.eng.Names()),
+		Durable:   s.eng.Dir() != "",
+	})
+}
+
+// RelationsBody is the GET /v1/relations response.
+type RelationsBody struct {
+	Relations []string `json:"relations"`
+}
+
+func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
+	names := s.eng.Names()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, RelationsBody{Relations: names})
+}
+
+// DefineRequest is the POST /v1/relations body.
+type DefineRequest struct {
+	Name string `json:"name"`
+}
+
+// DefineBody is its response.
+type DefineBody struct {
+	Relation string `json:"relation"`
+}
+
+func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
+	var req DefineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if _, err := s.eng.Define(req.Name); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, DefineBody{Relation: req.Name})
+}
+
+// DropBody is the DELETE /v1/relations/{name} response.
+type DropBody struct {
+	Dropped string `json:"dropped"`
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.eng.Drop(name); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DropBody{Dropped: name})
+}
+
+// IngestRequest is the POST /v1/ingest body: a batch of inserts applied
+// before a batch of deletes, mirroring Relation.InsertBatch/DeleteBatch.
+type IngestRequest struct {
+	Relation string   `json:"relation"`
+	Inserts  []uint64 `json:"inserts,omitempty"`
+	Deletes  []uint64 `json:"deletes,omitempty"`
+}
+
+// IngestBody is its response.
+type IngestBody struct {
+	Relation string `json:"relation"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Len      int64  `json:"len"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rel, err := s.eng.Get(req.Relation)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	rel.InsertBatch(req.Inserts)
+	if err := rel.DeleteBatch(req.Deletes); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rel.Err(); err != nil {
+		// Ops applied in memory but not durably logged: surface loudly.
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestBody{
+		Relation: req.Relation,
+		Inserted: len(req.Inserts),
+		Deleted:  len(req.Deletes),
+		Len:      rel.Len(),
+	})
+}
+
+// SelfJoinBody is the GET /v1/selfjoin response.
+type SelfJoinBody struct {
+	Relation string  `json:"relation"`
+	Len      int64   `json:"len"`
+	Estimate float64 `json:"estimate"`
+}
+
+func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("relation")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?relation parameter"))
+		return
+	}
+	rel, err := s.eng.Get(name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SelfJoinBody{
+		Relation: name,
+		Len:      rel.Len(),
+		Estimate: rel.SelfJoinEstimate(),
+	})
+}
+
+// JoinBody is the GET /v1/join response: the unbiased estimate plus the
+// paper's bounds (Lemma 4.4 one-σ, Fact 1.1 upper bound) and the
+// self-join estimates they came from.
+type JoinBody struct {
+	F        string  `json:"f"`
+	G        string  `json:"g"`
+	Estimate float64 `json:"estimate"`
+	Sigma    float64 `json:"sigma"`
+	Fact11   float64 `json:"fact11"`
+	SJF      float64 `json:"sjf"`
+	SJG      float64 `json:"sjg"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	f, g := r.URL.Query().Get("f"), r.URL.Query().Get("g")
+	if f == "" || g == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?f or ?g parameter"))
+		return
+	}
+	je, err := s.eng.EstimateJoin(f, g)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinBody{
+		F: f, G: g,
+		Estimate: je.Estimate, Sigma: je.Sigma, Fact11: je.Fact11,
+		SJF: je.SJF, SJG: je.SJG,
+	})
+}
+
+// PairsBody is the GET /v1/pairs response.
+type PairsBody struct {
+	Pairs []JoinBody `json:"pairs"`
+}
+
+func (s *Server) handlePairs(w http.ResponseWriter, _ *http.Request) {
+	pairs, err := s.eng.AllPairs()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := PairsBody{Pairs: make([]JoinBody, 0, len(pairs))}
+	for _, p := range pairs {
+		out.Pairs = append(out.Pairs, JoinBody{
+			F: p.F, G: p.G,
+			Estimate: p.Estimate, Sigma: p.Sigma, Fact11: p.Fact11,
+			SJF: p.SJF, SJG: p.SJG,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// CheckpointBody is the POST /v1/checkpoint response.
+type CheckpointBody struct {
+	Bytes int `json:"bytes"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	n, err := s.eng.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if s.eng.Dir() == "" {
+			status = http.StatusConflict // in-memory engine: nothing to checkpoint to
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointBody{Bytes: n})
+}

@@ -1,0 +1,177 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sample() []byte {
+	b := NewBuilder(MagicTugOfWar, 1, 64)
+	b.U64(7)
+	b.I64(-3)
+	b.U32(9)
+	b.String("orders")
+	b.I64s([]int64{1, -2, 3})
+	return b.Seal()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := sample()
+	ver, payload, err := Open(MagicTugOfWar, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("version = %d", ver)
+	}
+	c := NewCursor(payload)
+	if got := c.U64(); got != 7 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := c.I64(); got != -3 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := c.U32(); got != 9 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := c.String(); got != "orders" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := c.I64s(3); got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Fatalf("I64s = %v", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptInputs is the codec-level half of the corrupt-input contract:
+// every framing violation maps to its sentinel error.
+func TestCorruptInputs(t *testing.T) {
+	valid := sample()
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTooShort},
+		{"truncated header", valid[:4], ErrTooShort},
+		{"header only", valid[:minSize-1], ErrTooShort},
+		{"crc flip", flip(valid, len(valid)-1), ErrChecksum},
+		{"payload flip", flip(valid, headerSize+2), ErrChecksum},
+		{"magic flip", flip(valid, 0), ErrChecksum}, // CRC covers the magic too
+		{"wrong magic", Seal(MagicEngine, 1, []byte("x")), ErrMagic},
+		{"version zero", Seal(MagicTugOfWar, 0, []byte("x")), ErrVersion},
+		{"version future", Seal(MagicTugOfWar, 2, []byte("x")), ErrVersion},
+	}
+	for _, tc := range cases {
+		if _, _, err := Open(MagicTugOfWar, 1, tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func flip(p []byte, i int) []byte {
+	out := append([]byte(nil), p...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestEveryTruncationRejected truncates a frame at every offset; no prefix
+// may open cleanly.
+func TestEveryTruncationRejected(t *testing.T) {
+	data := sample()
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := Open(MagicTugOfWar, 1, data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestEveryBitFlipRejected flips one bit in every byte; the CRC must catch
+// all of them (including flips inside the CRC field itself).
+func TestEveryBitFlipRejected(t *testing.T) {
+	data := sample()
+	for i := range data {
+		if _, _, err := Open(MagicTugOfWar, 1, flip(data, i)); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestCursorStickyTruncation(t *testing.T) {
+	c := NewCursor([]byte{1, 2, 3})
+	if got := c.U64(); got != 0 {
+		t.Fatalf("short U64 = %d, want 0", got)
+	}
+	// Poisoned: all later reads are zero values, Remaining is 0.
+	if got := c.U32(); got != 0 {
+		t.Fatalf("post-error U32 = %d", got)
+	}
+	if c.I64s(2) != nil {
+		t.Fatal("post-error I64s non-nil")
+	}
+	if c.Remaining() != 0 {
+		t.Fatalf("post-error Remaining = %d", c.Remaining())
+	}
+	if !errors.Is(c.Err(), ErrTruncated) || !errors.Is(c.Close(), ErrTruncated) {
+		t.Fatalf("Err = %v, Close = %v", c.Err(), c.Close())
+	}
+}
+
+func TestCursorTrailingBytes(t *testing.T) {
+	b := NewBuilder(MagicTugOfWar, 1, 16)
+	b.U64(1)
+	b.U32(2)
+	_, payload, err := Open(MagicTugOfWar, 1, b.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCursor(payload)
+	_ = c.U64()
+	if err := c.Close(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Close = %v, want ErrTrailing", err)
+	}
+}
+
+// TestCursorHostileLengths drives the length-prefixed and dimension reads
+// with adversarial values: huge byte lengths and out-of-range dimensions
+// must poison the cursor, never allocate or slice out of bounds.
+func TestCursorHostileLengths(t *testing.T) {
+	b := NewBuilder(MagicTugOfWar, 1, 16)
+	b.U32(0xFFFFFFFF) // bytes length prefix far beyond the payload
+	_, payload, _ := Open(MagicTugOfWar, 1, b.Seal())
+	c := NewCursor(payload)
+	if got := c.Bytes(); got != nil {
+		t.Fatalf("hostile Bytes = %v", got)
+	}
+	if !errors.Is(c.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v", c.Err())
+	}
+
+	b = NewBuilder(MagicTugOfWar, 1, 16)
+	b.U64(1 << 40) // dimension beyond MaxInt32
+	_, payload, _ = Open(MagicTugOfWar, 1, b.Seal())
+	c = NewCursor(payload)
+	if got := c.Int(); got != 0 || !errors.Is(c.Err(), ErrTruncated) {
+		t.Fatalf("hostile Int = %d, err = %v", got, c.Err())
+	}
+}
+
+func TestMagicRegistryDistinct(t *testing.T) {
+	magics := []uint32{MagicTugOfWar, MagicFastTugOfWar, MagicEngine, MagicTWSignature, MagicFastTWSig}
+	seen := map[uint32]bool{}
+	for _, m := range magics {
+		if seen[m] {
+			t.Fatalf("magic %#x registered twice", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestSealDeterministic(t *testing.T) {
+	if !bytes.Equal(sample(), sample()) {
+		t.Fatal("Seal not deterministic")
+	}
+}

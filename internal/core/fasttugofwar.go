@@ -1,11 +1,9 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"hash/crc32"
 
+	"amstrack/internal/blob"
 	"amstrack/internal/hash"
 	"amstrack/internal/xrand"
 )
@@ -197,62 +195,25 @@ func (t *FastTugOfWar) Merge(other *FastTugOfWar) error {
 	return nil
 }
 
-// ftwMagic identifies serialized fast tug-of-war sketches.
-const ftwMagic uint32 = 0xA0517002
-
-// MarshalBinary serializes the sketch in the same layout as TugOfWar's
-// format under a distinct magic: magic, config, length, counters, CRC32.
+// MarshalBinary serializes the sketch in the same payload layout as
+// TugOfWar's format under a distinct magic, via the shared blob codec.
 // Hash tables are re-derived from the seed on load, so blobs stay small.
 func (t *FastTugOfWar) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 4+8*3+8+8*len(t.z)+4)
-	buf = binary.LittleEndian.AppendUint32(buf, ftwMagic)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S1))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S2))
-	buf = binary.LittleEndian.AppendUint64(buf, t.cfg.Seed)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.n))
-	for _, z := range t.z {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(z))
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	return buf, nil
+	return marshalSketch(blob.MagicFastTugOfWar, t.cfg, t.n, t.z), nil
 }
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (t *FastTugOfWar) UnmarshalBinary(data []byte) error {
-	if len(data) < 4+8*3+8+4 {
-		return errors.New("core: fast tug-of-war blob too short")
-	}
-	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.ChecksumIEEE(payload) != sum {
-		return errors.New("core: fast tug-of-war blob checksum mismatch")
-	}
-	if binary.LittleEndian.Uint32(payload) != ftwMagic {
-		return errors.New("core: not a fast tug-of-war blob")
-	}
-	cfg := Config{
-		S1:   int(binary.LittleEndian.Uint64(payload[4:])),
-		S2:   int(binary.LittleEndian.Uint64(payload[12:])),
-		Seed: binary.LittleEndian.Uint64(payload[20:]),
-	}
-	if err := cfg.Validate(); err != nil {
+	cfg, n, z, err := unmarshalSketch(blob.MagicFastTugOfWar, "fast tug-of-war", data)
+	if err != nil {
 		return err
-	}
-	n := int64(binary.LittleEndian.Uint64(payload[28:]))
-	// Validate the config against the payload size BEFORE allocating: the
-	// counter count must be exactly what the blob carries. Division avoids
-	// any S1·S2 overflow on hostile headers.
-	s := (len(payload) - 36) / 8
-	if len(payload) != 36+8*s || cfg.S1 > s || s%cfg.S1 != 0 || s/cfg.S1 != cfg.S2 {
-		return fmt.Errorf("core: fast tug-of-war blob length %d does not match config %dx%d", len(data), cfg.S1, cfg.S2)
 	}
 	fresh, err := NewFastTugOfWar(cfg)
 	if err != nil {
 		return err
 	}
 	fresh.n = n
-	for k := 0; k < s; k++ {
-		fresh.z[k] = int64(binary.LittleEndian.Uint64(payload[36+8*k:]))
-	}
+	copy(fresh.z, z)
 	*t = *fresh
 	return nil
 }

@@ -55,16 +55,20 @@ func TestGoldenBlobFormat(t *testing.T) {
 	tw, _ := NewTugOfWar(Config{S1: 1, S2: 1, Seed: 0})
 	tw.Insert(1)
 	blob, _ := tw.MarshalBinary()
-	// magic(4) + s1(8) + s2(8) + seed(8) + n(8) + 1 counter(8) + crc(4).
-	if len(blob) != 48 {
-		t.Fatalf("blob length = %d, want 48", len(blob))
+	// magic(4) + version(1) + s1(8) + s2(8) + seed(8) + n(8) + 1 counter(8)
+	// + crc(4): the shared internal/blob frame around the sketch payload.
+	if len(blob) != 49 {
+		t.Fatalf("blob length = %d, want 49", len(blob))
 	}
 	if blob[0] != 0x01 || blob[1] != 0x70 || blob[2] != 0x51 || blob[3] != 0xA0 {
 		t.Fatalf("magic bytes = % x", blob[:4])
 	}
+	if blob[4] != 1 {
+		t.Fatalf("version byte = %#x, want 1", blob[4])
+	}
 	// s1 = 1 little endian.
-	if blob[4] != 1 || blob[5] != 0 {
-		t.Fatalf("s1 bytes = % x", blob[4:12])
+	if blob[5] != 1 || blob[6] != 0 {
+		t.Fatalf("s1 bytes = % x", blob[5:13])
 	}
 }
 

@@ -140,6 +140,18 @@ func (st *ShardedFastTugOfWar) Snapshot() (*FastTugOfWar, error) {
 	return merged, nil
 }
 
+// Absorb merges a plain FastTugOfWar (e.g. a restored checkpoint
+// snapshot) into shard 0. By linearity the sharded sketch then behaves
+// exactly as if tw's stream had been ingested through it, which is how
+// the engine resumes a relation from a checkpoint without replaying the
+// pre-checkpoint stream.
+func (st *ShardedFastTugOfWar) Absorb(tw *FastTugOfWar) error {
+	s := &st.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tw.Merge(tw)
+}
+
 // MemoryWords reports the total storage across shards.
 func (st *ShardedFastTugOfWar) MemoryWords() int {
 	return len(st.shards) * st.cfg.S1 * st.cfg.S2

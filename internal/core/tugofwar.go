@@ -19,12 +19,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
 
+	"amstrack/internal/blob"
 	"amstrack/internal/hash"
 	"amstrack/internal/xrand"
 )
@@ -227,65 +226,69 @@ func (t *TugOfWar) Merge(other *TugOfWar) error {
 	return nil
 }
 
-// twMagic identifies serialized tug-of-war sketches ("AMS tug-of-war 1").
-const twMagic uint32 = 0xA0517001
-
-// MarshalBinary serializes the sketch: magic, config, length, counters, and
-// a CRC32 of the payload. The hash functions themselves are not stored —
-// they are re-derived from the seed on load, which keeps signatures small
+// MarshalBinary serializes the sketch via the shared blob codec: config,
+// length, counters. The hash functions themselves are not stored — they
+// are re-derived from the seed on load, which keeps signatures small
 // enough to ship between nodes (the paper's motivation for per-relation
 // signatures).
 func (t *TugOfWar) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 4+8*3+8+8*len(t.z)+4)
-	buf = binary.LittleEndian.AppendUint32(buf, twMagic)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S1))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.cfg.S2))
-	buf = binary.LittleEndian.AppendUint64(buf, t.cfg.Seed)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.n))
-	for _, z := range t.z {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(z))
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	return buf, nil
+	return marshalSketch(blob.MagicTugOfWar, t.cfg, t.n, t.z), nil
 }
 
 // UnmarshalBinary restores a sketch serialized by MarshalBinary.
 func (t *TugOfWar) UnmarshalBinary(data []byte) error {
-	if len(data) < 4+8*3+8+4 {
-		return errors.New("core: tug-of-war blob too short")
-	}
-	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.ChecksumIEEE(payload) != sum {
-		return errors.New("core: tug-of-war blob checksum mismatch")
-	}
-	if binary.LittleEndian.Uint32(payload) != twMagic {
-		return errors.New("core: not a tug-of-war blob")
-	}
-	cfg := Config{
-		S1:   int(binary.LittleEndian.Uint64(payload[4:])),
-		S2:   int(binary.LittleEndian.Uint64(payload[12:])),
-		Seed: binary.LittleEndian.Uint64(payload[20:]),
-	}
-	if err := cfg.Validate(); err != nil {
+	cfg, n, z, err := unmarshalSketch(blob.MagicTugOfWar, "tug-of-war", data)
+	if err != nil {
 		return err
-	}
-	n := int64(binary.LittleEndian.Uint64(payload[28:]))
-	// Validate the config against the payload size BEFORE allocating (the
-	// division form cannot overflow on hostile headers).
-	s := (len(payload) - 36) / 8
-	if len(payload) != 36+8*s || cfg.S1 > s || s%cfg.S1 != 0 || s/cfg.S1 != cfg.S2 {
-		return fmt.Errorf("core: tug-of-war blob length %d does not match config %dx%d", len(data), cfg.S1, cfg.S2)
 	}
 	fresh, err := NewTugOfWar(cfg)
 	if err != nil {
 		return err
 	}
 	fresh.n = n
-	for k := 0; k < s; k++ {
-		fresh.z[k] = int64(binary.LittleEndian.Uint64(payload[36+8*k:]))
-	}
+	copy(fresh.z, z)
 	*t = *fresh
 	return nil
+}
+
+// marshalSketch frames the (Config, length, counter vector) payload both
+// sketch flavors share.
+func marshalSketch(magic uint32, cfg Config, n int64, z []int64) []byte {
+	b := blob.NewBuilder(magic, 1, 8*4+8*len(z))
+	b.U64(uint64(cfg.S1))
+	b.U64(uint64(cfg.S2))
+	b.U64(cfg.Seed)
+	b.I64(n)
+	b.I64s(z)
+	return b.Seal()
+}
+
+// unmarshalSketch opens and validates a sketch blob: framing first, then
+// the config cross-checked against the counter payload size BEFORE any
+// allocation scales with the header's claims.
+func unmarshalSketch(magic uint32, kind string, data []byte) (Config, int64, []int64, error) {
+	_, payload, err := blob.Open(magic, 1, data)
+	if err != nil {
+		return Config{}, 0, nil, fmt.Errorf("core: %s blob: %w", kind, err)
+	}
+	c := blob.NewCursor(payload)
+	cfg := Config{S1: c.Int(), S2: c.Int(), Seed: c.U64()}
+	n := c.I64()
+	if c.Err() != nil {
+		return Config{}, 0, nil, fmt.Errorf("core: %s blob: %w", kind, c.Err())
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, 0, nil, err
+	}
+	s := c.Remaining() / 8
+	if c.Remaining() != 8*s || cfg.S1 > s || s%cfg.S1 != 0 || s/cfg.S1 != cfg.S2 {
+		return Config{}, 0, nil, fmt.Errorf("core: %s blob length %d does not match config %dx%d", kind, len(data), cfg.S1, cfg.S2)
+	}
+	z := c.I64s(s)
+	if err := c.Close(); err != nil {
+		return Config{}, 0, nil, fmt.Errorf("core: %s blob: %w", kind, err)
+	}
+	return cfg, n, z, nil
 }
 
 // Median returns the median of xs (mean of the middle two for even length).

@@ -1,0 +1,517 @@
+// Durability: the §5 warehouse recipe. Every update is appended to a
+// per-relation operation log (internal/oplog's independently-checksummed
+// records) before the synopses apply it; Checkpoint serializes the whole
+// engine into one blob and resets the logs; Open recovers by loading the
+// checkpoint and replaying whatever each log accumulated since — cutting
+// off a torn tail at the last clean record boundary, exactly the failure
+// a crash mid-append leaves behind.
+//
+// The oplog file doubles as the relation's existence marker: Define
+// creates it, Drop deletes it, and recovery only resurrects relations
+// whose file is present — so a drop stays dropped even when an older
+// checkpoint still carries the relation.
+package engine
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"amstrack/internal/oplog"
+	"amstrack/internal/stream"
+)
+
+const (
+	checkpointFile = "checkpoint.blob"
+	logPrefix      = "rel-"
+	logSuffix      = ".oplog"
+)
+
+// relFileName maps a relation name and log epoch to the log file. Hex
+// keeps arbitrary names filesystem-safe and the mapping invertible; the
+// epoch tag is what makes checkpointing crash-safe — recovery replays
+// only logs of the checkpoint's own epoch, so a log the checkpoint
+// already absorbed (older epoch, left behind by a crash mid-rotation)
+// can never be double-applied.
+func relFileName(name string, epoch uint64) string {
+	return fmt.Sprintf("%s%s-e%d%s", logPrefix, hex.EncodeToString([]byte(name)), epoch, logSuffix)
+}
+
+// relNameFromFile inverts relFileName; ok is false for foreign files.
+func relNameFromFile(file string) (name string, epoch uint64, ok bool) {
+	if !strings.HasPrefix(file, logPrefix) || !strings.HasSuffix(file, logSuffix) {
+		return "", 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(file, logPrefix), logSuffix)
+	hexName, epochTag, found := strings.Cut(body, "-e")
+	if !found {
+		return "", 0, false
+	}
+	raw, err := hex.DecodeString(hexName)
+	if err != nil || len(raw) == 0 {
+		return "", 0, false
+	}
+	epoch, err = strconv.ParseUint(epochTag, 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return string(raw), epoch, true
+}
+
+// relLog is the durable half of a relation. In in-memory engines every
+// method is a cheap no-op (w == nil). Appends flush to the OS on every
+// call, so the kernel — not the process — owns buffered ops the moment an
+// ingest call returns; fsync happens at Sync, Checkpoint, and Close.
+// Write errors are sticky: once an append fails, later ops are not
+// logged (they would be out of order) and the error surfaces on Err,
+// Sync, and Checkpoint.
+type relLog struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	w      *oplog.Writer
+	sticky error
+}
+
+// create opens a fresh (truncated) log for a newly defined relation at
+// the given epoch. No-op when dir is empty.
+func (l *relLog) create(dir, name string, epoch uint64) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, relFileName(name, epoch))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: create oplog: %w", err)
+	}
+	l.attach(f, path)
+	return nil
+}
+
+// attach binds an already-positioned append handle (create and recovery).
+func (l *relLog) attach(f *os.File, path string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f, l.path, l.w, l.sticky = f, path, oplog.NewWriter(f), nil
+}
+
+func (l *relLog) appendOps(ops ...stream.Op) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil || l.sticky != nil {
+		return
+	}
+	err := l.w.AppendAll(ops)
+	if err == nil {
+		err = l.w.Flush()
+	}
+	if err != nil {
+		l.sticky = fmt.Errorf("engine: oplog append: %w", err)
+	}
+}
+
+func (l *relLog) insert(v uint64) { l.appendOps(stream.Op{Kind: stream.Insert, Value: v}) }
+func (l *relLog) delete(v uint64) { l.appendOps(stream.Op{Kind: stream.Delete, Value: v}) }
+
+func (l *relLog) insertBatch(vs []uint64) { l.batch(stream.Insert, vs) }
+func (l *relLog) deleteBatch(vs []uint64) { l.batch(stream.Delete, vs) }
+
+func (l *relLog) batch(kind stream.OpKind, vs []uint64) {
+	if l == nil || len(vs) == 0 {
+		return
+	}
+	ops := make([]stream.Op, len(vs))
+	for i, v := range vs {
+		ops[i] = stream.Op{Kind: kind, Value: v}
+	}
+	l.appendOps(ops...)
+}
+
+func (l *relLog) err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sticky
+}
+
+// sync flushes and fsyncs the log.
+func (l *relLog) sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// rotate moves the relation onto a fresh log of the new epoch after a
+// successful checkpoint, then deletes the absorbed old-epoch file. A
+// crash at any point leaves either the old file (stale, ignored and
+// cleaned by the next Open) or the new one.
+func (l *relLog) rotate(dir, name string, epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	newPath := filepath.Join(dir, relFileName(name, epoch))
+	nf, err := os.OpenFile(newPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		// The checkpoint already absorbed the old-epoch log; appending
+		// there would write ops the next recovery discards unread. Poison
+		// the log so further ingest fails loudly (Err/Sync/Checkpoint)
+		// instead of acknowledging silently-undurable ops.
+		l.sticky = fmt.Errorf("engine: log rotation to epoch %d: %w", epoch, err)
+		return l.sticky
+	}
+	oldF, oldPath := l.f, l.path
+	l.f, l.path, l.w, l.sticky = nf, newPath, oplog.NewWriter(nf), nil
+	err = oldF.Close()
+	if rmErr := os.Remove(oldPath); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// remove closes and deletes the log (relation dropped).
+func (l *relLog) remove() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	if rmErr := os.Remove(l.path); err == nil {
+		err = rmErr
+	}
+	l.f, l.w = nil, nil
+	return err
+}
+
+// close flushes and closes the handle without deleting the file.
+func (l *relLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.sticky != nil {
+		err = l.sticky
+	} else if err = l.w.Flush(); err == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	return err
+}
+
+// Open creates or recovers a durable engine rooted at opts.Dir: load the
+// checkpoint blob if present, then for every relation log in the
+// directory replay the ops appended since that checkpoint, truncating a
+// torn final record to its clean boundary. Family-shape options
+// (SignatureWords, Seed, scheme, sketch) come from the checkpoint when
+// one exists — opts must agree on SignatureWords and Seed so a
+// misconfigured reopen fails loudly instead of silently re-keying.
+func Open(opts Options) (*Engine, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("engine: Open requires Options.Dir (use New for an in-memory engine)")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	var e *Engine
+	ckPath := filepath.Join(opts.Dir, checkpointFile)
+	switch data, err := os.ReadFile(ckPath); {
+	case err == nil:
+		e, err = unmarshalEngine(data, opts)
+		if err != nil {
+			return nil, err
+		}
+		if e.opts.SignatureWords != opts.SignatureWords || e.opts.Seed != opts.Seed {
+			return nil, fmt.Errorf("engine: checkpoint family (k=%d seed=%d) does not match options (k=%d seed=%d)",
+				e.opts.SignatureWords, e.opts.Seed, opts.SignatureWords, opts.Seed)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		if e, err = newEngine(opts); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// A log file of ANY epoch marks the relation as existing; only the
+	// checkpoint's own epoch carries ops not yet absorbed. Older-epoch
+	// files are leftovers of a crash between checkpoint rename and log
+	// rotation — their ops are inside the checkpoint already, so they are
+	// deleted, never replayed. Newer epochs cannot exist (rotation only
+	// happens after a successful rename) and mean a corrupted directory.
+	current := map[string]string{}
+	present := map[string]bool{}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name, epoch, ok := relNameFromFile(ent.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(opts.Dir, ent.Name())
+		switch {
+		case epoch == e.epoch:
+			present[name] = true
+			current[name] = path
+		case epoch < e.epoch:
+			present[name] = true
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("engine: remove absorbed log %s: %w", path, err)
+			}
+		default:
+			return nil, fmt.Errorf("engine: log %s has epoch %d beyond checkpoint epoch %d", path, epoch, e.epoch)
+		}
+	}
+	// A checkpointed relation without any log file was dropped after that
+	// checkpoint: keep it dropped.
+	for name := range e.rels {
+		if !present[name] {
+			delete(e.rels, name)
+		}
+	}
+	names := make([]string, 0, len(present))
+	for name := range present {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := e.rels[name]
+		if r == nil {
+			// Defined after the last checkpoint: rebuild purely from its log.
+			if r, err = e.newRelation(name); err != nil {
+				return nil, err
+			}
+			e.rels[name] = r
+		}
+		if path, ok := current[name]; ok {
+			if err := r.recoverLog(path); err != nil {
+				return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+			}
+		} else if err := r.log.create(opts.Dir, name, e.epoch); err != nil {
+			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+		}
+	}
+	return e, nil
+}
+
+// recoverLog replays one relation's log into its synopses (no re-logging)
+// and reopens it for appending. A torn tail (io.ErrUnexpectedEOF) is
+// truncated at the last clean record; a mid-log checksum failure is real
+// corruption and fails recovery.
+func (r *Relation) recoverLog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	lr := oplog.NewReader(f)
+	torn := false
+replay:
+	for {
+		op, err := lr.Next()
+		switch {
+		case err == io.EOF:
+			break replay
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			torn = true
+			break replay
+		case err != nil:
+			f.Close()
+			return fmt.Errorf("replay: %w", err)
+		}
+		r.applyRecovered(op)
+	}
+	clean := lr.Offset()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if torn {
+		if err := os.Truncate(path, clean); err != nil {
+			return fmt.Errorf("truncate torn tail: %w", err)
+		}
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	r.log.attach(af, path)
+	return nil
+}
+
+// applyRecovered feeds one logged op to the synopses. Recovery is
+// single-threaded, so no locks are taken; Query ops (legal in hand-built
+// logs) change nothing.
+func (r *Relation) applyRecovered(op stream.Op) {
+	switch op.Kind {
+	case stream.Insert:
+		s := r.shardOf(op.Value)
+		s.sig.Insert(op.Value)
+		if r.sketch != nil {
+			r.sketch.Insert(op.Value)
+		}
+	case stream.Delete:
+		s := r.shardOf(op.Value)
+		_ = s.sig.Delete(op.Value)
+		if r.sketch != nil {
+			_ = r.sketch.Delete(op.Value)
+		}
+	}
+}
+
+// Dir returns the durability directory ("" for in-memory engines).
+func (e *Engine) Dir() string { return e.opts.Dir }
+
+// Checkpoint stops the world (exclusive op locks on every relation),
+// serializes the engine into one blob written atomically (tmp + fsync +
+// rename), then rotates every relation onto a fresh next-epoch log: the
+// checkpoint now owns the logged history. Returns the blob size on
+// success.
+func (e *Engine) Checkpoint() (int, error) {
+	if e.opts.Dir == "" {
+		return 0, errors.New("engine: in-memory engine has no checkpoint directory")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint under an already-held engine lock (also
+// used by Drop to persist the dropped set).
+func (e *Engine) checkpointLocked() (int, error) {
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := e.rels[n]
+		r.opMu.Lock()
+		defer r.opMu.Unlock()
+	}
+	// With exclusive op locks held, each log exactly matches its
+	// relation's counters; sync surfaces sticky append errors before the
+	// logs are declared absorbed.
+	for _, n := range names {
+		if err := e.rels[n].log.sync(); err != nil {
+			return 0, err
+		}
+	}
+	// The blob carries the NEXT epoch: once it is renamed into place, the
+	// current-epoch logs are absorbed history. Rotation after the rename
+	// is therefore free to crash at any point — recovery replays only
+	// next-epoch logs (empty or missing) and discards the absorbed ones.
+	newEpoch := e.epoch + 1
+	data, err := e.marshalLocked(newEpoch)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileAtomic(filepath.Join(e.opts.Dir, checkpointFile), data); err != nil {
+		return 0, err
+	}
+	e.epoch = newEpoch
+	// Rotate every relation even if one fails: a skipped rotation leaves
+	// that relation poisoned (see rotate), not the whole set.
+	var rotErr error
+	for _, n := range names {
+		if err := e.rels[n].log.rotate(e.opts.Dir, n, newEpoch); err != nil && rotErr == nil {
+			rotErr = fmt.Errorf("engine: relation %q: %w", n, err)
+		}
+	}
+	if rotErr != nil {
+		return 0, rotErr
+	}
+	return len(data), nil
+}
+
+// writeFileAtomic writes data via a temp file, fsyncs it, renames it over
+// path, and fsyncs the directory, so a crash leaves either the old or the
+// new checkpoint — never a torn one.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs every relation log (the fsync barrier between
+// checkpoints), surfacing any sticky append error.
+func (e *Engine) Sync() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, r := range e.rels {
+		if err := r.log.sync(); err != nil {
+			return fmt.Errorf("engine: relation %q: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every relation log. The engine's in-memory
+// synopses stay queryable; further ingest on a durable engine after Close
+// is not logged (and is therefore a caller bug).
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, r := range e.rels {
+		if err := r.log.close(); err != nil && first == nil {
+			first = fmt.Errorf("engine: relation %q: %w", r.name, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,727 @@
+// Package engine is the synopsis engine: the deployment shape the
+// paper's §4–§5 argue for, grown from the old signature catalog into a
+// durable, concurrent service core. Each named relation carries a
+// configurable synopsis set —
+//
+//   - a JOIN SIGNATURE (§4.3) for pairwise join-size estimates: the
+//     bucketed FastTWSignature by default (O(rows) per tuple however
+//     large k grows), or the paper's flat TWSignature when configured;
+//   - a FAST-AMS SELF-JOIN SKETCH (core.ShardedFastTugOfWar) whose
+//     estimate feeds the Lemma 4.4 σ and Fact 1.1 bounds attached to
+//     every join answer;
+//
+// behind per-relation sharded ingest: updates fan out across shard-local
+// counter sets (linearity makes the merged counters independent of the
+// interleaving), so concurrent loaders contend only on a shard, never on
+// the relation.
+//
+// Durability follows §5's warehouse recipe verbatim: every update is
+// appended to a per-relation operation log first, Checkpoint() serializes
+// the whole engine into one blob (shared internal/blob framing) and
+// resets the logs, and Open() recovers by loading the checkpoint and
+// "stepping through any additions to the update log since the previous
+// run" — including truncating a torn tail left by a crash mid-append.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"amstrack/internal/blob"
+	"amstrack/internal/core"
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+	"amstrack/internal/xrand"
+)
+
+// Sentinel errors callers (e.g. the amsd HTTP layer) can match with
+// errors.Is to map failures onto their own status vocabulary.
+var (
+	ErrUnknownRelation = errors.New("unknown relation")
+	ErrAlreadyDefined  = errors.New("relation already defined")
+)
+
+// Scheme selects the join-signature implementation for all relations.
+type Scheme int
+
+const (
+	// SchemeFast is the bucketed FastTWSignature: O(SignatureRows) work
+	// per tuple, independent of SignatureWords. The default.
+	SchemeFast Scheme = iota
+	// SchemeFlat is the paper's flat k-TW signature: O(SignatureWords)
+	// work per tuple. Kept for §4.3-faithful experiments and as the
+	// accuracy reference.
+	SchemeFlat
+)
+
+// Defaults applied by Options.normalize.
+const (
+	defaultShards   = 4
+	defaultSketchS1 = 1024
+	defaultSketchS2 = 8
+	// minFastBuckets is the smallest per-row bucket count the automatic
+	// rows choice will produce: below this, bucket collisions dominate
+	// and the fast scheme loses its accuracy parity with flat.
+	minFastBuckets = 16
+)
+
+// Options configures an engine. The zero value of every field except
+// SignatureWords selects a sensible default, so old catalog call sites
+// (SignatureWords + Seed only) keep working unchanged.
+type Options struct {
+	// SignatureWords is k, the per-relation join-signature size in memory
+	// words (for the fast scheme, buckets·rows). Required.
+	SignatureWords int
+	// Seed fixes every hash family the engine derives; engines that must
+	// exchange signatures (e.g. across nodes) need equal Seed and shape
+	// parameters.
+	Seed uint64
+	// Scheme selects the signature implementation (default SchemeFast).
+	Scheme Scheme
+	// SignatureRows is the fast scheme's row count (the per-update cost
+	// and confidence knob). 0 picks the largest of 8, 4, 2, 1 that
+	// divides SignatureWords while keeping at least 16 buckets per row.
+	// Must divide SignatureWords. Ignored by SchemeFlat.
+	SignatureRows int
+	// SketchS1, SketchS2 shape the per-relation Fast-AMS self-join
+	// sketch (0 → 1024 and 8). The sketch refines the self-join
+	// estimates behind the σ and Fact 1.1 bounds beyond what the join
+	// signature's own counters give.
+	SketchS1, SketchS2 int
+	// NoSketch drops the dedicated self-join sketch; self-join estimates
+	// then come from the join signature's counters (the §4.4 connection).
+	NoSketch bool
+	// Shards is the per-relation ingest parallelism (rounded up to a
+	// power of two; 0 → 4). Purely a concurrency knob: by linearity the
+	// merged synopses are independent of the shard count.
+	Shards int
+	// Dir enables oplog-backed durability when non-empty: per-relation
+	// logs and checkpoints live there. Empty means in-memory only.
+	Dir string
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	_, err := o.normalize()
+	return err
+}
+
+// normalize fills defaults and checks consistency.
+func (o Options) normalize() (Options, error) {
+	if o.SignatureWords < 1 {
+		return o, fmt.Errorf("engine: SignatureWords = %d, must be >= 1", o.SignatureWords)
+	}
+	switch o.Scheme {
+	case SchemeFast:
+		if o.SignatureRows == 0 {
+			o.SignatureRows = 1
+			for _, r := range []int{8, 4, 2} {
+				if o.SignatureWords%r == 0 && o.SignatureWords/r >= minFastBuckets {
+					o.SignatureRows = r
+					break
+				}
+			}
+		}
+		if o.SignatureRows < 1 || o.SignatureWords%o.SignatureRows != 0 {
+			return o, fmt.Errorf("engine: SignatureRows = %d must divide SignatureWords = %d",
+				o.SignatureRows, o.SignatureWords)
+		}
+	case SchemeFlat:
+		o.SignatureRows = 0
+	default:
+		return o, fmt.Errorf("engine: unknown scheme %d", o.Scheme)
+	}
+	if o.NoSketch {
+		o.SketchS1, o.SketchS2 = 0, 0
+	} else {
+		if o.SketchS1 == 0 {
+			o.SketchS1 = defaultSketchS1
+		}
+		if o.SketchS2 == 0 {
+			o.SketchS2 = defaultSketchS2
+		}
+		if o.SketchS1 < 1 || o.SketchS2 < 1 {
+			return o, fmt.Errorf("engine: sketch config %dx%d invalid", o.SketchS1, o.SketchS2)
+		}
+	}
+	if o.Shards == 0 {
+		o.Shards = defaultShards
+	}
+	if o.Shards < 1 {
+		return o, fmt.Errorf("engine: Shards = %d, must be >= 1", o.Shards)
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	o.Shards = n
+	return o, nil
+}
+
+// Engine tracks the synopsis set of every defined relation.
+type Engine struct {
+	opts    Options // normalized
+	flatFam *join.Family
+	fastFam *join.FastFamily
+	skCfg   core.Config // zero when NoSketch
+
+	mu   sync.RWMutex
+	rels map[string]*Relation
+	// epoch numbers the current log generation (durable engines). Each
+	// checkpoint absorbs the logs of the previous epoch and rotates every
+	// relation onto epoch-tagged fresh logs; recovery replays ONLY logs
+	// whose epoch matches the loaded checkpoint, so a crash anywhere
+	// between the checkpoint rename and the log rotation can never
+	// double-apply absorbed ops.
+	epoch uint64
+}
+
+// New creates an empty in-memory engine (opts.Dir is ignored here; use
+// Open for a durable one).
+func New(opts Options) (*Engine, error) {
+	opts.Dir = ""
+	return newEngine(opts)
+}
+
+func newEngine(opts Options) (*Engine, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, rels: make(map[string]*Relation)}
+	switch opts.Scheme {
+	case SchemeFast:
+		e.fastFam, err = join.NewFastFamily(opts.SignatureWords/opts.SignatureRows, opts.SignatureRows, opts.Seed)
+	case SchemeFlat:
+		e.flatFam, err = join.NewFamily(opts.SignatureWords, opts.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoSketch {
+		// Disjoint seed stream: the sketch must stay statistically
+		// independent of the signature under one master seed.
+		e.skCfg = core.Config{S1: opts.SketchS1, S2: opts.SketchS2,
+			Seed: xrand.Mix64(opts.Seed ^ 0xa5a5_e19e_5e55_0001)}
+	}
+	return e, nil
+}
+
+// Options returns the engine's normalized configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// newSignature builds an empty signature of the configured scheme.
+func (e *Engine) newSignature() join.Signature {
+	if e.fastFam != nil {
+		return e.fastFam.NewSignature()
+	}
+	return e.flatFam.NewSignature()
+}
+
+// Relation is one tracked relation: its synopsis set, sharded for
+// concurrent ingest, plus (in durable engines) its operation log.
+type Relation struct {
+	name string
+	eng  *Engine
+
+	// opMu serializes ingest against checkpoint/recovery: every update
+	// holds it shared (so ingest scales across shards), Checkpoint holds
+	// it exclusively so log and counters are mutually consistent at the
+	// instant the snapshot is cut.
+	opMu   sync.RWMutex
+	mask   uint64
+	shards []sigShard
+	sketch *core.ShardedFastTugOfWar // nil when NoSketch
+
+	log relLog // no-op in in-memory engines
+}
+
+type sigShard struct {
+	mu  sync.Mutex
+	sig join.Signature
+	_   [40]byte // pad to reduce false sharing between shard locks
+}
+
+// newRelation builds the in-memory half of a relation.
+func (e *Engine) newRelation(name string) (*Relation, error) {
+	r := &Relation{
+		name:   name,
+		eng:    e,
+		mask:   uint64(e.opts.Shards - 1),
+		shards: make([]sigShard, e.opts.Shards),
+	}
+	for i := range r.shards {
+		r.shards[i].sig = e.newSignature()
+	}
+	if !e.opts.NoSketch {
+		sk, err := core.NewShardedFastTugOfWar(e.skCfg, e.opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		r.sketch = sk
+	}
+	return r, nil
+}
+
+// Define registers a new empty relation. It fails if the name exists. In
+// durable engines this creates the relation's operation log, which also
+// serves as its existence marker across restarts.
+func (e *Engine) Define(name string) (*Relation, error) {
+	if name == "" {
+		return nil, errors.New("engine: empty relation name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.rels[name]; ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrAlreadyDefined, name)
+	}
+	r, err := e.newRelation(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.log.create(e.opts.Dir, name, e.epoch); err != nil {
+		return nil, err
+	}
+	e.rels[name] = r
+	return r, nil
+}
+
+// Get returns a defined relation.
+func (e *Engine) Get(name string) (*Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, ok := e.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownRelation, name)
+	}
+	return r, nil
+}
+
+// Drop removes a relation. In durable engines it deletes the relation's
+// log (the existence marker, so a plain drop survives restarts even when
+// an older checkpoint still carries the relation) and then folds the
+// drop into a fresh checkpoint — otherwise a later Define of the SAME
+// name would let recovery resurrect the old counters from the stale
+// checkpoint underneath the new relation's log.
+func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownRelation, name)
+	}
+	delete(e.rels, name)
+	if err := r.log.remove(); err != nil {
+		return err
+	}
+	if e.opts.Dir != "" {
+		if _, err := e.checkpointLocked(); err != nil {
+			return fmt.Errorf("engine: checkpoint after drop: %w", err)
+		}
+	}
+	return nil
+}
+
+// Names lists the defined relations in sorted order.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// shardOf spreads values across shards; deterministic in the value so a
+// shard always sees a valid substream of its values' ops.
+func (r *Relation) shardOf(v uint64) *sigShard {
+	return &r.shards[xrand.Mix64(v)&r.mask]
+}
+
+// Insert adds a tuple with the given joining-attribute value. In durable
+// engines the op is logged before the synopses see it; log write errors
+// are sticky and surfaced by Err, Sync, and Checkpoint.
+func (r *Relation) Insert(v uint64) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.insert(v)
+	s := r.shardOf(v)
+	s.mu.Lock()
+	s.sig.Insert(v)
+	s.mu.Unlock()
+	if r.sketch != nil {
+		r.sketch.Insert(v)
+	}
+}
+
+// Delete removes a tuple with the given joining-attribute value. Exact by
+// linearity; validity of the op sequence is the caller's contract.
+func (r *Relation) Delete(v uint64) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.delete(v)
+	s := r.shardOf(v)
+	s.mu.Lock()
+	err := s.sig.Delete(v)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if r.sketch != nil {
+		return r.sketch.Delete(v)
+	}
+	return nil
+}
+
+// InsertBatch adds every value in vs: one log append run, then per-shard
+// grouped counter updates so concurrent loaders contend once per shard
+// per batch.
+func (r *Relation) InsertBatch(vs []uint64) {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.insertBatch(vs)
+	r.applyBatch(vs, false)
+	if r.sketch != nil {
+		r.sketch.InsertBatch(vs)
+	}
+}
+
+// DeleteBatch removes every value in vs.
+func (r *Relation) DeleteBatch(vs []uint64) error {
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.deleteBatch(vs)
+	r.applyBatch(vs, true)
+	if r.sketch != nil {
+		return r.sketch.DeleteBatch(vs)
+	}
+	return nil
+}
+
+func (r *Relation) applyBatch(vs []uint64, del bool) {
+	if len(r.shards) == 1 {
+		s := &r.shards[0]
+		s.mu.Lock()
+		if del {
+			_ = s.sig.DeleteBatch(vs)
+		} else {
+			s.sig.InsertBatch(vs)
+		}
+		s.mu.Unlock()
+		return
+	}
+	groups := make([][]uint64, len(r.shards))
+	for _, v := range vs {
+		i := xrand.Mix64(v) & r.mask
+		groups[i] = append(groups[i], v)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		s := &r.shards[i]
+		s.mu.Lock()
+		if del {
+			_ = s.sig.DeleteBatch(g)
+		} else {
+			s.sig.InsertBatch(g)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Err returns the relation's sticky log error, if any: a failed append
+// means ops since that point are NOT durable even though the in-memory
+// synopses kept tracking them.
+func (r *Relation) Err() error { return r.log.err() }
+
+// Len returns the relation's current tuple count.
+func (r *Relation) Len() int64 {
+	var n int64
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += s.sig.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// snapshotSig merges the shard signatures into one, shard by shard (the
+// estimate reflects some linearization of concurrent updates, as with the
+// sharded sketches).
+func (r *Relation) snapshotSig() join.Signature {
+	fresh := r.eng.newSignature()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		err := fresh.Merge(s.sig)
+		s.mu.Unlock()
+		if err != nil {
+			// Shards are built from one family; a mismatch is an invariant
+			// violation, not an input error.
+			panic(fmt.Sprintf("engine: shard snapshot: %v", err))
+		}
+	}
+	return fresh
+}
+
+// SelfJoinEstimate returns the relation's estimated self-join size, from
+// the dedicated Fast-AMS sketch when configured, else from the join
+// signature's own counters (§4.4's connection between the two halves of
+// the paper).
+func (r *Relation) SelfJoinEstimate() float64 {
+	if r.sketch != nil {
+		return r.sketch.Estimate()
+	}
+	return r.snapshotSig().SelfJoinEstimate()
+}
+
+// Signature returns a point-in-time copy of the relation's join
+// signature (for export, multi-node exchange, or direct estimation).
+func (r *Relation) Signature() join.Signature { return r.snapshotSig() }
+
+// JoinEstimate is the planner-facing answer for one pair of relations.
+type JoinEstimate struct {
+	Estimate float64 // unbiased signature estimate of |F ⋈ G|
+	Sigma    float64 // Lemma 4.4 one-standard-deviation bound (from SJ estimates)
+	Fact11   float64 // Fact 1.1 upper bound (SJ(F)+SJ(G))/2, from estimates
+	SJF, SJG float64 // the self-join estimates used for the bounds
+}
+
+// EstimateJoin estimates the join size of two defined relations, with the
+// paper's error bounds attached. Both schemes carry the same Lemma 4.4
+// variance bound at equal memory, so σ = √(2·SJ(F)·SJ(G)/k) either way.
+func (e *Engine) EstimateJoin(f, g string) (JoinEstimate, error) {
+	rf, err := e.Get(f)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	rg, err := e.Get(g)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	sf, sg := rf.snapshotSig(), rg.snapshotSig()
+	est, err := join.EstimateJoin(sf, sg)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	sjF, sjG := rf.selfJoinFrom(sf), rg.selfJoinFrom(sg)
+	return JoinEstimate{
+		Estimate: est,
+		Sigma:    join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
+		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:      sjF,
+		SJG:      sjG,
+	}, nil
+}
+
+// selfJoinFrom estimates SJ(R) preferring the dedicated sketch, falling
+// back to an already-taken signature snapshot.
+func (r *Relation) selfJoinFrom(sig join.Signature) float64 {
+	if r.sketch != nil {
+		return r.sketch.Estimate()
+	}
+	return sig.SelfJoinEstimate()
+}
+
+// PairEstimate is one entry of the planning-time all-pairs matrix.
+type PairEstimate struct {
+	F, G string
+	JoinEstimate
+}
+
+// AllPairs returns estimates for all unordered pairs, in lexicographic
+// order.
+func (e *Engine) AllPairs() ([]PairEstimate, error) {
+	names := e.Names()
+	var out []PairEstimate
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			je, err := e.EstimateJoin(names[i], names[j])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PairEstimate{F: names[i], G: names[j], JoinEstimate: je})
+		}
+	}
+	return out, nil
+}
+
+// MarshalBinary serializes the engine — configuration plus every
+// relation's merged synopses — as one blob in the shared framing. It is
+// the checkpoint format.
+func (e *Engine) MarshalBinary() ([]byte, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.marshalLocked(e.epoch)
+}
+
+// engineFlags payload bits.
+const flagNoSketch uint32 = 1 << 0
+
+func (e *Engine) marshalLocked(epoch uint64) ([]byte, error) {
+	b := blob.NewBuilder(blob.MagicEngine, 1, 1024)
+	b.U64(uint64(e.opts.SignatureWords))
+	b.U64(e.opts.Seed)
+	b.U32(uint32(e.opts.Scheme))
+	b.U64(uint64(e.opts.SignatureRows))
+	b.U64(uint64(e.opts.SketchS1))
+	b.U64(uint64(e.opts.SketchS2))
+	flags := uint32(0)
+	if e.opts.NoSketch {
+		flags |= flagNoSketch
+	}
+	b.U32(flags)
+	b.U64(epoch)
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.U32(uint32(len(names)))
+	for _, n := range names {
+		r := e.rels[n]
+		sigBlob, err := r.snapshotSig().MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b.String(n)
+		b.Bytes(sigBlob)
+		if r.sketch == nil {
+			b.U32(0)
+			continue
+		}
+		snap, err := r.sketch.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		skBlob, err := snap.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		b.U32(1)
+		b.Bytes(skBlob)
+	}
+	return b.Seal(), nil
+}
+
+// UnmarshalBinary restores an engine serialized by MarshalBinary. The
+// restored engine is in-memory; Open layers durability and log replay on
+// top of this.
+func (e *Engine) UnmarshalBinary(data []byte) error {
+	fresh, err := unmarshalEngine(data, Options{})
+	if err != nil {
+		return err
+	}
+	e.opts, e.flatFam, e.fastFam, e.skCfg, e.rels, e.epoch =
+		fresh.opts, fresh.flatFam, fresh.fastFam, fresh.skCfg, fresh.rels, fresh.epoch
+	return nil
+}
+
+// unmarshalEngine decodes a checkpoint blob. Runtime-only knobs (Shards,
+// Dir) are taken from runtime rather than the blob.
+func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
+	_, payload, err := blob.Open(blob.MagicEngine, 1, data)
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint blob: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	opts := Options{
+		SignatureWords: c.Int(),
+		Seed:           c.U64(),
+		Scheme:         Scheme(c.U32()),
+		SignatureRows:  c.Int(),
+		SketchS1:       c.Int(),
+		SketchS2:       c.Int(),
+	}
+	flags := c.U32()
+	opts.NoSketch = flags&flagNoSketch != 0
+	epoch := c.U64()
+	count := c.U32()
+	if c.Err() != nil {
+		return nil, fmt.Errorf("engine: checkpoint blob: %w", c.Err())
+	}
+	opts.Shards = runtime.Shards
+	opts.Dir = runtime.Dir
+	fresh, err := newEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	fresh.epoch = epoch
+	for i := uint32(0); i < count; i++ {
+		name := c.String()
+		sigBlob := c.Bytes()
+		hasSketch := c.U32()
+		var skBlob []byte
+		if hasSketch == 1 {
+			skBlob = c.Bytes()
+		}
+		if c.Err() != nil {
+			return nil, fmt.Errorf("engine: checkpoint blob: %w", c.Err())
+		}
+		if name == "" {
+			return nil, errors.New("engine: checkpoint blob: empty relation name")
+		}
+		if _, ok := fresh.rels[name]; ok {
+			return nil, fmt.Errorf("engine: checkpoint blob: relation %q duplicated", name)
+		}
+		r, err := fresh.newRelation(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.loadSignature(sigBlob); err != nil {
+			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+		}
+		if hasSketch == 1 {
+			if r.sketch == nil {
+				return nil, fmt.Errorf("engine: relation %q carries a sketch but the engine disables it", name)
+			}
+			var tw core.FastTugOfWar
+			if err := tw.UnmarshalBinary(skBlob); err != nil {
+				return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+			}
+			if err := r.sketch.Absorb(&tw); err != nil {
+				return nil, fmt.Errorf("engine: relation %q: sketch family mismatch", name)
+			}
+		} else if r.sketch != nil {
+			return nil, fmt.Errorf("engine: relation %q misses the configured sketch", name)
+		}
+		fresh.rels[name] = r
+	}
+	if err := c.Close(); err != nil {
+		return nil, fmt.Errorf("engine: checkpoint blob: %w", err)
+	}
+	return fresh, nil
+}
+
+// loadSignature decodes a signature blob of the engine's scheme and
+// merges it into shard 0 (linearity: equivalent to having streamed the
+// pre-checkpoint ops through the shards).
+func (r *Relation) loadSignature(data []byte) error {
+	var loaded join.Signature
+	if r.eng.fastFam != nil {
+		sig := &join.FastTWSignature{}
+		if err := sig.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		loaded = sig
+	} else {
+		sig := &join.TWSignature{}
+		if err := sig.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		loaded = sig
+	}
+	if err := r.shards[0].sig.Merge(loaded); err != nil {
+		return fmt.Errorf("signature family mismatch: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+// newEng builds an in-memory engine with a moderate synopsis set (ported
+// from the old catalog tests, which this package absorbed).
+func newEng(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Options{SignatureWords: 256, Seed: 7, SketchS1: 512, SketchS2: 6, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if _, err := New(Options{SignatureWords: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(Options{SignatureWords: 256, SignatureRows: 3}); err == nil {
+		t.Fatal("rows not dividing k accepted")
+	}
+	if _, err := New(Options{SignatureWords: 256, Scheme: Scheme(9)}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := New(Options{SignatureWords: 256, Shards: -1}); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	// Defaults: 256 words → 8 rows of 32 buckets, 4 shards, sketch on.
+	e, err := New(Options{SignatureWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := e.Options()
+	if o.SignatureRows != 8 || o.Shards != 4 || o.SketchS1 != 1024 || o.SketchS2 != 8 {
+		t.Fatalf("normalized options = %+v", o)
+	}
+	// Small k keeps one row rather than starving the buckets.
+	e, _ = New(Options{SignatureWords: 8})
+	if e.Options().SignatureRows != 1 {
+		t.Fatalf("k=8 rows = %d, want 1", e.Options().SignatureRows)
+	}
+}
+
+func TestDefineGetDrop(t *testing.T) {
+	e := newEng(t)
+	r, err := e.Define("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "orders" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	if _, err := e.Define("orders"); err == nil {
+		t.Fatal("duplicate define accepted")
+	}
+	if _, err := e.Define(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	got, err := e.Get("orders")
+	if err != nil || got != r {
+		t.Fatalf("Get returned %v, %v", got, err)
+	}
+	if _, err := e.Get("nope"); err == nil {
+		t.Fatal("unknown get accepted")
+	}
+	if err := e.Drop("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop("orders"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	e := newEng(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := e.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := e.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEstimateJoinAccuracy(t *testing.T) {
+	e := newEng(t)
+	f, _ := e.Define("f")
+	g, _ := e.Define("g")
+	exF, exG := exact.NewHistogram(), exact.NewHistogram()
+	r := xrand.New(5)
+	for i := 0; i < 50000; i++ {
+		fv, gv := r.Uint64n(400), r.Uint64n(400)
+		f.Insert(fv)
+		exF.Insert(fv)
+		g.Insert(gv)
+		exG.Insert(gv)
+	}
+	je, err := e.EstimateJoin("f", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exF.JoinSize(exG))
+	if math.Abs(je.Estimate-truth) > 4*je.Sigma {
+		t.Fatalf("estimate %.3g off truth %.3g beyond 4σ (σ=%.3g)", je.Estimate, truth, je.Sigma)
+	}
+	if je.Fact11 < truth*0.8 {
+		t.Fatalf("Fact 1.1 bound %.3g implausibly below truth %.3g", je.Fact11, truth)
+	}
+	if je.SJF <= 0 || je.SJG <= 0 {
+		t.Fatal("self-join estimates missing")
+	}
+	if _, err := e.EstimateJoin("f", "missing"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	if _, err := e.EstimateJoin("missing", "g"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+// TestFlatSchemeParity runs the same accuracy smoke through SchemeFlat —
+// the paper-faithful configuration the old catalog hardwired.
+func TestFlatSchemeParity(t *testing.T) {
+	e, err := New(Options{SignatureWords: 256, Seed: 7, Scheme: SchemeFlat, NoSketch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := e.Define("f")
+	g, _ := e.Define("g")
+	exF, exG := exact.NewHistogram(), exact.NewHistogram()
+	r := xrand.New(5)
+	for i := 0; i < 20000; i++ {
+		fv, gv := r.Uint64n(300), r.Uint64n(300)
+		f.Insert(fv)
+		exF.Insert(fv)
+		g.Insert(gv)
+		exG.Insert(gv)
+	}
+	je, err := e.EstimateJoin("f", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(exF.JoinSize(exG))
+	if math.Abs(je.Estimate-truth) > 4*je.Sigma {
+		t.Fatalf("flat estimate %.3g off truth %.3g beyond 4σ (σ=%.3g)", je.Estimate, truth, je.Sigma)
+	}
+}
+
+func TestRelationDeleteReversesInsert(t *testing.T) {
+	e := newEng(t)
+	f, _ := e.Define("f")
+	f.Insert(9)
+	f.Insert(9)
+	if err := f.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if got := f.SelfJoinEstimate(); got != 1 {
+		t.Fatalf("SJ estimate = %v, want exactly 1 for single tuple", got)
+	}
+}
+
+func TestBatchMatchesSingleOps(t *testing.T) {
+	e := newEng(t)
+	a, _ := e.Define("a")
+	b, _ := e.Define("b")
+	r := xrand.New(17)
+	vs := make([]uint64, 4000)
+	for i := range vs {
+		vs[i] = r.Uint64n(200)
+	}
+	for _, v := range vs {
+		a.Insert(v)
+	}
+	b.InsertBatch(vs)
+	for _, v := range vs[:500] {
+		if err := a.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.DeleteBatch(vs[:500]); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Signature().Counters(), b.Signature().Counters()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("counter %d differs between single-op and batch ingest", i)
+		}
+	}
+	if a.SelfJoinEstimate() != b.SelfJoinEstimate() {
+		t.Fatal("self-join estimates differ between single-op and batch ingest")
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	e := newEng(t)
+	for _, n := range []string{"a", "b", "c"} {
+		rel, _ := e.Define(n)
+		for i := 0; i < 100; i++ {
+			rel.Insert(uint64(i % 10))
+		}
+	}
+	pairs, err := e.AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	if pairs[0].F != "a" || pairs[0].G != "b" {
+		t.Fatalf("pair order wrong: %+v", pairs[0])
+	}
+	// Identical relations: estimates must be positive and equal across
+	// pairs (same content, shared family).
+	for _, p := range pairs {
+		if p.Estimate != pairs[0].Estimate {
+			t.Fatalf("pair %s-%s estimate %v differs from %v", p.F, p.G, p.Estimate, pairs[0].Estimate)
+		}
+	}
+}
+
+func TestEngineSerializationRoundTrip(t *testing.T) {
+	e := newEng(t)
+	r1, _ := e.Define("facts")
+	r2, _ := e.Define("dims")
+	rng := xrand.New(11)
+	for i := 0; i < 5000; i++ {
+		r1.Insert(rng.Uint64n(100))
+		r2.Insert(rng.Uint64n(100))
+	}
+	before, err := e.EstimateJoin("facts", "dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Engine
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	after, err := back.EstimateJoin("facts", "dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("estimate changed across round trip: %+v vs %+v", before, after)
+	}
+	// The restored engine keeps tracking.
+	rel, err := back.Get("facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Insert(1)
+	if rel.Len() != 5001 {
+		t.Fatalf("restored relation Len = %d", rel.Len())
+	}
+}
+
+func TestEngineUnmarshalRejectsCorruption(t *testing.T) {
+	e := newEng(t)
+	r, _ := e.Define("x")
+	r.Insert(1)
+	data, _ := e.MarshalBinary()
+	var back Engine
+	if err := back.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[9] ^= 0xff
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("corrupted blob accepted")
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	e := newEng(t)
+	for _, n := range []string{"a", "b"} {
+		if _, err := e.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel, err := e.Get([]string{"a", "b"}[w%2])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := xrand.New(uint64(w))
+			for i := 0; i < 2000; i++ {
+				rel.Insert(r.Uint64n(50))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := e.EstimateJoin("a", "b"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	a, _ := e.Get("a")
+	b, _ := e.Get("b")
+	if a.Len()+b.Len() != 8000 {
+		t.Fatalf("total tuples = %d, want 8000", a.Len()+b.Len())
+	}
+}
+
+// TestParallelIngestLinearity is the linearity acceptance test: many
+// goroutines hammering several relations with interleaved batch inserts
+// and deletes must land on EXACTLY the estimates of a single-stream run —
+// the counters are sums, sums commute. Run under -race in CI.
+func TestParallelIngestLinearity(t *testing.T) {
+	opts := Options{SignatureWords: 128, Seed: 3, SketchS1: 128, SketchS2: 4, Shards: 4}
+	par, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relNames := []string{"r0", "r1", "r2"}
+	for _, n := range relNames {
+		if _, err := par.Define(n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seq.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deterministic per-worker streams: worker w feeds relation w%3.
+	const workers, perWorker = 8, 3000
+	streams := make([][]uint64, workers)
+	for w := range streams {
+		r := xrand.New(uint64(100 + w))
+		vs := make([]uint64, perWorker)
+		for i := range vs {
+			vs[i] = r.Uint64n(500)
+		}
+		streams[w] = vs
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel, _ := par.Get(relNames[w%len(relNames)])
+			vs := streams[w]
+			// Mix of batch and single-op ingest, plus deletes of a prefix
+			// the worker itself inserted (kept valid per relation).
+			rel.InsertBatch(vs[:perWorker/2])
+			for _, v := range vs[perWorker/2:] {
+				rel.Insert(v)
+			}
+			if err := rel.DeleteBatch(vs[:perWorker/4]); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Single-stream reference, different interleaving on purpose.
+	for w := workers - 1; w >= 0; w-- {
+		rel, _ := seq.Get(relNames[w%len(relNames)])
+		vs := streams[w]
+		for _, v := range vs {
+			rel.Insert(v)
+		}
+		if err := rel.DeleteBatch(vs[:perWorker/4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range relNames {
+		rp, _ := par.Get(n)
+		rs, _ := seq.Get(n)
+		if rp.Len() != rs.Len() {
+			t.Fatalf("%s: Len %d != %d", n, rp.Len(), rs.Len())
+		}
+		if rp.SelfJoinEstimate() != rs.SelfJoinEstimate() {
+			t.Fatalf("%s: self-join estimate differs from single-stream run", n)
+		}
+	}
+	for i := 0; i < len(relNames); i++ {
+		for j := i + 1; j < len(relNames); j++ {
+			jp, err := par.EstimateJoin(relNames[i], relNames[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			js, err := seq.EstimateJoin(relNames[i], relNames[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jp != js {
+				t.Fatalf("%s⋈%s: parallel %+v != single-stream %+v", relNames[i], relNames[j], jp, js)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+// tinyEng keeps the synopsis set minimal so exhaustive blob mutation
+// stays fast.
+func tinyEng(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Options{SignatureWords: 4, Seed: 2, SketchS1: 4, SketchS2: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineBlobTruncationNeverPanics truncates the checkpoint blob at
+// every offset; every prefix must be rejected cleanly.
+func TestEngineBlobTruncationNeverPanics(t *testing.T) {
+	e := tinyEng(t)
+	r1, _ := e.Define("aa")
+	r2, _ := e.Define("bb")
+	for i := 0; i < 50; i++ {
+		r1.Insert(uint64(i % 5))
+		r2.Insert(uint64(i % 3))
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var back Engine
+		if err := back.UnmarshalBinary(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+	var back Engine
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatalf("full blob rejected: %v", err)
+	}
+	if got := back.Names(); len(got) != 2 || got[0] != "aa" || got[1] != "bb" {
+		t.Fatalf("restored names = %v", got)
+	}
+}
+
+// TestEngineBlobBitFlipsDetected flips each byte once; the CRC must catch
+// every mutation.
+func TestEngineBlobBitFlipsDetected(t *testing.T) {
+	e := tinyEng(t)
+	r, _ := e.Define("x")
+	r.Insert(1)
+	data, _ := e.MarshalBinary()
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x80
+		var back Engine
+		if err := back.UnmarshalBinary(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}

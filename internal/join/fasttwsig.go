@@ -1,0 +1,306 @@
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"amstrack/internal/blob"
+	"amstrack/internal/hash"
+	"amstrack/internal/xrand"
+)
+
+// FastFamily is the bucketed counterpart of Family: instead of k
+// independent ±1 functions each touching its own counter on every update,
+// it keeps `rows` tabulation hashes (hash.Tab4), each owning a row of
+// `buckets` counters. One evaluation yields 64 jointly four-wise
+// independent bits, from which a row derives BOTH the bucket index (high
+// bits) and the sign (low bit) — so an update touches one counter per row:
+// O(rows) work however large the signature grows, against the flat
+// scheme's O(k). This is the §4.3 signature restructured exactly the way
+// core.FastTugOfWar restructures the §2.2 sketch.
+//
+// Estimator and guarantee. For signatures S_F, S_G of one family, row j's
+// statistic is the bucket-wise inner product Y_j = Σ_b Z_F[j][b]·Z_G[j][b].
+// Writing f, g for the frequency vectors and ε_j, b_j for row j's sign and
+// bucket functions,
+//
+//	E[Y_j] = Σ_{u,v} f_u·g_v·E[ε_j(u)ε_j(v)·1{b_j(u)=b_j(v)}] = Σ_v f_v·g_v,
+//
+// because for u ≠ v the pair (h_j(u), h_j(v)) is jointly uniform (four-wise
+// independence implies pairwise), making the sign product mean-zero even
+// conditioned on the bucket bits — so each row is an unbiased estimator of
+// |F ⋈ G|, mirroring Lemma 4.4. Distinct values only interact when a row's
+// bucket hash collides them (probability 1/buckets), and the signs are
+// four-wise independent, so
+//
+//	Var(Y_j) ≤ (SJ(F)·SJ(G) + |F ⋈ G|²)/buckets ≤ 2·SJ(F)·SJ(G)/buckets
+//
+// (Cauchy–Schwarz bounds the join size term). Averaging the rows divides
+// the variance by rows, so with k = buckets·rows total words the final
+// bound Var ≤ 2·SJ(F)·SJ(G)/k is EXACTLY the flat signature's Lemma 4.4
+// bound at equal memory — ErrorBound(sjF, sjG, MemoryWords()) applies to
+// either scheme unchanged.
+//
+// A FastFamily is heavier than a Family seed-wise (rows × 64 KiB of
+// tabulation tables) but is shared by every signature built from it, so a
+// catalog of relations pays the tables once.
+type FastFamily struct {
+	buckets int
+	rows    int
+	seed    uint64
+	hs      []hash.Tab4
+}
+
+// NewFastFamily creates a bucketed family: `rows` independent tabulation
+// hashes over `buckets` counters each. Signatures from equal
+// (buckets, rows, seed) triples are mutually estimable and mergeable.
+func NewFastFamily(buckets, rows int, seed uint64) (*FastFamily, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("join: fast family buckets = %d, must be >= 1", buckets)
+	}
+	if rows < 1 {
+		return nil, fmt.Errorf("join: fast family rows = %d, must be >= 1", rows)
+	}
+	f := &FastFamily{buckets: buckets, rows: rows, seed: seed, hs: make([]hash.Tab4, rows)}
+	for j := range f.hs {
+		// Seed stream disjoint from both the flat Family's polynomial
+		// hashes and core's fast sketch rows, so a catalog running all
+		// three under one master seed keeps them statistically independent.
+		f.hs[j] = hash.NewTab4(xrand.Mix64(seed ^ (uint64(j)+1)*0x94d049bb133111eb))
+	}
+	return f, nil
+}
+
+// Buckets returns the per-row counter count (the accuracy knob).
+func (f *FastFamily) Buckets() int { return f.buckets }
+
+// Rows returns the row count (the confidence knob, and the per-update cost).
+func (f *FastFamily) Rows() int { return f.rows }
+
+// Seed returns the family seed.
+func (f *FastFamily) Seed() uint64 { return f.seed }
+
+// K returns the total signature size buckets·rows in memory words,
+// comparable to Family.K.
+func (f *FastFamily) K() int { return f.buckets * f.rows }
+
+// NewSignature returns an empty signature bound to this family.
+func (f *FastFamily) NewSignature() *FastTWSignature {
+	return &FastTWSignature{family: f, z: make([]int64, f.buckets*f.rows)}
+}
+
+// FastTWSignature is a bucketed k-TW join signature: rows × buckets
+// counters updated with one hash evaluation and one counter touch per row.
+// It satisfies Signature alongside the flat TWSignature; EstimateJoin and
+// EstimateJoinMedianOfMeans accept either scheme (both sides must share
+// one family).
+type FastTWSignature struct {
+	family *FastFamily
+	z      []int64 // row-major: row j occupies [j*buckets, (j+1)*buckets)
+	n      int64
+}
+
+// fastBucket maps a hash output to a row-local index in [0, buckets) from
+// the high 32 bits, disjoint from the sign bit.
+func fastBucket(h uint64, buckets int) int {
+	return int((h >> 32) * uint64(buckets) >> 32)
+}
+
+// Insert adds a tuple with joining-attribute value v. O(rows).
+func (s *FastTWSignature) Insert(v uint64) {
+	b := s.family.buckets
+	for j, hj := range s.family.hs {
+		h := hj.Hash(v)
+		s.z[j*b+fastBucket(h, b)] += int64(h&1)*2 - 1
+	}
+	s.n++
+}
+
+// Delete removes a tuple with joining-attribute value v. Exact, by
+// linearity; validity of the op sequence is the caller's contract.
+func (s *FastTWSignature) Delete(v uint64) error {
+	b := s.family.buckets
+	for j, hj := range s.family.hs {
+		h := hj.Hash(v)
+		s.z[j*b+fastBucket(h, b)] -= int64(h&1)*2 - 1
+	}
+	s.n--
+	return nil
+}
+
+// InsertBatch adds every value in vs. The row loop is hoisted so each
+// row's tabulation tables and counters stay cache-resident for the whole
+// batch, as in core.FastTugOfWar.
+func (s *FastTWSignature) InsertBatch(vs []uint64) {
+	s.applyBatch(vs, +1)
+	s.n += int64(len(vs))
+}
+
+// DeleteBatch removes every value in vs.
+func (s *FastTWSignature) DeleteBatch(vs []uint64) error {
+	s.applyBatch(vs, -1)
+	s.n -= int64(len(vs))
+	return nil
+}
+
+func (s *FastTWSignature) applyBatch(vs []uint64, dir int64) {
+	b := s.family.buckets
+	for j, hj := range s.family.hs {
+		row := s.z[j*b : (j+1)*b : (j+1)*b]
+		for _, v := range vs {
+			h := hj.Hash(v)
+			row[fastBucket(h, b)] += dir * (int64(h&1)*2 - 1)
+		}
+	}
+}
+
+// SetFrequencies loads the signature from a frequency vector, replacing
+// current state; bit-identical to streaming the inserts (linearity).
+func (s *FastTWSignature) SetFrequencies(freq map[uint64]int64) {
+	for i := range s.z {
+		s.z[i] = 0
+	}
+	s.n = 0
+	b := s.family.buckets
+	for v, f := range freq {
+		for j, hj := range s.family.hs {
+			h := hj.Hash(v)
+			s.z[j*b+fastBucket(h, b)] += (int64(h&1)*2 - 1) * f
+		}
+		s.n += f
+	}
+}
+
+// Len returns the current number of tuples in the tracked relation.
+func (s *FastTWSignature) Len() int64 { return s.n }
+
+// MemoryWords returns buckets·rows, the total counter storage.
+func (s *FastTWSignature) MemoryWords() int { return len(s.z) }
+
+// Family returns the signature's family.
+func (s *FastTWSignature) Family() *FastFamily { return s.family }
+
+// Counters returns a copy of the raw counters (row-major).
+func (s *FastTWSignature) Counters() []int64 {
+	out := make([]int64, len(s.z))
+	copy(out, s.z)
+	return out
+}
+
+// SelfJoinEstimate returns the Fast-AMS self-join estimate from the
+// signature's own counters: the median over rows of the row bucket sums
+// Σ_b Z², each an unbiased estimator of SJ(R) with Var ≤ 2·SJ²/buckets
+// (Thorup–Zhang; see core.FastTugOfWar).
+func (s *FastTWSignature) SelfJoinEstimate() float64 {
+	b := s.family.buckets
+	sums := make([]float64, s.family.rows)
+	for j := range sums {
+		sum := 0.0
+		for _, z := range s.z[j*b : (j+1)*b] {
+			sum += float64(z) * float64(z)
+		}
+		sums[j] = sum
+	}
+	return median(sums)
+}
+
+// Merge adds other's counters into s. Both must come from one family;
+// the result is exactly the signature of the concatenated streams.
+func (s *FastTWSignature) Merge(other Signature) error {
+	o, ok := other.(*FastTWSignature)
+	if !ok {
+		return errSchemeMismatch(s, other)
+	}
+	if err := compatibleFast(s, o); err != nil {
+		return err
+	}
+	for i, z := range o.z {
+		s.z[i] += z
+	}
+	s.n += o.n
+	return nil
+}
+
+// terms returns the per-row inner products Y_j — the independent unbiased
+// estimates EstimateJoin averages and EstimateJoinMedianOfMeans medians.
+func (s *FastTWSignature) terms(other Signature) ([]float64, error) {
+	o, ok := other.(*FastTWSignature)
+	if !ok {
+		return nil, errSchemeMismatch(s, other)
+	}
+	if err := compatibleFast(s, o); err != nil {
+		return nil, err
+	}
+	b := s.family.buckets
+	out := make([]float64, s.family.rows)
+	for j := range out {
+		sum := 0.0
+		for i := j * b; i < (j+1)*b; i++ {
+			sum += float64(s.z[i]) * float64(o.z[i])
+		}
+		out[j] = sum
+	}
+	return out, nil
+}
+
+func compatibleFast(a, b *FastTWSignature) error {
+	if a.family == nil || b.family == nil {
+		return errors.New("join: signature without family")
+	}
+	if a.family.buckets != b.family.buckets || a.family.rows != b.family.rows ||
+		a.family.seed != b.family.seed {
+		return errors.New("join: signatures from different families cannot be combined")
+	}
+	return nil
+}
+
+// MarshalBinary serializes the signature via the shared blob codec:
+// buckets, rows, seed, n, counters. The tabulation tables are re-derived
+// from the family seed on load, keeping blobs small enough to exchange
+// between nodes.
+func (s *FastTWSignature) MarshalBinary() ([]byte, error) {
+	b := blob.NewBuilder(blob.MagicFastTWSig, 1, 8*4+8*len(s.z))
+	b.U64(uint64(s.family.buckets))
+	b.U64(uint64(s.family.rows))
+	b.U64(s.family.seed)
+	b.I64(s.n)
+	b.I64s(s.z)
+	return b.Seal(), nil
+}
+
+// UnmarshalBinary restores a signature serialized by MarshalBinary.
+func (s *FastTWSignature) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicFastTWSig, 1, data)
+	if err != nil {
+		return fmt.Errorf("join: fast signature blob: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	buckets := c.Int()
+	rows := c.Int()
+	seed := c.U64()
+	n := c.I64()
+	if c.Err() != nil {
+		return fmt.Errorf("join: fast signature blob: %w", c.Err())
+	}
+	// Division form: buckets·rows from a hostile header could overflow,
+	// so validate against the payload-bounded counter count instead.
+	cnt := c.Remaining() / 8
+	if buckets < 1 || rows < 1 || c.Remaining() != 8*cnt || cnt%buckets != 0 || cnt/buckets != rows {
+		return fmt.Errorf("join: fast signature blob length inconsistent with %dx%d", rows, buckets)
+	}
+	z := c.I64s(cnt)
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("join: fast signature blob: %w", err)
+	}
+	fam, err := NewFastFamily(buckets, rows, seed)
+	if err != nil {
+		return err
+	}
+	fresh := fam.NewSignature()
+	fresh.n = n
+	copy(fresh.z, z)
+	*s = *fresh
+	return nil
+}
+
+var _ Signature = (*FastTWSignature)(nil)

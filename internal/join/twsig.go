@@ -21,12 +21,11 @@
 package join
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
 
+	"amstrack/internal/blob"
 	"amstrack/internal/hash"
 	"amstrack/internal/xrand"
 )
@@ -93,6 +92,23 @@ func (s *TWSignature) Delete(v uint64) error {
 	return nil
 }
 
+// InsertBatch adds every value in vs, equivalent to repeated Insert.
+func (s *TWSignature) InsertBatch(vs []uint64) {
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
+// DeleteBatch removes every value in vs.
+func (s *TWSignature) DeleteBatch(vs []uint64) error {
+	for _, v := range vs {
+		if err := s.Delete(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SetFrequencies loads the signature from a frequency vector, replacing
 // current state. Linearity makes this identical to streaming the inserts.
 func (s *TWSignature) SetFrequencies(freq map[uint64]int64) {
@@ -136,53 +152,39 @@ func (s *TWSignature) SelfJoinEstimate() float64 {
 	return sum / float64(len(s.z))
 }
 
-// EstimateJoin returns the k-TW estimator of |F ⋈ G|: the arithmetic mean
-// of the k products S_F[m]·S_G[m] (§4.3). An error is returned when the
-// signatures belong to different families.
-func EstimateJoin(a, b *TWSignature) (float64, error) {
-	if err := compatible(a, b); err != nil {
-		return 0, err
+// terms returns the k per-counter products S_F[m]·S_G[m] — each an
+// unbiased estimate of |F ⋈ G| with Var ≤ 2·SJ(F)·SJ(G) (§4.3) — which
+// EstimateJoin averages and EstimateJoinMedianOfMeans medians.
+func (s *TWSignature) terms(other Signature) ([]float64, error) {
+	o, ok := other.(*TWSignature)
+	if !ok {
+		return nil, errSchemeMismatch(s, other)
 	}
-	sum := 0.0
-	for m := range a.z {
-		sum += float64(a.z[m]) * float64(b.z[m])
+	if err := compatible(s, o); err != nil {
+		return nil, err
 	}
-	return sum / float64(len(a.z)), nil
+	out := make([]float64, len(s.z))
+	for m := range s.z {
+		out[m] = float64(s.z[m]) * float64(o.z[m])
+	}
+	return out, nil
 }
 
-// EstimateJoinMedianOfMeans splits the k products into groups of size
-// groupSize and returns the median of the group means. With
-// groupSize = k the result equals EstimateJoin. The paper's §4.3 uses the
-// plain mean; the median-of-means variant trades a constant factor of
-// variance for exponentially better tail bounds and is provided for
-// production use.
-func EstimateJoinMedianOfMeans(a, b *TWSignature, groupSize int) (float64, error) {
-	if err := compatible(a, b); err != nil {
-		return 0, err
+// Merge adds other's counters into s. Both must come from one family;
+// the result is exactly the signature of the concatenated streams.
+func (s *TWSignature) Merge(other Signature) error {
+	o, ok := other.(*TWSignature)
+	if !ok {
+		return errSchemeMismatch(s, other)
 	}
-	k := len(a.z)
-	if groupSize < 1 || k%groupSize != 0 {
-		return 0, fmt.Errorf("join: cannot split %d products into groups of %d", k, groupSize)
+	if err := compatible(s, o); err != nil {
+		return err
 	}
-	groups := k / groupSize
-	means := make([]float64, groups)
-	for g := 0; g < groups; g++ {
-		sum := 0.0
-		for m := g * groupSize; m < (g+1)*groupSize; m++ {
-			sum += float64(a.z[m]) * float64(b.z[m])
-		}
-		means[g] = sum / float64(groupSize)
+	for m, z := range o.z {
+		s.z[m] += z
 	}
-	// Median (insertion sort; groups is small).
-	for i := 1; i < len(means); i++ {
-		for j := i; j > 0 && means[j] < means[j-1]; j-- {
-			means[j], means[j-1] = means[j-1], means[j]
-		}
-	}
-	if groups%2 == 1 {
-		return means[groups/2], nil
-	}
-	return (means[groups/2-1] + means[groups/2]) / 2, nil
+	s.n += o.n
+	return nil
 }
 
 // ErrorBound returns the Lemma 4.4 / Theorem 4.5 standard-deviation bound
@@ -226,41 +228,37 @@ func compatible(a, b *TWSignature) error {
 	return nil
 }
 
-// twMagic identifies serialized k-TW signatures.
-const twMagic uint32 = 0xA0517002
-
-// MarshalBinary serializes the signature (family parameters, counters,
-// CRC32). The hash functions are re-derived from the family seed on load.
+// MarshalBinary serializes the signature via the shared blob codec: k,
+// seed, n, counters. The hash functions are re-derived from the family
+// seed on load.
 func (s *TWSignature) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 4+8*3+8*len(s.z)+4)
-	buf = binary.LittleEndian.AppendUint32(buf, twMagic)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.family.k))
-	buf = binary.LittleEndian.AppendUint64(buf, s.family.seed)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.n))
-	for _, z := range s.z {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(z))
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-	return buf, nil
+	b := blob.NewBuilder(blob.MagicTWSignature, 1, 8*3+8*len(s.z))
+	b.U64(uint64(s.family.k))
+	b.U64(s.family.seed)
+	b.I64(s.n)
+	b.I64s(s.z)
+	return b.Seal(), nil
 }
 
 // UnmarshalBinary restores a signature serialized by MarshalBinary.
 func (s *TWSignature) UnmarshalBinary(data []byte) error {
-	if len(data) < 4+8*3+4 {
-		return errors.New("join: signature blob too short")
+	_, payload, err := blob.Open(blob.MagicTWSignature, 1, data)
+	if err != nil {
+		return fmt.Errorf("join: signature blob: %w", err)
 	}
-	payload, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
-	if crc32.ChecksumIEEE(payload) != sum {
-		return errors.New("join: signature blob checksum mismatch")
+	c := blob.NewCursor(payload)
+	k := c.Int()
+	seed := c.U64()
+	n := c.I64()
+	if c.Err() != nil {
+		return fmt.Errorf("join: signature blob: %w", c.Err())
 	}
-	if binary.LittleEndian.Uint32(payload) != twMagic {
-		return errors.New("join: not a k-TW signature blob")
+	if k < 1 || c.Remaining()%8 != 0 || c.Remaining()/8 != k {
+		return fmt.Errorf("join: signature blob length inconsistent with k = %d", k)
 	}
-	k := int(binary.LittleEndian.Uint64(payload[4:]))
-	seed := binary.LittleEndian.Uint64(payload[12:])
-	n := int64(binary.LittleEndian.Uint64(payload[20:]))
-	if k < 1 || len(payload) != 28+8*k {
-		return fmt.Errorf("join: signature blob length %d inconsistent with k = %d", len(data), k)
+	z := c.I64s(k)
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("join: signature blob: %w", err)
 	}
 	fam, err := NewFamily(k, seed)
 	if err != nil {
@@ -268,9 +266,9 @@ func (s *TWSignature) UnmarshalBinary(data []byte) error {
 	}
 	fresh := fam.NewSignature()
 	fresh.n = n
-	for m := 0; m < k; m++ {
-		fresh.z[m] = int64(binary.LittleEndian.Uint64(payload[28+8*m:]))
-	}
+	copy(fresh.z, z)
 	*s = *fresh
 	return nil
 }
+
+var _ Signature = (*TWSignature)(nil)

@@ -1,0 +1,87 @@
+package oplog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"amstrack/internal/stream"
+)
+
+// FuzzReader drives Reader.Next with arbitrary byte streams — random
+// garbage, valid logs, and torn-tail prefixes of valid logs — and checks
+// the recovery contract the engine depends on:
+//
+//   - Next never panics;
+//   - whatever happens, Offset() is a clean truncation point: a whole
+//     number of records, within the input, and the prefix up to it
+//     re-reads cleanly as exactly Count() records;
+//   - a failure is reported as io.ErrUnexpectedEOF (short tail) only
+//     when the input ends mid-record, and as ErrCorrupt otherwise.
+func FuzzReader(f *testing.F) {
+	// Seed: a valid log and several of its torn prefixes.
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	for i := 0; i < 8; i++ {
+		_ = w.Append(stream.Op{Kind: stream.Insert, Value: uint64(i * 7)})
+	}
+	_ = w.Append(stream.Op{Kind: stream.Delete, Value: 7})
+	_ = w.Append(stream.Op{Kind: stream.Query})
+	_ = w.Flush()
+	full := valid.Bytes()
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), full...))
+	for _, cut := range []int{1, recordSize - 1, recordSize, recordSize + 5, len(full) - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	f.Add(bytes.Repeat([]byte{0xFF}, 3*recordSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lr := NewReader(bytes.NewReader(data))
+		var ops []stream.Op
+		var failure error
+		for {
+			op, err := lr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				failure = err
+				break
+			}
+			ops = append(ops, op)
+		}
+		clean := lr.Offset()
+		if clean != int64(len(ops))*recordSize {
+			t.Fatalf("Offset %d inconsistent with %d decoded records", clean, len(ops))
+		}
+		if clean > int64(len(data)) {
+			t.Fatalf("Offset %d beyond input length %d", clean, len(data))
+		}
+		if failure == nil {
+			// Clean EOF is only legal at a record boundary.
+			if len(data)%recordSize != 0 || clean != int64(len(data)) {
+				t.Fatalf("clean EOF with %d bytes unaccounted", int64(len(data))-clean)
+			}
+		} else if failure == io.ErrUnexpectedEOF {
+			// Short-tail reports require an actual partial record.
+			if (len(data)-int(clean))%recordSize == 0 {
+				t.Fatalf("torn-tail error with whole-record remainder %d", len(data)-int(clean))
+			}
+		}
+
+		// The clean prefix must re-read without error, yielding the same ops.
+		again, err := ReadAll(bytes.NewReader(data[:clean]))
+		if err != nil {
+			t.Fatalf("clean prefix re-read failed: %v", err)
+		}
+		if len(again) != len(ops) {
+			t.Fatalf("re-read %d ops, want %d", len(again), len(ops))
+		}
+		for i := range ops {
+			if again[i] != ops[i] {
+				t.Fatalf("op %d differs on re-read", i)
+			}
+		}
+	})
+}

@@ -88,13 +88,17 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Next returns the next operation. io.EOF signals a clean end;
-// io.ErrUnexpectedEOF a torn tail; ErrCorrupt a checksum failure.
+// io.ErrUnexpectedEOF a torn tail (the stream ended mid-record);
+// ErrCorrupt a checksum failure. Any other error is a genuine read
+// failure from the underlying reader, passed through unchanged — callers
+// that truncate torn tails (engine recovery) must NOT treat a transient
+// I/O error as permission to cut a healthy log.
 func (lr *Reader) Next() (stream.Op, error) {
 	if _, err := io.ReadFull(lr.r, lr.buf[:]); err != nil {
-		if err == io.EOF {
-			return stream.Op{}, io.EOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return stream.Op{}, err
 		}
-		return stream.Op{}, io.ErrUnexpectedEOF
+		return stream.Op{}, fmt.Errorf("oplog: read record %d: %w", lr.n, err)
 	}
 	if crc32.ChecksumIEEE(lr.buf[:9]) != binary.LittleEndian.Uint32(lr.buf[9:]) {
 		return stream.Op{}, fmt.Errorf("%w at record %d", ErrCorrupt, lr.n)
@@ -111,6 +115,10 @@ func (lr *Reader) Next() (stream.Op, error) {
 
 // Count returns how many records have been read so far.
 func (lr *Reader) Count() int64 { return lr.n }
+
+// Offset returns the byte offset just past the last cleanly decoded
+// record — the truncation point a recovery should cut a torn log back to.
+func (lr *Reader) Offset() int64 { return lr.n * recordSize }
 
 // ReadAll decodes every remaining record.
 func ReadAll(r io.Reader) ([]stream.Op, error) {

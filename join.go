@@ -24,14 +24,38 @@ func NewSignatureFamily(k int, seed uint64) (*SignatureFamily, error) {
 // bound √(2·SJ(F)·SJ(G)/k) can be evaluated online.
 type JoinSignature = join.TWSignature
 
-// EstimateJoin returns the k-TW estimator of |F ⋈ G| from two signatures
-// of the same family (Lemma 4.4: unbiased, Var ≤ 2·SJ(F)·SJ(G)/k).
-func EstimateJoin(f, g *JoinSignature) (float64, error) { return join.EstimateJoin(f, g) }
+// Signature is the common interface of the join signature schemes (the
+// flat JoinSignature and the bucketed FastJoinSignature); EstimateJoin
+// and EstimateJoinRobust accept either, provided both sides share one
+// scheme and family.
+type Signature = join.Signature
+
+// FastSignatureFamily is the bucketed counterpart of SignatureFamily:
+// `rows` tabulation hashes over `buckets` counters each, one counter
+// touched per row per update — O(rows) ingest work however large the
+// signature grows, with the same Lemma 4.4 variance bound at equal
+// memory (k = buckets·rows).
+type FastSignatureFamily = join.FastFamily
+
+// NewFastSignatureFamily creates a bucketed family from seed.
+func NewFastSignatureFamily(buckets, rows int, seed uint64) (*FastSignatureFamily, error) {
+	return join.NewFastFamily(buckets, rows, seed)
+}
+
+// FastJoinSignature is the bucketed k-TW join signature with O(rows)
+// updates.
+type FastJoinSignature = join.FastTWSignature
+
+// EstimateJoin returns the unbiased join-size estimator of |F ⋈ G| from
+// two signatures of one scheme and family (Lemma 4.4: unbiased,
+// Var ≤ 2·SJ(F)·SJ(G)/k for k total memory words — for either scheme).
+func EstimateJoin(f, g Signature) (float64, error) { return join.EstimateJoin(f, g) }
 
 // EstimateJoinRobust is EstimateJoin with a median-of-means combination
-// over groups of groupSize products (groupSize must divide k); it trades a
+// over groups of groupSize per-term estimates (groupSize must divide the
+// term count: k for the flat scheme, rows for the fast one); it trades a
 // constant variance factor for exponentially better tail bounds.
-func EstimateJoinRobust(f, g *JoinSignature, groupSize int) (float64, error) {
+func EstimateJoinRobust(f, g Signature, groupSize int) (float64, error) {
 	return join.EstimateJoinMedianOfMeans(f, g, groupSize)
 }
 
