@@ -46,6 +46,7 @@ func main() {
 		sketchS1  = flag.Int("sketch-s1", 0, "self-join sketch buckets per row (0: default)")
 		sketchS2  = flag.Int("sketch-s2", 0, "self-join sketch rows (0: default)")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "automatic checkpoint interval (0: manual only; needs -dir)")
+		maxBodyMB = flag.Int64("max-body-mb", 0, "request-body cap in MiB for ingest and bundle uploads (0: default 64)")
 	)
 	flag.Parse()
 
@@ -62,13 +63,13 @@ func main() {
 	if *flat {
 		opts.Scheme = engine.SchemeFlat
 	}
-	if err := run(opts, *addr, *ckptEvery); err != nil {
+	if err := run(opts, *addr, *ckptEvery, *maxBodyMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "amsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts engine.Options, addr string, ckptEvery time.Duration) error {
+func run(opts engine.Options, addr string, ckptEvery time.Duration, maxBody int64) error {
 	var (
 		eng *engine.Engine
 		err error
@@ -82,7 +83,7 @@ func run(opts engine.Options, addr string, ckptEvery time.Duration) error {
 		return err
 	}
 
-	srv := &http.Server{Addr: addr, Handler: amsd.NewServer(eng)}
+	srv := &http.Server{Addr: addr, Handler: amsd.NewServerMaxBody(eng, maxBody)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

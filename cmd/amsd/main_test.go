@@ -247,11 +247,11 @@ func TestCheckpointInMemoryConflict(t *testing.T) {
 // TestRunFlagValidation exercises the daemon entry's option plumbing
 // without binding a port.
 func TestRunFlagValidation(t *testing.T) {
-	err := run(engine.Options{SignatureWords: 0}, "127.0.0.1:0", 0)
+	err := run(engine.Options{SignatureWords: 0}, "127.0.0.1:0", 0, 0)
 	if err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if err := run(engine.Options{SignatureWords: 32}, "", time.Nanosecond); err == nil {
+	if err := run(engine.Options{SignatureWords: 32}, "", time.Nanosecond, 0); err == nil {
 		t.Fatal("-checkpoint-every without -dir accepted")
 	}
 }

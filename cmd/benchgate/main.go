@@ -1,0 +1,127 @@
+// Command benchgate is the perf-trajectory regression gate: it compares
+// a freshly measured BENCH_fastjoin.json (amsbench -experiment fastjoin
+// -json) against the committed baseline and fails — exit 1 — when the
+// fast signature's update cost regressed beyond the tolerance. CI runs
+// it after the fastjoin experiment, so a PR that slows the O(rows) hot
+// path by more than 25% cannot merge silently.
+//
+// Two metrics:
+//
+//   - normalized (default): fast_ns_per_update ÷ flat_ns_per_update,
+//     measured in the SAME process on the SAME machine. The flat scheme's
+//     O(k) loop acts as a built-in machine-speed probe, so the ratio
+//     cancels out runner-hardware variance that would make raw
+//     nanoseconds flap across CI hosts;
+//   - absolute (-metric absolute): raw fast_ns_per_update, for
+//     like-for-like machines (e.g. a dedicated perf box).
+//
+// Usage:
+//
+//	benchgate -bench BENCH_fastjoin.json -baseline BENCH_fastjoin.baseline.json [-max-regress 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchFile is the subset of experiments.FastJoinResult the gate reads.
+type benchFile struct {
+	Experiment      string  `json:"experiment"`
+	K               int     `json:"k"`
+	FlatNsPerUpdate float64 `json:"flat_ns_per_update"`
+	FastNsPerUpdate float64 `json:"fast_ns_per_update"`
+}
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "BENCH_fastjoin.json", "freshly measured fastjoin result")
+		basePath   = flag.String("baseline", "BENCH_fastjoin.baseline.json", "committed baseline to gate against")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum tolerated relative regression (0.25 = 25%)")
+		metric     = flag.String("metric", "normalized", "\"normalized\" (fast/flat ratio, machine-independent) or \"absolute\" (raw fast ns/op)")
+		updateBase = flag.Bool("update-baseline", false, "rewrite the baseline from the current measurement instead of gating")
+	)
+	flag.Parse()
+	if err := run(*benchPath, *basePath, *maxRegress, *metric, *updateBase, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchFile
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Experiment != "fastjoin" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin", path, b.Experiment)
+	}
+	if b.FastNsPerUpdate <= 0 || b.FlatNsPerUpdate <= 0 {
+		return nil, fmt.Errorf("%s: non-positive timings (fast=%g flat=%g)", path, b.FastNsPerUpdate, b.FlatNsPerUpdate)
+	}
+	return &b, nil
+}
+
+// value extracts the gated metric from a measurement.
+func value(b *benchFile, metric string) (float64, error) {
+	switch metric {
+	case "normalized":
+		return b.FastNsPerUpdate / b.FlatNsPerUpdate, nil
+	case "absolute":
+		return b.FastNsPerUpdate, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (want normalized or absolute)", metric)
+	}
+}
+
+func run(benchPath, basePath string, maxRegress float64, metric string, updateBase bool, out io.Writer) error {
+	if maxRegress <= 0 {
+		return fmt.Errorf("max-regress %g must be positive", maxRegress)
+	}
+	cur, err := load(benchPath)
+	if err != nil {
+		return err
+	}
+	if updateBase {
+		raw, err := os.ReadFile(benchPath)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: baseline %s refreshed from %s\n", basePath, benchPath)
+		return nil
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	if cur.K != base.K {
+		return fmt.Errorf("signature size changed (k=%d vs baseline k=%d); refresh the baseline with -update-baseline", cur.K, base.K)
+	}
+	curV, err := value(cur, metric)
+	if err != nil {
+		return err
+	}
+	baseV, err := value(base, metric)
+	if err != nil {
+		return err
+	}
+	regress := curV/baseV - 1
+	fmt.Fprintf(out, "benchgate: metric=%s k=%d current=%.4g baseline=%.4g regression=%+.1f%% (tolerance %.0f%%)\n",
+		metric, cur.K, curV, baseV, 100*regress, 100*maxRegress)
+	fmt.Fprintf(out, "benchgate: fast=%.4g ns/op flat=%.4g ns/op (baseline fast=%.4g flat=%.4g)\n",
+		cur.FastNsPerUpdate, cur.FlatNsPerUpdate, base.FastNsPerUpdate, base.FlatNsPerUpdate)
+	if regress > maxRegress {
+		return fmt.Errorf("fast-signature update cost regressed %.1f%% > %.0f%% tolerance", 100*regress, 100*maxRegress)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/dist"
+	"amstrack/internal/engine"
+)
+
+// nodeOpts is the shared engine shape: every node (and the single-node
+// reference) must run equal Seed and shape options for exchange to work.
+func nodeOpts() engine.Options {
+	return engine.Options{SignatureWords: 512, SignatureRows: 4, Seed: 7, SketchS1: 256, SketchS2: 4}
+}
+
+func newNode(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.New(nodeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(amsd.NewServer(eng))
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func define(t *testing.T, e *engine.Engine, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		if _, err := e.Define(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCoordinatorBitIdentical is the acceptance path: two amsd nodes each
+// ingest half of a TPC-like partitioned relation pair (zipf-skewed
+// orders, flatter lineitems, with a deletion wave); the coordinator
+// merges the shipped bundles and its join estimate — and every bound
+// attached to it — is BIT-IDENTICAL to a single node having ingested the
+// full data. Linearity makes the merge exact, not approximate.
+func TestCoordinatorBitIdentical(t *testing.T) {
+	zipf, err := dist.NewZipf(1.2, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := dist.NewZipf(1.05, 4000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := dist.Take(zipf, 30000)
+	lineitems := dist.Take(flat, 30000)
+
+	// Single-node reference over the full data.
+	full, err := engine.New(nodeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	define(t, full, "orders", "lineitems")
+	fo, _ := full.Get("orders")
+	fl, _ := full.Get("lineitems")
+	fo.InsertBatch(orders)
+	fl.InsertBatch(lineitems)
+	fo2, _ := full.Get("orders")
+	if err := fo2.DeleteBatch(orders[:2000]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two nodes, each holding every other tuple, driven over HTTP.
+	engines := make([]*engine.Engine, 2)
+	urls := make([]string, 2)
+	for i := range engines {
+		var ts *httptest.Server
+		engines[i], ts = newNode(t)
+		urls[i] = ts.URL
+		define(t, engines[i], "orders", "lineitems")
+	}
+	split := func(vs []uint64, i int) []uint64 {
+		var out []uint64
+		for j, v := range vs {
+			if j%2 == i {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	client := &http.Client{}
+	for i := range engines {
+		for rel, vs := range map[string][]uint64{"orders": orders, "lineitems": lineitems} {
+			ro, _ := engines[i].Get(rel)
+			ro.InsertBatch(split(vs, i))
+		}
+		// The deletion wave is partitioned too.
+		ro, _ := engines[i].Get("orders")
+		if err := ro.DeleteBatch(split(orders[:2000], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := coordinate(client, urls, "orders", "lineitems", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.EstimateJoin("orders", "lineitems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != want.Estimate {
+		t.Fatalf("coordinated estimate %v != single-node %v", res.Estimate, want.Estimate)
+	}
+	if res.Sigma != want.Sigma || res.Fact11 != want.Fact11 || res.SJF != want.SJF || res.SJG != want.SJG {
+		t.Fatalf("coordinated bounds %+v != single-node %+v", res, want)
+	}
+	if res.RowsF != 28000 || res.RowsG != 30000 || res.Nodes != 2 {
+		t.Fatalf("rows/nodes = %+v", res)
+	}
+
+	// The merged wire bundle itself is bit-identical to the single node's
+	// export — estimates AND serialized bytes.
+	merged, _, err := mergeAcross(client, urls, "orders", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedBlob, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBlob, err := full.ExportRelation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedBlob, fullBlob) {
+		t.Fatal("merged bundle bytes differ from single-node export")
+	}
+}
+
+// TestCoordinatorPartialNodes: a relation missing on one node is skipped
+// (with a warning) unless -strict.
+func TestCoordinatorPartialNodes(t *testing.T) {
+	e1, ts1 := newNode(t)
+	e2, ts2 := newNode(t)
+	define(t, e1, "orders", "regional")
+	define(t, e2, "orders")
+	for _, e := range []*engine.Engine{e1, e2} {
+		r, _ := e.Get("orders")
+		r.InsertBatch([]uint64{1, 2, 3, 4, 5})
+	}
+	r, _ := e1.Get("regional")
+	r.InsertBatch([]uint64{2, 3})
+
+	urls := []string{ts1.URL, ts2.URL}
+	client := &http.Client{}
+	var warn strings.Builder
+	res, err := coordinate(client, urls, "orders", "regional", false, &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsG != 2 || res.RowsF != 10 {
+		t.Fatalf("rows = %+v", res)
+	}
+	if !strings.Contains(warn.String(), "regional") {
+		t.Fatalf("no skip warning: %q", warn.String())
+	}
+	if _, err := coordinate(client, urls, "orders", "regional", true, nil); err == nil {
+		t.Fatal("strict mode accepted a missing partition")
+	}
+	if _, err := coordinate(client, urls, "orders", "ghost", false, nil); err == nil {
+		t.Fatal("fully absent relation accepted")
+	}
+	if _, err := coordinate(client, nil, "a", "b", false, nil); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+}
+
+// TestCoordinatorEscapedNames: relation names with URL metacharacters
+// ('?', '#', spaces) and multi-segment '/' names reach the node intact
+// instead of being silently truncated into a 404-and-skip.
+func TestCoordinatorEscapedNames(t *testing.T) {
+	e1, ts1 := newNode(t)
+	for _, name := range []string{"sales?2024", "ref #1 data", "sales/2026/q1"} {
+		define(t, e1, name)
+		r, _ := e1.Get(name)
+		r.InsertBatch([]uint64{1, 2, 3})
+	}
+	client := &http.Client{}
+	res, err := coordinate(client, []string{ts1.URL}, "sales?2024", "ref #1 data", true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsF != 3 || res.RowsG != 3 {
+		t.Fatalf("rows = %+v", res)
+	}
+	if res2, err := coordinate(client, []string{ts1.URL}, "sales/2026/q1", "sales?2024", true, nil); err != nil {
+		t.Fatal(err)
+	} else if res2.RowsF != 3 {
+		t.Fatalf("multi-segment rows = %+v", res2)
+	}
+}
+
+// TestSplitNodes: URL list parsing tolerates spaces, empties, and
+// trailing slashes.
+func TestSplitNodes(t *testing.T) {
+	got := splitNodes(" http://a:7600/, ,http://b:7600 ,")
+	if len(got) != 2 || got[0] != "http://a:7600" || got[1] != "http://b:7600" {
+		t.Fatalf("splitNodes = %q", got)
+	}
+}
+
+// TestResultPrint pins the human output shape.
+func TestResultPrint(t *testing.T) {
+	r := &result{F: "f", G: "g", Nodes: 2, RowsF: 10, RowsG: 20,
+		Estimate: 1234, Sigma: 56, Fact11: 9999, SJF: 11, SJG: 22, K: 512}
+	var buf strings.Builder
+	r.print(&buf)
+	for _, want := range []string{"f ⋈ g across 2 node(s)", "estimate", "Lemma 4.4", "k=512", "Fact 1.1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

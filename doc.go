@@ -77,6 +77,19 @@
 // cmd/amsd serves the engine over HTTP JSON; DESIGN.md §5 documents the
 // architecture.
 //
+// # Multi-node estimation
+//
+// Every synopsis here is a linear function of its relation's frequency
+// vector, so synopses built on disjoint partitions of a relation — on
+// different nodes — merge into EXACTLY the synopses of the union:
+// counters add, nothing is approximated. Engines that share a Seed and
+// shape options exchange per-relation bundles (signature + self-join
+// sketch + row count) over amsd's /v1/signatures endpoints, and a
+// coordinator (cmd/joinctl) that merges per-node bundles answers join
+// sizes ACROSS nodes bit-identically to a single node holding all the
+// data, Lemma 4.4 σ bounds included. DESIGN.md §6 documents the bundle
+// format and merge semantics; examples/distributed walks the flow.
+//
 // Random sampling signatures (the §4.1 baseline) and the paper's
 // lower-bound constructions live in the internal packages and are exercised
 // by the experiment harness (cmd/amsbench); the public API exposes the

@@ -1,107 +1,149 @@
-// Distributed tracking: the tug-of-war sketch is a linear function of the
-// frequency vector, so per-partition sketches built on separate nodes can
-// be serialized, shipped, and MERGED into the sketch of the whole relation
-// — the property that makes the paper's signatures deployable in a
-// sharded database. This example:
+// Distributed join estimation: the AGMS synopses are linear functions of
+// the frequency vector, so per-partition synopses built on separate
+// nodes merge into EXACTLY the synopses of the whole relation. This
+// example runs the full multi-node path the engine and amsd expose:
 //
-//  1. splits a relation across three "nodes" that ingest in parallel
-//     (ShardedTugOfWar per node, so each node is itself concurrent);
-//  2. serializes each node's snapshot to bytes (the wire format);
-//  3. merges the blobs at a coordinator and compares against a sketch of
-//     the unpartitioned stream (they match exactly) and the exact SJ.
+//  1. two amsd "nodes" (in-process HTTP servers over independent
+//     engines sharing Seed and shape options) each ingest half of a
+//     partitioned relation pair — skewed orders, flatter lineitems;
+//  2. a coordinator pulls each relation's synopsis BUNDLE (join
+//     signature + Fast-AMS self-join sketch + row count) from both
+//     nodes via GET /v1/signatures/{name} and merges the partitions;
+//  3. the coordinated join estimate — and the Lemma 4.4 σ bound
+//     attached to it — is compared against a single engine that
+//     ingested ALL the data: they match bit for bit, not approximately;
+//  4. one node answers a one-shot cross-node join (POST /v1/join/remote)
+//     against the other node's shipped bundle.
+//
+// cmd/joinctl packages step 2–3 as a CLI for real deployments.
 package main
 
 import (
+	"bytes"
 	"fmt"
-	"sync"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 
-	"amstrack"
+	"amstrack/internal/amsd"
 	"amstrack/internal/dist"
+	"amstrack/internal/engine"
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
 )
 
 func main() {
-	cfg := amstrack.Config{S1: 256, S2: 8, Seed: 77} // shared by every node
+	// Every node MUST share these: signatures only combine across equal
+	// hash families (Seed) and shapes.
+	opts := engine.Options{SignatureWords: 1024, SignatureRows: 8, Seed: 77, SketchS1: 512, SketchS2: 6}
 
-	// The full relation, pre-partitioned by a hash of the tuple index.
-	gen, err := dist.NewZipf(1.1, 30000, 9)
-	if err != nil {
-		panic(err)
+	// The full relation pair, plus exact histograms for ground truth.
+	zipf, err := dist.NewZipf(1.2, 5000, 9)
+	check(err)
+	flat, err := dist.NewZipf(1.05, 5000, 10)
+	check(err)
+	orders := dist.Take(zipf, 200000)
+	lineitems := dist.Take(flat, 200000)
+	exO, exL := exact.NewHistogram(), exact.NewHistogram()
+	for _, v := range orders {
+		exO.Insert(v)
 	}
-	all := dist.Take(gen, 600000)
-	parts := [3][]uint64{}
-	for i, v := range all {
-		parts[i%3] = append(parts[i%3], v)
+	for _, v := range lineitems {
+		exL.Insert(v)
 	}
 
-	// Each node ingests its partition concurrently and returns a blob.
-	blobs := make([][]byte, 3)
-	var wg sync.WaitGroup
-	for node := 0; node < 3; node++ {
-		wg.Add(1)
-		go func(node int) {
-			defer wg.Done()
-			sharded, err := amstrack.NewShardedTugOfWar(cfg, 4)
-			if err != nil {
-				panic(err)
-			}
-			var ingest sync.WaitGroup
-			chunk := len(parts[node]) / 4
-			for w := 0; w < 4; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if w == 3 {
-					hi = len(parts[node])
+	// Two nodes, each ingesting every other tuple of both relations.
+	nodes := make([]*httptest.Server, 2)
+	for i := range nodes {
+		eng, err := engine.New(opts)
+		check(err)
+		for rel, vs := range map[string][]uint64{"orders": orders, "lineitems": lineitems} {
+			r, err := eng.Define(rel)
+			check(err)
+			part := make([]uint64, 0, len(vs)/2+1)
+			for j, v := range vs {
+				if j%2 == i {
+					part = append(part, v)
 				}
-				ingest.Add(1)
-				go func(vals []uint64) {
-					defer ingest.Done()
-					for _, v := range vals {
-						sharded.Insert(v)
-					}
-				}(parts[node][lo:hi])
 			}
-			ingest.Wait()
-			snap, err := sharded.Snapshot()
-			if err != nil {
-				panic(err)
-			}
-			blob, err := snap.MarshalBinary()
-			if err != nil {
-				panic(err)
-			}
-			blobs[node] = blob
-		}(node)
+			r.InsertBatch(part)
+		}
+		nodes[i] = httptest.NewServer(amsd.NewServer(eng))
+		defer nodes[i].Close()
 	}
-	wg.Wait()
 
-	// Coordinator: deserialize and merge.
-	merged, err := amstrack.NewTugOfWar(cfg)
+	// Coordinator: pull and merge each relation's partition bundles.
+	merged := map[string]*engine.RelationBundle{}
+	for _, rel := range []string{"orders", "lineitems"} {
+		for i, node := range nodes {
+			b := fetchBundle(node.URL, rel)
+			fmt.Printf("node %d: shipped %q bundle covering %d tuples\n", i, rel, b.Rows)
+			if merged[rel] == nil {
+				merged[rel] = b
+			} else {
+				check(merged[rel].Merge(b))
+			}
+		}
+	}
+	bo, bl := merged["orders"], merged["lineitems"]
+	est, err := join.EstimateJoin(bo.Sig, bl.Sig)
+	check(err)
+	sigma := join.ErrorBound(bo.SelfJoinEstimate(), bl.SelfJoinEstimate(), bo.Sig.MemoryWords())
+
+	// Reference: one engine over the unpartitioned streams.
+	single, err := engine.New(opts)
+	check(err)
+	for rel, vs := range map[string][]uint64{"orders": orders, "lineitems": lineitems} {
+		r, err := single.Define(rel)
+		check(err)
+		r.InsertBatch(vs)
+	}
+	ref, err := single.EstimateJoin("orders", "lineitems")
+	check(err)
+	truth := float64(exO.JoinSize(exL))
+
+	fmt.Printf("\ncoordinated estimate : %.6g ± %.6g (1σ, Lemma 4.4)\n", est, sigma)
+	fmt.Printf("single-node estimate : %.6g (bit-identical: %v)\n", ref.Estimate, est == ref.Estimate && sigma == ref.Sigma)
+	fmt.Printf("exact join size      : %.6g\n", truth)
+	fmt.Printf("relative error       : %+.2f%%\n", 100*(est-truth)/truth)
+
+	// The wire bundles are bit-identical too, not just the estimates.
+	mb, err := bo.MarshalBinary()
+	check(err)
+	sb, err := single.ExportRelation("orders")
+	check(err)
+	fmt.Printf("merged orders bundle : %d bytes (bit-identical to single-node export: %v)\n", len(mb), bytes.Equal(mb, sb))
+
+	// One-shot cross-node join: node 0 estimates its local lineitems
+	// against node 1's shipped orders bundle, no import needed.
+	remote := fetchBundle(nodes[1].URL, "orders")
+	blob, err := remote.MarshalBinary()
+	check(err)
+	resp, err := http.Post(nodes[0].URL+"/v1/join/remote?relation=lineitems", "application/octet-stream", bytes.NewReader(blob))
+	check(err)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	check(err)
+	fmt.Printf("\nnode 0 × node 1 one-shot remote join (half ⋈ half):\n  %s", body)
+}
+
+func fetchBundle(nodeURL, rel string) *engine.RelationBundle {
+	resp, err := http.Get(nodeURL + "/v1/signatures/" + url.PathEscape(rel))
+	check(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("GET %s/v1/signatures/%s: HTTP %d", nodeURL, rel, resp.StatusCode))
+	}
+	data, err := io.ReadAll(resp.Body)
+	check(err)
+	b := &engine.RelationBundle{}
+	check(b.UnmarshalBinary(data))
+	return b
+}
+
+func check(err error) {
 	if err != nil {
 		panic(err)
 	}
-	for node, blob := range blobs {
-		var part amstrack.TugOfWar
-		if err := part.UnmarshalBinary(blob); err != nil {
-			panic(err)
-		}
-		if err := merged.Merge(&part); err != nil {
-			panic(err)
-		}
-		fmt.Printf("node %d: shipped %d-byte signature covering %d tuples\n",
-			node, len(blob), part.Len())
-	}
-
-	// Reference: one sketch over the unpartitioned stream + exact SJ.
-	single, _ := amstrack.NewTugOfWar(cfg)
-	exact := amstrack.NewExact()
-	for _, v := range all {
-		single.Insert(v)
-		exact.Insert(v)
-	}
-
-	fmt.Printf("\nmerged estimate      : %.6g\n", merged.Estimate())
-	fmt.Printf("single-stream sketch : %.6g (identical: %v)\n",
-		single.Estimate(), merged.Estimate() == single.Estimate())
-	fmt.Printf("exact self-join size : %.6g\n", exact.Estimate())
-	fmt.Printf("relative error       : %+.2f%%\n",
-		100*(merged.Estimate()-exact.Estimate())/exact.Estimate())
 }

@@ -18,45 +18,80 @@
 //	GET    /v1/pairs                 the all-pairs planning matrix
 //	POST   /v1/checkpoint            serialize state, reset oplogs (durable engines)
 //
+// Multi-node signature exchange (bundle bodies are the binary
+// engine.RelationBundle blob, Content-Type application/octet-stream):
+//
+//	GET    /v1/signatures/{name}     export the relation's synopsis bundle
+//	PUT    /v1/signatures/{name}     import a bundle as a NEW relation;
+//	                                 ?mode=merge folds it into an existing one
+//	POST   /v1/join/remote?relation=F  estimate F ⋈ (uploaded bundle) + bounds
+//
 // Errors are {"error": "..."} with conventional status codes (400 bad
-// request, 404 unknown relation, 409 conflict).
+// request, 404 unknown relation, 409 conflict — including a bundle whose
+// synopsis shape or hash-family seed does not match this engine's — and
+// 413 when a body exceeds the server's limit).
 package amsd
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"amstrack/internal/engine"
 )
+
+// DefaultMaxBody caps request bodies (JSON and bundle uploads alike):
+// large enough for multi-million-value ingest batches and k≈10⁶ bundles,
+// small enough that a hostile upload cannot balloon the process.
+const DefaultMaxBody = 64 << 20
 
 // Server answers HTTP requests from one engine. The engine is safe for
 // concurrent use, so the server adds no locking of its own.
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+	// maxBody is the per-request body cap in bytes (DefaultMaxBody unless
+	// overridden with NewServerMaxBody).
+	maxBody int64
 }
 
-// NewServer builds the handler for eng.
-func NewServer(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// NewServer builds the handler for eng with the default body cap.
+func NewServer(eng *engine.Engine) *Server { return NewServerMaxBody(eng, DefaultMaxBody) }
+
+// NewServerMaxBody builds the handler with an explicit request-body cap
+// in bytes (<=0 means DefaultMaxBody).
+func NewServerMaxBody(eng *engine.Engine, maxBody int64) *Server {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBody
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), maxBody: maxBody}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
 	s.mux.HandleFunc("POST /v1/relations", s.handleDefine)
 	// {name...} (multi-segment) so relation names containing '/' stay
-	// droppable through the API.
+	// reachable through the API.
 	s.mux.HandleFunc("DELETE /v1/relations/{name...}", s.handleDrop)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/selfjoin", s.handleSelfJoin)
 	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
 	s.mux.HandleFunc("GET /v1/pairs", s.handlePairs)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/signatures/{name...}", s.handleExportSignature)
+	s.mux.HandleFunc("PUT /v1/signatures/{name...}", s.handleImportSignature)
+	s.mux.HandleFunc("POST /v1/join/remote", s.handleJoinRemote)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request body is capped at the
+// server's limit; a handler that reads past it reports 413.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -73,12 +108,17 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps engine errors onto HTTP codes: unknown relations are
-// 404, duplicates 409, the rest 400.
+// 404; duplicates and shape/seed-incompatible bundles 409; a body that
+// overran the server cap 413; the rest (malformed JSON, corrupt blobs)
+// 400.
 func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
 	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, engine.ErrUnknownRelation):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrAlreadyDefined):
+	case errors.Is(err, engine.ErrAlreadyDefined), errors.Is(err, engine.ErrIncompatible):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
@@ -126,7 +166,7 @@ type DefineBody struct {
 func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 	var req DefineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if _, err := s.eng.Define(req.Name); err != nil {
@@ -169,7 +209,7 @@ type IngestBody struct {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
 	rel, err := s.eng.Get(req.Relation)
@@ -289,4 +329,89 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckpointBody{Bytes: n})
+}
+
+// handleExportSignature streams the relation's synopsis bundle — the
+// linear synopses a coordinator or peer node can merge into its own with
+// zero accuracy loss (engines must share Seed and shape options).
+func (s *Server) handleExportSignature(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := s.eng.ExportRelation(name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// ImportBody is the PUT /v1/signatures/{name} response.
+type ImportBody struct {
+	Relation string `json:"relation"`
+	Mode     string `json:"mode"` // "import" or "merge"
+	Len      int64  `json:"len"`
+}
+
+// handleImportSignature accepts a bundle upload: by default it defines a
+// new relation from the bundle (201; 409 if the name exists), with
+// ?mode=merge it folds the bundle into an existing relation (200; 404 if
+// absent). Shape/seed mismatches are 409, corrupt blobs 400.
+func (s *Server) handleImportSignature(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, statusFor(err), fmt.Errorf("read bundle: %w", err))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	status := http.StatusCreated
+	switch mode {
+	case "", "import":
+		mode = "import"
+		err = s.eng.ImportRelation(name, data)
+	case "merge":
+		status = http.StatusOK
+		err = s.eng.MergeRelation(name, data)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want import or merge)", mode))
+		return
+	}
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	rel, err := s.eng.Get(name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, status, ImportBody{Relation: name, Mode: mode, Len: rel.Len()})
+}
+
+// handleJoinRemote estimates the join of a LOCAL relation (?relation=F)
+// against an uploaded bundle, without defining it — the one-shot
+// cross-node join answer, bounds attached.
+func (s *Server) handleJoinRemote(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("relation")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?relation parameter"))
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, statusFor(err), fmt.Errorf("read bundle: %w", err))
+		return
+	}
+	je, err := s.eng.EstimateJoinBundle(name, data)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinBody{
+		F: name, G: "(remote bundle)",
+		Estimate: je.Estimate, Sigma: je.Sigma, Fact11: je.Fact11,
+		SJF: je.SJF, SJG: je.SJG,
+	})
 }

@@ -1,0 +1,213 @@
+package amsd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/engine"
+	"amstrack/internal/xrand"
+)
+
+func srvOpts() engine.Options {
+	return engine.Options{SignatureWords: 128, SignatureRows: 4, Seed: 17, SketchS1: 64, SketchS2: 4}
+}
+
+// newServer builds an in-memory engine with two populated relations and
+// serves it; maxBody <= 0 means the default cap.
+func newServer(t *testing.T, maxBody int64) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.New(srvOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(9)
+	for _, name := range []string{"orders", "items"} {
+		rel, err := eng.Define(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := make([]uint64, 2000)
+		for i := range vs {
+			vs[i] = r.Uint64n(100)
+		}
+		rel.InsertBatch(vs)
+	}
+	ts := httptest.NewServer(amsd.NewServerMaxBody(eng, maxBody))
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func do(t *testing.T, method, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// exportBundle pulls a relation bundle from an engine for upload bodies.
+func exportBundle(t *testing.T, e *engine.Engine, name string) []byte {
+	t.Helper()
+	b, err := e.ExportRelation(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestErrorPaths: every malformed, unknown, mismatched, or oversized
+// request returns its intended status AND a JSON {"error": ...} body —
+// never a 500, never a panic, never a non-JSON error.
+func TestErrorPaths(t *testing.T) {
+	_, ts := newServer(t, 4096) // small body cap to make "oversized" cheap
+
+	// A bundle from a seed-mismatched engine (shape otherwise equal).
+	foreignOpts := srvOpts()
+	foreignOpts.Seed = 18
+	foreign, err := engine.New(foreignOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foreign.Define("orders"); err != nil {
+		t.Fatal(err)
+	}
+	mismatched := exportBundle(t, foreign, "orders")
+
+	big := bytes.Repeat([]byte{'9'}, 8192) // over the 4 KiB cap
+	bigJSON := []byte(fmt.Sprintf(`{"relation": "orders", "inserts": [%s]}`, big))
+
+	cases := []struct {
+		name        string
+		method, url string
+		body        []byte
+		wantStatus  int
+	}{
+		{"ingest malformed JSON", "POST", "/v1/ingest", []byte(`{"relation": "orders", "inserts": [`), http.StatusBadRequest},
+		{"define malformed JSON", "POST", "/v1/relations", []byte(`not json`), http.StatusBadRequest},
+		{"ingest unknown relation", "POST", "/v1/ingest", []byte(`{"relation": "ghost", "inserts": [1]}`), http.StatusNotFound},
+		{"define duplicate", "POST", "/v1/relations", []byte(`{"name": "orders"}`), http.StatusConflict},
+		{"drop unknown", "DELETE", "/v1/relations/ghost", nil, http.StatusNotFound},
+		{"selfjoin unknown", "GET", "/v1/selfjoin?relation=ghost", nil, http.StatusNotFound},
+		{"join unknown", "GET", "/v1/join?f=orders&g=ghost", nil, http.StatusNotFound},
+		{"export unknown", "GET", "/v1/signatures/ghost", nil, http.StatusNotFound},
+		{"import over existing", "PUT", "/v1/signatures/orders", mismatched, http.StatusConflict},
+		{"import mismatched seed", "PUT", "/v1/signatures/fresh", mismatched, http.StatusConflict},
+		{"merge mismatched seed", "PUT", "/v1/signatures/orders?mode=merge", mismatched, http.StatusConflict},
+		{"merge unknown relation", "PUT", "/v1/signatures/ghost?mode=merge", mismatched, http.StatusNotFound},
+		{"import garbage bundle", "PUT", "/v1/signatures/fresh", []byte("definitely not a blob"), http.StatusBadRequest},
+		{"import unknown mode", "PUT", "/v1/signatures/fresh?mode=sideways", mismatched, http.StatusBadRequest},
+		{"remote join missing param", "POST", "/v1/join/remote", mismatched, http.StatusBadRequest},
+		{"remote join unknown local", "POST", "/v1/join/remote?relation=ghost", mismatched, http.StatusNotFound},
+		{"remote join mismatched bundle", "POST", "/v1/join/remote?relation=orders", mismatched, http.StatusConflict},
+		{"remote join garbage bundle", "POST", "/v1/join/remote?relation=orders", []byte{0xDE, 0xAD}, http.StatusBadRequest},
+		{"oversized ingest body", "POST", "/v1/ingest", bigJSON, http.StatusRequestEntityTooLarge},
+		{"oversized bundle upload", "PUT", "/v1/signatures/fresh", bytes.Repeat([]byte{7}, 8192), http.StatusRequestEntityTooLarge},
+		{"oversized remote join body", "POST", "/v1/join/remote?relation=orders", bytes.Repeat([]byte{7}, 8192), http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := do(t, tc.method, ts.URL+tc.url, "application/octet-stream", tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if eb.Error == "" {
+				t.Fatal("error body has empty error field")
+			}
+		})
+	}
+}
+
+// TestSignatureExchangeRoundTrip: export from node A → import on node B,
+// merge a second partition, and one-shot remote join — all over HTTP,
+// with estimates matching the engine-level answers exactly.
+func TestSignatureExchangeRoundTrip(t *testing.T) {
+	engA, tsA := newServer(t, 0)
+	engB, err := engine.New(srvOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(amsd.NewServer(engB))
+	defer tsB.Close()
+
+	// Export "orders" from A.
+	resp := do(t, "GET", tsA.URL+"/v1/signatures/orders", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("export content type = %q", ct)
+	}
+	bundle, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Import as a new relation on B → 201.
+	resp = do(t, "PUT", tsB.URL+"/v1/signatures/orders", "application/octet-stream", bundle)
+	var ib amsd.ImportBody
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ib); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ib.Mode != "import" || ib.Len != 2000 {
+		t.Fatalf("import body = %+v", ib)
+	}
+
+	// Merge the same bundle once more → doubled counts, status 200.
+	resp = do(t, "PUT", tsB.URL+"/v1/signatures/orders?mode=merge", "application/octet-stream", bundle)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ib); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ib.Mode != "merge" || ib.Len != 4000 {
+		t.Fatalf("merge body = %+v", ib)
+	}
+
+	// One-shot remote join on A: local "items" vs the shipped bundle must
+	// equal the engine's own cross-relation answer, since the bundle IS
+	// A's "orders".
+	resp = do(t, "POST", tsA.URL+"/v1/join/remote?relation=items", "application/octet-stream", bundle)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remote join status = %d", resp.StatusCode)
+	}
+	var jb amsd.JoinBody
+	if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want, err := engA.EstimateJoin("items", "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Estimate != want.Estimate || jb.Sigma != want.Sigma {
+		t.Fatalf("remote join = %+v, want %+v", jb, want)
+	}
+}

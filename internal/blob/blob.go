@@ -41,7 +41,21 @@ const (
 	MagicEngine       uint32 = 0xA0517003 // engine.Engine checkpoint (ex-catalog)
 	MagicTWSignature  uint32 = 0xA0517005 // join.TWSignature (flat k-TW)
 	MagicFastTWSig    uint32 = 0xA0517006 // join.FastTWSignature (bucketed k-TW)
+	MagicChainEndSig  uint32 = 0xA0517007 // join.ChainEndSignature (§5 chain end)
+	MagicChainMidSig  uint32 = 0xA0517008 // join.ChainMiddleSignature (§5 chain middle)
+	MagicRelBundle    uint32 = 0xA0517009 // engine.RelationBundle (multi-node exchange)
 )
+
+// PeekMagic returns the frame magic of data without verifying the frame
+// (dispatchers use it to route a blob to the right decoder, which then
+// re-verifies CRC and version). ok is false when data is too short to
+// carry a magic.
+func PeekMagic(data []byte) (magic uint32, ok bool) {
+	if len(data) < minSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(data[:4]), true
+}
 
 const (
 	headerSize  = 4 + 1 // magic + version

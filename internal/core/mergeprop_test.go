@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"amstrack/internal/xrand"
+)
+
+// Merge-exactness property: the sketches are LINEAR in the frequency
+// vector, so an insert/delete stream randomly partitioned across 2–5
+// synopses merges into a synopsis BIT-IDENTICAL — estimates and
+// serialized bytes, not approximately equal — to single-synopsis ingest.
+// This is the invariant the whole multi-node exchange path (engine
+// bundles, amsd /v1/signatures, joinctl) rests on.
+
+// mergeOps builds a reproducible insert/delete stream: mostly inserts
+// over a smallish domain, with deletions of previously inserted values
+// (valid for the whole stream, though linearity does not even need
+// per-partition validity).
+func mergeOps(r *xrand.Rand, n int) (values []uint64, deletes []bool) {
+	var live []uint64
+	values = make([]uint64, n)
+	deletes = make([]bool, n)
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && r.Intn(4) == 0 {
+			j := r.Intn(len(live))
+			values[i], deletes[i] = live[j], true
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		v := r.Uint64n(300)
+		values[i] = v
+		live = append(live, v)
+	}
+	return values, deletes
+}
+
+// sketch is the common surface of TugOfWar and FastTugOfWar the property
+// needs; both satisfy it as-is.
+type sketch interface {
+	Insert(v uint64)
+	Delete(v uint64) error
+	Estimate() float64
+	MarshalBinary() ([]byte, error)
+}
+
+func runMergeProperty(t *testing.T, trial int, mk func() sketch, merge func(dst, src sketch) error) {
+	t.Helper()
+	r := xrand.New(uint64(1000 + trial))
+	values, dels := mergeOps(r, 4000)
+	parts := 2 + r.Intn(4)
+
+	single := mk()
+	partSk := make([]sketch, parts)
+	for i := range partSk {
+		partSk[i] = mk()
+	}
+	for i, v := range values {
+		target := partSk[r.Intn(parts)]
+		if dels[i] {
+			if err := single.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+			if err := target.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			single.Insert(v)
+			target.Insert(v)
+		}
+	}
+	merged := mk()
+	for _, p := range partSk {
+		if err := merge(merged, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.Estimate(), single.Estimate(); got != want {
+		t.Fatalf("trial %d (%d parts): merged estimate %v != single %v", trial, parts, got, want)
+	}
+	mb, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := single.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb, sb) {
+		t.Fatalf("trial %d (%d parts): merged bytes differ from single-ingest bytes", trial, parts)
+	}
+}
+
+func TestMergeExactnessTugOfWar(t *testing.T) {
+	cfg := Config{S1: 64, S2: 4, Seed: 21}
+	for trial := 0; trial < 8; trial++ {
+		runMergeProperty(t, trial,
+			func() sketch {
+				s, err := NewTugOfWar(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			func(dst, src sketch) error { return dst.(*TugOfWar).Merge(src.(*TugOfWar)) })
+	}
+}
+
+func TestMergeExactnessFastTugOfWar(t *testing.T) {
+	cfg := Config{S1: 128, S2: 4, Seed: 22}
+	for trial := 0; trial < 8; trial++ {
+		runMergeProperty(t, trial,
+			func() sketch {
+				s, err := NewFastTugOfWar(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			func(dst, src sketch) error { return dst.(*FastTugOfWar).Merge(src.(*FastTugOfWar)) })
+	}
+}
+
+// TestMergeIncompatibleSketches: a shape or seed mismatch must error,
+// never silently combine foreign hash families.
+func TestMergeIncompatibleSketches(t *testing.T) {
+	base := Config{S1: 64, S2: 4, Seed: 5}
+	for _, other := range []Config{
+		{S1: 32, S2: 4, Seed: 5},
+		{S1: 64, S2: 2, Seed: 5},
+		{S1: 64, S2: 4, Seed: 6},
+	} {
+		a, _ := NewTugOfWar(base)
+		b, _ := NewTugOfWar(other)
+		if err := a.Merge(b); err == nil {
+			t.Fatalf("TugOfWar accepted merge of %+v into %+v", other, base)
+		}
+		fa, _ := NewFastTugOfWar(base)
+		fb, _ := NewFastTugOfWar(other)
+		if err := fa.Merge(fb); err == nil {
+			t.Fatalf("FastTugOfWar accepted merge of %+v into %+v", other, base)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Multi-node signature exchange: the AGMS synopses are linear in the
+// frequency vector, so synopses built on disjoint partitions of a
+// relation merge into EXACTLY the synopses of the union. This file turns
+// that into a wire format: a RelationBundle packs one relation's complete
+// synopsis set — join signature, Fast-AMS self-join sketch, row count —
+// into a single self-describing blob that nodes export, ship, and import.
+// A coordinator that pulls per-partition bundles from N nodes and merges
+// them answers join estimates over the union with zero accuracy loss
+// (the merged counters are bit-identical to single-node ingest), provided
+// every engine shares the hash families: equal Seed and shape options.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"amstrack/internal/blob"
+	"amstrack/internal/core"
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+)
+
+// ErrIncompatible marks a bundle whose synopsis shapes or hash-family
+// seeds do not match the local engine's — mergeable only between engines
+// configured with equal Seed and shape options. The amsd layer maps it to
+// 409 Conflict, as distinct from a malformed blob (400).
+var ErrIncompatible = errors.New("incompatible synopsis bundle")
+
+// RelationBundle is one relation's exported synopsis set.
+type RelationBundle struct {
+	// Sig is the relation's join signature (either scheme; the blob is
+	// self-describing via the inner frame magic).
+	Sig join.Signature
+	// Sketch is the dedicated Fast-AMS self-join sketch, nil when the
+	// exporting engine runs NoSketch.
+	Sketch *core.FastTugOfWar
+	// Rows is the relation's tuple count at export time.
+	Rows int64
+}
+
+// SelfJoinEstimate estimates SJ(R) from the bundle, preferring the
+// dedicated sketch — mirroring Relation.SelfJoinEstimate, so bounds
+// computed from a shipped bundle match bounds the exporting node would
+// attach itself.
+func (b *RelationBundle) SelfJoinEstimate() float64 {
+	if b.Sketch != nil {
+		return b.Sketch.Estimate()
+	}
+	return b.Sig.SelfJoinEstimate()
+}
+
+// Merge folds other into b: counters add, row counts add — by linearity
+// the result is the bundle of the concatenated partition streams,
+// bit-identical to one node having ingested both.
+func (b *RelationBundle) Merge(other *RelationBundle) error {
+	if b.Sig == nil {
+		return errors.New("engine: merge into empty bundle (decode or export one first)")
+	}
+	if other == nil || other.Sig == nil {
+		return errors.New("engine: nil bundle")
+	}
+	if err := b.Sig.Merge(other.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrIncompatible, err)
+	}
+	if (b.Sketch == nil) != (other.Sketch == nil) {
+		return fmt.Errorf("%w: one bundle carries a self-join sketch, the other does not", ErrIncompatible)
+	}
+	if b.Sketch != nil {
+		if err := b.Sketch.Merge(other.Sketch); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+	}
+	b.Rows += other.Rows
+	return nil
+}
+
+// MarshalBinary packs the bundle as one blob: the signature blob, the
+// optional sketch blob, and the row count, each inside the shared
+// framing. The encoding is canonical — equal bundles marshal to equal
+// bytes — which is what lets tests assert merged-vs-single bit-identity
+// on the wire format itself.
+func (b *RelationBundle) MarshalBinary() ([]byte, error) {
+	if b.Sig == nil {
+		return nil, errors.New("engine: bundle without signature")
+	}
+	sigBlob, err := b.Sig.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	bb := blob.NewBuilder(blob.MagicRelBundle, 1, len(sigBlob)+64)
+	bb.Bytes(sigBlob)
+	if b.Sketch == nil {
+		bb.U32(0)
+	} else {
+		skBlob, err := b.Sketch.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		bb.U32(1)
+		bb.Bytes(skBlob)
+	}
+	bb.I64(b.Rows)
+	return bb.Seal(), nil
+}
+
+// UnmarshalBinary restores a bundle serialized by MarshalBinary. Corrupt,
+// truncated, or foreign-magic input errors cleanly (never panics); the
+// inner signature and sketch frames are verified by their own decoders.
+func (b *RelationBundle) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicRelBundle, 1, data)
+	if err != nil {
+		return fmt.Errorf("engine: relation bundle: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	sigBlob := c.Bytes()
+	hasSketch := c.U32()
+	var skBlob []byte
+	if hasSketch == 1 {
+		skBlob = c.Bytes()
+	}
+	rows := c.I64()
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("engine: relation bundle: %w", err)
+	}
+	if hasSketch > 1 {
+		return fmt.Errorf("engine: relation bundle: sketch flag %d out of range {0,1}", hasSketch)
+	}
+	sig, err := join.UnmarshalSignature(sigBlob)
+	if err != nil {
+		return fmt.Errorf("engine: relation bundle: %w", err)
+	}
+	var sketch *core.FastTugOfWar
+	if hasSketch == 1 {
+		sketch = &core.FastTugOfWar{}
+		if err := sketch.UnmarshalBinary(skBlob); err != nil {
+			return fmt.Errorf("engine: relation bundle: %w", err)
+		}
+	}
+	b.Sig, b.Sketch, b.Rows = sig, sketch, rows
+	return nil
+}
+
+// ExportRelation serializes the named relation's synopsis set as one
+// bundle blob for shipping to another node or a coordinator.
+func (e *Engine) ExportRelation(name string) ([]byte, error) {
+	r, err := e.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.exportBundle()
+}
+
+func (r *Relation) exportBundle() ([]byte, error) {
+	// The shared op lock makes signature, sketch, and row count a
+	// consistent cut against concurrent ingest batches.
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	b := RelationBundle{Sig: r.snapshotSig()}
+	b.Rows = b.Sig.Len()
+	if r.sketch != nil {
+		snap, err := r.sketch.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		b.Sketch = snap
+	}
+	return b.MarshalBinary()
+}
+
+// ImportRelation defines a NEW relation from a shipped bundle. It fails
+// with ErrAlreadyDefined when the name exists (use MergeRelation to fold
+// into an existing relation) and with ErrIncompatible when the bundle's
+// shapes or seeds differ from the engine's. In durable engines the
+// imported counters arrive via checkpoint, not the oplog, so a checkpoint
+// is written immediately — a crash right after import recovers the
+// imported state.
+func (e *Engine) ImportRelation(name string, data []byte) error {
+	var b RelationBundle
+	if err := b.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if name == "" {
+		return errors.New("engine: empty relation name")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.rels[name]; ok {
+		return fmt.Errorf("engine: %w: %q", ErrAlreadyDefined, name)
+	}
+	r, err := e.newRelation(name)
+	if err != nil {
+		return err
+	}
+	if err := r.absorbBundle(&b); err != nil {
+		return err
+	}
+	if err := r.log.create(e.opts.Dir, name, e.epoch); err != nil {
+		return err
+	}
+	e.rels[name] = r
+	if e.opts.Dir != "" {
+		if _, err := e.checkpointLocked(); err != nil {
+			return fmt.Errorf("engine: checkpoint after import: %w", err)
+		}
+	}
+	return nil
+}
+
+// MergeRelation folds a shipped bundle into an EXISTING relation: by
+// linearity the result is as if the bundle's source stream had been
+// ingested locally. Durable engines checkpoint immediately afterwards,
+// for the same reason as ImportRelation.
+func (e *Engine) MergeRelation(name string, data []byte) error {
+	var b RelationBundle
+	if err := b.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.rels[name]
+	if !ok {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownRelation, name)
+	}
+	r.opMu.Lock()
+	err := r.absorbBundle(&b)
+	r.opMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if e.opts.Dir != "" {
+		if _, err := e.checkpointLocked(); err != nil {
+			return fmt.Errorf("engine: checkpoint after merge: %w", err)
+		}
+	}
+	return nil
+}
+
+// absorbBundle folds a decoded bundle into the relation's shard-0
+// synopses (linearity: equivalent to having streamed the source ops
+// through the shards). Shape or seed mismatches report ErrIncompatible.
+func (r *Relation) absorbBundle(b *RelationBundle) error {
+	if err := r.shards[0].sig.Merge(b.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrIncompatible, err)
+	}
+	// Sketch presence must match in BOTH directions: silently dropping an
+	// incoming sketch would change the exporting node's σ bounds on
+	// re-export, surfacing as a confusing mismatch far from the cause.
+	if r.sketch != nil && b.Sketch == nil {
+		return fmt.Errorf("%w: bundle carries no self-join sketch but the engine tracks one", ErrIncompatible)
+	}
+	if r.sketch == nil && b.Sketch != nil {
+		return fmt.Errorf("%w: bundle carries a self-join sketch but the engine runs NoSketch", ErrIncompatible)
+	}
+	if r.sketch != nil {
+		if err := r.sketch.Absorb(b.Sketch); err != nil {
+			return fmt.Errorf("%w: self-join sketch shape mismatch", ErrIncompatible)
+		}
+	}
+	return nil
+}
+
+// EstimateJoinBundle estimates the join size of a LOCAL relation against
+// a shipped bundle — the cross-node join answer — with the same Lemma 4.4
+// σ and Fact 1.1 bounds EstimateJoin attaches, the remote self-join
+// estimate coming from the bundle's own synopses.
+func (e *Engine) EstimateJoinBundle(local string, data []byte) (JoinEstimate, error) {
+	var b RelationBundle
+	if err := b.UnmarshalBinary(data); err != nil {
+		return JoinEstimate{}, err
+	}
+	r, err := e.Get(local)
+	if err != nil {
+		return JoinEstimate{}, err
+	}
+	sf := r.snapshotSig()
+	est, err := join.EstimateJoin(sf, b.Sig)
+	if err != nil {
+		return JoinEstimate{}, fmt.Errorf("%w: %v", ErrIncompatible, err)
+	}
+	sjF, sjG := r.selfJoinFrom(sf), b.SelfJoinEstimate()
+	return JoinEstimate{
+		Estimate: est,
+		Sigma:    join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
+		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:      sjF,
+		SJG:      sjG,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRelationBundle drives RelationBundle.UnmarshalBinary with arbitrary
+// bytes — valid bundles of both schemes, truncations, bit flips, and
+// foreign-magic frames — and checks the exchange-path contract the amsd
+// upload endpoints depend on:
+//
+//   - corrupt, truncated, or foreign input must ERROR, never panic;
+//   - an accepted bundle must be internally consistent (signature
+//     present, estimates computable) and re-marshal to the EXACT input
+//     bytes — the encoding is canonical, which is what lets tests assert
+//     merged-vs-single bit-identity on the wire format.
+//
+// It is registered alongside internal/oplog's FuzzReader; CI runs both
+// for a short fixed budget.
+func FuzzRelationBundle(f *testing.F) {
+	mk := func(opts Options) []byte {
+		e, err := New(opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		r, err := e.Define("r")
+		if err != nil {
+			f.Fatal(err)
+		}
+		r.InsertBatch([]uint64{1, 2, 3, 4, 5, 6, 7, 1, 2, 3})
+		_ = r.DeleteBatch([]uint64{1, 2})
+		data, err := e.ExportRelation("r")
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	fast := mk(Options{SignatureWords: 64, SignatureRows: 4, Seed: 3, SketchS1: 16, SketchS2: 2})
+	flat := mk(Options{SignatureWords: 64, Seed: 3, Scheme: SchemeFlat, NoSketch: true})
+	f.Add([]byte{})
+	f.Add(fast)
+	f.Add(flat)
+	for _, cut := range []int{1, 4, 8, len(fast) / 2, len(fast) - 1} {
+		f.Add(append([]byte(nil), fast[:cut]...))
+	}
+	flipped := append([]byte(nil), fast...)
+	flipped[0] ^= 0xFF // foreign magic
+	f.Add(flipped)
+	// An inner signature blob without the bundle envelope.
+	e, _ := New(Options{SignatureWords: 32, Seed: 1, NoSketch: true})
+	r, _ := e.Define("x")
+	r.Insert(5)
+	sig := r.Signature()
+	sigBlob, _ := sig.MarshalBinary()
+	f.Add(sigBlob)
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b RelationBundle
+		if err := b.UnmarshalBinary(data); err != nil {
+			return // an error is always an acceptable answer; a panic is not
+		}
+		if b.Sig == nil {
+			t.Fatal("accepted bundle with nil signature")
+		}
+		_ = b.SelfJoinEstimate()
+		again, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted bundle failed: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("accepted bundle is not canonical: %d bytes in, %d re-marshaled", len(data), len(again))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"amstrack/internal/blob"
 	"amstrack/internal/hash"
 	"amstrack/internal/xrand"
 )
@@ -50,6 +51,23 @@ func NewChainFamily(k int, seed uint64) (*ChainFamily, error) {
 
 // K returns the signature size.
 func (f *ChainFamily) K() int { return f.k }
+
+// Seed returns the family seed.
+func (f *ChainFamily) Seed() uint64 { return f.seed }
+
+// chainCompatible reports whether two chain families are the same family
+// by value (size and seed), so signatures deserialized on another node —
+// whose family is re-derived rather than shared by pointer — remain
+// estimable and mergeable with local ones.
+func chainCompatible(a, b *ChainFamily) error {
+	if a == nil || b == nil {
+		return errors.New("join: chain signature without family")
+	}
+	if a.k != b.k || a.seed != b.seed {
+		return errors.New("join: chain signatures from different families cannot be combined")
+	}
+	return nil
+}
 
 // NewEndSignature returns an empty signature for an end relation joined on
 // the given attribute (0 for the F-side attribute a, 1 for the H-side
@@ -98,6 +116,80 @@ func (s *ChainEndSignature) Len() int64 { return s.n }
 // MemoryWords returns k.
 func (s *ChainEndSignature) MemoryWords() int { return len(s.z) }
 
+// Attr returns which chain attribute (0 or 1) the signature is bound to.
+func (s *ChainEndSignature) Attr() int { return s.attr }
+
+// Merge adds other's counters into s. Both must come from one family (by
+// value: size and seed) and be bound to the same attribute; the result is
+// exactly the signature of the concatenated streams.
+func (s *ChainEndSignature) Merge(other *ChainEndSignature) error {
+	if other == nil {
+		return errors.New("join: nil chain signature")
+	}
+	if err := chainCompatible(s.family, other.family); err != nil {
+		return err
+	}
+	if s.attr != other.attr {
+		return fmt.Errorf("join: chain end signatures bound to different attributes (%d vs %d)", s.attr, other.attr)
+	}
+	for m, z := range other.z {
+		s.z[m] += z
+	}
+	s.n += other.n
+	return nil
+}
+
+// MarshalBinary serializes the signature via the shared blob codec: k,
+// seed, attr, n, counters. The hash functions are re-derived from the
+// family seed on load.
+func (s *ChainEndSignature) MarshalBinary() ([]byte, error) {
+	b := blob.NewBuilder(blob.MagicChainEndSig, 1, 8*3+4+8*len(s.z))
+	b.U64(uint64(s.family.k))
+	b.U64(s.family.seed)
+	b.U32(uint32(s.attr))
+	b.I64(s.n)
+	b.I64s(s.z)
+	return b.Seal(), nil
+}
+
+// UnmarshalBinary restores a signature serialized by MarshalBinary.
+func (s *ChainEndSignature) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicChainEndSig, 1, data)
+	if err != nil {
+		return fmt.Errorf("join: chain end blob: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	k := c.Int()
+	seed := c.U64()
+	attr := c.U32()
+	n := c.I64()
+	if c.Err() != nil {
+		return fmt.Errorf("join: chain end blob: %w", c.Err())
+	}
+	if attr > 1 {
+		return fmt.Errorf("join: chain end blob attribute %d out of range {0,1}", attr)
+	}
+	if k < 1 || c.Remaining()%8 != 0 || c.Remaining()/8 != k {
+		return fmt.Errorf("join: chain end blob length inconsistent with k = %d", k)
+	}
+	z := c.I64s(k)
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("join: chain end blob: %w", err)
+	}
+	fam, err := NewChainFamily(k, seed)
+	if err != nil {
+		return err
+	}
+	fresh, err := fam.NewEndSignature(int(attr))
+	if err != nil {
+		return err
+	}
+	fresh.n = n
+	copy(fresh.z, z)
+	*s = *fresh
+	return nil
+}
+
 // ChainMiddleSignature sketches the middle relation on both attributes.
 type ChainMiddleSignature struct {
 	family *ChainFamily
@@ -128,16 +220,78 @@ func (s *ChainMiddleSignature) Len() int64 { return s.n }
 // MemoryWords returns k.
 func (s *ChainMiddleSignature) MemoryWords() int { return len(s.z) }
 
+// Merge adds other's counters into s. Both must come from one family (by
+// value); the result is exactly the signature of the concatenated streams.
+func (s *ChainMiddleSignature) Merge(other *ChainMiddleSignature) error {
+	if other == nil {
+		return errors.New("join: nil chain signature")
+	}
+	if err := chainCompatible(s.family, other.family); err != nil {
+		return err
+	}
+	for m, z := range other.z {
+		s.z[m] += z
+	}
+	s.n += other.n
+	return nil
+}
+
+// MarshalBinary serializes the signature via the shared blob codec: k,
+// seed, n, counters.
+func (s *ChainMiddleSignature) MarshalBinary() ([]byte, error) {
+	b := blob.NewBuilder(blob.MagicChainMidSig, 1, 8*3+8*len(s.z))
+	b.U64(uint64(s.family.k))
+	b.U64(s.family.seed)
+	b.I64(s.n)
+	b.I64s(s.z)
+	return b.Seal(), nil
+}
+
+// UnmarshalBinary restores a signature serialized by MarshalBinary.
+func (s *ChainMiddleSignature) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicChainMidSig, 1, data)
+	if err != nil {
+		return fmt.Errorf("join: chain middle blob: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	k := c.Int()
+	seed := c.U64()
+	n := c.I64()
+	if c.Err() != nil {
+		return fmt.Errorf("join: chain middle blob: %w", c.Err())
+	}
+	if k < 1 || c.Remaining()%8 != 0 || c.Remaining()/8 != k {
+		return fmt.Errorf("join: chain middle blob length inconsistent with k = %d", k)
+	}
+	z := c.I64s(k)
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("join: chain middle blob: %w", err)
+	}
+	fam, err := NewChainFamily(k, seed)
+	if err != nil {
+		return err
+	}
+	fresh := fam.NewMiddleSignature()
+	fresh.n = n
+	copy(fresh.z, z)
+	*s = *fresh
+	return nil
+}
+
 // EstimateChainJoin returns the unbiased estimator of the three-way chain
 // join size |F ⋈_a G ⋈_b H|: the mean over the family of the triple
 // products S(F)[m]·S(G)[m]·S(H)[m]. All three signatures must come from
-// the same ChainFamily, with f on attribute 0 and h on attribute 1.
+// the same ChainFamily — by value (size and seed), so signatures shipped
+// from other nodes qualify — with f on attribute 0 and h on attribute 1.
 func EstimateChainJoin(f *ChainEndSignature, g *ChainMiddleSignature, h *ChainEndSignature) (float64, error) {
 	if f == nil || g == nil || h == nil {
 		return 0, errors.New("join: nil chain signature")
 	}
-	if f.family != g.family || g.family != h.family {
-		return 0, errors.New("join: chain signatures from different families")
+	if err := chainCompatible(f.family, g.family); err != nil {
+		return 0, err
+	}
+	if err := chainCompatible(g.family, h.family); err != nil {
+		return 0, err
 	}
 	if f.attr != 0 || h.attr != 1 {
 		return 0, errors.New("join: chain ends bound to wrong attributes (want f=attr0, h=attr1)")
