@@ -26,6 +26,19 @@ const (
 	SchemeFlat = engine.SchemeFlat
 )
 
+// IngestMode selects an Engine's write path: the synchronous locked
+// path, or the lock-free staging/absorber pipeline (see engine.IngestMode).
+type IngestMode = engine.IngestMode
+
+// The available ingest modes. IngestLocked is the default; IngestAbsorber
+// trades per-op durability handoff for a lock-free caller path, absorber
+// goroutines, and group-committed oplog appends — queries drain staged
+// ops first, so reads still see the caller's own writes.
+const (
+	IngestLocked   = engine.IngestLocked
+	IngestAbsorber = engine.IngestAbsorber
+)
+
 // NewEngine creates an in-memory engine.
 func NewEngine(opts EngineOptions) (*Engine, error) { return engine.New(opts) }
 

@@ -13,13 +13,15 @@
 //	amsbench -experiment deletions         # tracking accuracy under deletions
 //	amsbench -experiment fastacc           # Fast-AMS vs flat tug-of-war accuracy
 //	amsbench -experiment fastjoin          # fast vs flat join signature speed+accuracy
+//	amsbench -experiment engineingest      # locked vs absorber engine ingest cost
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
 // file per experiment into DIR. -seed fixes the data-set seed (default 1),
 // making every figure exactly reproducible. -json additionally writes
-// machine-readable results for experiments that support it (currently
-// fastjoin → BENCH_fastjoin.json), so CI can track the perf trajectory.
+// machine-readable results for experiments that support it (fastjoin →
+// BENCH_fastjoin.json, engineingest → BENCH_engine.json), so CI can
+// track the perf trajectory.
 package main
 
 import (
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, fastjoin, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, fastjoin, engineingest, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -210,6 +212,28 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "engineingest":
+			r, err := experiments.RunEngineIngest(1024, 0, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("engineingest", "Engine ingest: locked vs absorber path (k=1024, defaults)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("single-writer durable ingest: locked %.1f ns/op, absorber %.1f ns/op → %.1fx speedup\n\n",
+				r.LockedNsPerOp, r.AbsorberNsPerOp, r.Speedup)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_engine.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_engine.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -225,7 +249,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc", "fastjoin"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc", "fastjoin", "engineingest"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

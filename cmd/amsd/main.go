@@ -13,6 +13,15 @@
 // plus log replay — including truncating a torn final record after a
 // crash. Without -dir the engine is in-memory only.
 //
+// -ingest-mode absorber switches the engine onto the lock-free write
+// path: ingest requests stage ops into per-goroutine buffers, per-shard
+// absorber goroutines apply them, and the oplog is group-committed
+// (-flush-ops / -flush-interval). Queries drain staged ops first, so
+// responses always reflect the request's own writes. -segment-ops N
+// additionally rolls each relation's oplog onto numbered segment files
+// every N records, bounding single-file recovery reads between
+// checkpoints. DESIGN.md §7 documents the path and its measured cost.
+//
 // See internal/amsd for the endpoint reference and examples/amsdclient
 // for a complete client round trip.
 package main
@@ -47,6 +56,10 @@ func main() {
 		sketchS2  = flag.Int("sketch-s2", 0, "self-join sketch rows (0: default)")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "automatic checkpoint interval (0: manual only; needs -dir)")
 		maxBodyMB = flag.Int64("max-body-mb", 0, "request-body cap in MiB for ingest and bundle uploads (0: default 64)")
+		ingest    = flag.String("ingest-mode", "", "write path: locked (synchronous) or absorber (lock-free staging + group-commit oplog); empty: engine default")
+		flushOps  = flag.Int("flush-ops", 0, "absorber group-commit: flush the oplog after N records (0: default 512)")
+		flushIvl  = flag.Duration("flush-interval", 0, "absorber group-commit: flush the oplog after the oldest pending record waited this long (0: default 200µs)")
+		segOps    = flag.Int64("segment-ops", 0, "roll each relation's oplog onto a numbered segment every N records (0: off)")
 	)
 	flag.Parse()
 
@@ -59,6 +72,19 @@ func main() {
 		NoSketch:       *noSketch,
 		Shards:         *shards,
 		Dir:            *dir,
+		FlushOps:       *flushOps,
+		FlushInterval:  *flushIvl,
+		SegmentOps:     *segOps,
+	}
+	switch *ingest {
+	case "":
+	case "locked":
+		opts.IngestMode = engine.IngestLocked
+	case "absorber":
+		opts.IngestMode = engine.IngestAbsorber
+	default:
+		fmt.Fprintf(os.Stderr, "amsd: unknown -ingest-mode %q (want locked or absorber)\n", *ingest)
+		os.Exit(1)
 	}
 	if *flat {
 		opts.Scheme = engine.SchemeFlat
@@ -112,7 +138,8 @@ func run(opts engine.Options, addr string, ckptEvery time.Duration, maxBody int6
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("amsd: serving on %s (durable: %v, k=%d)", addr, opts.Dir != "", opts.SignatureWords)
+		log.Printf("amsd: serving on %s (durable: %v, k=%d, ingest: %s)",
+			addr, opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
 		errc <- srv.ListenAndServe()
 	}()
 

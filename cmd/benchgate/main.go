@@ -1,23 +1,33 @@
 // Command benchgate is the perf-trajectory regression gate: it compares
-// a freshly measured BENCH_fastjoin.json (amsbench -experiment fastjoin
-// -json) against the committed baseline and fails — exit 1 — when the
-// fast signature's update cost regressed beyond the tolerance. CI runs
-// it after the fastjoin experiment, so a PR that slows the O(rows) hot
-// path by more than 25% cannot merge silently.
+// a freshly measured benchmark JSON (amsbench ... -json) against the
+// committed baseline and fails — exit 1 — when the gated hot-path cost
+// regressed beyond the tolerance. CI runs it after each experiment, so a
+// PR that slows a gated hot path by more than the tolerance cannot merge
+// silently. Two gated experiments:
+//
+//   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
+//     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
+//   - engineingest (BENCH_engine.json): the engine's absorber ingest
+//     path, normalized as absorber_ns_per_op ÷ locked_ns_per_op
+//     (single-writer durable ingest).
+//
+// The file's "experiment" field selects the gate; bench and baseline
+// must agree on it.
 //
 // Two metrics:
 //
-//   - normalized (default): fast_ns_per_update ÷ flat_ns_per_update,
-//     measured in the SAME process on the SAME machine. The flat scheme's
-//     O(k) loop acts as a built-in machine-speed probe, so the ratio
-//     cancels out runner-hardware variance that would make raw
-//     nanoseconds flap across CI hosts;
-//   - absolute (-metric absolute): raw fast_ns_per_update, for
+//   - normalized (default): the fast path ÷ the slow reference path,
+//     measured in the SAME process on the SAME machine. The reference
+//     loop acts as a built-in machine-speed probe, so the ratio cancels
+//     out runner-hardware variance that would make raw nanoseconds flap
+//     across CI hosts;
+//   - absolute (-metric absolute): the raw fast-path nanoseconds, for
 //     like-for-like machines (e.g. a dedicated perf box).
 //
 // Usage:
 //
 //	benchgate -bench BENCH_fastjoin.json -baseline BENCH_fastjoin.baseline.json [-max-regress 0.25]
+//	benchgate -bench BENCH_engine.json -baseline BENCH_engine.baseline.json [-max-regress 0.35]
 package main
 
 import (
@@ -28,12 +38,27 @@ import (
 	"os"
 )
 
-// benchFile is the subset of experiments.FastJoinResult the gate reads.
+// benchFile is the union of the gate-relevant fields of
+// experiments.FastJoinResult and experiments.EngineIngestResult; the
+// Experiment tag says which pair is populated.
 type benchFile struct {
-	Experiment      string  `json:"experiment"`
-	K               int     `json:"k"`
+	Experiment string `json:"experiment"`
+	K          int    `json:"k"`
+	// fastjoin: streamed signature update cost.
 	FlatNsPerUpdate float64 `json:"flat_ns_per_update"`
 	FastNsPerUpdate float64 `json:"fast_ns_per_update"`
+	// engineingest: single-writer durable engine ingest cost.
+	LockedNsPerOp   float64 `json:"locked_ns_per_op"`
+	AbsorberNsPerOp float64 `json:"absorber_ns_per_op"`
+}
+
+// pair returns (fast-path, reference-path) nanoseconds for the file's
+// experiment.
+func (b *benchFile) pair() (fast, ref float64) {
+	if b.Experiment == "engineingest" {
+		return b.AbsorberNsPerOp, b.LockedNsPerOp
+	}
+	return b.FastNsPerUpdate, b.FlatNsPerUpdate
 }
 
 func main() {
@@ -60,22 +85,24 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin or engineingest", path, b.Experiment)
 	}
-	if b.FastNsPerUpdate <= 0 || b.FlatNsPerUpdate <= 0 {
-		return nil, fmt.Errorf("%s: non-positive timings (fast=%g flat=%g)", path, b.FastNsPerUpdate, b.FlatNsPerUpdate)
+	fast, ref := b.pair()
+	if fast <= 0 || ref <= 0 {
+		return nil, fmt.Errorf("%s: non-positive timings (fast=%g reference=%g)", path, fast, ref)
 	}
 	return &b, nil
 }
 
 // value extracts the gated metric from a measurement.
 func value(b *benchFile, metric string) (float64, error) {
+	fast, ref := b.pair()
 	switch metric {
 	case "normalized":
-		return b.FastNsPerUpdate / b.FlatNsPerUpdate, nil
+		return fast / ref, nil
 	case "absolute":
-		return b.FastNsPerUpdate, nil
+		return fast, nil
 	default:
 		return 0, fmt.Errorf("unknown metric %q (want normalized or absolute)", metric)
 	}
@@ -104,6 +131,9 @@ func run(benchPath, basePath string, maxRegress float64, metric string, updateBa
 	if err != nil {
 		return err
 	}
+	if cur.Experiment != base.Experiment {
+		return fmt.Errorf("experiment mismatch: measured %q vs baseline %q", cur.Experiment, base.Experiment)
+	}
 	if cur.K != base.K {
 		return fmt.Errorf("signature size changed (k=%d vs baseline k=%d); refresh the baseline with -update-baseline", cur.K, base.K)
 	}
@@ -116,12 +146,14 @@ func run(benchPath, basePath string, maxRegress float64, metric string, updateBa
 		return err
 	}
 	regress := curV/baseV - 1
-	fmt.Fprintf(out, "benchgate: metric=%s k=%d current=%.4g baseline=%.4g regression=%+.1f%% (tolerance %.0f%%)\n",
-		metric, cur.K, curV, baseV, 100*regress, 100*maxRegress)
-	fmt.Fprintf(out, "benchgate: fast=%.4g ns/op flat=%.4g ns/op (baseline fast=%.4g flat=%.4g)\n",
-		cur.FastNsPerUpdate, cur.FlatNsPerUpdate, base.FastNsPerUpdate, base.FlatNsPerUpdate)
+	curFast, curRef := cur.pair()
+	baseFast, baseRef := base.pair()
+	fmt.Fprintf(out, "benchgate: experiment=%s metric=%s k=%d current=%.4g baseline=%.4g regression=%+.1f%% (tolerance %.0f%%)\n",
+		cur.Experiment, metric, cur.K, curV, baseV, 100*regress, 100*maxRegress)
+	fmt.Fprintf(out, "benchgate: fast=%.4g ns/op reference=%.4g ns/op (baseline fast=%.4g reference=%.4g)\n",
+		curFast, curRef, baseFast, baseRef)
 	if regress > maxRegress {
-		return fmt.Errorf("fast-signature update cost regressed %.1f%% > %.0f%% tolerance", 100*regress, 100*maxRegress)
+		return fmt.Errorf("%s hot-path cost regressed %.1f%% > %.0f%% tolerance", cur.Experiment, 100*regress, 100*maxRegress)
 	}
 	return nil
 }

@@ -49,6 +49,46 @@ func TestGateNormalized(t *testing.T) {
 	}
 }
 
+func writeEngineBench(t *testing.T, dir, name string, absorber, locked float64, k int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	body := fmt.Sprintf(`{"experiment":"engineingest","k":%d,"locked_ns_per_op":%g,"absorber_ns_per_op":%g}`,
+		k, locked, absorber)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateEngineIngest: the engineingest gate reads the absorber/locked
+// pair, normalizes the same way, and refuses a fastjoin baseline.
+func TestGateEngineIngest(t *testing.T) {
+	dir := t.TempDir()
+	base := writeEngineBench(t, dir, "base.json", 250, 1000, 1024) // ratio 0.25
+	var out strings.Builder
+
+	// Slower machine, same ratio → pass.
+	ok := writeEngineBench(t, dir, "ok.json", 500, 2000, 1024)
+	if err := run(ok, base, 0.35, "normalized", false, &out); err != nil {
+		t.Fatalf("same-ratio engine run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "experiment=engineingest") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Absorber path regressed 60% relative to locked → fail at 35%.
+	bad := writeEngineBench(t, dir, "bad.json", 400, 1000, 1024)
+	if err := run(bad, base, 0.35, "normalized", false, &out); err == nil {
+		t.Fatal("60% engine-ingest regression passed the 35% gate")
+	}
+
+	// Experiment mismatch between bench and baseline must error.
+	fj := writeBench(t, dir, "fastjoin.json", 10, 1000, 1024)
+	if err := run(fj, base, 0.35, "normalized", false, &out); err == nil {
+		t.Fatal("fastjoin measurement gated against engineingest baseline")
+	}
+}
+
 // TestGateAbsolute: the absolute metric gates raw fast ns/op.
 func TestGateAbsolute(t *testing.T) {
 	dir := t.TempDir()

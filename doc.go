@@ -77,6 +77,23 @@
 // cmd/amsd serves the engine over HTTP JSON; DESIGN.md §5 documents the
 // architecture.
 //
+// The write path is selectable via EngineOptions.IngestMode. The default
+// locked path applies and logs every op synchronously. IngestAbsorber is
+// the lock-free hot path: callers stage ops into CAS-claimed buffers
+// (EngineOptions.StageOps), per-shard absorber goroutines apply them
+// under single-writer discipline, and a group-commit writer batches
+// oplog appends (EngineOptions.FlushOps records or
+// EngineOptions.FlushInterval, whichever first). Queries drain staged
+// ops before answering, so reads always see the caller's own writes, and
+// checkpoints quiesce the pipeline, so recovery stays bit-identical —
+// the trade is durability granularity: ops become OS-owned at the flush
+// policy, Relation.Drain, Sync, or Checkpoint rather than per call.
+// EngineOptions.SegmentOps additionally caps each oplog file at N
+// records, rolling onto numbered segments so no single log file grows
+// without bound between checkpoints. Both modes produce bit-identical
+// synopses for the same ops; DESIGN.md §7 has the architecture and
+// measured numbers.
+//
 // # Multi-node estimation
 //
 // Every synopsis here is a linear function of its relation's frequency

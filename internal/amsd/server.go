@@ -48,7 +48,12 @@ import (
 const DefaultMaxBody = 64 << 20
 
 // Server answers HTTP requests from one engine. The engine is safe for
-// concurrent use, so the server adds no locking of its own.
+// concurrent use, so the server adds no locking of its own. Under
+// IngestAbsorber engines the ingest handler's response (tuple count) and
+// every estimate endpoint drain the relation's staged ops first, so a
+// client always reads its own completed writes regardless of the
+// engine's write path; absorber-side oplog errors surface as 500s on the
+// first request after the failed flush.
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
@@ -130,13 +135,17 @@ type HealthzBody struct {
 	Status    string `json:"status"`
 	Relations int    `json:"relations"`
 	Durable   bool   `json:"durable"`
+	// IngestMode is the engine's write path ("locked" or "absorber") —
+	// operators watching a fleet can verify the lock-free path is live.
+	IngestMode string `json:"ingest_mode"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthzBody{
-		Status:    "ok",
-		Relations: len(s.eng.Names()),
-		Durable:   s.eng.Dir() != "",
+		Status:     "ok",
+		Relations:  len(s.eng.Names()),
+		Durable:    s.eng.Dir() != "",
+		IngestMode: s.eng.Options().IngestMode.String(),
 	})
 }
 
@@ -219,10 +228,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	rel.InsertBatch(req.Inserts)
 	if err := rel.DeleteBatch(req.Deletes); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// Engine deletes are pure linearity and never fail on validity;
+		// an error here is the relation's sticky durability failure —
+		// the server's fault, not the client's.
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	if err := rel.Err(); err != nil {
+	// DrainLen is the one-sweep barrier: in absorber mode it flushes this
+	// request's ops through the pipeline (so the returned Len reads them
+	// and an oplog failure they triggered is visible NOW); in locked mode
+	// it reduces to Len plus the sticky-error read.
+	n, err := rel.DrainLen()
+	if err != nil {
 		// Ops applied in memory but not durably logged: surface loudly.
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -231,7 +248,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Relation: req.Relation,
 		Inserted: len(req.Inserts),
 		Deleted:  len(req.Deletes),
-		Len:      rel.Len(),
+		Len:      n,
 	})
 }
 

@@ -104,6 +104,30 @@ func (st *ShardedFastTugOfWar) applyBatch(vs []uint64, del bool) {
 	}
 }
 
+// ShardInsertBatch applies the whole batch to shard i's counters under
+// that single shard's lock, SKIPPING the value-hash routing: by
+// linearity ANY assignment of updates to shards yields the same merged
+// counters, so a caller that already owns a partition of the stream
+// (e.g. one engine absorber) can pin its updates to one shard and pay
+// one uncontended lock per batch instead of a grouping pass plus one
+// lock per sketch shard.
+func (st *ShardedFastTugOfWar) ShardInsertBatch(i int, vs []uint64) {
+	s := &st.shards[i&int(st.mask)]
+	s.mu.Lock()
+	s.tw.InsertBatch(vs)
+	s.mu.Unlock()
+}
+
+// ShardDeleteBatch is ShardInsertBatch for deletions. A shard's local
+// counters may go transiently negative under pinned assignment; the
+// merged sketch is exact whenever the overall op sequence is valid.
+func (st *ShardedFastTugOfWar) ShardDeleteBatch(i int, vs []uint64) {
+	s := &st.shards[i&int(st.mask)]
+	s.mu.Lock()
+	_ = s.tw.DeleteBatch(vs)
+	s.mu.Unlock()
+}
+
 // Estimate sums the shard counters and answers the query directly — no
 // Snapshot, so no regeneration of the 64 KiB-per-row hash tables that a
 // full FastTugOfWar would carry but a read-only merge never uses. Safe for

@@ -1,0 +1,519 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"amstrack/internal/xrand"
+)
+
+// absOpts is durOpts forced onto the absorber path, with deliberately
+// tiny staging/flush knobs so buffers fill, partial buffers drain, and
+// the group-commit policy fires constantly during the tests.
+func absOpts(dir string) Options {
+	o := durOpts(dir)
+	o.IngestMode = IngestAbsorber
+	o.StageOps = 7
+	o.FlushOps = 16
+	o.FlushInterval = 50 * time.Microsecond
+	return o
+}
+
+// TestAbsorberKillAndRecover is the absorber-mode twin of
+// TestKillAndRecover, asserted against the LOCKED-mode in-memory mirror:
+// one test pins both recovery fidelity and cross-mode bit-identity.
+func TestAbsorberKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(absOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPhase1(e, t)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ingestPhase2(e, t)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(absOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	expectEqualState(t, back, mirror(t, true))
+}
+
+// TestAbsorberTornTailRecover crashes the absorber pipeline's log with a
+// partial record and expects the same clean truncation the locked path
+// gets.
+func TestAbsorberTornTailRecover(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(absOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestPhase1(e, t)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, relFileName("f", 0))
+	lf, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lf.Write([]byte{0, 0xAB, 0xCD}); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+
+	back, err := Open(absOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	expectEqualState(t, back, mirror(t, false))
+}
+
+// TestAbsorberReadYourWrites: ops still sitting in staging buffers must
+// be visible to every query form without an explicit Drain.
+func TestAbsorberReadYourWrites(t *testing.T) {
+	o := Options{SignatureWords: 128, Seed: 5, SketchS1: 64, SketchS2: 4,
+		Shards: 2, IngestMode: IngestAbsorber} // default StageOps: 3 ops stay staged
+	e, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := e.Define("f")
+	g, _ := e.Define("g")
+	f.Insert(1)
+	f.Insert(1)
+	g.Insert(1)
+	if n := f.Len(); n != 2 {
+		t.Fatalf("Len = %d before any drain, want 2", n)
+	}
+	if got := g.SelfJoinEstimate(); got != 1 {
+		t.Fatalf("SJ estimate = %v, want exactly 1 for a single staged tuple", got)
+	}
+	je, err := e.EstimateJoin("f", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if je.Estimate != 2 {
+		t.Fatalf("join estimate = %v, want exactly 2 (two copies of one value)", je.Estimate)
+	}
+	if err := f.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Len(); n != 1 {
+		t.Fatalf("Len = %d after staged delete, want 1", n)
+	}
+}
+
+// breakLog yanks the file out from under the relation's log writer, the
+// fault-injection for absorber-side append failures: the next flush the
+// group-commit policy (or a barrier) triggers fails and must go sticky.
+func breakLog(t *testing.T, r *Relation) {
+	t.Helper()
+	r.log.mu.Lock()
+	defer r.log.mu.Unlock()
+	if r.log.f == nil {
+		t.Fatal("relation has no log file")
+	}
+	if err := r.log.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbsorberErrVisibility is the failing-writer table test: a log
+// writer that starts failing mid-stream must surface on every advertised
+// channel — Err, the next erroring caller-side op (Delete/DeleteBatch),
+// Drain, Sync, and Checkpoint.
+func TestAbsorberErrVisibility(t *testing.T) {
+	cases := []struct {
+		name    string
+		surface func(t *testing.T, e *Engine, r *Relation) error
+	}{
+		{"drain", func(t *testing.T, e *Engine, r *Relation) error {
+			return r.Drain()
+		}},
+		{"delete", func(t *testing.T, e *Engine, r *Relation) error {
+			r.Drain() // force the failed flush; the assertion is Delete's return
+			return r.Delete(1)
+		}},
+		{"delete-batch", func(t *testing.T, e *Engine, r *Relation) error {
+			r.Drain()
+			return r.DeleteBatch([]uint64{1})
+		}},
+		{"err-after-policy-flush", func(t *testing.T, e *Engine, r *Relation) error {
+			// No explicit barrier: the FlushOps group-commit threshold
+			// alone must trip the failure and leave it sticky.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				if err := r.Err(); err != nil {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return r.Err()
+		}},
+		{"drain-len", func(t *testing.T, e *Engine, r *Relation) error {
+			_, err := r.DrainLen()
+			return err
+		}},
+		{"sync", func(t *testing.T, e *Engine, r *Relation) error {
+			return e.Sync()
+		}},
+		{"checkpoint", func(t *testing.T, e *Engine, r *Relation) error {
+			_, err := e.Checkpoint()
+			return err
+		}},
+		{"engine-drain", func(t *testing.T, e *Engine, r *Relation) error {
+			return e.Drain()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := Open(absOpts(t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := e.Define("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				r.Insert(uint64(i % 9))
+			}
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			breakLog(t, r)
+			// Mid-stream: the writer is already broken while these ops flow.
+			for i := 0; i < 100; i++ {
+				r.Insert(uint64(i % 9))
+			}
+			if err := tc.surface(t, e, r); err == nil {
+				t.Fatal("failing log writer never surfaced")
+			}
+			// Sticky: once seen, every later channel reports it too.
+			if r.Err() == nil {
+				t.Fatal("error not sticky on Err")
+			}
+			if err := r.Drain(); err == nil {
+				t.Fatal("error not sticky on Drain")
+			}
+		})
+	}
+}
+
+// TestAbsorberIngestAfterDropIsNoOp: the amsd-reachable race — ingest on
+// a relation handle that was concurrently dropped (or whose engine
+// closed) — must be a silent discard, as on the locked path, never a
+// panic.
+func TestAbsorberIngestAfterDropIsNoOp(t *testing.T) {
+	o := Options{SignatureWords: 64, Seed: 3, NoSketch: true, Shards: 2, IngestMode: IngestAbsorber}
+	e, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Define("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Insert(1)
+	if err := e.Drop("f"); err != nil {
+		t.Fatal(err)
+	}
+	r.Insert(2) // discarded
+	r.InsertBatch([]uint64{3, 4})
+	if err := r.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(); n != 1 {
+		t.Fatalf("dropped relation Len = %d, want 1 (post-drop ops discarded)", n)
+	}
+}
+
+// TestAbsorberDiscardStopsGoroutines: error paths that throw a freshly
+// built relation away (corrupt checkpoint decode, duplicate import) must
+// stop its absorber pipeline rather than leak it.
+func TestAbsorberDiscardStopsGoroutines(t *testing.T) {
+	o := Options{SignatureWords: 64, Seed: 3, SketchS1: 8, SketchS2: 2, Shards: 2, IngestMode: IngestAbsorber}
+	e, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Define("x")
+	r.Insert(1)
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		// Truncation guarantees a decode error after relations (and their
+		// pipelines) may already have been built.
+		var back Engine
+		if err := back.UnmarshalBinary(blob[:len(blob)-1]); err == nil {
+			t.Fatal("truncated blob accepted")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after 50 failed decodes", before, runtime.NumGoroutine())
+}
+
+// TestAbsorberOpenFailureStopsGoroutines: a caller retrying a failing
+// Open (corrupt log) must not accumulate leaked absorber pipelines from
+// the half-recovered engines each attempt throws away.
+func TestAbsorberOpenFailureStopsGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	o := absOpts(dir)
+	e, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := e.Define("f")
+	for i := 0; i < 200; i++ {
+		f.Insert(uint64(i % 7))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, relFileName("f", 0))
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		if _, err := Open(o); err == nil {
+			t.Fatal("corrupt log accepted")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after 30 failed Opens", before, runtime.NumGoroutine())
+}
+
+// TestSegmentRollAndRecover runs both ingest modes over a tiny segment
+// cap: the log must split into many bounded files, recovery must replay
+// them in order, and the recovered estimates must be bit-identical to
+// the uninterrupted locked-mode mirror.
+func TestSegmentRollAndRecover(t *testing.T) {
+	for _, mode := range []IngestMode{IngestLocked, IngestAbsorber} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			o := durOpts(dir)
+			o.IngestMode = mode
+			o.SegmentOps = 64
+			e, err := Open(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestPhase1(e, t)
+			if err := e.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// 3002 ops per relation at 64 records each → many segments,
+			// every one at most 64 records long.
+			segs := 0
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				name, _, _, ok := relNameFromFile(ent.Name())
+				if !ok || name != "f" {
+					continue
+				}
+				st, err := os.Stat(filepath.Join(dir, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Size() > 64*13 {
+					t.Fatalf("segment %s has %d bytes > cap", ent.Name(), st.Size())
+				}
+				segs++
+			}
+			if segs < 40 {
+				t.Fatalf("only %d segments for ~3000 ops at SegmentOps=64", segs)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Open(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer back.Close()
+			expectEqualState(t, back, mirror(t, false))
+		})
+	}
+}
+
+// TestSegmentTornAndCorrupt pins the per-segment recovery contract: a
+// torn tail is legal ONLY in the last (actively appended) segment; a
+// torn or corrupted sealed segment, or a missing one, fails recovery.
+func TestSegmentTornAndCorrupt(t *testing.T) {
+	build := func(t *testing.T) (string, Options) {
+		dir := t.TempDir()
+		o := durOpts(dir)
+		o.SegmentOps = 16
+		e, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := e.Define("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(3)
+		for i := 0; i < 100; i++ {
+			f.Insert(r.Uint64n(40))
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir, o
+	}
+
+	t.Run("torn-last-segment-recovers", func(t *testing.T) {
+		dir, o := build(t)
+		// 100 ops / 16 per segment → last segment is s6.
+		last := filepath.Join(dir, segFileName("f", 0, 6))
+		lf, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lf.Write([]byte{0, 1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+		lf.Close()
+		back, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer back.Close()
+		rel, err := back.Get("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != 100 {
+			t.Fatalf("recovered Len = %d, want 100", rel.Len())
+		}
+	})
+
+	t.Run("torn-sealed-segment-fails", func(t *testing.T) {
+		dir, o := build(t)
+		sealed := filepath.Join(dir, segFileName("f", 0, 2))
+		lf, err := os.OpenFile(sealed, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lf.Write([]byte{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		lf.Close()
+		if _, err := Open(o); err == nil {
+			t.Fatal("torn sealed segment accepted")
+		}
+	})
+
+	t.Run("corrupt-sealed-segment-fails", func(t *testing.T) {
+		dir, o := build(t)
+		sealed := filepath.Join(dir, segFileName("f", 0, 1))
+		data, err := os.ReadFile(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(sealed, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(o); err == nil {
+			t.Fatal("corrupt sealed segment accepted")
+		}
+	})
+
+	t.Run("missing-segment-fails", func(t *testing.T) {
+		dir, o := build(t)
+		if err := os.Remove(filepath.Join(dir, segFileName("f", 0, 3))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(o); err == nil {
+			t.Fatal("missing middle segment accepted")
+		}
+	})
+}
+
+// TestSegmentCheckpointRemovesAll: rotation after a checkpoint must
+// delete every absorbed segment, not just the newest, and land the
+// relation on a fresh epoch-1 segment 0.
+func TestSegmentCheckpointRemovesAll(t *testing.T) {
+	dir := t.TempDir()
+	o := durOpts(dir)
+	o.SegmentOps = 16
+	e, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f.Insert(uint64(i))
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		name, epoch, seq, ok := relNameFromFile(ent.Name())
+		if !ok {
+			continue
+		}
+		if epoch != 1 || seq != 0 {
+			t.Fatalf("stale segment %s (rel %q epoch %d seq %d) survived checkpoint", ent.Name(), name, epoch, seq)
+		}
+	}
+	f.Insert(7)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	rel, err := back.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 101 {
+		t.Fatalf("recovered Len = %d, want 101", rel.Len())
+	}
+}

@@ -192,9 +192,11 @@ func (e *Engine) ImportRelation(name string, data []byte) error {
 		return err
 	}
 	if err := r.absorbBundle(&b); err != nil {
+		r.discard()
 		return err
 	}
-	if err := r.log.create(e.opts.Dir, name, e.epoch); err != nil {
+	if err := r.log.create(e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
+		r.discard()
 		return err
 	}
 	e.rels[name] = r
@@ -221,10 +223,7 @@ func (e *Engine) MergeRelation(name string, data []byte) error {
 	if !ok {
 		return fmt.Errorf("engine: %w: %q", ErrUnknownRelation, name)
 	}
-	r.opMu.Lock()
-	err := r.absorbBundle(&b)
-	r.opMu.Unlock()
-	if err != nil {
+	if err := r.absorbBundle(&b); err != nil {
 		return err
 	}
 	if e.opts.Dir != "" {
@@ -238,7 +237,12 @@ func (e *Engine) MergeRelation(name string, data []byte) error {
 // absorbBundle folds a decoded bundle into the relation's shard-0
 // synopses (linearity: equivalent to having streamed the source ops
 // through the shards). Shape or seed mismatches report ErrIncompatible.
+// The relation is quiesced for the duration (exclusive op lock in locked
+// mode, a full absorber pause otherwise — callers hold the engine mutex
+// exclusively, which pause requires).
 func (r *Relation) absorbBundle(b *RelationBundle) error {
+	release := r.quiesce()
+	defer release()
 	if err := r.shards[0].sig.Merge(b.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrIncompatible, err)
 	}

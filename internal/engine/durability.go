@@ -35,72 +35,153 @@ const (
 	logSuffix      = ".oplog"
 )
 
-// relFileName maps a relation name and log epoch to the log file. Hex
-// keeps arbitrary names filesystem-safe and the mapping invertible; the
-// epoch tag is what makes checkpointing crash-safe — recovery replays
-// only logs of the checkpoint's own epoch, so a log the checkpoint
-// already absorbed (older epoch, left behind by a crash mid-rotation)
-// can never be double-applied.
+// relFileName maps a relation name and log epoch to the first log
+// segment. Hex keeps arbitrary names filesystem-safe and the mapping
+// invertible; the epoch tag is what makes checkpointing crash-safe —
+// recovery replays only logs of the checkpoint's own epoch, so a log the
+// checkpoint already absorbed (older epoch, left behind by a crash
+// mid-rotation) can never be double-applied.
 func relFileName(name string, epoch uint64) string {
 	return fmt.Sprintf("%s%s-e%d%s", logPrefix, hex.EncodeToString([]byte(name)), epoch, logSuffix)
 }
 
-// relNameFromFile inverts relFileName; ok is false for foreign files.
-func relNameFromFile(file string) (name string, epoch uint64, ok bool) {
+// segFileName maps (name, epoch, seq) to a log segment file. Segment 0
+// keeps the historical single-file name, so logs written before segment
+// rolling existed recover unchanged; later segments carry an -s<seq>
+// tag and recovery replays them in sequence order.
+func segFileName(name string, epoch uint64, seq int) string {
+	if seq == 0 {
+		return relFileName(name, epoch)
+	}
+	return fmt.Sprintf("%s%s-e%d-s%d%s", logPrefix, hex.EncodeToString([]byte(name)), epoch, seq, logSuffix)
+}
+
+// relNameFromFile inverts segFileName; ok is false for foreign files.
+func relNameFromFile(file string) (name string, epoch uint64, seq int, ok bool) {
 	if !strings.HasPrefix(file, logPrefix) || !strings.HasSuffix(file, logSuffix) {
-		return "", 0, false
+		return "", 0, 0, false
 	}
 	body := strings.TrimSuffix(strings.TrimPrefix(file, logPrefix), logSuffix)
-	hexName, epochTag, found := strings.Cut(body, "-e")
+	hexName, tail, found := strings.Cut(body, "-e")
 	if !found {
-		return "", 0, false
+		return "", 0, 0, false
 	}
 	raw, err := hex.DecodeString(hexName)
 	if err != nil || len(raw) == 0 {
-		return "", 0, false
+		return "", 0, 0, false
 	}
+	epochTag, seqTag, hasSeq := strings.Cut(tail, "-s")
 	epoch, err = strconv.ParseUint(epochTag, 10, 64)
 	if err != nil {
-		return "", 0, false
+		return "", 0, 0, false
 	}
-	return string(raw), epoch, true
+	if hasSeq {
+		s, err := strconv.Atoi(seqTag)
+		if err != nil || s < 1 {
+			return "", 0, 0, false
+		}
+		seq = s
+	}
+	return string(raw), epoch, seq, true
 }
 
 // relLog is the durable half of a relation. In in-memory engines every
-// method is a cheap no-op (w == nil). Appends flush to the OS on every
-// call, so the kernel — not the process — owns buffered ops the moment an
-// ingest call returns; fsync happens at Sync, Checkpoint, and Close.
-// Write errors are sticky: once an append fails, later ops are not
-// logged (they would be out of order) and the error surfaces on Err,
-// Sync, and Checkpoint.
+// method is a cheap no-op (w == nil). Locked-mode appends flush to the
+// OS on every call, so the kernel — not the process — owns buffered ops
+// the moment an ingest call returns; absorber-mode appendGroup leaves
+// flushing to the group-commit policy (osFlush). fsync happens at Sync,
+// Checkpoint, Close, and on every segment roll. Write errors are sticky:
+// once an append fails, later ops are not logged (they would be out of
+// order) and the error surfaces on Err, Sync, and Checkpoint.
+//
+// With SegmentOps > 0 the log is a sequence of numbered segment files,
+// each capped at SegmentOps records: full segments are fsynced and
+// closed, appends continue on the next segment, and recovery replays the
+// segments in order. Rolling bounds the size of any single log file (and
+// any single recovery read) between checkpoints.
 type relLog struct {
-	mu     sync.Mutex
-	path   string
-	f      *os.File
-	w      *oplog.Writer
-	sticky error
+	mu       sync.Mutex
+	dir      string
+	name     string
+	epoch    uint64
+	seq      int   // current segment number
+	segOps   int64 // roll threshold in records; 0 disables rolling
+	segCount int64 // records in the current segment
+	path     string
+	f        *os.File
+	w        *oplog.Writer
+	sticky   error
 }
 
-// create opens a fresh (truncated) log for a newly defined relation at
-// the given epoch. No-op when dir is empty.
-func (l *relLog) create(dir, name string, epoch uint64) error {
+// create opens a fresh (truncated) segment-0 log for a newly defined
+// relation at the given epoch. No-op when dir is empty.
+func (l *relLog) create(dir, name string, epoch uint64, segOps int64) error {
 	if dir == "" {
 		return nil
 	}
-	path := filepath.Join(dir, relFileName(name, epoch))
+	path := filepath.Join(dir, segFileName(name, epoch, 0))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("engine: create oplog: %w", err)
 	}
-	l.attach(f, path)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dir, l.name, l.epoch, l.seq, l.segOps, l.segCount = dir, name, epoch, 0, segOps, 0
+	l.f, l.path, l.w, l.sticky = f, path, oplog.NewWriter(f), nil
 	return nil
 }
 
-// attach binds an already-positioned append handle (create and recovery).
-func (l *relLog) attach(f *os.File, path string) {
+// attach binds an already-positioned append handle (recovery): the open
+// file is segment seq of the given epoch and holds count records.
+func (l *relLog) attach(f *os.File, dir, name string, epoch uint64, seq int, count, segOps int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.f, l.path, l.w, l.sticky = f, path, oplog.NewWriter(f), nil
+	l.dir, l.name, l.epoch, l.seq, l.segOps, l.segCount = dir, name, epoch, seq, segOps, count
+	l.f, l.path, l.w, l.sticky = f, filepath.Join(dir, segFileName(name, epoch, seq)), oplog.NewWriter(f), nil
+}
+
+// rollLocked finishes the current segment (flush + fsync + close) and
+// opens the next one. Caller holds l.mu.
+func (l *relLog) rollLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seq++
+	path := filepath.Join(l.dir, segFileName(l.name, l.epoch, l.seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.path, l.w, l.segCount = f, path, oplog.NewWriter(f), 0
+	return nil
+}
+
+// appendLocked writes ops, rolling segments as they fill. Caller holds
+// l.mu and has checked w and sticky.
+func (l *relLog) appendLocked(ops []stream.Op) error {
+	for len(ops) > 0 {
+		if l.segOps > 0 && l.segCount >= l.segOps {
+			if err := l.rollLocked(); err != nil {
+				return err
+			}
+		}
+		n := int64(len(ops))
+		if l.segOps > 0 && n > l.segOps-l.segCount {
+			n = l.segOps - l.segCount
+		}
+		if err := l.w.AppendGroup(ops[:n]); err != nil {
+			return err
+		}
+		l.segCount += n
+		ops = ops[n:]
+	}
+	return nil
 }
 
 func (l *relLog) appendOps(ops ...stream.Op) {
@@ -112,12 +193,38 @@ func (l *relLog) appendOps(ops ...stream.Op) {
 	if l.w == nil || l.sticky != nil {
 		return
 	}
-	err := l.w.AppendAll(ops)
+	err := l.appendLocked(ops)
 	if err == nil {
 		err = l.w.Flush()
 	}
 	if err != nil {
 		l.sticky = fmt.Errorf("engine: oplog append: %w", err)
+	}
+}
+
+// appendGroup appends a batch WITHOUT flushing to the OS — the absorber
+// path's group commit. The records become OS-owned at the next osFlush
+// (flush policy), sync, roll, or close.
+func (l *relLog) appendGroup(ops []stream.Op) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil || l.sticky != nil {
+		return
+	}
+	if err := l.appendLocked(ops); err != nil {
+		l.sticky = fmt.Errorf("engine: oplog append: %w", err)
+	}
+}
+
+// osFlush pushes pending appended records to the OS (group commit).
+func (l *relLog) osFlush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil || l.sticky != nil {
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		l.sticky = fmt.Errorf("engine: oplog flush: %w", err)
 	}
 }
 
@@ -161,16 +268,16 @@ func (l *relLog) sync() error {
 }
 
 // rotate moves the relation onto a fresh log of the new epoch after a
-// successful checkpoint, then deletes the absorbed old-epoch file. A
-// crash at any point leaves either the old file (stale, ignored and
-// cleaned by the next Open) or the new one.
+// successful checkpoint, then deletes the absorbed old-epoch segments. A
+// crash at any point leaves either old segments (stale, ignored and
+// cleaned by the next Open) or the new log.
 func (l *relLog) rotate(dir, name string, epoch uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
-	newPath := filepath.Join(dir, relFileName(name, epoch))
+	newPath := filepath.Join(dir, segFileName(name, epoch, 0))
 	nf, err := os.OpenFile(newPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		// The checkpoint already absorbed the old-epoch log; appending
@@ -180,16 +287,19 @@ func (l *relLog) rotate(dir, name string, epoch uint64) error {
 		l.sticky = fmt.Errorf("engine: log rotation to epoch %d: %w", epoch, err)
 		return l.sticky
 	}
-	oldF, oldPath := l.f, l.path
+	oldF, oldEpoch, oldSeq := l.f, l.epoch, l.seq
 	l.f, l.path, l.w, l.sticky = nf, newPath, oplog.NewWriter(nf), nil
+	l.epoch, l.seq, l.segCount = epoch, 0, 0
 	err = oldF.Close()
-	if rmErr := os.Remove(oldPath); err == nil {
-		err = rmErr
+	for s := 0; s <= oldSeq; s++ {
+		if rmErr := os.Remove(filepath.Join(dir, segFileName(name, oldEpoch, s))); err == nil {
+			err = rmErr
+		}
 	}
 	return err
 }
 
-// remove closes and deletes the log (relation dropped).
+// remove closes and deletes every log segment (relation dropped).
 func (l *relLog) remove() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -197,8 +307,10 @@ func (l *relLog) remove() error {
 		return nil
 	}
 	err := l.f.Close()
-	if rmErr := os.Remove(l.path); err == nil {
-		err = rmErr
+	for s := 0; s <= l.seq; s++ {
+		if rmErr := os.Remove(filepath.Join(l.dir, segFileName(l.name, l.epoch, s))); err == nil {
+			err = rmErr
+		}
 	}
 	l.f, l.w = nil, nil
 	return err
@@ -251,16 +363,28 @@ func Open(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		if e.opts.SignatureWords != opts.SignatureWords || e.opts.Seed != opts.Seed {
-			return nil, fmt.Errorf("engine: checkpoint family (k=%d seed=%d) does not match options (k=%d seed=%d)",
-				e.opts.SignatureWords, e.opts.Seed, opts.SignatureWords, opts.Seed)
-		}
 	case errors.Is(err, fs.ErrNotExist):
 		if e, err = newEngine(opts); err != nil {
 			return nil, err
 		}
 	default:
 		return nil, err
+	}
+	// Every error return below abandons the half-recovered engine; stop
+	// the absorber pipelines of whatever relations it carries so a
+	// caller retrying Open (corrupt segment, bad options) cannot
+	// accumulate leaked goroutines.
+	recovered := false
+	defer func() {
+		if !recovered {
+			for _, r := range e.rels {
+				r.discard()
+			}
+		}
+	}()
+	if e.opts.SignatureWords != opts.SignatureWords || e.opts.Seed != opts.Seed {
+		return nil, fmt.Errorf("engine: checkpoint family (k=%d seed=%d) does not match options (k=%d seed=%d)",
+			e.opts.SignatureWords, e.opts.Seed, opts.SignatureWords, opts.Seed)
 	}
 
 	entries, err := os.ReadDir(opts.Dir)
@@ -273,13 +397,15 @@ func Open(opts Options) (*Engine, error) {
 	// rotation — their ops are inside the checkpoint already, so they are
 	// deleted, never replayed. Newer epochs cannot exist (rotation only
 	// happens after a successful rename) and mean a corrupted directory.
-	current := map[string]string{}
+	// Current-epoch logs may span several numbered segments; recovery
+	// replays them in sequence order.
+	current := map[string]map[int]string{} // name → seq → path
 	present := map[string]bool{}
 	for _, ent := range entries {
 		if ent.IsDir() {
 			continue
 		}
-		name, epoch, ok := relNameFromFile(ent.Name())
+		name, epoch, seq, ok := relNameFromFile(ent.Name())
 		if !ok {
 			continue
 		}
@@ -287,7 +413,10 @@ func Open(opts Options) (*Engine, error) {
 		switch {
 		case epoch == e.epoch:
 			present[name] = true
-			current[name] = path
+			if current[name] == nil {
+				current[name] = map[int]string{}
+			}
+			current[name][seq] = path
 		case epoch < e.epoch:
 			present[name] = true
 			if err := os.Remove(path); err != nil {
@@ -298,9 +427,10 @@ func Open(opts Options) (*Engine, error) {
 		}
 	}
 	// A checkpointed relation without any log file was dropped after that
-	// checkpoint: keep it dropped.
+	// checkpoint: keep it dropped (and stop its just-started pipeline).
 	for name := range e.rels {
 		if !present[name] {
+			e.rels[name].discard()
 			delete(e.rels, name)
 		}
 	}
@@ -318,25 +448,59 @@ func Open(opts Options) (*Engine, error) {
 			}
 			e.rels[name] = r
 		}
-		if path, ok := current[name]; ok {
-			if err := r.recoverLog(path); err != nil {
+		if segs, ok := current[name]; ok {
+			// Segments must be contiguous from 0: appends only ever roll
+			// onto seq+1, so a gap means a deleted or lost file.
+			paths := make([]string, len(segs))
+			for s := 0; s < len(segs); s++ {
+				p, ok := segs[s]
+				if !ok {
+					return nil, fmt.Errorf("engine: relation %q: log segment %d missing (have %d segments)", name, s, len(segs))
+				}
+				paths[s] = p
+			}
+			if err := r.recoverSegments(opts.Dir, name, e.epoch, paths, opts.SegmentOps); err != nil {
 				return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 			}
-		} else if err := r.log.create(opts.Dir, name, e.epoch); err != nil {
+		} else if err := r.log.create(opts.Dir, name, e.epoch, opts.SegmentOps); err != nil {
 			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 		}
 	}
+	recovered = true
 	return e, nil
 }
 
-// recoverLog replays one relation's log into its synopses (no re-logging)
-// and reopens it for appending. A torn tail (io.ErrUnexpectedEOF) is
-// truncated at the last clean record; a mid-log checksum failure is real
-// corruption and fails recovery.
-func (r *Relation) recoverLog(path string) error {
-	f, err := os.Open(path)
+// recoverSegments replays one relation's log segments, in order, into
+// its synopses (no re-logging) and reopens the LAST segment for
+// appending. A torn tail (io.ErrUnexpectedEOF) is legal only in the last
+// segment — the one that was being appended at the crash — and is
+// truncated at the last clean record; anywhere else, or a mid-log
+// checksum failure, is real corruption and fails recovery.
+func (r *Relation) recoverSegments(dir, name string, epoch uint64, paths []string, segOps int64) error {
+	var lastCount int64
+	for i, path := range paths {
+		last := i == len(paths)-1
+		count, err := r.replaySegment(path, last)
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+		lastCount = count
+	}
+	lastPath := paths[len(paths)-1]
+	af, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
+	}
+	r.log.attach(af, dir, name, epoch, len(paths)-1, lastCount, segOps)
+	return nil
+}
+
+// replaySegment feeds one segment's records to the synopses, truncating
+// a torn tail when allowed. Returns the clean record count.
+func (r *Relation) replaySegment(path string, allowTorn bool) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
 	}
 	lr := oplog.NewReader(f)
 	torn := false
@@ -347,29 +511,28 @@ replay:
 		case err == io.EOF:
 			break replay
 		case errors.Is(err, io.ErrUnexpectedEOF):
+			if !allowTorn {
+				f.Close()
+				return 0, errors.New("replay: torn record in a sealed segment")
+			}
 			torn = true
 			break replay
 		case err != nil:
 			f.Close()
-			return fmt.Errorf("replay: %w", err)
+			return 0, fmt.Errorf("replay: %w", err)
 		}
 		r.applyRecovered(op)
 	}
 	clean := lr.Offset()
 	if err := f.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if torn {
 		if err := os.Truncate(path, clean); err != nil {
-			return fmt.Errorf("truncate torn tail: %w", err)
+			return 0, fmt.Errorf("truncate torn tail: %w", err)
 		}
 	}
-	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	r.log.attach(af, path)
-	return nil
+	return lr.Count(), nil
 }
 
 // applyRecovered feeds one logged op to the synopses. Recovery is
@@ -395,11 +558,12 @@ func (r *Relation) applyRecovered(op stream.Op) {
 // Dir returns the durability directory ("" for in-memory engines).
 func (e *Engine) Dir() string { return e.opts.Dir }
 
-// Checkpoint stops the world (exclusive op locks on every relation),
-// serializes the engine into one blob written atomically (tmp + fsync +
-// rename), then rotates every relation onto a fresh next-epoch log: the
-// checkpoint now owns the logged history. Returns the blob size on
-// success.
+// Checkpoint stops the world (every relation quiesced: exclusive op
+// locks in locked mode, a full staging+absorber+log pause in absorber
+// mode), serializes the engine into one blob written atomically (tmp +
+// fsync + rename), then rotates every relation onto a fresh next-epoch
+// log: the checkpoint now owns the logged history. Returns the blob size
+// on success.
 func (e *Engine) Checkpoint() (int, error) {
 	if e.opts.Dir == "" {
 		return 0, errors.New("engine: in-memory engine has no checkpoint directory")
@@ -418,11 +582,10 @@ func (e *Engine) checkpointLocked() (int, error) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		r := e.rels[n]
-		r.opMu.Lock()
-		defer r.opMu.Unlock()
+		release := e.rels[n].quiesce()
+		defer release()
 	}
-	// With exclusive op locks held, each log exactly matches its
+	// With every relation quiesced, each log exactly matches its
 	// relation's counters; sync surfaces sticky append errors before the
 	// logs are declared absorbed.
 	for _, n := range names {
@@ -435,7 +598,7 @@ func (e *Engine) checkpointLocked() (int, error) {
 	// is therefore free to crash at any point — recovery replays only
 	// next-epoch logs (empty or missing) and discards the absorbed ones.
 	newEpoch := e.epoch + 1
-	data, err := e.marshalLocked(newEpoch)
+	data, err := e.marshalLocked(newEpoch, true)
 	if err != nil {
 		return 0, err
 	}
@@ -489,11 +652,16 @@ func writeFileAtomic(path string, data []byte) error {
 }
 
 // Sync flushes and fsyncs every relation log (the fsync barrier between
-// checkpoints), surfacing any sticky append error.
+// checkpoints), surfacing any sticky append error. Absorber-mode
+// relations are drained first, so the barrier covers every op staged
+// before the call.
 func (e *Engine) Sync() error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, r := range e.rels {
+		if r.ing != nil {
+			r.ing.drain()
+		}
 		if err := r.log.sync(); err != nil {
 			return fmt.Errorf("engine: relation %q: %w", r.name, err)
 		}
@@ -501,14 +669,34 @@ func (e *Engine) Sync() error {
 	return nil
 }
 
-// Close flushes and closes every relation log. The engine's in-memory
-// synopses stay queryable; further ingest on a durable engine after Close
-// is not logged (and is therefore a caller bug).
+// Drain flushes every relation's staged ops through the absorbers and
+// the group-commit log writer (a no-op per relation in locked mode) and
+// reports the first sticky error — the engine-wide read-your-writes and
+// error-visibility barrier of absorber mode.
+func (e *Engine) Drain() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var first error
+	for _, r := range e.rels {
+		if err := r.Drain(); err != nil && first == nil {
+			first = fmt.Errorf("engine: relation %q: %w", r.name, err)
+		}
+	}
+	return first
+}
+
+// Close drains and stops each relation's absorber pipeline (absorber
+// mode), then flushes and closes every relation log. The engine's
+// in-memory synopses stay queryable; further ingest after Close is a
+// caller bug (not logged in locked mode, discarded in absorber mode).
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
 	for _, r := range e.rels {
+		if r.ing != nil {
+			r.ing.stop()
+		}
 		if err := r.log.close(); err != nil && first == nil {
 			first = fmt.Errorf("engine: relation %q: %w", r.name, err)
 		}

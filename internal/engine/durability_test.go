@@ -297,6 +297,11 @@ func TestCheckpointRotatesLogs(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		f.Insert(uint64(i))
 	}
+	// Sync is the mode-neutral durability barrier: a no-op flush in locked
+	// mode, a drain through the absorbers in absorber mode.
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	epoch0 := filepath.Join(dir, relFileName("f", 0))
 	st, err := os.Stat(epoch0)
 	if err != nil {
@@ -506,15 +511,23 @@ func TestFailedRotationPoisonsLog(t *testing.T) {
 func TestRelFileNameRoundTrip(t *testing.T) {
 	for _, name := range []string{"f", "orders", "weird/../name", "säle", "a b"} {
 		for _, epoch := range []uint64{0, 7, 1 << 40} {
-			got, gotEpoch, ok := relNameFromFile(relFileName(name, epoch))
-			if !ok || got != name || gotEpoch != epoch {
-				t.Fatalf("round trip of %q@%d = %q@%d, %v", name, epoch, got, gotEpoch, ok)
+			for _, seq := range []int{0, 1, 42} {
+				got, gotEpoch, gotSeq, ok := relNameFromFile(segFileName(name, epoch, seq))
+				if !ok || got != name || gotEpoch != epoch || gotSeq != seq {
+					t.Fatalf("round trip of %q@%d s%d = %q@%d s%d, %v",
+						name, epoch, seq, got, gotEpoch, gotSeq, ok)
+				}
 			}
 		}
 	}
+	// Segment 0 keeps the historical single-file name.
+	if relFileName("f", 3) != segFileName("f", 3, 0) {
+		t.Fatal("segment 0 renamed; pre-segment logs would not recover")
+	}
 	for _, file := range []string{"checkpoint.blob", "rel-.oplog", "rel-zz-e1.oplog",
-		"rel-66.oplog", "rel-66-ex.oplog", "rel--e1.oplog", "other"} {
-		if _, _, ok := relNameFromFile(file); ok {
+		"rel-66.oplog", "rel-66-ex.oplog", "rel--e1.oplog", "rel-66-e1-s0.oplog",
+		"rel-66-e1-sx.oplog", "rel-66-e1-s-2.oplog", "other"} {
+		if _, _, _, ok := relNameFromFile(file); ok {
 			t.Fatalf("foreign file %q decoded as relation", file)
 		}
 	}

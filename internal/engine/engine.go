@@ -26,8 +26,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"amstrack/internal/blob"
 	"amstrack/internal/core"
@@ -56,6 +58,45 @@ const (
 	SchemeFlat
 )
 
+// IngestMode selects the write path of every relation in an engine.
+type IngestMode int
+
+const (
+	// IngestDefault resolves to IngestLocked, unless the environment
+	// variable AMSTRACK_INGEST_MODE overrides it ("locked" or "absorber")
+	// — the hook CI uses to force the whole test suite through the
+	// lock-free path under the race detector.
+	IngestDefault IngestMode = iota
+	// IngestLocked is the synchronous path: every op holds the relation's
+	// shared op-lock plus one shard mutex and appends to the oplog before
+	// returning. Simple, strictly ordered, and the correctness oracle for
+	// the absorber path.
+	IngestLocked
+	// IngestAbsorber is the lock-free hot path: callers stage ops into
+	// CAS-claimed per-goroutine buffers (no mutexes), one absorber
+	// goroutine per shard applies them under single-writer discipline,
+	// and a group-commit writer batches oplog appends. Queries drain
+	// staged ops first, so reads still see the caller's own writes; the
+	// durability barrier moves from "every op" to Sync/Checkpoint/drain.
+	IngestAbsorber
+)
+
+// String returns the conventional mode name.
+func (m IngestMode) String() string {
+	switch m {
+	case IngestDefault:
+		return "default"
+	case IngestLocked:
+		return "locked"
+	case IngestAbsorber:
+		return "absorber"
+	}
+	return fmt.Sprintf("IngestMode(%d)", int(m))
+}
+
+// ingestModeEnv is the environment override consulted by IngestDefault.
+const ingestModeEnv = "AMSTRACK_INGEST_MODE"
+
 // Defaults applied by Options.normalize.
 const (
 	defaultShards   = 4
@@ -65,6 +106,11 @@ const (
 	// rows choice will produce: below this, bucket collisions dominate
 	// and the fast scheme loses its accuracy parity with flat.
 	minFastBuckets = 16
+	// defaultStageOps is the absorber staging-buffer capacity: large
+	// enough to amortize the flush (grouping + channel handoff) to a few
+	// ns per op, small enough that a buffer's worth of staged ops is an
+	// invisible latency at query time.
+	defaultStageOps = 256
 )
 
 // Options configures an engine. The zero value of every field except
@@ -100,6 +146,27 @@ type Options struct {
 	// Dir enables oplog-backed durability when non-empty: per-relation
 	// logs and checkpoints live there. Empty means in-memory only.
 	Dir string
+	// IngestMode selects the write path (IngestDefault → locked, unless
+	// AMSTRACK_INGEST_MODE overrides). Both modes produce bit-identical
+	// synopses for the same op multiset; they differ in concurrency
+	// discipline and in when ops become durable (see the constants).
+	IngestMode IngestMode
+	// StageOps is the absorber staging-buffer capacity in ops
+	// (0 → 256). Absorber mode only.
+	StageOps int
+	// FlushOps caps the group-commit oplog batch: the log writer pushes
+	// pending records to the OS when FlushOps accumulate (0 → 512).
+	// Absorber mode with durability only.
+	FlushOps int
+	// FlushInterval caps how long a pending oplog record may wait before
+	// the group is pushed to the OS (0 → 200µs). Absorber mode with
+	// durability only.
+	FlushInterval time.Duration
+	// SegmentOps caps each oplog file at this many records: when a
+	// segment fills, the relation rolls onto a numbered next segment, so
+	// no single log file (and no single recovery read) grows without
+	// bound between checkpoints. 0 disables rolling.
+	SegmentOps int64
 }
 
 // Validate reports whether the options are usable.
@@ -157,6 +224,34 @@ func (o Options) normalize() (Options, error) {
 		n <<= 1
 	}
 	o.Shards = n
+	if o.IngestMode == IngestDefault {
+		switch env := os.Getenv(ingestModeEnv); env {
+		case "", "locked":
+			o.IngestMode = IngestLocked
+		case "absorber":
+			o.IngestMode = IngestAbsorber
+		default:
+			return o, fmt.Errorf("engine: %s=%q, want locked or absorber", ingestModeEnv, env)
+		}
+	}
+	if o.IngestMode != IngestLocked && o.IngestMode != IngestAbsorber {
+		return o, fmt.Errorf("engine: unknown ingest mode %d", o.IngestMode)
+	}
+	if o.StageOps == 0 {
+		o.StageOps = defaultStageOps
+	}
+	if o.StageOps < 1 {
+		return o, fmt.Errorf("engine: StageOps = %d, must be >= 1", o.StageOps)
+	}
+	if o.FlushOps < 0 {
+		return o, fmt.Errorf("engine: FlushOps = %d, must be >= 0", o.FlushOps)
+	}
+	if o.FlushInterval < 0 {
+		return o, fmt.Errorf("engine: FlushInterval = %v, must be >= 0", o.FlushInterval)
+	}
+	if o.SegmentOps < 0 {
+		return o, fmt.Errorf("engine: SegmentOps = %d, must be >= 0", o.SegmentOps)
+	}
 	return o, nil
 }
 
@@ -226,16 +321,24 @@ type Relation struct {
 	name string
 	eng  *Engine
 
-	// opMu serializes ingest against checkpoint/recovery: every update
-	// holds it shared (so ingest scales across shards), Checkpoint holds
-	// it exclusively so log and counters are mutually consistent at the
-	// instant the snapshot is cut.
+	// opMu serializes ingest against checkpoint/recovery in LOCKED mode:
+	// every update holds it shared (so ingest scales across shards),
+	// Checkpoint holds it exclusively so log and counters are mutually
+	// consistent at the instant the snapshot is cut. Absorber-mode
+	// relations never touch it; their quiescence comes from ing.pause.
 	opMu   sync.RWMutex
 	mask   uint64
 	shards []sigShard
 	sketch *core.ShardedFastTugOfWar // nil when NoSketch
 
 	log relLog // no-op in in-memory engines
+
+	// ing is the absorber-mode machinery (staging slots, one absorber
+	// goroutine per shard, group-commit log writer); nil in locked mode.
+	// When non-nil, shard signatures are owned by their absorbers: every
+	// other access goes through ing (drain barriers, visit callbacks, or
+	// a full pause).
+	ing *ingester
 }
 
 type sigShard struct {
@@ -262,7 +365,19 @@ func (e *Engine) newRelation(name string) (*Relation, error) {
 		}
 		r.sketch = sk
 	}
+	if e.opts.IngestMode == IngestAbsorber {
+		r.ing = newIngester(r)
+	}
 	return r, nil
+}
+
+// discard shuts down a relation that is being thrown away without ever
+// (or no longer) being published — error paths of Define/Import and
+// checkpoint decoding — so its absorber goroutines cannot leak.
+func (r *Relation) discard() {
+	if r != nil && r.ing != nil {
+		r.ing.stop()
+	}
 }
 
 // Define registers a new empty relation. It fails if the name exists. In
@@ -281,7 +396,8 @@ func (e *Engine) Define(name string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.log.create(e.opts.Dir, name, e.epoch); err != nil {
+	if err := r.log.create(e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
+		r.discard()
 		return nil, err
 	}
 	e.rels[name] = r
@@ -313,6 +429,9 @@ func (e *Engine) Drop(name string) error {
 		return fmt.Errorf("engine: %w: %q", ErrUnknownRelation, name)
 	}
 	delete(e.rels, name)
+	if r.ing != nil {
+		r.ing.stop()
+	}
 	if err := r.log.remove(); err != nil {
 		return err
 	}
@@ -346,9 +465,15 @@ func (r *Relation) shardOf(v uint64) *sigShard {
 }
 
 // Insert adds a tuple with the given joining-attribute value. In durable
-// engines the op is logged before the synopses see it; log write errors
-// are sticky and surfaced by Err, Sync, and Checkpoint.
+// engines the op is logged before the synopses see it (locked mode) or
+// group-committed by the absorber's log writer; log write errors are
+// sticky and surfaced by Err, Sync, Checkpoint, and — in absorber mode —
+// the next erroring caller-side op and Drain.
 func (r *Relation) Insert(v uint64) {
+	if r.ing != nil {
+		r.ing.stage(v, false)
+		return
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.log.insert(v)
@@ -362,8 +487,15 @@ func (r *Relation) Insert(v uint64) {
 }
 
 // Delete removes a tuple with the given joining-attribute value. Exact by
-// linearity; validity of the op sequence is the caller's contract.
+// linearity; validity of the op sequence is the caller's contract. In
+// absorber mode the op is applied asynchronously and the returned error
+// reflects the relation's sticky state (prior oplog failures), not this
+// specific op.
 func (r *Relation) Delete(v uint64) error {
+	if r.ing != nil {
+		r.ing.stage(v, true)
+		return r.Err()
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.log.delete(v)
@@ -382,8 +514,13 @@ func (r *Relation) Delete(v uint64) error {
 
 // InsertBatch adds every value in vs: one log append run, then per-shard
 // grouped counter updates so concurrent loaders contend once per shard
-// per batch.
+// per batch (locked mode), or one grouped handoff to the absorbers
+// (absorber mode).
 func (r *Relation) InsertBatch(vs []uint64) {
+	if r.ing != nil {
+		r.ing.stageBatch(vs, false)
+		return
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.log.insertBatch(vs)
@@ -395,6 +532,10 @@ func (r *Relation) InsertBatch(vs []uint64) {
 
 // DeleteBatch removes every value in vs.
 func (r *Relation) DeleteBatch(vs []uint64) error {
+	if r.ing != nil {
+		r.ing.stageBatch(vs, true)
+		return r.Err()
+	}
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
 	r.log.deleteBatch(vs)
@@ -403,6 +544,33 @@ func (r *Relation) DeleteBatch(vs []uint64) error {
 		return r.sketch.DeleteBatch(vs)
 	}
 	return nil
+}
+
+// Drain is the read-your-writes barrier of absorber mode: it blocks
+// until every op staged before the call has been applied to the synopses
+// and handed to the oplog writer (and the writer's pending group pushed
+// to the OS), then reports the relation's sticky error. Queries and
+// Checkpoint drain implicitly; call Drain directly when switching from
+// loading to reading, or to surface asynchronous log errors promptly. In
+// locked mode it reduces to Err.
+func (r *Relation) Drain() error {
+	if r.ing != nil {
+		r.ing.drain()
+	}
+	return r.Err()
+}
+
+// quiesce blocks the relation's write path and returns a release func:
+// exclusive opMu in locked mode, a full staging+absorber+log pause in
+// absorber mode. While quiesced, counters and log are mutually
+// consistent and shard state may be read directly.
+func (r *Relation) quiesce() func() {
+	if r.ing != nil {
+		r.ing.pause()
+		return r.ing.resume
+	}
+	r.opMu.Lock()
+	return r.opMu.Unlock
 }
 
 func (r *Relation) applyBatch(vs []uint64, del bool) {
@@ -439,11 +607,17 @@ func (r *Relation) applyBatch(vs []uint64, del bool) {
 
 // Err returns the relation's sticky log error, if any: a failed append
 // means ops since that point are NOT durable even though the in-memory
-// synopses kept tracking them.
+// synopses kept tracking them. In absorber mode the error may have been
+// detected asynchronously by the log writer; it is still sticky and
+// visible here without a drain.
 func (r *Relation) Err() error { return r.log.err() }
 
-// Len returns the relation's current tuple count.
+// Len returns the relation's current tuple count (draining staged ops
+// first in absorber mode).
 func (r *Relation) Len() int64 {
+	if r.ing != nil {
+		return r.ing.len(false)
+	}
 	var n int64
 	for i := range r.shards {
 		s := &r.shards[i]
@@ -454,10 +628,28 @@ func (r *Relation) Len() int64 {
 	return n
 }
 
+// DrainLen is Drain and Len in ONE pipeline sweep: everything staged
+// before the call is applied and handed to the OS-owned log buffer, the
+// returned count includes it, and the sticky error (if any) comes back
+// with it. Serving layers answering an ingest request want exactly this
+// pair; calling Drain then Len would pay the staging sweep and shard
+// barrier twice.
+func (r *Relation) DrainLen() (int64, error) {
+	if r.ing != nil {
+		return r.ing.len(true), r.Err()
+	}
+	return r.Len(), r.Err()
+}
+
 // snapshotSig merges the shard signatures into one, shard by shard (the
 // estimate reflects some linearization of concurrent updates, as with the
-// sharded sketches).
+// sharded sketches). In absorber mode it first drains staged ops — reads
+// see the caller's own writes — and collects per-shard copies via the
+// absorbers themselves, preserving single-writer discipline.
 func (r *Relation) snapshotSig() join.Signature {
+	if r.ing != nil {
+		return r.ing.snapshotSig()
+	}
 	fresh := r.eng.newSignature()
 	for i := range r.shards {
 		s := &r.shards[i]
@@ -476,8 +668,12 @@ func (r *Relation) snapshotSig() join.Signature {
 // SelfJoinEstimate returns the relation's estimated self-join size, from
 // the dedicated Fast-AMS sketch when configured, else from the join
 // signature's own counters (§4.4's connection between the two halves of
-// the paper).
+// the paper). Absorber mode drains first, so the estimate covers the
+// caller's own staged writes.
 func (r *Relation) SelfJoinEstimate() float64 {
+	if r.ing != nil {
+		r.ing.drain()
+	}
 	if r.sketch != nil {
 		return r.sketch.Estimate()
 	}
@@ -561,13 +757,17 @@ func (e *Engine) AllPairs() ([]PairEstimate, error) {
 func (e *Engine) MarshalBinary() ([]byte, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.marshalLocked(e.epoch)
+	return e.marshalLocked(e.epoch, false)
 }
 
 // engineFlags payload bits.
 const flagNoSketch uint32 = 1 << 0
 
-func (e *Engine) marshalLocked(epoch uint64) ([]byte, error) {
+// marshalLocked serializes under the engine lock. quiesced tells it the
+// caller holds every relation quiesced (Checkpoint), in which case
+// absorber-mode shard state may be read directly; otherwise snapshots go
+// through the drain-barrier path.
+func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 	b := blob.NewBuilder(blob.MagicEngine, 1, 1024)
 	b.U64(uint64(e.opts.SignatureWords))
 	b.U64(e.opts.Seed)
@@ -589,7 +789,16 @@ func (e *Engine) marshalLocked(epoch uint64) ([]byte, error) {
 	b.U32(uint32(len(names)))
 	for _, n := range names {
 		r := e.rels[n]
-		sigBlob, err := r.snapshotSig().MarshalBinary()
+		var sig join.Signature
+		if quiesced && r.ing != nil {
+			// Under pause the slots are held: the barrier-based snapshot
+			// would self-deadlock, and direct reads are exactly what the
+			// quiescence licenses.
+			sig = r.ing.snapshotSigQuiesced()
+		} else {
+			sig = r.snapshotSig()
+		}
+		sigBlob, err := sig.MarshalBinary()
 		if err != nil {
 			return nil, err
 		}
@@ -615,11 +824,17 @@ func (e *Engine) marshalLocked(epoch uint64) ([]byte, error) {
 
 // UnmarshalBinary restores an engine serialized by MarshalBinary. The
 // restored engine is in-memory; Open layers durability and log replay on
-// top of this.
+// top of this. Absorber machinery of any relations the engine previously
+// held is shut down before they are replaced.
 func (e *Engine) UnmarshalBinary(data []byte) error {
 	fresh, err := unmarshalEngine(data, Options{})
 	if err != nil {
 		return err
+	}
+	for _, r := range e.rels {
+		if r.ing != nil {
+			r.ing.stop()
+		}
 	}
 	e.opts, e.flatFam, e.fastFam, e.skCfg, e.rels, e.epoch =
 		fresh.opts, fresh.flatFam, fresh.fastFam, fresh.skCfg, fresh.rels, fresh.epoch
@@ -651,11 +866,27 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 	}
 	opts.Shards = runtime.Shards
 	opts.Dir = runtime.Dir
+	opts.IngestMode = runtime.IngestMode
+	opts.StageOps = runtime.StageOps
+	opts.FlushOps = runtime.FlushOps
+	opts.FlushInterval = runtime.FlushInterval
+	opts.SegmentOps = runtime.SegmentOps
 	fresh, err := newEngine(opts)
 	if err != nil {
 		return nil, err
 	}
 	fresh.epoch = epoch
+	// Any error below throws the half-built engine away; stop the
+	// absorber pipelines of every relation built so far (fuzzed corrupt
+	// checkpoints hit these paths thousands of times per run).
+	ok := false
+	defer func() {
+		if !ok {
+			for _, r := range fresh.rels {
+				r.discard()
+			}
+		}
+	}()
 	for i := uint32(0); i < count; i++ {
 		name := c.String()
 		sigBlob := c.Bytes()
@@ -677,6 +908,8 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Registered before validation so the cleanup defer owns it.
+		fresh.rels[name] = r
 		if err := r.loadSignature(sigBlob); err != nil {
 			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 		}
@@ -694,11 +927,11 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		} else if r.sketch != nil {
 			return nil, fmt.Errorf("engine: relation %q misses the configured sketch", name)
 		}
-		fresh.rels[name] = r
 	}
 	if err := c.Close(); err != nil {
 		return nil, fmt.Errorf("engine: checkpoint blob: %w", err)
 	}
+	ok = true
 	return fresh, nil
 }
 

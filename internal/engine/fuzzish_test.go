@@ -1,6 +1,12 @@
 package engine
 
-import "testing"
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"amstrack/internal/xrand"
+)
 
 // tinyEng keeps the synopsis set minimal so exhaustive blob mutation
 // stays fast.
@@ -39,6 +45,174 @@ func TestEngineBlobTruncationNeverPanics(t *testing.T) {
 	}
 	if got := back.Names(); len(got) != 2 || got[0] != "aa" || got[1] != "bb" {
 		t.Fatalf("restored names = %v", got)
+	}
+}
+
+// ingestAction is one step of a worker's randomized stream: a single
+// insert, a single delete of a previously inserted value, or a batch
+// insert/delete — the full Relation write surface.
+type ingestAction struct {
+	batch []uint64
+	v     uint64
+	del   bool
+}
+
+// buildActionStreams derives deterministic per-worker op streams where
+// every delete targets a value the SAME worker inserted earlier (valid
+// under the paper's model regardless of interleaving, since per-worker
+// order is preserved by both ingest paths... by linearity even when it
+// is not).
+func buildActionStreams(workers, steps int, seed uint64) [][]ingestAction {
+	streams := make([][]ingestAction, workers)
+	for w := range streams {
+		r := xrand.New(seed + uint64(w)*977)
+		var owned []uint64
+		acts := make([]ingestAction, 0, steps)
+		for i := 0; i < steps; i++ {
+			switch p := r.Uint64n(10); {
+			case p == 0 && len(owned) > 4:
+				// Batch-delete a chunk of owned values.
+				n := int(r.Uint64n(4)) + 1
+				acts = append(acts, ingestAction{batch: owned[:n], del: true})
+				owned = owned[n:]
+			case p == 1:
+				// Batch-insert fresh values.
+				n := int(r.Uint64n(6)) + 2
+				b := make([]uint64, n)
+				for j := range b {
+					b[j] = r.Uint64n(300)
+				}
+				owned = append(owned, b...)
+				acts = append(acts, ingestAction{batch: b})
+			case p <= 3 && len(owned) > 0:
+				v := owned[len(owned)-1]
+				owned = owned[:len(owned)-1]
+				acts = append(acts, ingestAction{v: v, del: true})
+			default:
+				v := r.Uint64n(300)
+				owned = append(owned, v)
+				acts = append(acts, ingestAction{v: v})
+			}
+		}
+		streams[w] = acts
+	}
+	return streams
+}
+
+// TestConcurrentIngestModesBitIdentical is the cross-mode property test:
+// K goroutines hammer both relations of a locked engine and of an
+// absorber engine with the SAME randomized insert/delete/batch streams;
+// after a drain the two engines must agree BIT FOR BIT — serialized
+// checkpoint blob, exported relation bundles, and every estimate. Run
+// under -race in CI with absorber mode forced, this is both the
+// linearity proof and the data-race canary of the lock-free path.
+func TestConcurrentIngestModesBitIdentical(t *testing.T) {
+	base := Options{SignatureWords: 128, Seed: 11, SketchS1: 64, SketchS2: 4, Shards: 4}
+	const workers, steps = 8, 1500
+	streams := buildActionStreams(workers, steps, 42)
+	relNames := []string{"f", "g"}
+
+	run := func(mode IngestMode, stageOps int) *Engine {
+		t.Helper()
+		opts := base
+		opts.IngestMode = mode
+		opts.StageOps = stageOps
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range relNames {
+			if _, err := e.Define(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rel, err := e.Get(relNames[w%len(relNames)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, a := range streams[w] {
+					switch {
+					case a.batch != nil && a.del:
+						if err := rel.DeleteBatch(a.batch); err != nil {
+							t.Error(err)
+							return
+						}
+					case a.batch != nil:
+						rel.InsertBatch(a.batch)
+					case a.del:
+						if err := rel.Delete(a.v); err != nil {
+							t.Error(err)
+							return
+						}
+					default:
+						rel.Insert(a.v)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	// A tiny StageOps forces constant buffer flushes and partial drains;
+	// the default exercises the steady-state path.
+	for _, stageOps := range []int{5, 0} {
+		locked := run(IngestLocked, stageOps)
+		abs := run(IngestAbsorber, stageOps)
+
+		lb, err := locked.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := abs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, ab) {
+			t.Fatalf("StageOps=%d: serialized engines differ between ingest modes (%d vs %d bytes)",
+				stageOps, len(lb), len(ab))
+		}
+		for _, n := range relNames {
+			lrel, _ := locked.Get(n)
+			arel, _ := abs.Get(n)
+			if lrel.Len() != arel.Len() {
+				t.Fatalf("%s: Len %d != %d", n, lrel.Len(), arel.Len())
+			}
+			if lrel.SelfJoinEstimate() != arel.SelfJoinEstimate() {
+				t.Fatalf("%s: self-join estimates differ across modes", n)
+			}
+			le, err := locked.ExportRelation(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ae, err := abs.ExportRelation(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(le, ae) {
+				t.Fatalf("%s: exported bundles differ across modes", n)
+			}
+		}
+		lj, err := locked.EstimateJoin("f", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := abs.EstimateJoin("f", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lj != aj {
+			t.Fatalf("StageOps=%d: join estimates differ: %+v vs %+v", stageOps, lj, aj)
+		}
 	}
 }
 

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"amstrack/internal/dist"
+	"amstrack/internal/engine"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file scores the engine's two ingest paths against each other —
+// the perf-trajectory companion of fastjoin, one layer up the stack. The
+// locked path pays a shared op-lock, a value-hashed shard mutex, and a
+// synchronous per-op oplog flush; the absorber path stages ops in
+// CAS-claimed buffers, applies them on per-shard absorber goroutines,
+// and group-commits the oplog. The GATED metric is the single-writer
+// durable ratio absorber/locked measured in the same process: like
+// fastjoin's fast/flat ratio, the locked path doubles as a machine-speed
+// probe, so the number survives runner-hardware variance. The sweep rows
+// (writer counts × key distributions × durability) are the full picture
+// DESIGN.md §7 quotes.
+
+// EngineIngestRow is one measured cell of the ingest sweep.
+type EngineIngestRow struct {
+	Mode    string  `json:"mode"`    // "locked" or "absorber"
+	Durable bool    `json:"durable"` // oplog-backed engine
+	Writers int     `json:"writers"`
+	Dist    string  `json:"dist"` // "uniform" or "zipf"
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// EngineIngestResult carries the gated headline and the sweep.
+type EngineIngestResult struct {
+	Experiment string `json:"experiment"`
+	K          int    `json:"k"`
+	Shards     int    `json:"shards"`
+
+	// Single-writer durable ingest, uniform keys — the gate pair.
+	LockedNsPerOp   float64 `json:"locked_ns_per_op"`
+	AbsorberNsPerOp float64 `json:"absorber_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+
+	Rows []EngineIngestRow `json:"rows"`
+}
+
+// RunEngineIngest measures per-op ingest cost of both ingest modes at
+// signature size k with the given shard count (0 picks the engine
+// default), across writer counts {1, GOMAXPROCS}, uniform and zipf(1.2)
+// keys, and in-memory vs durable engines. Every timed run ends with a
+// Drain, so staged ops cannot flatter the absorber numbers.
+func RunEngineIngest(k, shards int, seed uint64) (*EngineIngestResult, error) {
+	res := &EngineIngestResult{Experiment: "engineingest", K: k, Shards: shards}
+	writerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		writerCounts = append(writerCounts, n)
+	}
+	for _, mode := range []engine.IngestMode{engine.IngestLocked, engine.IngestAbsorber} {
+		for _, durable := range []bool{false, true} {
+			for _, writers := range writerCounts {
+				for _, d := range []string{"uniform", "zipf"} {
+					if durable && (writers != 1 || d != "uniform") {
+						// Durable sweeps beyond the gated cell mostly
+						// re-measure the filesystem; skip them.
+						continue
+					}
+					ns, err := timeEngineIngest(k, shards, mode, durable, writers, d, seed)
+					if err != nil {
+						return nil, err
+					}
+					res.Rows = append(res.Rows, EngineIngestRow{
+						Mode:    mode.String(),
+						Durable: durable,
+						Writers: writers,
+						Dist:    d,
+						NsPerOp: ns,
+					})
+					if durable && writers == 1 && d == "uniform" {
+						switch mode {
+						case engine.IngestLocked:
+							res.LockedNsPerOp = ns
+						case engine.IngestAbsorber:
+							res.AbsorberNsPerOp = ns
+						}
+					}
+				}
+			}
+		}
+	}
+	if res.AbsorberNsPerOp > 0 {
+		res.Speedup = res.LockedNsPerOp / res.AbsorberNsPerOp
+	}
+	return res, nil
+}
+
+// timeEngineIngest measures steady-state ns/op for one configuration:
+// writers goroutines streaming single-value inserts into one relation
+// until enough wall time accumulates, closed out by a Drain inside the
+// timed region.
+func timeEngineIngest(k, shards int, mode engine.IngestMode, durable bool, writers int, distName string, seed uint64) (float64, error) {
+	opts := engine.Options{
+		SignatureWords: k,
+		Seed:           seed,
+		Shards:         shards,
+		IngestMode:     mode,
+	}
+	var (
+		eng *engine.Engine
+		err error
+	)
+	if durable {
+		dir, derr := os.MkdirTemp("", "engineingest-*")
+		if derr != nil {
+			return 0, derr
+		}
+		defer os.RemoveAll(dir)
+		opts.Dir = dir
+		eng, err = engine.Open(opts)
+	} else {
+		eng, err = engine.New(opts)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	rel, err := eng.Define("r")
+	if err != nil {
+		return 0, err
+	}
+
+	const block = 1 << 13
+	streams := make([][]uint64, writers)
+	for w := range streams {
+		vals := make([]uint64, block)
+		switch distName {
+		case "uniform":
+			r := xrand.New(seed + uint64(w)*31)
+			for i := range vals {
+				vals[i] = r.Uint64n(1 << 16)
+			}
+		case "zipf":
+			z, zerr := dist.NewZipf(1.2, 1<<16, seed+uint64(w)*31)
+			if zerr != nil {
+				return 0, zerr
+			}
+			for i := range vals {
+				vals[i] = z.Next()
+			}
+		default:
+			return 0, fmt.Errorf("experiments: unknown distribution %q", distName)
+		}
+		streams[w] = vals
+	}
+
+	// Warm up the pipeline (staging buffers, absorbers, log writer).
+	rel.InsertBatch(streams[0][:256])
+	if err := rel.Drain(); err != nil {
+		return 0, err
+	}
+
+	const minDuration = 60 * time.Millisecond
+	var (
+		stop   chan struct{} = make(chan struct{})
+		counts               = make([]int64, writers)
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := streams[w]
+			n := int64(0)
+			for {
+				select {
+				case <-stop:
+					counts[w] = n
+					return
+				default:
+				}
+				for _, v := range vals {
+					rel.Insert(v)
+				}
+				n += block
+			}
+		}(w)
+	}
+	time.Sleep(minDuration)
+	close(stop)
+	wg.Wait()
+	if err := rel.Drain(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: no ops completed in %v", elapsed)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(total), nil
+}
+
+// Table renders the sweep for amsbench's aligned-text output.
+func (r *EngineIngestResult) Table() *tablefmt.Table {
+	t := tablefmt.New("mode", "log", "writers", "keys", "ns/op")
+	for _, row := range r.Rows {
+		log := "mem"
+		if row.Durable {
+			log = "wal"
+		}
+		t.AddRow(row.Mode, log, row.Writers, row.Dist, row.NsPerOp)
+	}
+	return t
+}
+
+// JSON serializes the result for machine consumption (BENCH_engine.json).
+func (r *EngineIngestResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

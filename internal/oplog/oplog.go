@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"amstrack/internal/stream"
 )
@@ -32,9 +33,10 @@ var ErrCorrupt = errors.New("oplog: corrupt record")
 
 // Writer appends operations to an underlying writer.
 type Writer struct {
-	w   *bufio.Writer
-	buf [recordSize]byte
-	n   int64
+	w     *bufio.Writer
+	buf   [recordSize]byte
+	group []byte // AppendGroup encode scratch
+	n     int64
 }
 
 // NewWriter wraps w.
@@ -69,11 +71,79 @@ func (lw *Writer) AppendAll(ops []stream.Op) error {
 	return nil
 }
 
+// AppendGroup writes a batch of operations WITHOUT flushing — the
+// group-commit half of the engine's absorber path. The whole group is
+// encoded into one scratch buffer and handed to the underlying writer in
+// a single Write, so the per-record cost is the encode + CRC alone;
+// records then sit in the Writer's buffer until a FlushPolicy (or an
+// explicit Flush) pushes them down, amortizing the per-op flush cost the
+// single-op ingest path pays.
+func (lw *Writer) AppendGroup(ops []stream.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if cap(lw.group) < len(ops)*recordSize {
+		lw.group = make([]byte, len(ops)*recordSize)
+	}
+	g := lw.group[:0]
+	for _, op := range ops {
+		switch op.Kind {
+		case stream.Insert, stream.Delete, stream.Query:
+		default:
+			return fmt.Errorf("oplog: invalid op kind %d", op.Kind)
+		}
+		lw.buf[0] = byte(op.Kind)
+		binary.LittleEndian.PutUint64(lw.buf[1:], op.Value)
+		binary.LittleEndian.PutUint32(lw.buf[9:], crc32.ChecksumIEEE(lw.buf[:9]))
+		g = append(g, lw.buf[:]...)
+	}
+	if _, err := lw.w.Write(g); err != nil {
+		return err
+	}
+	lw.n += int64(len(ops))
+	return nil
+}
+
 // Count returns how many records have been appended.
 func (lw *Writer) Count() int64 { return lw.n }
 
 // Flush flushes buffered records to the underlying writer.
 func (lw *Writer) Flush() error { return lw.w.Flush() }
+
+// FlushPolicy is the group-commit knob pair: a pending group is flushed
+// to the underlying writer when it reaches MaxRecords records or when
+// the OLDEST pending record has waited MaxDelay, whichever comes first.
+// The zero value selects the defaults.
+type FlushPolicy struct {
+	// MaxRecords caps the pending group size (0 → 512).
+	MaxRecords int
+	// MaxDelay caps how long the oldest pending record may wait
+	// unflushed (0 → 200µs).
+	MaxDelay time.Duration
+}
+
+// Default flush-policy values (see FlushPolicy).
+const (
+	DefaultFlushRecords = 512
+	DefaultFlushDelay   = 200 * time.Microsecond
+)
+
+// Normalize fills zero fields with the defaults.
+func (p FlushPolicy) Normalize() FlushPolicy {
+	if p.MaxRecords == 0 {
+		p.MaxRecords = DefaultFlushRecords
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultFlushDelay
+	}
+	return p
+}
+
+// Due reports whether a group of pending records, the oldest of which
+// has waited for age, must be flushed now under the policy.
+func (p FlushPolicy) Due(pending int, age time.Duration) bool {
+	return pending >= p.MaxRecords || (pending > 0 && age >= p.MaxDelay)
+}
 
 // Reader decodes operations from an underlying reader.
 type Reader struct {
