@@ -10,6 +10,7 @@
 //	amsbench -experiment lemma23           # Lemma 2.3 naive-sampling lower bound
 //	amsbench -experiment thm43             # Theorem 4.3 signature lower bound
 //	amsbench -experiment joinacc           # §4.3 join-signature accuracy study
+//	amsbench -experiment chainacc          # §5 three-way chain estimator accuracy
 //	amsbench -experiment deletions         # tracking accuracy under deletions
 //	amsbench -experiment fastacc           # Fast-AMS vs flat tug-of-war accuracy
 //	amsbench -experiment fastjoin          # fast vs flat join signature speed+accuracy
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, deletions, fastacc, fastjoin, engineingest, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -183,6 +184,13 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return emit("joinacc", "§4.3/§5: k-TW vs sampling vs histogram join signatures at equal memory", r.Table())
 
+		case name == "chainacc":
+			r, err := experiments.RunChainAccuracy(nil, trials, seed)
+			if err != nil {
+				return err
+			}
+			return emit("chainacc", "§5: three-way chain estimator vs exact ground truth (engine end-to-end)", r.Table())
+
 		case name == "fastacc":
 			r, err := experiments.RunFastAccuracy(nil, 1024, 8, trials, seed)
 			if err != nil {
@@ -249,7 +257,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "deletions", "fastacc", "fastjoin", "engineingest"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -47,6 +47,7 @@ func main() {
 		addr      = flag.String("addr", ":7600", "listen address")
 		dir       = flag.String("dir", "", "durability directory (empty: in-memory engine)")
 		k         = flag.Int("k", 1024, "join-signature size in memory words per relation")
+		chainK    = flag.Int("chain-words", 0, "chain-signature size in memory words (0: same as -k)")
 		rows      = flag.Int("rows", 0, "fast-signature rows (0: auto; per-update cost knob)")
 		seed      = flag.Uint64("seed", 42, "master hash-family seed")
 		shards    = flag.Int("shards", 0, "per-relation ingest shards (0: default)")
@@ -65,6 +66,7 @@ func main() {
 
 	opts := engine.Options{
 		SignatureWords: *k,
+		ChainWords:     *chainK,
 		Seed:           *seed,
 		SignatureRows:  *rows,
 		SketchS1:       *sketchS1,

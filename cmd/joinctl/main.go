@@ -9,10 +9,19 @@
 //
 //	joinctl -nodes http://db1:7600,http://db2:7600 -f orders -g lineitems
 //
+// Chain mode coordinates the §5 three-way chain estimator instead: it
+// pulls the three relations' bundles — chain sections included — from
+// every node, merges the per-node end and middle signatures bit-exactly,
+// and prints the chain estimate with the variance-envelope σ and the
+// Cauchy–Schwarz upper bound:
+//
+//	joinctl -nodes ... -chain -left F -attr-a a -mid G -attr-b b -right H
+//
 // Each node is assumed to hold a disjoint partition of every named
 // relation (a node that does not know a relation is skipped with a
 // warning unless -strict). The coordinated estimate is bit-identical to
-// what a single node holding ALL the data would answer.
+// what a single node holding ALL the data would answer — in chain mode
+// too, since the middle signatures merge linearly like everything else.
 package main
 
 import (
@@ -34,20 +43,46 @@ import (
 func main() {
 	var (
 		nodes   = flag.String("nodes", "", "comma-separated amsd base URLs (required)")
-		f       = flag.String("f", "", "left relation name (required)")
-		g       = flag.String("g", "", "right relation name (required)")
+		f       = flag.String("f", "", "left relation name (pairwise mode, required)")
+		g       = flag.String("g", "", "right relation name (pairwise mode, required)")
+		chain   = flag.Bool("chain", false, "coordinate a §5 three-way chain join instead of a pairwise one")
+		left    = flag.String("left", "", "chain mode: left end relation F")
+		mid     = flag.String("mid", "", "chain mode: middle relation G")
+		right   = flag.String("right", "", "chain mode: right end relation H")
+		attrA   = flag.String("attr-a", "", "chain mode: attribute joining F and G")
+		attrB   = flag.String("attr-b", "", "chain mode: attribute joining G and H")
 		strict  = flag.Bool("strict", false, "fail if any node lacks a relation (default: skip with a warning)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
 		asJSON  = flag.Bool("json", false, "emit the result as one JSON object")
 	)
 	flag.Parse()
+	client := &http.Client{Timeout: *timeout}
+	if *chain {
+		if *nodes == "" || *left == "" || *mid == "" || *right == "" || *attrA == "" || *attrB == "" {
+			fmt.Fprintln(os.Stderr, "joinctl: -chain needs -nodes, -left, -mid, -right, -attr-a, and -attr-b")
+			flag.Usage()
+			os.Exit(2)
+		}
+		res, err := coordinateChain(client, splitNodes(*nodes), *left, *attrA, *mid, *attrB, *right, *strict, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "joinctl:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			fmt.Printf(`{"f":%q,"attr_a":%q,"g":%q,"attr_b":%q,"h":%q,"nodes":%d,"rows_f":%d,"rows_g":%d,"rows_h":%d,"estimate":%g,"sigma":%g,"upper":%g,"sjf":%g,"sjg":%g,"sjh":%g,"k":%d}`+"\n",
+				res.F, res.AttrA, res.G, res.AttrB, res.H, res.Nodes, res.RowsF, res.RowsG, res.RowsH,
+				res.Estimate, res.Sigma, res.Upper, res.SJF, res.SJG, res.SJH, res.K)
+			return
+		}
+		res.print(os.Stdout)
+		return
+	}
 	if *nodes == "" || *f == "" || *g == "" {
 		fmt.Fprintln(os.Stderr, "joinctl: -nodes, -f, and -g are required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	urls := splitNodes(*nodes)
-	client := &http.Client{Timeout: *timeout}
 	res, err := coordinate(client, urls, *f, *g, *strict, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "joinctl:", err)
@@ -128,6 +163,66 @@ func coordinate(client *http.Client, nodes []string, f, g string, strict bool, w
 		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
 		SJF:      sjF, SJG: sjG,
 		K: k,
+	}, nil
+}
+
+// chainResult is one coordinated three-way chain estimate.
+type chainResult struct {
+	F, AttrA, G, AttrB, H string
+	Nodes                 int // nodes that contributed at least one partition
+	RowsF, RowsG, RowsH   int64
+	Estimate              float64
+	Sigma                 float64 // variance-envelope one-σ bound
+	Upper                 float64 // Cauchy–Schwarz upper bound
+	SJF, SJG, SJH         float64 // merged chain self-join estimates
+	K                     int     // chain signature words
+}
+
+func (r *chainResult) print(w io.Writer) {
+	fmt.Fprintf(w, "chain %s ⋈%s %s ⋈%s %s across %d node(s)\n", r.F, r.AttrA, r.G, r.AttrB, r.H, r.Nodes)
+	fmt.Fprintf(w, "  rows           : %s=%d  %s=%d  %s=%d\n", r.F, r.RowsF, r.G, r.RowsG, r.H, r.RowsH)
+	fmt.Fprintf(w, "  estimate       : %.6g\n", r.Estimate)
+	fmt.Fprintf(w, "  ±σ (envelope)  : %.6g  (k=%d)\n", r.Sigma, r.K)
+	fmt.Fprintf(w, "  C–S bound      : %.6g\n", r.Upper)
+	fmt.Fprintf(w, "  SJ estimates   : %s=%.6g  %s=%.6g  %s=%.6g\n", r.F, r.SJF, r.G, r.SJG, r.H, r.SJH)
+}
+
+// coordinateChain pulls all three relations' bundles from every node,
+// merges each relation's partitions (chain sections merge linearly, like
+// the pairwise synopses), and estimates the chain join with bounds.
+func coordinateChain(client *http.Client, nodes []string, f, attrA, g, attrB, h string, strict bool, warnW io.Writer) (*chainResult, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("no nodes given")
+	}
+	bf, nf, err := mergeAcross(client, nodes, f, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	bg, ng, err := mergeAcross(client, nodes, g, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	bh, nh, err := mergeAcross(client, nodes, h, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := engine.EstimateChainBundles(bf, attrA, bg, attrB, bh)
+	if err != nil {
+		return nil, fmt.Errorf("%w (check that every node runs equal -seed, shape, and schema declarations)", err)
+	}
+	contributed := nf
+	for _, n := range []int{ng, nh} {
+		if n > contributed {
+			contributed = n
+		}
+	}
+	return &chainResult{
+		F: f, AttrA: attrA, G: g, AttrB: attrB, H: h,
+		Nodes: contributed,
+		RowsF: bf.Rows, RowsG: bg.Rows, RowsH: bh.Rows,
+		Estimate: ce.Estimate, Sigma: ce.Sigma, Upper: ce.Upper,
+		SJF: ce.SJF, SJG: ce.SJG, SJH: ce.SJH,
+		K: ce.K,
 	}, nil
 }
 

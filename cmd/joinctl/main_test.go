@@ -139,6 +139,182 @@ func TestCoordinatorBitIdentical(t *testing.T) {
 	}
 }
 
+// chainNodeOpts is the shared shape for the chain coordinator tests.
+func chainNodeOpts(mode engine.IngestMode) engine.Options {
+	return engine.Options{SignatureWords: 128, ChainWords: 512, Seed: 19,
+		SketchS1: 64, SketchS2: 2, IngestMode: mode}
+}
+
+// defineChainRels declares F(a) ⋈a G(a,b) ⋈b H(b) on an engine.
+func defineChainRels(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	for name, s := range map[string]engine.Schema{
+		"forders":   {Attrs: []string{"a"}, EndA: []string{"a"}},
+		"glineitem": {Attrs: []string{"a", "b"}, Middle: [][2]string{{"a", "b"}}},
+		"hparts":    {Attrs: []string{"b"}, EndB: []string{"b"}},
+	} {
+		if _, err := e.DefineSchema(name, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChainCoordinatorBitIdentical is the chain acceptance path: THREE
+// amsd nodes each hold a third of the F(a) ⋈a G(a,b) ⋈b H(b) data
+// (zipf-skewed ends, a mixed middle, plus a deletion wave); the
+// coordinator merges the shipped chain sections and its estimate — and
+// every bound attached to it — is BIT-IDENTICAL to a single node having
+// ingested everything. Run under BOTH ingest modes: linearity makes the
+// merge exact regardless of the write path.
+func TestChainCoordinatorBitIdentical(t *testing.T) {
+	zf, err := dist.NewZipf(1.1, 3000, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zh, err := dist.NewZipf(1.2, 3000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	za, err := dist.NewZipf(1.0, 3000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := dist.NewZipf(1.3, 3000, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 9000
+	fvals := dist.Take(zf, n)
+	hvals := dist.Take(zh, n)
+	as, bs := dist.Take(za, n), dist.Take(zb, n)
+	grows := make([][]uint64, n)
+	for i := range grows {
+		grows[i] = []uint64{as[i], bs[i]}
+	}
+	del := n / 10
+
+	ingestThird := func(e *engine.Engine, i, parts int) {
+		pick := func(j int) bool { return parts == 1 || j%parts == i }
+		rf, _ := e.Get("forders")
+		rg, _ := e.Get("glineitem")
+		rh, _ := e.Get("hparts")
+		var fs, hs []uint64
+		var gs [][]uint64
+		for j := 0; j < n; j++ {
+			if pick(j) {
+				fs = append(fs, fvals[j])
+				gs = append(gs, grows[j])
+				hs = append(hs, hvals[j])
+			}
+		}
+		rf.InsertBatch(fs)
+		rg.InsertTupleBatch(gs)
+		rh.InsertBatch(hs)
+		// The deletion wave is partitioned the same way.
+		var dfs, dhs []uint64
+		var dgs [][]uint64
+		for j := 0; j < del; j++ {
+			if pick(j) {
+				dfs = append(dfs, fvals[j])
+				dgs = append(dgs, grows[j])
+				dhs = append(dhs, hvals[j])
+			}
+		}
+		if err := rf.DeleteBatch(dfs); err != nil {
+			t.Fatal(err)
+		}
+		if err := rg.DeleteTupleBatch(dgs); err != nil {
+			t.Fatal(err)
+		}
+		if err := rh.DeleteBatch(dhs); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, mode := range []engine.IngestMode{engine.IngestLocked, engine.IngestAbsorber} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// Single-node reference over the full data.
+			full, err := engine.New(chainNodeOpts(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defineChainRels(t, full)
+			ingestThird(full, 0, 1)
+
+			// Three nodes, each holding every third tuple, over HTTP.
+			urls := make([]string, 3)
+			for i := range urls {
+				eng, err := engine.New(chainNodeOpts(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defineChainRels(t, eng)
+				ingestThird(eng, i, 3)
+				ts := httptest.NewServer(amsd.NewServer(eng))
+				t.Cleanup(ts.Close)
+				urls[i] = ts.URL
+			}
+
+			client := &http.Client{}
+			res, err := coordinateChain(client, urls, "forders", "a", "glineitem", "b", "hparts", true, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.EstimateChainJoin("forders", "a", "glineitem", "b", "hparts")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Estimate != want.Estimate {
+				t.Fatalf("coordinated chain estimate %v != single-node %v", res.Estimate, want.Estimate)
+			}
+			if res.Sigma != want.Sigma || res.Upper != want.Upper ||
+				res.SJF != want.SJF || res.SJG != want.SJG || res.SJH != want.SJH || res.K != want.K {
+				t.Fatalf("coordinated chain bounds %+v != single-node %+v", res, want)
+			}
+			if res.Nodes != 3 || res.RowsG != int64(n-del) {
+				t.Fatalf("nodes/rows = %+v", res)
+			}
+
+			// The merged wire bundles themselves — chain sections included —
+			// are bit-identical to the single node's exports.
+			for _, rel := range []string{"forders", "glineitem", "hparts"} {
+				merged, _, err := mergeAcross(client, urls, rel, true, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mergedBlob, err := merged.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fullBlob, err := full.ExportRelation(rel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mergedBlob, fullBlob) {
+					t.Fatalf("%s: merged bundle bytes differ from single-node export", rel)
+				}
+			}
+		})
+	}
+}
+
+// TestChainResultPrint pins the chain output shape.
+func TestChainResultPrint(t *testing.T) {
+	r := &chainResult{F: "f", AttrA: "a", G: "g", AttrB: "b", H: "h", Nodes: 3,
+		RowsF: 1, RowsG: 2, RowsH: 3, Estimate: 99, Sigma: 5, Upper: 1000,
+		SJF: 1, SJG: 2, SJH: 3, K: 512}
+	var buf strings.Builder
+	r.print(&buf)
+	for _, want := range []string{"chain f ⋈a g ⋈b h across 3 node(s)", "estimate", "envelope", "k=512", "C–S bound"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 // TestCoordinatorPartialNodes: a relation missing on one node is skipped
 // (with a warning) unless -strict.
 func TestCoordinatorPartialNodes(t *testing.T) {

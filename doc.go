@@ -107,6 +107,21 @@
 // data, Lemma 4.4 σ bounds included. DESIGN.md §6 documents the bundle
 // format and merge semantics; examples/distributed walks the flow.
 //
+// # Chain joins
+//
+// The engine extends §5's future-work item — three-way CHAIN joins
+// F ⋈a G ⋈b H — end to end: relations may declare multi-attribute
+// schemas (engine.Schema: an attribute set plus chain-end and
+// chain-middle signature declarations), tuple ingest fans every row into
+// the declared per-attribute chain synopses on both write paths, the
+// oplog records tuples in a versioned format (old single-attribute logs
+// replay unchanged), and Engine.EstimateChainJoin answers with a
+// variance-envelope σ (Var ≤ 9·SJ(F)·SJ(G)·SJ(H)/k) and a Cauchy–Schwarz
+// upper bound. Chain sections ride the relation bundles, so amsd's
+// POST /v1/join/chain and joinctl's -chain mode answer chains ACROSS
+// nodes bit-identically to a single node, like the pairwise path.
+// DESIGN.md §8 documents the schema layer and the chain wire protocol.
+//
 // Random sampling signatures (the §4.1 baseline) and the paper's
 // lower-bound constructions live in the internal packages and are exercised
 // by the experiment harness (cmd/amsbench); the public API exposes the

@@ -10,11 +10,21 @@
 //
 //	GET    /healthz                  liveness + relation count
 //	GET    /v1/relations             list defined relations
-//	POST   /v1/relations             {"name": N} — define a relation
+//	POST   /v1/relations             {"name": N} — define a relation; optional
+//	                                 "attrs"/"chain_a"/"chain_b"/"chain_ab"
+//	                                 declare a multi-attribute schema with §5
+//	                                 chain synopses
 //	DELETE /v1/relations/{name}      drop a relation
-//	POST   /v1/ingest                {"relation": N, "inserts": [...], "deletes": [...]}
+//	POST   /v1/ingest                {"relation": N, "inserts": [...], "deletes": [...]};
+//	                                 multi-attribute relations use
+//	                                 "insert_rows"/"delete_rows" (full tuples)
 //	GET    /v1/selfjoin?relation=N   self-join (skew) estimate
 //	GET    /v1/join?f=F&g=G          join estimate + Lemma 4.4 σ + Fact 1.1 bound
+//	POST   /v1/join/chain            {"f", "attr_a", "g", "attr_b", "h"} — §5
+//	                                 three-way chain estimate + variance bounds;
+//	                                 optional base64 "remote_f"/"remote_g"/
+//	                                 "remote_h" bundles merge other nodes'
+//	                                 partitions into the answer
 //	GET    /v1/pairs                 the all-pairs planning matrix
 //	POST   /v1/checkpoint            serialize state, reset oplogs (durable engines)
 //
@@ -81,6 +91,7 @@ func NewServerMaxBody(eng *engine.Engine, maxBody int64) *Server {
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/selfjoin", s.handleSelfJoin)
 	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
+	s.mux.HandleFunc("POST /v1/join/chain", s.handleJoinChain)
 	s.mux.HandleFunc("GET /v1/pairs", s.handlePairs)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/signatures/{name...}", s.handleExportSignature)
@@ -123,7 +134,8 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, engine.ErrUnknownRelation):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrAlreadyDefined), errors.Is(err, engine.ErrIncompatible):
+	case errors.Is(err, engine.ErrAlreadyDefined), errors.Is(err, engine.ErrIncompatible),
+		errors.Is(err, engine.ErrAttrNotTracked):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
@@ -162,14 +174,25 @@ func (s *Server) handleListRelations(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, RelationsBody{Relations: names})
 }
 
-// DefineRequest is the POST /v1/relations body.
+// DefineRequest is the POST /v1/relations body. The schema fields are
+// optional: omitting them declares the legacy single-attribute relation.
 type DefineRequest struct {
 	Name string `json:"name"`
+	// Attrs names the tuple attributes in ingest order; attribute 0 is
+	// the primary one (pairwise signature + self-join sketch).
+	Attrs []string `json:"attrs,omitempty"`
+	// ChainA / ChainB declare A-side / B-side chain end signatures on the
+	// named attributes; ChainAB declares chain middle signatures on
+	// [a-attr, b-attr] pairs.
+	ChainA  []string   `json:"chain_a,omitempty"`
+	ChainB  []string   `json:"chain_b,omitempty"`
+	ChainAB [][]string `json:"chain_ab,omitempty"`
 }
 
 // DefineBody is its response.
 type DefineBody struct {
-	Relation string `json:"relation"`
+	Relation string   `json:"relation"`
+	Attrs    []string `json:"attrs"`
 }
 
 func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
@@ -178,11 +201,20 @@ func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
-	if _, err := s.eng.Define(req.Name); err != nil {
+	schema := engine.Schema{Attrs: req.Attrs, EndA: req.ChainA, EndB: req.ChainB}
+	for _, p := range req.ChainAB {
+		if len(p) != 2 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("chain_ab entry %v must name exactly two attributes", p))
+			return
+		}
+		schema.Middle = append(schema.Middle, [2]string{p[0], p[1]})
+	}
+	rel, err := s.eng.DefineSchema(req.Name, schema)
+	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, DefineBody{Relation: req.Name})
+	writeJSON(w, http.StatusCreated, DefineBody{Relation: req.Name, Attrs: rel.Schema().Attrs})
 }
 
 // DropBody is the DELETE /v1/relations/{name} response.
@@ -199,12 +231,17 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DropBody{Dropped: name})
 }
 
-// IngestRequest is the POST /v1/ingest body: a batch of inserts applied
-// before a batch of deletes, mirroring Relation.InsertBatch/DeleteBatch.
+// IngestRequest is the POST /v1/ingest body: inserts applied before
+// deletes, mirroring Relation.InsertBatch/DeleteBatch. Single-attribute
+// relations use the flat value lists; multi-attribute relations MUST use
+// the row forms, each row carrying the relation's full attribute set in
+// schema order (an arity mismatch is a 400).
 type IngestRequest struct {
-	Relation string   `json:"relation"`
-	Inserts  []uint64 `json:"inserts,omitempty"`
-	Deletes  []uint64 `json:"deletes,omitempty"`
+	Relation   string     `json:"relation"`
+	Inserts    []uint64   `json:"inserts,omitempty"`
+	Deletes    []uint64   `json:"deletes,omitempty"`
+	InsertRows [][]uint64 `json:"insert_rows,omitempty"`
+	DeleteRows [][]uint64 `json:"delete_rows,omitempty"`
 }
 
 // IngestBody is its response.
@@ -213,6 +250,18 @@ type IngestBody struct {
 	Inserted int    `json:"inserted"`
 	Deleted  int    `json:"deleted"`
 	Len      int64  `json:"len"`
+}
+
+// checkRows validates every row against the relation's arity before any
+// op is applied, so a malformed batch is rejected whole.
+func checkRows(rel *engine.Relation, rows [][]uint64) error {
+	for i, row := range rows {
+		if len(row) != rel.Arity() {
+			return fmt.Errorf("row %d has %d values, relation %q has arity %d",
+				i, len(row), rel.Name(), rel.Arity())
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -226,11 +275,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
+	if rel.Arity() != 1 && (len(req.Inserts) > 0 || len(req.Deletes) > 0) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(
+			"relation %q has arity %d; use insert_rows/delete_rows with full tuples",
+			req.Relation, rel.Arity()))
+		return
+	}
+	if err := checkRows(rel, req.InsertRows); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkRows(rel, req.DeleteRows); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	rel.InsertBatch(req.Inserts)
+	rel.InsertTupleBatch(req.InsertRows)
 	if err := rel.DeleteBatch(req.Deletes); err != nil {
 		// Engine deletes are pure linearity and never fail on validity;
 		// an error here is the relation's sticky durability failure —
 		// the server's fault, not the client's.
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := rel.DeleteTupleBatch(req.DeleteRows); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -246,8 +314,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, IngestBody{
 		Relation: req.Relation,
-		Inserted: len(req.Inserts),
-		Deleted:  len(req.Deletes),
+		Inserted: len(req.Inserts) + len(req.InsertRows),
+		Deleted:  len(req.Deletes) + len(req.DeleteRows),
 		Len:      n,
 	})
 }
@@ -305,6 +373,64 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		F: f, G: g,
 		Estimate: je.Estimate, Sigma: je.Sigma, Fact11: je.Fact11,
 		SJF: je.SJF, SJG: je.SJG,
+	})
+}
+
+// ChainJoinRequest is the POST /v1/join/chain body: a §5 three-way chain
+// join f ⋈attr_a g ⋈attr_b h over local relations. The optional remote_*
+// fields carry base64 relation bundles (the GET /v1/signatures format)
+// holding OTHER nodes' partitions of the same relations; each is merged
+// into its leg's local snapshot before estimating — the one-shot
+// cross-node chain answer.
+type ChainJoinRequest struct {
+	F       string `json:"f"`
+	AttrA   string `json:"attr_a"`
+	G       string `json:"g"`
+	AttrB   string `json:"attr_b"`
+	H       string `json:"h"`
+	RemoteF []byte `json:"remote_f,omitempty"`
+	RemoteG []byte `json:"remote_g,omitempty"`
+	RemoteH []byte `json:"remote_h,omitempty"`
+}
+
+// ChainJoinBody is its response: the unbiased chain estimate plus the
+// variance-envelope σ, the Cauchy–Schwarz upper bound, and the chain
+// self-join estimates they came from.
+type ChainJoinBody struct {
+	F        string  `json:"f"`
+	AttrA    string  `json:"attr_a"`
+	G        string  `json:"g"`
+	AttrB    string  `json:"attr_b"`
+	H        string  `json:"h"`
+	Estimate float64 `json:"estimate"`
+	Sigma    float64 `json:"sigma"`
+	Upper    float64 `json:"upper"`
+	SJF      float64 `json:"sjf"`
+	SJG      float64 `json:"sjg"`
+	SJH      float64 `json:"sjh"`
+	K        int     `json:"k"`
+}
+
+func (s *Server) handleJoinChain(w http.ResponseWriter, r *http.Request) {
+	var req ChainJoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.F == "" || req.AttrA == "" || req.G == "" || req.AttrB == "" || req.H == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("f, attr_a, g, attr_b, and h are all required"))
+		return
+	}
+	ce, err := s.eng.EstimateChainJoinRemote(req.F, req.AttrA, req.G, req.AttrB, req.H,
+		req.RemoteF, req.RemoteG, req.RemoteH)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ChainJoinBody{
+		F: req.F, AttrA: req.AttrA, G: req.G, AttrB: req.AttrB, H: req.H,
+		Estimate: ce.Estimate, Sigma: ce.Sigma, Upper: ce.Upper,
+		SJF: ce.SJF, SJG: ce.SJG, SJH: ce.SJH, K: ce.K,
 	})
 }
 

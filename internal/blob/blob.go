@@ -44,6 +44,7 @@ const (
 	MagicChainEndSig  uint32 = 0xA0517007 // join.ChainEndSignature (§5 chain end)
 	MagicChainMidSig  uint32 = 0xA0517008 // join.ChainMiddleSignature (§5 chain middle)
 	MagicRelBundle    uint32 = 0xA0517009 // engine.RelationBundle (multi-node exchange)
+	MagicChainBundle  uint32 = 0xA051700A // engine.ChainBundle (per-attribute chain synopsis set)
 )
 
 // PeekMagic returns the frame magic of data without verifying the frame

@@ -60,10 +60,24 @@ import (
 	"amstrack/internal/xrand"
 )
 
-// stagedOp is one buffered ingest operation.
+// stagedOp is one buffered ingest operation. v is the primary attribute
+// (the shard-routing key); rest points at the remaining attributes of a
+// multi-attribute tuple, nil on the arity-1 hot path. A pointer rather
+// than a slice keeps the struct at 24 bytes — the staging buffers and
+// shard channels copy these by value, and the arity-1 path is the
+// benchmarked hot path.
 type stagedOp struct {
-	v   uint64
-	del bool
+	v    uint64
+	rest *[]uint64
+	del  bool
+}
+
+// tail returns the attribute payload ([] for arity-1 ops).
+func (op stagedOp) tail() []uint64 {
+	if op.rest == nil {
+		return nil
+	}
+	return *op.rest
 }
 
 // stageSlot is one CAS-claimed staging buffer. The claim covers both the
@@ -201,10 +215,12 @@ func (g *ingester) claimSlot(s *stageSlot) bool {
 }
 
 // stage buffers one op; the caller path is CAS + append + release store.
+// rest (already owned by the ingester — callers copy) points at the
+// non-primary attributes of a tuple op, nil on the arity-1 hot path.
 // Ops staged against a stopped ingester (relation dropped, engine
 // closed) are discarded, matching the locked path's behavior under the
 // same races.
-func (g *ingester) stage(v uint64, del bool) {
+func (g *ingester) stage(v uint64, rest *[]uint64, del bool) {
 	s := g.claim()
 	if s == nil {
 		return
@@ -212,7 +228,7 @@ func (g *ingester) stage(v uint64, del bool) {
 	if s.buf == nil {
 		s.buf = make([]stagedOp, 0, g.r.eng.opts.StageOps)
 	}
-	s.buf = append(s.buf, stagedOp{v: v, del: del})
+	s.buf = append(s.buf, stagedOp{v: v, rest: rest, del: del})
 	if len(s.buf) == cap(s.buf) {
 		g.flushSlot(s)
 	}
@@ -233,6 +249,26 @@ func (g *ingester) stageBatch(vs []uint64, del bool) {
 	ops := make([]stagedOp, len(vs))
 	for i, v := range vs {
 		ops[i] = stagedOp{v: v, del: del}
+	}
+	g.sendOps(ops, false)
+	s.claimed.Store(false)
+}
+
+// stageTupleBatch is stageBatch for multi-attribute rows. Rows are
+// copied (the staged ops outlive the call), so callers may reuse them.
+func (g *ingester) stageTupleBatch(rows [][]uint64, del bool) {
+	if len(rows) == 0 {
+		return
+	}
+	s := g.claim()
+	if s == nil {
+		return
+	}
+	tails := make([][]uint64, len(rows))
+	ops := make([]stagedOp, len(rows))
+	for i, row := range rows {
+		tails[i] = append([]uint64(nil), row[1:]...)
+		ops[i] = stagedOp{v: row[0], rest: &tails[i], del: del}
 	}
 	g.sendOps(ops, false)
 	s.claimed.Store(false)
@@ -306,6 +342,7 @@ func (g *ingester) absorb(shard int) {
 	sh := &g.r.shards[shard]
 	ins := make([]uint64, 0, g.r.eng.opts.StageOps)
 	del := make([]uint64, 0, g.r.eng.opts.StageOps)
+	tuple := make([]uint64, g.r.arity)
 	for msg := range g.chans[shard] {
 		if msg.barrier != nil {
 			if msg.barrier.visit != nil {
@@ -333,6 +370,20 @@ func (g *ingester) absorb(shard int) {
 			_ = sh.sig.DeleteBatch(del)
 			if g.r.sketch != nil {
 				g.r.sketch.ShardDeleteBatch(shard, del)
+			}
+		}
+		if sh.chain != nil {
+			// Chain fan-out is per-op (each tuple may touch several
+			// synopses on distinct attributes); the absorber is the
+			// shard's single writer, so no lock here either.
+			for _, op := range msg.ops {
+				tuple = append(tuple[:0], op.v)
+				tuple = append(tuple, op.tail()...)
+				if op.del {
+					sh.chain.delete(&g.r.plan, tuple)
+				} else {
+					sh.chain.insert(&g.r.plan, tuple)
+				}
 			}
 		}
 		if g.logCh != nil {
@@ -385,7 +436,7 @@ func (g *ingester) logger() {
 				if op.del {
 					kind = stream.Delete
 				}
-				scratch = append(scratch, stream.Op{Kind: kind, Value: op.v})
+				scratch = append(scratch, stream.Op{Kind: kind, Value: op.v, Rest: op.tail()})
 			}
 			g.r.log.appendGroup(scratch)
 			pending += len(scratch)
@@ -549,6 +600,52 @@ func (g *ingester) snapshotSigQuiesced() join.Signature {
 	fresh := g.r.eng.newSignature()
 	for i := range g.r.shards {
 		mustMerge(fresh, g.r.shards[i].sig)
+	}
+	return fresh
+}
+
+// snapshotChain merges the shard chain sets with read-your-writes
+// semantics, via the same drain + on-absorber clone barrier as
+// snapshotSig. Nil when the schema declares no chain synopses.
+func (g *ingester) snapshotChain() *shardChain {
+	if !g.r.schema.hasChain() {
+		return nil
+	}
+	fresh := g.r.newEmptyChain()
+	direct := func() *shardChain {
+		g.waitStopped()
+		for i := range g.r.shards {
+			fresh.merge(g.r.shards[i].chain)
+		}
+		return fresh
+	}
+	if !g.flushAllSlots(false) {
+		return direct()
+	}
+	clones := make([]*shardChain, len(g.r.shards))
+	if !g.barrier(func(shard int, sh *sigShard) {
+		c := g.r.newEmptyChain()
+		c.merge(sh.chain)
+		clones[shard] = c
+	}) {
+		return direct()
+	}
+	for _, c := range clones {
+		fresh.merge(c)
+	}
+	return fresh
+}
+
+// snapshotChainQuiesced reads the shard chain sets directly; legal only
+// while the caller holds this relation quiesced via pause (or after
+// stop). Nil when the schema declares no chain synopses.
+func (g *ingester) snapshotChainQuiesced() *shardChain {
+	if !g.r.schema.hasChain() {
+		return nil
+	}
+	fresh := g.r.newEmptyChain()
+	for i := range g.r.shards {
+		fresh.merge(g.r.shards[i].chain)
 	}
 	return fresh
 }

@@ -36,6 +36,157 @@ type RelationBundle struct {
 	Sketch *core.FastTugOfWar
 	// Rows is the relation's tuple count at export time.
 	Rows int64
+	// Chain is the relation's §5 chain section — its schema plus every
+	// declared chain signature — nil for relations with the legacy
+	// single-attribute, chainless schema. Chainless bundles marshal as
+	// version-1 frames, byte-identical to pre-chain exports.
+	Chain *ChainBundle
+}
+
+// ChainBundle is the chain half of an exported synopsis set: the
+// relation's schema and its chain signatures in the canonical layout
+// (EndA declarations, then EndB, then Middle pairs). Like everything
+// else in the exchange path it is linear: partitions merge into exactly
+// the chain section of the union.
+type ChainBundle struct {
+	Schema Schema
+	Ends   []*join.ChainEndSignature
+	Mids   []*join.ChainMiddleSignature
+}
+
+// Merge folds other into b. Schemas must be equal — declaration order
+// included, since sections combine position by position — and every
+// signature pair must come from one chain family (size and seed).
+func (b *ChainBundle) Merge(other *ChainBundle) error {
+	if other == nil {
+		return fmt.Errorf("%w: one bundle carries a chain section, the other does not", ErrIncompatible)
+	}
+	if !b.Schema.equal(other.Schema) {
+		return fmt.Errorf("%w: chain schemas differ", ErrIncompatible)
+	}
+	for i, s := range b.Ends {
+		if err := s.Merge(other.Ends[i]); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+	}
+	for i, s := range b.Mids {
+		if err := s.Merge(other.Mids[i]); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+	}
+	return nil
+}
+
+// End returns the (attr, side) chain end signature, or an
+// ErrAttrNotTracked error.
+func (b *ChainBundle) End(attr string, side int) (*join.ChainEndSignature, error) {
+	i, ok := b.Schema.endIndex(attr, side)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: bundle has no side-%d chain end signature on %q", ErrAttrNotTracked, side, attr)
+	}
+	return b.Ends[i], nil
+}
+
+// Mid returns the (attrA, attrB) chain middle signature, or an
+// ErrAttrNotTracked error.
+func (b *ChainBundle) Mid(attrA, attrB string) (*join.ChainMiddleSignature, error) {
+	i, ok := b.Schema.midIndex(attrA, attrB)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: bundle has no chain middle signature on (%q, %q)", ErrAttrNotTracked, attrA, attrB)
+	}
+	return b.Mids[i], nil
+}
+
+// MarshalBinary serializes the chain bundle in its own frame, so a
+// chain section is independently shippable and self-describing.
+func (b *ChainBundle) MarshalBinary() ([]byte, error) {
+	bb := blob.NewBuilder(blob.MagicChainBundle, 1, 256)
+	buildSchema(bb, b.Schema)
+	sc := &shardChain{ends: b.Ends, mids: b.Mids}
+	if err := buildChain(bb, sc); err != nil {
+		return nil, err
+	}
+	return bb.Seal(), nil
+}
+
+// UnmarshalBinary restores a chain bundle, validating the schema and
+// that the signature counts and shapes match its declarations.
+func (b *ChainBundle) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicChainBundle, 1, data)
+	if err != nil {
+		return fmt.Errorf("engine: chain bundle: %w", err)
+	}
+	c := blob.NewCursor(payload)
+	schema, err := readSchema(c)
+	if err != nil {
+		return fmt.Errorf("engine: chain bundle: %w", err)
+	}
+	endBlobs, midBlobs, err := readChainBlobs(c)
+	if err != nil {
+		return fmt.Errorf("engine: chain bundle: %w", err)
+	}
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("engine: chain bundle: %w", err)
+	}
+	return b.decode(schema, endBlobs, midBlobs)
+}
+
+// decode assembles a chain bundle from its decoded schema and raw
+// signature blobs, cross-checking the section against the declarations.
+// A legacy schema is rejected: legacy chainless relations serialize as
+// version-1 frames with no chain section at all, and accepting one here
+// would make the encoding non-canonical.
+func (b *ChainBundle) decode(schema Schema, endBlobs, midBlobs [][]byte) error {
+	if schema.legacy() {
+		return errors.New("engine: chain bundle: legacy single-attribute schema has no chain section")
+	}
+	plan := schema.plan()
+	if len(endBlobs) != len(plan.endAttr) || len(midBlobs) != len(plan.midA) {
+		return fmt.Errorf("engine: chain bundle: %d end + %d middle signatures, schema declares %d + %d",
+			len(endBlobs), len(midBlobs), len(plan.endAttr), len(plan.midA))
+	}
+	fresh := ChainBundle{Schema: schema}
+	var k int
+	var seed uint64
+	for i, data := range endBlobs {
+		s := &join.ChainEndSignature{}
+		if err := s.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("engine: chain bundle: %w", err)
+		}
+		if s.Attr() != plan.endSide[i] {
+			return fmt.Errorf("engine: chain bundle: end signature %d bound to side %d, schema declares %d",
+				i, s.Attr(), plan.endSide[i])
+		}
+		if err := checkChainShape(&k, &seed, s.MemoryWords(), s.Seed()); err != nil {
+			return err
+		}
+		fresh.Ends = append(fresh.Ends, s)
+	}
+	for _, data := range midBlobs {
+		s := &join.ChainMiddleSignature{}
+		if err := s.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("engine: chain bundle: %w", err)
+		}
+		if err := checkChainShape(&k, &seed, s.MemoryWords(), s.Seed()); err != nil {
+			return err
+		}
+		fresh.Mids = append(fresh.Mids, s)
+	}
+	*b = fresh
+	return nil
+}
+
+// checkChainShape pins every signature of one section to a single chain
+// family (size and seed); the first signature seen sets the reference.
+func checkChainShape(k *int, seed *uint64, gotK int, gotSeed uint64) error {
+	if *k == 0 {
+		*k, *seed = gotK, gotSeed
+		return nil
+	}
+	if gotK != *k || gotSeed != *seed {
+		return errors.New("engine: chain bundle: signatures from different chain families")
+	}
+	return nil
 }
 
 // SelfJoinEstimate estimates SJ(R) from the bundle, preferring the
@@ -51,7 +202,8 @@ func (b *RelationBundle) SelfJoinEstimate() float64 {
 
 // Merge folds other into b: counters add, row counts add — by linearity
 // the result is the bundle of the concatenated partition streams,
-// bit-identical to one node having ingested both.
+// bit-identical to one node having ingested both. Chain sections merge
+// the same way (both bundles must carry one, or neither).
 func (b *RelationBundle) Merge(other *RelationBundle) error {
 	if b.Sig == nil {
 		return errors.New("engine: merge into empty bundle (decode or export one first)")
@@ -70,15 +222,30 @@ func (b *RelationBundle) Merge(other *RelationBundle) error {
 			return fmt.Errorf("%w: %v", ErrIncompatible, err)
 		}
 	}
+	if (b.Chain == nil) != (other.Chain == nil) {
+		return fmt.Errorf("%w: one bundle carries a chain section, the other does not", ErrIncompatible)
+	}
+	if b.Chain != nil {
+		if err := b.Chain.Merge(other.Chain); err != nil {
+			return err
+		}
+	}
 	b.Rows += other.Rows
 	return nil
 }
 
+// relBundleVersion is the newest bundle frame version: version 2 added
+// the schema + chain section. Chainless legacy-schema bundles still
+// marshal as version 1, byte-identical to pre-chain exports, so the
+// canonical-encoding property (equal bundles → equal bytes) holds across
+// the upgrade.
+const relBundleVersion = 2
+
 // MarshalBinary packs the bundle as one blob: the signature blob, the
-// optional sketch blob, and the row count, each inside the shared
-// framing. The encoding is canonical — equal bundles marshal to equal
-// bytes — which is what lets tests assert merged-vs-single bit-identity
-// on the wire format itself.
+// optional sketch blob, the row count, and (version 2) the schema and
+// chain section, each inside the shared framing. The encoding is
+// canonical — equal bundles marshal to equal bytes — which is what lets
+// tests assert merged-vs-single bit-identity on the wire format itself.
 func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 	if b.Sig == nil {
 		return nil, errors.New("engine: bundle without signature")
@@ -87,7 +254,11 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	bb := blob.NewBuilder(blob.MagicRelBundle, 1, len(sigBlob)+64)
+	version := uint8(1)
+	if b.Chain != nil {
+		version = relBundleVersion
+	}
+	bb := blob.NewBuilder(blob.MagicRelBundle, version, len(sigBlob)+64)
 	bb.Bytes(sigBlob)
 	if b.Sketch == nil {
 		bb.U32(0)
@@ -100,14 +271,21 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 		bb.Bytes(skBlob)
 	}
 	bb.I64(b.Rows)
+	if b.Chain != nil {
+		buildSchema(bb, b.Chain.Schema)
+		if err := buildChain(bb, &shardChain{ends: b.Chain.Ends, mids: b.Chain.Mids}); err != nil {
+			return nil, err
+		}
+	}
 	return bb.Seal(), nil
 }
 
 // UnmarshalBinary restores a bundle serialized by MarshalBinary. Corrupt,
 // truncated, or foreign-magic input errors cleanly (never panics); the
-// inner signature and sketch frames are verified by their own decoders.
+// inner signature, sketch, and chain frames are verified by their own
+// decoders.
 func (b *RelationBundle) UnmarshalBinary(data []byte) error {
-	_, payload, err := blob.Open(blob.MagicRelBundle, 1, data)
+	version, payload, err := blob.Open(blob.MagicRelBundle, relBundleVersion, data)
 	if err != nil {
 		return fmt.Errorf("engine: relation bundle: %w", err)
 	}
@@ -119,6 +297,21 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 		skBlob = c.Bytes()
 	}
 	rows := c.I64()
+	var chain *ChainBundle
+	if version >= 2 {
+		schema, err := readSchema(c)
+		if err != nil {
+			return fmt.Errorf("engine: relation bundle: %w", err)
+		}
+		endBlobs, midBlobs, err := readChainBlobs(c)
+		if err != nil {
+			return fmt.Errorf("engine: relation bundle: %w", err)
+		}
+		chain = &ChainBundle{}
+		if err := chain.decode(schema, endBlobs, midBlobs); err != nil {
+			return err
+		}
+	}
 	if err := c.Close(); err != nil {
 		return fmt.Errorf("engine: relation bundle: %w", err)
 	}
@@ -136,7 +329,7 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 			return fmt.Errorf("engine: relation bundle: %w", err)
 		}
 	}
-	b.Sig, b.Sketch, b.Rows = sig, sketch, rows
+	b.Sig, b.Sketch, b.Rows, b.Chain = sig, sketch, rows, chain
 	return nil
 }
 
@@ -164,12 +357,19 @@ func (r *Relation) exportBundle() ([]byte, error) {
 		}
 		b.Sketch = snap
 	}
+	if !r.schema.legacy() {
+		b.Chain = &ChainBundle{Schema: r.Schema()}
+		if sc := r.snapshotChain(); sc != nil {
+			b.Chain.Ends, b.Chain.Mids = sc.ends, sc.mids
+		}
+	}
 	return b.MarshalBinary()
 }
 
-// ImportRelation defines a NEW relation from a shipped bundle. It fails
-// with ErrAlreadyDefined when the name exists (use MergeRelation to fold
-// into an existing relation) and with ErrIncompatible when the bundle's
+// ImportRelation defines a NEW relation from a shipped bundle — with the
+// bundle's schema, chain section included. It fails with
+// ErrAlreadyDefined when the name exists (use MergeRelation to fold into
+// an existing relation) and with ErrIncompatible when the bundle's
 // shapes or seeds differ from the engine's. In durable engines the
 // imported counters arrive via checkpoint, not the oplog, so a checkpoint
 // is written immediately — a crash right after import recovers the
@@ -182,12 +382,16 @@ func (e *Engine) ImportRelation(name string, data []byte) error {
 	if name == "" {
 		return errors.New("engine: empty relation name")
 	}
+	schema := Schema{Attrs: []string{legacyAttr}}
+	if b.Chain != nil {
+		schema = b.Chain.Schema
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.rels[name]; ok {
 		return fmt.Errorf("engine: %w: %q", ErrAlreadyDefined, name)
 	}
-	r, err := e.newRelation(name)
+	r, err := e.newRelation(name, schema)
 	if err != nil {
 		return err
 	}
@@ -236,15 +440,57 @@ func (e *Engine) MergeRelation(name string, data []byte) error {
 
 // absorbBundle folds a decoded bundle into the relation's shard-0
 // synopses (linearity: equivalent to having streamed the source ops
-// through the shards). Shape or seed mismatches report ErrIncompatible.
-// The relation is quiesced for the duration (exclusive op lock in locked
-// mode, a full absorber pause otherwise — callers hold the engine mutex
-// exclusively, which pause requires).
+// through the shards). Shape, seed, or schema mismatches report
+// ErrIncompatible. The relation is quiesced for the duration (exclusive
+// op lock in locked mode, a full absorber pause otherwise — callers hold
+// the engine mutex exclusively, which pause requires).
 func (r *Relation) absorbBundle(b *RelationBundle) error {
 	release := r.quiesce()
 	defer release()
+	// Schemas must agree in both directions, like sketch presence below:
+	// silently dropping a chain section (or absorbing a chainless bundle
+	// into a chain-tracking relation) would desynchronize the chain
+	// counters from the pairwise ones.
+	switch {
+	case b.Chain == nil && !r.schema.legacy():
+		return fmt.Errorf("%w: bundle has the legacy single-attribute schema but the relation declares one", ErrIncompatible)
+	case b.Chain != nil && !r.schema.equal(b.Chain.Schema):
+		return fmt.Errorf("%w: bundle schema differs from the relation's", ErrIncompatible)
+	}
+	// Chain family compatibility is checked BEFORE any counters merge, so
+	// a mismatch cannot leave the pairwise signature half-absorbed.
+	// decode pinned the whole section to one family, so one
+	// representative suffices.
+	if b.Chain != nil && r.schema.hasChain() {
+		fam := r.eng.chainFam
+		var k int
+		var seed uint64
+		switch {
+		case len(b.Chain.Ends) > 0:
+			k, seed = b.Chain.Ends[0].MemoryWords(), b.Chain.Ends[0].Seed()
+		case len(b.Chain.Mids) > 0:
+			k, seed = b.Chain.Mids[0].MemoryWords(), b.Chain.Mids[0].Seed()
+		}
+		if k != 0 && (k != fam.K() || seed != fam.Seed()) {
+			return fmt.Errorf("%w: chain family mismatch (k=%d seed=%d, engine has k=%d seed=%d)",
+				ErrIncompatible, k, seed, fam.K(), fam.Seed())
+		}
+	}
 	if err := r.shards[0].sig.Merge(b.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrIncompatible, err)
+	}
+	if b.Chain != nil && r.schema.hasChain() {
+		sc := r.shards[0].chain
+		for i, s := range sc.ends {
+			if err := s.Merge(b.Chain.Ends[i]); err != nil {
+				return fmt.Errorf("%w: %v", ErrIncompatible, err)
+			}
+		}
+		for i, s := range sc.mids {
+			if err := s.Merge(b.Chain.Mids[i]); err != nil {
+				return fmt.Errorf("%w: %v", ErrIncompatible, err)
+			}
+		}
 	}
 	// Sketch presence must match in BOTH directions: silently dropping an
 	// incoming sketch would change the exporting node's σ bounds on
@@ -261,6 +507,107 @@ func (r *Relation) absorbBundle(b *RelationBundle) error {
 		}
 	}
 	return nil
+}
+
+// EstimateChainBundles is the coordinator-side chain answer: the §5
+// three-way estimate from three (already merged) relation bundles, with
+// the same variance-envelope bounds Engine.EstimateChainJoin attaches.
+// All three bundles must carry chain sections from one chain family;
+// bf needs an A-side end signature on attrA, bg a middle signature on
+// (attrA, attrB), bh a B-side end signature on attrB.
+func EstimateChainBundles(bf *RelationBundle, attrA string, bg *RelationBundle, attrB string, bh *RelationBundle) (ChainJoinEstimate, error) {
+	var legs chainLegs
+	for _, b := range []*RelationBundle{bf, bg, bh} {
+		if b == nil || b.Chain == nil {
+			return ChainJoinEstimate{}, fmt.Errorf("%w: bundle carries no chain section", ErrIncompatible)
+		}
+	}
+	var err error
+	if legs.f, err = bf.Chain.End(attrA, 0); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	if legs.g, err = bg.Chain.Mid(attrA, attrB); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	if legs.h, err = bh.Chain.End(attrB, 1); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	est, err := legs.estimate(legs.g.MemoryWords())
+	if err != nil {
+		return ChainJoinEstimate{}, fmt.Errorf("%w: %v", ErrIncompatible, err)
+	}
+	return est, nil
+}
+
+// EstimateChainJoinRemote is EstimateChainJoin over partitioned data:
+// each leg's local snapshot is first merged with an optional shipped
+// bundle (remoteF/remoteG/remoteH, nil to skip) holding another node's
+// partition of the same relation — the one-shot cross-node chain answer,
+// without importing anything. Remote bundles must carry a chain section
+// with the local relation's exact schema and chain family
+// (ErrIncompatible otherwise).
+func (e *Engine) EstimateChainJoinRemote(f, attrA, g, attrB, h string, remoteF, remoteG, remoteH []byte) (ChainJoinEstimate, error) {
+	legs, err := e.chainLegSnapshots(f, attrA, g, attrB, h)
+	if err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	mergeRemote := func(name string, data []byte, merge func(*ChainBundle) error) error {
+		if data == nil {
+			return nil
+		}
+		var b RelationBundle
+		if err := b.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if b.Chain == nil {
+			return fmt.Errorf("%w: remote bundle for %q carries no chain section", ErrIncompatible, name)
+		}
+		r, err := e.Get(name)
+		if err != nil {
+			return err
+		}
+		if !r.schema.equal(b.Chain.Schema) {
+			return fmt.Errorf("%w: remote bundle schema differs from relation %q's", ErrIncompatible, name)
+		}
+		return merge(b.Chain)
+	}
+	if err := mergeRemote(f, remoteF, func(cb *ChainBundle) error {
+		remote, err := cb.End(attrA, 0)
+		if err != nil {
+			return err
+		}
+		if err := legs.f.Merge(remote); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+		return nil
+	}); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	if err := mergeRemote(g, remoteG, func(cb *ChainBundle) error {
+		remote, err := cb.Mid(attrA, attrB)
+		if err != nil {
+			return err
+		}
+		if err := legs.g.Merge(remote); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+		return nil
+	}); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	if err := mergeRemote(h, remoteH, func(cb *ChainBundle) error {
+		remote, err := cb.End(attrB, 1)
+		if err != nil {
+			return err
+		}
+		if err := legs.h.Merge(remote); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+		return nil
+	}); err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	return legs.estimate(e.opts.ChainWords)
 }
 
 // EstimateJoinBundle estimates the join size of a LOCAL relation against

@@ -231,6 +231,17 @@ func (l *relLog) osFlush() {
 func (l *relLog) insert(v uint64) { l.appendOps(stream.Op{Kind: stream.Insert, Value: v}) }
 func (l *relLog) delete(v uint64) { l.appendOps(stream.Op{Kind: stream.Delete, Value: v}) }
 
+// insertTuple and deleteTuple log one multi-attribute op: the primary
+// attribute in Value, the rest as the record's attribute payload (the
+// version-2 tuple records of internal/oplog).
+func (l *relLog) insertTuple(vals []uint64) {
+	l.appendOps(stream.Op{Kind: stream.Insert, Value: vals[0], Rest: vals[1:]})
+}
+
+func (l *relLog) deleteTuple(vals []uint64) {
+	l.appendOps(stream.Op{Kind: stream.Delete, Value: vals[0], Rest: vals[1:]})
+}
+
 func (l *relLog) insertBatch(vs []uint64) { l.batch(stream.Insert, vs) }
 func (l *relLog) deleteBatch(vs []uint64) { l.batch(stream.Delete, vs) }
 
@@ -241,6 +252,21 @@ func (l *relLog) batch(kind stream.OpKind, vs []uint64) {
 	ops := make([]stream.Op, len(vs))
 	for i, v := range vs {
 		ops[i] = stream.Op{Kind: kind, Value: v}
+	}
+	l.appendOps(ops...)
+}
+
+func (l *relLog) tupleBatch(rows [][]uint64, del bool) {
+	if l == nil || len(rows) == 0 {
+		return
+	}
+	kind := stream.Insert
+	if del {
+		kind = stream.Delete
+	}
+	ops := make([]stream.Op, len(rows))
+	for i, row := range rows {
+		ops[i] = stream.Op{Kind: kind, Value: row[0], Rest: row[1:]}
 	}
 	l.appendOps(ops...)
 }
@@ -442,8 +468,11 @@ func Open(opts Options) (*Engine, error) {
 	for _, name := range names {
 		r := e.rels[name]
 		if r == nil {
-			// Defined after the last checkpoint: rebuild purely from its log.
-			if r, err = e.newRelation(name); err != nil {
+			// Defined after the last checkpoint: rebuild purely from its
+			// log, with the legacy single-attribute schema — non-legacy
+			// DefineSchema checkpoints immediately, so a schema'd relation
+			// always arrives here through the checkpoint branch above.
+			if r, err = e.newRelation(name, Schema{Attrs: []string{legacyAttr}}); err != nil {
 				return nil, err
 			}
 			e.rels[name] = r
@@ -502,6 +531,11 @@ func (r *Relation) replaySegment(path string, allowTorn bool) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
 	lr := oplog.NewReader(f)
 	torn := false
 replay:
@@ -515,6 +549,16 @@ replay:
 				f.Close()
 				return 0, errors.New("replay: torn record in a sealed segment")
 			}
+			torn = true
+			break replay
+		case errors.Is(err, oplog.ErrCorrupt) &&
+			allowTorn && fi.Size()-lr.Offset() < oplog.MinRecordSize:
+			// A tail too short to hold ANY record is a torn write, even
+			// when its bytes do not decode as a record prefix (records
+			// are variable-length now, so an arbitrary cut can land on
+			// an undecodable first byte). Mid-log corruption — a bad
+			// record with a whole record's worth of bytes after the last
+			// clean one — stays fatal.
 			torn = true
 			break replay
 		case err != nil:
@@ -537,20 +581,37 @@ replay:
 
 // applyRecovered feeds one logged op to the synopses. Recovery is
 // single-threaded, so no locks are taken; Query ops (legal in hand-built
-// logs) change nothing.
+// logs) change nothing. Chain synopses see the op only when the record's
+// arity matches the schema — the replay image of the ingest fan-out.
+// Records of a different arity (a pre-schema log replayed into a
+// re-declared relation) apply their primary attribute as single-attribute
+// ops, per the upgrade contract.
 func (r *Relation) applyRecovered(op stream.Op) {
-	switch op.Kind {
-	case stream.Insert:
-		s := r.shardOf(op.Value)
+	if op.Kind != stream.Insert && op.Kind != stream.Delete {
+		return
+	}
+	del := op.Kind == stream.Delete
+	s := r.shardOf(op.Value)
+	if del {
+		_ = s.sig.Delete(op.Value)
+	} else {
 		s.sig.Insert(op.Value)
-		if r.sketch != nil {
+	}
+	if r.sketch != nil {
+		if del {
+			_ = r.sketch.Delete(op.Value)
+		} else {
 			r.sketch.Insert(op.Value)
 		}
-	case stream.Delete:
-		s := r.shardOf(op.Value)
-		_ = s.sig.Delete(op.Value)
-		if r.sketch != nil {
-			_ = r.sketch.Delete(op.Value)
+	}
+	if s.chain != nil && 1+len(op.Rest) == r.arity {
+		tuple := make([]uint64, 0, r.arity)
+		tuple = append(tuple, op.Value)
+		tuple = append(tuple, op.Rest...)
+		if del {
+			s.chain.delete(&r.plan, tuple)
+		} else {
+			s.chain.insert(&r.plan, tuple)
 		}
 	}
 }

@@ -43,6 +43,11 @@ import (
 var (
 	ErrUnknownRelation = errors.New("unknown relation")
 	ErrAlreadyDefined  = errors.New("relation already defined")
+	// ErrAttrNotTracked marks a chain-join request naming an attribute the
+	// relation's schema does not carry the required chain synopsis for.
+	// The amsd layer maps it to 409 Conflict: the relation exists, but its
+	// declared synopsis set cannot answer the question.
+	ErrAttrNotTracked = errors.New("attribute not tracked")
 )
 
 // Scheme selects the join-signature implementation for all relations.
@@ -167,6 +172,11 @@ type Options struct {
 	// no single log file (and no single recovery read) grows without
 	// bound between checkpoints. 0 disables rolling.
 	SegmentOps int64
+	// ChainWords is k for the §5 chain signatures — the per-signature
+	// memory (and accuracy) of every chain end and middle signature a
+	// relation schema declares (0 → SignatureWords). Engines that exchange
+	// chain signatures across nodes need equal ChainWords and Seed.
+	ChainWords int
 }
 
 // Validate reports whether the options are usable.
@@ -252,6 +262,12 @@ func (o Options) normalize() (Options, error) {
 	if o.SegmentOps < 0 {
 		return o, fmt.Errorf("engine: SegmentOps = %d, must be >= 0", o.SegmentOps)
 	}
+	if o.ChainWords == 0 {
+		o.ChainWords = o.SignatureWords
+	}
+	if o.ChainWords < 1 {
+		return o, fmt.Errorf("engine: ChainWords = %d, must be >= 1", o.ChainWords)
+	}
 	return o, nil
 }
 
@@ -261,6 +277,12 @@ type Engine struct {
 	flatFam *join.Family
 	fastFam *join.FastFamily
 	skCfg   core.Config // zero when NoSketch
+	// chainFam is the shared §5 chain family, built lazily by the first
+	// schema that declares a chain synopsis (constructing ChainWords hash
+	// functions per attribute side is not free, and most engines never
+	// track chains). Guarded by mu for writes; a relation holds a stable
+	// reference once built.
+	chainFam *join.ChainFamily
 
 	mu   sync.RWMutex
 	rels map[string]*Relation
@@ -307,6 +329,23 @@ func newEngine(opts Options) (*Engine, error) {
 // Options returns the engine's normalized configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// ensureChainFam builds the chain family on first use. Callers hold e.mu
+// exclusively (Define, checkpoint decode). The family seed is a disjoint
+// derivation of the master seed, like the sketch's, so the chain signs
+// stay statistically independent of the pairwise signature and sketch.
+func (e *Engine) ensureChainFam() (*join.ChainFamily, error) {
+	if e.chainFam != nil {
+		return e.chainFam, nil
+	}
+	fam, err := join.NewChainFamily(e.opts.ChainWords,
+		xrand.Mix64(e.opts.Seed^0xc4a1_9e55_0bad_c0de))
+	if err != nil {
+		return nil, err
+	}
+	e.chainFam = fam
+	return fam, nil
+}
+
 // newSignature builds an empty signature of the configured scheme.
 func (e *Engine) newSignature() join.Signature {
 	if e.fastFam != nil {
@@ -320,6 +359,12 @@ func (e *Engine) newSignature() join.Signature {
 type Relation struct {
 	name string
 	eng  *Engine
+	// schema (normalized) declares the attribute set; arity and plan are
+	// compiled from it. Single-attribute relations have arity 1 and a nil
+	// shard chain everywhere — the pre-schema fast paths, untouched.
+	schema Schema
+	arity  int
+	plan   chainPlan
 
 	// opMu serializes ingest against checkpoint/recovery in LOCKED mode:
 	// every update holds it shared (so ingest scales across shards),
@@ -342,21 +387,40 @@ type Relation struct {
 }
 
 type sigShard struct {
-	mu  sync.Mutex
-	sig join.Signature
-	_   [40]byte // pad to reduce false sharing between shard locks
+	mu    sync.Mutex
+	sig   join.Signature
+	chain *shardChain // nil unless the schema declares chain synopses
+	_     [32]byte    // pad to reduce false sharing between shard locks
 }
 
-// newRelation builds the in-memory half of a relation.
-func (e *Engine) newRelation(name string) (*Relation, error) {
+// newRelation builds the in-memory half of a relation. schema must
+// already be normalized.
+func (e *Engine) newRelation(name string, schema Schema) (*Relation, error) {
 	r := &Relation{
 		name:   name,
 		eng:    e,
+		schema: schema,
+		arity:  schema.arity(),
+		plan:   schema.plan(),
 		mask:   uint64(e.opts.Shards - 1),
 		shards: make([]sigShard, e.opts.Shards),
 	}
+	var chainFam *join.ChainFamily
+	if schema.hasChain() {
+		var err error
+		if chainFam, err = e.ensureChainFam(); err != nil {
+			return nil, err
+		}
+	}
 	for i := range r.shards {
 		r.shards[i].sig = e.newSignature()
+		if chainFam != nil {
+			sc, err := newShardChain(chainFam, &r.plan)
+			if err != nil {
+				return nil, err
+			}
+			r.shards[i].chain = sc
+		}
 	}
 	if !e.opts.NoSketch {
 		sk, err := core.NewShardedFastTugOfWar(e.skCfg, e.opts.Shards)
@@ -380,19 +444,33 @@ func (r *Relation) discard() {
 	}
 }
 
-// Define registers a new empty relation. It fails if the name exists. In
-// durable engines this creates the relation's operation log, which also
-// serves as its existence marker across restarts.
+// Define registers a new empty single-attribute relation. It fails if
+// the name exists. In durable engines this creates the relation's
+// operation log, which also serves as its existence marker across
+// restarts.
 func (e *Engine) Define(name string) (*Relation, error) {
+	return e.DefineSchema(name, Schema{})
+}
+
+// DefineSchema registers a new empty relation with an explicit attribute
+// set and chain-synopsis declarations. In durable engines a non-legacy
+// schema is persisted by an immediate checkpoint (schemas travel in
+// checkpoints, not the oplog), so a crash right after the define recovers
+// the relation with its declared attribute set.
+func (e *Engine) DefineSchema(name string, schema Schema) (*Relation, error) {
 	if name == "" {
 		return nil, errors.New("engine: empty relation name")
+	}
+	schema, err := normalizeSchema(schema)
+	if err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.rels[name]; ok {
 		return nil, fmt.Errorf("engine: %w: %q", ErrAlreadyDefined, name)
 	}
-	r, err := e.newRelation(name)
+	r, err := e.newRelation(name, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +479,19 @@ func (e *Engine) Define(name string) (*Relation, error) {
 		return nil, err
 	}
 	e.rels[name] = r
+	if e.opts.Dir != "" && !schema.legacy() {
+		if _, err := e.checkpointLocked(); err != nil {
+			// Unwind the registration: leaving the relation defined with
+			// its schema unpersisted would hand a crash-recovery exactly
+			// the wrong-arity resurrection this checkpoint exists to
+			// prevent, and a caller retrying the define would see a
+			// spurious ErrAlreadyDefined.
+			delete(e.rels, name)
+			r.discard()
+			_ = r.log.remove()
+			return nil, fmt.Errorf("engine: checkpoint after define: %w", err)
+		}
+	}
 	return r, nil
 }
 
@@ -458,6 +549,26 @@ func (e *Engine) Names() []string {
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
+// Schema returns a copy of the relation's normalized schema.
+func (r *Relation) Schema() Schema {
+	s, _ := normalizeSchema(r.schema) // normalize copies; r.schema is already valid
+	return s
+}
+
+// Arity returns the relation's attribute count. Single-value ops
+// (Insert, Delete, and their batches) are legal only at arity 1; wider
+// relations ingest through the Tuple variants.
+func (r *Relation) Arity() int { return r.arity }
+
+// mustArity enforces the tuple-shape contract. Arity is part of the
+// relation's declared schema; the serving layers validate it per request
+// (400), so a mismatch reaching the engine is a caller bug.
+func (r *Relation) mustArity(n int) {
+	if r.arity != n {
+		panic(fmt.Sprintf("engine: relation %q has arity %d, got a %d-value op", r.name, r.arity, n))
+	}
+}
+
 // shardOf spreads values across shards; deterministic in the value so a
 // shard always sees a valid substream of its values' ops.
 func (r *Relation) shardOf(v uint64) *sigShard {
@@ -470,8 +581,9 @@ func (r *Relation) shardOf(v uint64) *sigShard {
 // sticky and surfaced by Err, Sync, Checkpoint, and — in absorber mode —
 // the next erroring caller-side op and Drain.
 func (r *Relation) Insert(v uint64) {
+	r.mustArity(1)
 	if r.ing != nil {
-		r.ing.stage(v, false)
+		r.ing.stage(v, nil, false)
 		return
 	}
 	r.opMu.RLock()
@@ -480,10 +592,82 @@ func (r *Relation) Insert(v uint64) {
 	s := r.shardOf(v)
 	s.mu.Lock()
 	s.sig.Insert(v)
+	if s.chain != nil {
+		one := [1]uint64{v}
+		s.chain.insert(&r.plan, one[:])
+	}
 	s.mu.Unlock()
 	if r.sketch != nil {
 		r.sketch.Insert(v)
 	}
+}
+
+// InsertTuple adds a tuple of the relation's full attribute set, in
+// schema order. The primary attribute (vals[0]) feeds the pairwise
+// signature and the self-join sketch; every declared chain synopsis sees
+// the attributes it is bound to. Arity-1 relations may use Insert and
+// InsertTuple interchangeably.
+func (r *Relation) InsertTuple(vals ...uint64) {
+	r.mustArity(len(vals))
+	if r.arity == 1 {
+		r.Insert(vals[0])
+		return
+	}
+	if r.ing != nil {
+		rest := append([]uint64(nil), vals[1:]...)
+		r.ing.stage(vals[0], &rest, false)
+		return
+	}
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.insertTuple(vals)
+	r.applyTupleLocked(vals, false)
+	if r.sketch != nil {
+		r.sketch.Insert(vals[0])
+	}
+}
+
+// DeleteTuple removes a tuple previously added with InsertTuple. Exact
+// by linearity; validity of the op sequence is the caller's contract.
+func (r *Relation) DeleteTuple(vals ...uint64) error {
+	r.mustArity(len(vals))
+	if r.arity == 1 {
+		return r.Delete(vals[0])
+	}
+	if r.ing != nil {
+		rest := append([]uint64(nil), vals[1:]...)
+		r.ing.stage(vals[0], &rest, true)
+		return r.Err()
+	}
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.deleteTuple(vals)
+	r.applyTupleLocked(vals, true)
+	if r.sketch != nil {
+		return r.sketch.Delete(vals[0])
+	}
+	return nil
+}
+
+// applyTupleLocked routes one tuple to its primary shard (keyed by the
+// primary attribute, like every other path) and fans it out under the
+// shard lock. Caller holds opMu shared.
+func (r *Relation) applyTupleLocked(vals []uint64, del bool) {
+	s := r.shardOf(vals[0])
+	s.mu.Lock()
+	if del {
+		_ = s.sig.Delete(vals[0])
+	} else {
+		s.sig.Insert(vals[0])
+	}
+	if s.chain != nil {
+		if del {
+			s.chain.delete(&r.plan, vals)
+		} else {
+			s.chain.insert(&r.plan, vals)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Delete removes a tuple with the given joining-attribute value. Exact by
@@ -492,8 +676,9 @@ func (r *Relation) Insert(v uint64) {
 // reflects the relation's sticky state (prior oplog failures), not this
 // specific op.
 func (r *Relation) Delete(v uint64) error {
+	r.mustArity(1)
 	if r.ing != nil {
-		r.ing.stage(v, true)
+		r.ing.stage(v, nil, true)
 		return r.Err()
 	}
 	r.opMu.RLock()
@@ -502,6 +687,10 @@ func (r *Relation) Delete(v uint64) error {
 	s := r.shardOf(v)
 	s.mu.Lock()
 	err := s.sig.Delete(v)
+	if s.chain != nil {
+		one := [1]uint64{v}
+		s.chain.delete(&r.plan, one[:])
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -517,6 +706,10 @@ func (r *Relation) Delete(v uint64) error {
 // per batch (locked mode), or one grouped handoff to the absorbers
 // (absorber mode).
 func (r *Relation) InsertBatch(vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	r.mustArity(1)
 	if r.ing != nil {
 		r.ing.stageBatch(vs, false)
 		return
@@ -532,6 +725,10 @@ func (r *Relation) InsertBatch(vs []uint64) {
 
 // DeleteBatch removes every value in vs.
 func (r *Relation) DeleteBatch(vs []uint64) error {
+	if len(vs) == 0 {
+		return r.Err()
+	}
+	r.mustArity(1)
 	if r.ing != nil {
 		r.ing.stageBatch(vs, true)
 		return r.Err()
@@ -544,6 +741,64 @@ func (r *Relation) DeleteBatch(vs []uint64) error {
 		return r.sketch.DeleteBatch(vs)
 	}
 	return nil
+}
+
+// InsertTupleBatch adds every row (each the relation's full attribute
+// set, in schema order): one log append run, then per-row fan-out. Rows
+// are copied on the absorber path, so the caller may reuse the backing
+// arrays immediately.
+func (r *Relation) InsertTupleBatch(rows [][]uint64) {
+	r.tupleBatch(rows, false)
+}
+
+// DeleteTupleBatch removes every row in rows.
+func (r *Relation) DeleteTupleBatch(rows [][]uint64) error {
+	r.tupleBatch(rows, true)
+	return r.Err()
+}
+
+func (r *Relation) tupleBatch(rows [][]uint64, del bool) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, row := range rows {
+		r.mustArity(len(row))
+	}
+	if r.arity == 1 {
+		// Flatten onto the single-value batch path (same ops, same log
+		// records, same counters).
+		vs := make([]uint64, len(rows))
+		for i, row := range rows {
+			vs[i] = row[0]
+		}
+		if del {
+			_ = r.DeleteBatch(vs)
+		} else {
+			r.InsertBatch(vs)
+		}
+		return
+	}
+	if r.ing != nil {
+		r.ing.stageTupleBatch(rows, del)
+		return
+	}
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	r.log.tupleBatch(rows, del)
+	for _, row := range rows {
+		r.applyTupleLocked(row, del)
+	}
+	if r.sketch != nil {
+		vs := make([]uint64, len(rows))
+		for i, row := range rows {
+			vs[i] = row[0]
+		}
+		if del {
+			_ = r.sketch.DeleteBatch(vs)
+		} else {
+			r.sketch.InsertBatch(vs)
+		}
+	}
 }
 
 // Drain is the read-your-writes barrier of absorber mode: it blocks
@@ -577,11 +832,7 @@ func (r *Relation) applyBatch(vs []uint64, del bool) {
 	if len(r.shards) == 1 {
 		s := &r.shards[0]
 		s.mu.Lock()
-		if del {
-			_ = s.sig.DeleteBatch(vs)
-		} else {
-			s.sig.InsertBatch(vs)
-		}
+		r.applyShardBatch(s, vs, del)
 		s.mu.Unlock()
 		return
 	}
@@ -596,12 +847,29 @@ func (r *Relation) applyBatch(vs []uint64, del bool) {
 		}
 		s := &r.shards[i]
 		s.mu.Lock()
-		if del {
-			_ = s.sig.DeleteBatch(g)
-		} else {
-			s.sig.InsertBatch(g)
-		}
+		r.applyShardBatch(s, g, del)
 		s.mu.Unlock()
+	}
+}
+
+// applyShardBatch applies a single-attribute value batch to one shard's
+// synopsis set. Caller holds the shard lock (or is its absorber).
+func (r *Relation) applyShardBatch(s *sigShard, vs []uint64, del bool) {
+	if del {
+		_ = s.sig.DeleteBatch(vs)
+	} else {
+		s.sig.InsertBatch(vs)
+	}
+	if s.chain != nil {
+		var one [1]uint64
+		for _, v := range vs {
+			one[0] = v
+			if del {
+				s.chain.delete(&r.plan, one[:])
+			} else {
+				s.chain.insert(&r.plan, one[:])
+			}
+		}
 	}
 }
 
@@ -663,6 +931,39 @@ func (r *Relation) snapshotSig() join.Signature {
 		}
 	}
 	return fresh
+}
+
+// snapshotChain merges the shard chain sets into one, with the same
+// synchronization shapes as snapshotSig: shard locks in locked mode, a
+// drain + on-absorber clone barrier in absorber mode. Returns nil when
+// the schema declares no chain synopses.
+func (r *Relation) snapshotChain() *shardChain {
+	if !r.schema.hasChain() {
+		return nil
+	}
+	if r.ing != nil {
+		return r.ing.snapshotChain()
+	}
+	fresh := r.newEmptyChain()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		fresh.merge(s.chain)
+		s.mu.Unlock()
+	}
+	return fresh
+}
+
+// newEmptyChain builds an empty chain set of the relation's layout. The
+// relation's shards already hold chain sets, so the family exists.
+func (r *Relation) newEmptyChain() *shardChain {
+	sc, err := newShardChain(r.eng.chainFam, &r.plan)
+	if err != nil {
+		// The same plan built the live shards; failure here is an engine
+		// invariant violation.
+		panic(fmt.Sprintf("engine: chain snapshot: %v", err))
+	}
+	return sc
 }
 
 // SelfJoinEstimate returns the relation's estimated self-join size, from
@@ -728,6 +1029,109 @@ func (r *Relation) selfJoinFrom(sig join.Signature) float64 {
 	return sig.SelfJoinEstimate()
 }
 
+// ChainJoinEstimate is the planner-facing answer for a three-way chain
+// join F ⋈a G ⋈b H (§5).
+type ChainJoinEstimate struct {
+	Estimate float64 // unbiased chain estimate of |F ⋈a G ⋈b H|
+	Sigma    float64 // variance-envelope one-σ bound √(9·SJF·SJG·SJH/k)
+	Upper    float64 // Cauchy–Schwarz upper bound √(SJF·SJG·SJH)
+	// The self-join estimates behind the bounds, from the chain
+	// signatures' own counters (SJG is the middle's PAIR self-join).
+	SJF, SJG, SJH float64
+	K             int // chain signature words
+}
+
+// chainLegs bundles the three snapshot signatures of one chain query.
+type chainLegs struct {
+	f, h *join.ChainEndSignature
+	g    *join.ChainMiddleSignature
+}
+
+// estimate computes the chain answer with bounds from the legs.
+func (l chainLegs) estimate(k int) (ChainJoinEstimate, error) {
+	est, err := join.EstimateChainJoin(l.f, l.g, l.h)
+	if err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	sjF, sjG, sjH := l.f.SelfJoinEstimate(), l.g.SelfJoinEstimate(), l.h.SelfJoinEstimate()
+	return ChainJoinEstimate{
+		Estimate: est,
+		Sigma:    join.ChainErrorBound(sjF, sjG, sjH, k),
+		Upper:    join.ChainUpperBound(sjF, sjG, sjH),
+		SJF:      sjF, SJG: sjG, SJH: sjH,
+		K: k,
+	}, nil
+}
+
+// chainEndSnapshot pulls the (attr, side) end signature out of a
+// relation's chain snapshot.
+func (r *Relation) chainEndSnapshot(attr string, side int) (*join.ChainEndSignature, error) {
+	i, ok := r.schema.endIndex(attr, side)
+	if !ok {
+		sideName := "A"
+		if side == 1 {
+			sideName = "B"
+		}
+		return nil, fmt.Errorf("engine: %w: relation %q has no %s-side chain end signature on %q",
+			ErrAttrNotTracked, r.name, sideName, attr)
+	}
+	return r.snapshotChain().ends[i], nil
+}
+
+// chainMidSnapshot pulls the (attrA, attrB) middle signature out of a
+// relation's chain snapshot.
+func (r *Relation) chainMidSnapshot(attrA, attrB string) (*join.ChainMiddleSignature, error) {
+	i, ok := r.schema.midIndex(attrA, attrB)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: relation %q has no chain middle signature on (%q, %q)",
+			ErrAttrNotTracked, r.name, attrA, attrB)
+	}
+	return r.snapshotChain().mids[i], nil
+}
+
+// EstimateChainJoin estimates the three-way chain join size
+// |f ⋈attrA g ⋈attrB h|: f must declare an A-side chain end signature on
+// attrA, g a middle signature on (attrA, attrB), and h a B-side end
+// signature on attrB. The answer carries the §5 variance-envelope σ and
+// the Cauchy–Schwarz upper bound, both computed from the chain
+// signatures' own self-join estimates — so a coordinator that merges
+// shipped signatures reproduces them bit for bit.
+func (e *Engine) EstimateChainJoin(f, attrA, g, attrB, h string) (ChainJoinEstimate, error) {
+	legs, err := e.chainLegSnapshots(f, attrA, g, attrB, h)
+	if err != nil {
+		return ChainJoinEstimate{}, err
+	}
+	return legs.estimate(e.opts.ChainWords)
+}
+
+// chainLegSnapshots resolves and snapshots the three legs of a chain
+// query against local relations.
+func (e *Engine) chainLegSnapshots(f, attrA, g, attrB, h string) (chainLegs, error) {
+	rf, err := e.Get(f)
+	if err != nil {
+		return chainLegs{}, err
+	}
+	rg, err := e.Get(g)
+	if err != nil {
+		return chainLegs{}, err
+	}
+	rh, err := e.Get(h)
+	if err != nil {
+		return chainLegs{}, err
+	}
+	var legs chainLegs
+	if legs.f, err = rf.chainEndSnapshot(attrA, 0); err != nil {
+		return chainLegs{}, err
+	}
+	if legs.g, err = rg.chainMidSnapshot(attrA, attrB); err != nil {
+		return chainLegs{}, err
+	}
+	if legs.h, err = rh.chainEndSnapshot(attrB, 1); err != nil {
+		return chainLegs{}, err
+	}
+	return legs, nil
+}
+
 // PairEstimate is one entry of the planning-time all-pairs matrix.
 type PairEstimate struct {
 	F, G string
@@ -763,12 +1167,17 @@ func (e *Engine) MarshalBinary() ([]byte, error) {
 // engineFlags payload bits.
 const flagNoSketch uint32 = 1 << 0
 
+// engineBlobVersion is the checkpoint format version: version 2 added
+// ChainWords and a per-relation schema + chain section; version-1 blobs
+// (single-attribute, chainless) still load.
+const engineBlobVersion = 2
+
 // marshalLocked serializes under the engine lock. quiesced tells it the
 // caller holds every relation quiesced (Checkpoint), in which case
 // absorber-mode shard state may be read directly; otherwise snapshots go
 // through the drain-barrier path.
 func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
-	b := blob.NewBuilder(blob.MagicEngine, 1, 1024)
+	b := blob.NewBuilder(blob.MagicEngine, engineBlobVersion, 1024)
 	b.U64(uint64(e.opts.SignatureWords))
 	b.U64(e.opts.Seed)
 	b.U32(uint32(e.opts.Scheme))
@@ -780,6 +1189,7 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 		flags |= flagNoSketch
 	}
 	b.U32(flags)
+	b.U64(uint64(e.opts.ChainWords))
 	b.U64(epoch)
 	names := make([]string, 0, len(e.rels))
 	for n := range e.rels {
@@ -790,13 +1200,16 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 	for _, n := range names {
 		r := e.rels[n]
 		var sig join.Signature
+		var chain *shardChain
 		if quiesced && r.ing != nil {
 			// Under pause the slots are held: the barrier-based snapshot
 			// would self-deadlock, and direct reads are exactly what the
 			// quiescence licenses.
 			sig = r.ing.snapshotSigQuiesced()
+			chain = r.ing.snapshotChainQuiesced()
 		} else {
 			sig = r.snapshotSig()
+			chain = r.snapshotChain()
 		}
 		sigBlob, err := sig.MarshalBinary()
 		if err != nil {
@@ -806,20 +1219,72 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 		b.Bytes(sigBlob)
 		if r.sketch == nil {
 			b.U32(0)
-			continue
+		} else {
+			snap, err := r.sketch.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			skBlob, err := snap.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			b.U32(1)
+			b.Bytes(skBlob)
 		}
-		snap, err := r.sketch.Snapshot()
-		if err != nil {
+		buildSchema(b, r.schema)
+		if err := buildChain(b, chain); err != nil {
 			return nil, err
 		}
-		skBlob, err := snap.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		b.U32(1)
-		b.Bytes(skBlob)
 	}
 	return b.Seal(), nil
+}
+
+// buildChain appends a chain section (possibly empty) to a payload.
+func buildChain(b *blob.Builder, chain *shardChain) error {
+	if chain == nil {
+		b.U32(0)
+		b.U32(0)
+		return nil
+	}
+	b.U32(uint32(len(chain.ends)))
+	for _, s := range chain.ends {
+		blobBytes, err := s.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		b.Bytes(blobBytes)
+	}
+	b.U32(uint32(len(chain.mids)))
+	for _, s := range chain.mids {
+		blobBytes, err := s.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		b.Bytes(blobBytes)
+	}
+	return nil
+}
+
+// readChainBlobs reads a chain section's raw signature blobs.
+func readChainBlobs(c *blob.Cursor) (ends, mids [][]byte, err error) {
+	nEnds := c.U32()
+	if c.Err() == nil && nEnds > 2*maxArity {
+		return nil, nil, fmt.Errorf("engine: chain section: %d end signatures", nEnds)
+	}
+	for i := uint32(0); i < nEnds && c.Err() == nil; i++ {
+		ends = append(ends, c.Bytes())
+	}
+	nMids := c.U32()
+	if c.Err() == nil && nMids > maxArity*maxArity {
+		return nil, nil, fmt.Errorf("engine: chain section: %d middle signatures", nMids)
+	}
+	for i := uint32(0); i < nMids && c.Err() == nil; i++ {
+		mids = append(mids, c.Bytes())
+	}
+	if c.Err() != nil {
+		return nil, nil, c.Err()
+	}
+	return ends, mids, nil
 }
 
 // UnmarshalBinary restores an engine serialized by MarshalBinary. The
@@ -841,10 +1306,12 @@ func (e *Engine) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// unmarshalEngine decodes a checkpoint blob. Runtime-only knobs (Shards,
-// Dir) are taken from runtime rather than the blob.
+// unmarshalEngine decodes a checkpoint blob (version 1 — pre-schema,
+// single-attribute — or version 2 with per-relation schema and chain
+// sections). Runtime-only knobs (Shards, Dir) are taken from runtime
+// rather than the blob.
 func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
-	_, payload, err := blob.Open(blob.MagicEngine, 1, data)
+	version, payload, err := blob.Open(blob.MagicEngine, engineBlobVersion, data)
 	if err != nil {
 		return nil, fmt.Errorf("engine: checkpoint blob: %w", err)
 	}
@@ -859,6 +1326,14 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 	}
 	flags := c.U32()
 	opts.NoSketch = flags&flagNoSketch != 0
+	if version >= 2 {
+		opts.ChainWords = c.Int()
+	} else {
+		// Pre-chain checkpoints carry no ChainWords; honor the runtime
+		// request instead of silently defaulting to SignatureWords (the
+		// blob predates chains, so no chain state can conflict).
+		opts.ChainWords = runtime.ChainWords
+	}
 	epoch := c.U64()
 	count := c.U32()
 	if c.Err() != nil {
@@ -898,13 +1373,23 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		if c.Err() != nil {
 			return nil, fmt.Errorf("engine: checkpoint blob: %w", c.Err())
 		}
+		schema := Schema{Attrs: []string{legacyAttr}}
+		var endBlobs, midBlobs [][]byte
+		if version >= 2 {
+			if schema, err = readSchema(c); err != nil {
+				return nil, fmt.Errorf("engine: checkpoint blob: relation %q: %w", name, err)
+			}
+			if endBlobs, midBlobs, err = readChainBlobs(c); err != nil {
+				return nil, fmt.Errorf("engine: checkpoint blob: relation %q: %w", name, err)
+			}
+		}
 		if name == "" {
 			return nil, errors.New("engine: checkpoint blob: empty relation name")
 		}
 		if _, ok := fresh.rels[name]; ok {
 			return nil, fmt.Errorf("engine: checkpoint blob: relation %q duplicated", name)
 		}
-		r, err := fresh.newRelation(name)
+		r, err := fresh.newRelation(name, schema)
 		if err != nil {
 			return nil, err
 		}
@@ -926,6 +1411,9 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 			}
 		} else if r.sketch != nil {
 			return nil, fmt.Errorf("engine: relation %q misses the configured sketch", name)
+		}
+		if err := r.loadChain(endBlobs, midBlobs); err != nil {
+			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 		}
 	}
 	if err := c.Close(); err != nil {
@@ -955,6 +1443,42 @@ func (r *Relation) loadSignature(data []byte) error {
 	}
 	if err := r.shards[0].sig.Merge(loaded); err != nil {
 		return fmt.Errorf("signature family mismatch: %w", err)
+	}
+	return nil
+}
+
+// loadChain decodes a chain section and merges it into shard 0's chain
+// set (linearity, like loadSignature). The Merge calls verify every blob
+// against the engine's own chain family — size, seed, and end side — so
+// a section inconsistent with the declared schema is rejected rather
+// than silently mislaid.
+func (r *Relation) loadChain(endBlobs, midBlobs [][]byte) error {
+	sc := r.shards[0].chain
+	nEnds, nMids := 0, 0
+	if sc != nil {
+		nEnds, nMids = len(sc.ends), len(sc.mids)
+	}
+	if len(endBlobs) != nEnds || len(midBlobs) != nMids {
+		return fmt.Errorf("chain section has %d end + %d middle signatures, schema declares %d + %d",
+			len(endBlobs), len(midBlobs), nEnds, nMids)
+	}
+	for i, data := range endBlobs {
+		var s join.ChainEndSignature
+		if err := s.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if err := sc.ends[i].Merge(&s); err != nil {
+			return fmt.Errorf("chain end signature %d: %w", i, err)
+		}
+	}
+	for i, data := range midBlobs {
+		var s join.ChainMiddleSignature
+		if err := s.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		if err := sc.mids[i].Merge(&s); err != nil {
+			return fmt.Errorf("chain middle signature %d: %w", i, err)
+		}
 	}
 	return nil
 }

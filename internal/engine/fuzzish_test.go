@@ -216,6 +216,178 @@ func TestConcurrentIngestModesBitIdentical(t *testing.T) {
 	}
 }
 
+// tupleAction is one step of a worker's randomized stream on a chain
+// schema: a single tuple insert/delete or a tuple batch, rows of the
+// owning relation's arity.
+type tupleAction struct {
+	rows [][]uint64
+	row  []uint64
+	del  bool
+}
+
+// buildTupleStreams derives deterministic per-worker tuple op streams for
+// a relation of the given arity; every delete targets a tuple the SAME
+// worker inserted earlier.
+func buildTupleStreams(workers, steps, arity int, seed uint64) [][]tupleAction {
+	streams := make([][]tupleAction, workers)
+	for w := range streams {
+		r := xrand.New(seed + uint64(w)*1117)
+		var owned [][]uint64
+		row := func() []uint64 {
+			t := make([]uint64, arity)
+			for i := range t {
+				t[i] = r.Uint64n(200)
+			}
+			return t
+		}
+		acts := make([]tupleAction, 0, steps)
+		for i := 0; i < steps; i++ {
+			switch p := r.Uint64n(10); {
+			case p == 0 && len(owned) > 4:
+				n := int(r.Uint64n(4)) + 1
+				acts = append(acts, tupleAction{rows: owned[:n], del: true})
+				owned = owned[n:]
+			case p == 1:
+				n := int(r.Uint64n(6)) + 2
+				b := make([][]uint64, n)
+				for j := range b {
+					b[j] = row()
+				}
+				owned = append(owned, b...)
+				acts = append(acts, tupleAction{rows: b})
+			case p <= 3 && len(owned) > 0:
+				tpl := owned[len(owned)-1]
+				owned = owned[:len(owned)-1]
+				acts = append(acts, tupleAction{row: tpl, del: true})
+			default:
+				tpl := row()
+				owned = append(owned, tpl)
+				acts = append(acts, tupleAction{row: tpl})
+			}
+		}
+		streams[w] = acts
+	}
+	return streams
+}
+
+// TestConcurrentChainIngestModesBitIdentical is the cross-mode property
+// test for the multi-attribute path: 8 goroutines hammer a 3-relation
+// chain schema — F(a) with an A-side end signature, G(a,b) with a middle
+// signature plus both end declarations, H(b) with a B-side end — with
+// randomized tuple insert/delete streams on a locked engine and an
+// absorber engine; after a drain the two must agree BIT FOR BIT on
+// serialized checkpoints, exported bundles (chain sections included),
+// and the chain estimate with all its bounds.
+func TestConcurrentChainIngestModesBitIdentical(t *testing.T) {
+	base := Options{SignatureWords: 64, Seed: 23, ChainWords: 128, SketchS1: 32, SketchS2: 2, Shards: 4}
+	schemas := map[string]Schema{
+		"f": {Attrs: []string{"a"}, EndA: []string{"a"}},
+		"g": {Attrs: []string{"a", "b"}, EndA: []string{"a"}, EndB: []string{"b"},
+			Middle: [][2]string{{"a", "b"}}},
+		"h": {Attrs: []string{"b"}, EndB: []string{"b"}},
+	}
+	arity := map[string]int{"f": 1, "g": 2, "h": 1}
+	names := []string{"f", "g", "h"}
+	const workers, steps = 8, 900
+	streams := make(map[string][][]tupleAction)
+	for _, n := range names {
+		streams[n] = buildTupleStreams(workers, steps, arity[n], 91+uint64(len(n)))
+	}
+
+	run := func(mode IngestMode, stageOps int) *Engine {
+		t.Helper()
+		opts := base
+		opts.IngestMode = mode
+		opts.StageOps = stageOps
+		e, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if _, err := e.DefineSchema(n, schemas[n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				name := names[w%len(names)]
+				rel, err := e.Get(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, a := range streams[name][w] {
+					switch {
+					case a.rows != nil && a.del:
+						if err := rel.DeleteTupleBatch(a.rows); err != nil {
+							t.Error(err)
+							return
+						}
+					case a.rows != nil:
+						rel.InsertTupleBatch(a.rows)
+					case a.del:
+						if err := rel.DeleteTuple(a.row...); err != nil {
+							t.Error(err)
+							return
+						}
+					default:
+						rel.InsertTuple(a.row...)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := e.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	for _, stageOps := range []int{5, 0} {
+		locked := run(IngestLocked, stageOps)
+		abs := run(IngestAbsorber, stageOps)
+
+		lb, err := locked.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := abs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, ab) {
+			t.Fatalf("StageOps=%d: serialized chain engines differ between ingest modes", stageOps)
+		}
+		for _, n := range names {
+			le, err := locked.ExportRelation(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ae, err := abs.ExportRelation(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(le, ae) {
+				t.Fatalf("%s: exported chain bundles differ across modes", n)
+			}
+		}
+		lc, err := locked.EstimateChainJoin("f", "a", "g", "b", "h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ac, err := abs.EstimateChainJoin("f", "a", "g", "b", "h")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lc != ac {
+			t.Fatalf("StageOps=%d: chain estimates differ: %+v vs %+v", stageOps, lc, ac)
+		}
+	}
+}
+
 // TestEngineBlobBitFlipsDetected flips each byte once; the CRC must catch
 // every mutation.
 func TestEngineBlobBitFlipsDetected(t *testing.T) {

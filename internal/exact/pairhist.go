@@ -1,0 +1,67 @@
+package exact
+
+import "fmt"
+
+// PairHistogram is an exact multiset of (a, b) attribute pairs — the
+// ground truth for the middle relation of a §5 three-way chain join,
+// with the pair second moment maintained incrementally like Histogram's.
+type PairHistogram struct {
+	freq     map[[2]uint64]int64
+	n        int64
+	selfJoin int64 // Σ_{a,b} g_{a,b}²
+}
+
+// NewPairHistogram returns an empty pair histogram.
+func NewPairHistogram() *PairHistogram {
+	return &PairHistogram{freq: make(map[[2]uint64]int64)}
+}
+
+// Insert adds one occurrence of the pair (a, b).
+func (h *PairHistogram) Insert(a, b uint64) {
+	k := [2]uint64{a, b}
+	f := h.freq[k]
+	h.freq[k] = f + 1
+	h.n++
+	h.selfJoin += 2*f + 1
+}
+
+// Delete removes one occurrence of (a, b), erroring if absent.
+func (h *PairHistogram) Delete(a, b uint64) error {
+	k := [2]uint64{a, b}
+	f := h.freq[k]
+	if f == 0 {
+		return fmt.Errorf("exact: delete of absent pair (%d, %d)", a, b)
+	}
+	if f == 1 {
+		delete(h.freq, k)
+	} else {
+		h.freq[k] = f - 1
+	}
+	h.n--
+	h.selfJoin -= 2*f - 1
+	return nil
+}
+
+// Len returns the number of pairs currently in the multiset.
+func (h *PairHistogram) Len() int64 { return h.n }
+
+// SelfJoin returns the exact PAIR self-join size Σ_{a,b} g_{a,b}² — the
+// quantity the chain middle signature's own counters estimate.
+func (h *PairHistogram) SelfJoin() int64 { return h.selfJoin }
+
+// ChainJoin returns the exact three-way chain join size
+// |F ⋈a G ⋈b H| = Σ_{a,b} f_a · g_{a,b} · h_b.
+func (h *PairHistogram) ChainJoin(f, hh *Histogram) int64 {
+	var total int64
+	for k, g := range h.freq {
+		if g == 0 {
+			continue
+		}
+		fa := f.Frequency(k[0])
+		if fa == 0 {
+			continue
+		}
+		total += fa * g * hh.Frequency(k[1])
+	}
+	return total
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amstrack/internal/dist"
+	"amstrack/internal/engine"
+	"amstrack/internal/exact"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file measures the §5 three-way chain estimator end to end THROUGH
+// THE ENGINE — schema declaration, tuple ingest with a deletion wave,
+// EstimateChainJoin — against internal/exact ground truth. The middle
+// relation's skew is the experiment's axis ("Skew Strikes Back": multi-
+// attribute estimation is where zipfian middles hurt most), and every
+// row reports the variance-derived envelope σ/J next to the observed
+// error, so the accuracy test can assert the §5 bound actually holds.
+
+// ChainWorkload names a three-relation chain generator: F carries
+// a-values, G carries (a, b) pairs, H carries b-values.
+type ChainWorkload struct {
+	Name string
+	Gen  func(seed uint64) (f []uint64, g [][2]uint64, h []uint64, err error)
+}
+
+// chainN is the per-relation stream length (chain signatures cost O(k)
+// per middle tuple, so the sweep stays deliberately moderate).
+const chainN = 20000
+
+// ChainWorkloads returns the standard middles: uniform, and two zipf
+// skews on the pair distribution.
+func ChainWorkloads() []ChainWorkload {
+	mk := func(name string, midAlpha float64) ChainWorkload {
+		return ChainWorkload{
+			Name: name,
+			Gen: func(seed uint64) ([]uint64, [][2]uint64, []uint64, error) {
+				const domain = 1000
+				newGen := func(alpha float64, s uint64) (dist.Generator, error) {
+					if alpha == 0 {
+						return dist.NewUniform(domain, s)
+					}
+					return dist.NewZipf(alpha, domain, s)
+				}
+				gf, err := newGen(1.0, seed)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				gh, err := newGen(1.0, seed^0x5ca1ab1e)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				ga, err := newGen(midAlpha, seed^0xdecade)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				gb, err := newGen(midAlpha, seed^0xfacade)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				f := dist.Take(gf, chainN)
+				h := dist.Take(gh, chainN)
+				as := dist.Take(ga, chainN)
+				bs := dist.Take(gb, chainN)
+				g := make([][2]uint64, chainN)
+				for i := range g {
+					g[i] = [2]uint64{as[i], bs[i]}
+				}
+				return f, g, h, nil
+			},
+		}
+	}
+	return []ChainWorkload{
+		mk("uniform-middle", 0),
+		mk("zipf1.0-middle", 1.0),
+		mk("zipf1.5-middle", 1.5),
+	}
+}
+
+// ChainAccuracyRow is one (workload, chain-signature size) cell.
+type ChainAccuracyRow struct {
+	Workload  string
+	Words     int     // ChainWords k
+	ChainSize float64 // exact |F ⋈a G ⋈b H|
+	RelErr    float64 // mean |rel err| of EstimateChainJoin over trials
+	SigmaRel  float64 // mean variance-envelope σ / chain size
+	UpperRel  float64 // mean Cauchy–Schwarz bound / chain size
+}
+
+// ChainAccuracyResult carries the sweep.
+type ChainAccuracyResult struct {
+	Rows []ChainAccuracyRow
+}
+
+// RunChainAccuracy sweeps chain-signature sizes (nil → 256 and 1024)
+// for every workload, averaging over trials. Each trial drives a fresh
+// engine: schema'd relations, tuple ingest, a 10% deletion wave applied
+// to engine and ground truth alike, then EstimateChainJoin.
+func RunChainAccuracy(words []int, trials int, seed uint64) (*ChainAccuracyResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: chain accuracy needs >= 1 trial")
+	}
+	if words == nil {
+		words = []int{256, 1024}
+	}
+	res := &ChainAccuracyResult{}
+	for _, w := range ChainWorkloads() {
+		fvals, gpairs, hvals, err := w.Gen(seed)
+		if err != nil {
+			return nil, err
+		}
+		del := chainN / 10 // the deletion wave: the first 10% of each stream
+		fh, hh := exact.NewHistogram(), exact.NewHistogram()
+		gh := exact.NewPairHistogram()
+		for _, v := range fvals {
+			fh.Insert(v)
+		}
+		for _, p := range gpairs {
+			gh.Insert(p[0], p[1])
+		}
+		for _, v := range hvals {
+			hh.Insert(v)
+		}
+		for i := 0; i < del; i++ {
+			if err := fh.Delete(fvals[i]); err != nil {
+				return nil, err
+			}
+			if err := gh.Delete(gpairs[i][0], gpairs[i][1]); err != nil {
+				return nil, err
+			}
+			if err := hh.Delete(hvals[i]); err != nil {
+				return nil, err
+			}
+		}
+		truth := float64(gh.ChainJoin(fh, hh))
+		if truth == 0 {
+			return nil, fmt.Errorf("experiments: workload %s has empty chain join", w.Name)
+		}
+		for _, k := range words {
+			relErr, sigmaRel, upperRel := 0.0, 0.0, 0.0
+			for trial := 0; trial < trials; trial++ {
+				tseed := xrand.Mix64(seed ^ uint64(trial)<<40 ^ uint64(k))
+				ce, err := chainEstimateOnce(fvals, gpairs, hvals, del, k, tseed)
+				if err != nil {
+					return nil, err
+				}
+				relErr += exact.RelativeError(ce.Estimate, truth)
+				sigmaRel += ce.Sigma / truth
+				upperRel += ce.Upper / truth
+			}
+			res.Rows = append(res.Rows, ChainAccuracyRow{
+				Workload:  w.Name,
+				Words:     k,
+				ChainSize: truth,
+				RelErr:    relErr / float64(trials),
+				SigmaRel:  sigmaRel / float64(trials),
+				UpperRel:  upperRel / float64(trials),
+			})
+		}
+	}
+	return res, nil
+}
+
+// chainEstimateOnce runs one engine trial: define the chain schema,
+// ingest (tuples for the middle), delete the wave, estimate.
+func chainEstimateOnce(fvals []uint64, gpairs [][2]uint64, hvals []uint64, del, k int, seed uint64) (engine.ChainJoinEstimate, error) {
+	eng, err := engine.New(engine.Options{SignatureWords: 64, Seed: seed, ChainWords: k})
+	if err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	rf, err := eng.DefineSchema("f", engine.Schema{Attrs: []string{"a"}, EndA: []string{"a"}})
+	if err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	rg, err := eng.DefineSchema("g", engine.Schema{
+		Attrs: []string{"a", "b"}, Middle: [][2]string{{"a", "b"}}})
+	if err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	rh, err := eng.DefineSchema("h", engine.Schema{Attrs: []string{"b"}, EndB: []string{"b"}})
+	if err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	rows := make([][]uint64, len(gpairs))
+	for i, p := range gpairs {
+		rows[i] = []uint64{p[0], p[1]}
+	}
+	rf.InsertBatch(fvals)
+	rg.InsertTupleBatch(rows)
+	rh.InsertBatch(hvals)
+	if err := rf.DeleteBatch(fvals[:del]); err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	if err := rg.DeleteTupleBatch(rows[:del]); err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	if err := rh.DeleteBatch(hvals[:del]); err != nil {
+		return engine.ChainJoinEstimate{}, err
+	}
+	return eng.EstimateChainJoin("f", "a", "g", "b", "h")
+}
+
+// Table renders the chain accuracy sweep.
+func (r *ChainAccuracyResult) Table() *tablefmt.Table {
+	t := tablefmt.New("workload", "chain words", "chain size", "relerr", "σ envelope / J", "C–S bound / J")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Words, row.ChainSize, row.RelErr, row.SigmaRel, row.UpperRel)
+	}
+	return t
+}

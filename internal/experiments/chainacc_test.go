@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestChainAccuracyWithinEnvelope asserts the §5 promise at fixed seeds:
+// for every workload (uniform and zipfian middles, deletion wave
+// applied) the mean relative error of the engine's chain estimate stays
+// within the variance-derived envelope σ/J that the estimator itself
+// reports — the bound Var ≤ 9·SJ(F)·SJ(G)·SJ(H)/k made observable.
+func TestChainAccuracyWithinEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain accuracy sweep is a few seconds")
+	}
+	res, err := RunChainAccuracy([]int{512}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want one per workload", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ChainSize <= 0 {
+			t.Fatalf("%s: degenerate chain size %v", row.Workload, row.ChainSize)
+		}
+		// E|X − J| ≤ σ for any estimator, and averaging |rel err| over
+		// trials only concentrates further; a mean outside the envelope
+		// means the variance bound (or the merge path under it) broke.
+		if row.RelErr > row.SigmaRel {
+			t.Errorf("%s (k=%d): mean relative error %.4f exceeds the σ envelope %.4f",
+				row.Workload, row.Words, row.RelErr, row.SigmaRel)
+		}
+		// The Cauchy–Schwarz bound must sit above the true size.
+		if row.UpperRel < 1 {
+			t.Errorf("%s: C–S bound ratio %.4f below 1", row.Workload, row.UpperRel)
+		}
+		// Skewed middles concentrate the join; the estimator should be
+		// genuinely accurate there, not merely inside a loose envelope.
+		if row.Workload != "uniform-middle" && row.RelErr > 0.5 {
+			t.Errorf("%s: mean relative error %.4f implausibly large", row.Workload, row.RelErr)
+		}
+	}
+}

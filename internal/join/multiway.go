@@ -3,6 +3,7 @@ package join
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"amstrack/internal/blob"
 	"amstrack/internal/hash"
@@ -116,8 +117,25 @@ func (s *ChainEndSignature) Len() int64 { return s.n }
 // MemoryWords returns k.
 func (s *ChainEndSignature) MemoryWords() int { return len(s.z) }
 
+// SelfJoinEstimate estimates SJ(R) = Σ_a f_a² from the signature's own
+// counters: E[z_m²] = SJ(R) by pairwise independence of the signs, so
+// the mean of the squared counters is unbiased. It feeds the chain
+// estimator's variance envelope, mirroring how the pairwise path feeds
+// Lemma 4.4 from signature counters.
+func (s *ChainEndSignature) SelfJoinEstimate() float64 {
+	sum := 0.0
+	for _, z := range s.z {
+		sum += float64(z) * float64(z)
+	}
+	return sum / float64(len(s.z))
+}
+
 // Attr returns which chain attribute (0 or 1) the signature is bound to.
 func (s *ChainEndSignature) Attr() int { return s.attr }
+
+// Seed returns the signature's family seed (with MemoryWords, the
+// family identity by value).
+func (s *ChainEndSignature) Seed() uint64 { return s.family.seed }
 
 // Merge adds other's counters into s. Both must come from one family (by
 // value: size and seed) and be bound to the same attribute; the result is
@@ -220,6 +238,21 @@ func (s *ChainMiddleSignature) Len() int64 { return s.n }
 // MemoryWords returns k.
 func (s *ChainMiddleSignature) MemoryWords() int { return len(s.z) }
 
+// Seed returns the signature's family seed (with MemoryWords, the
+// family identity by value).
+func (s *ChainMiddleSignature) Seed() uint64 { return s.family.seed }
+
+// SelfJoinEstimate estimates the PAIR self-join size SJ(G) = Σ_{a,b}
+// g_{a,b}² from the signature's own counters: E[z_m²] factors over the
+// two independent attribute families into exactly that sum.
+func (s *ChainMiddleSignature) SelfJoinEstimate() float64 {
+	sum := 0.0
+	for _, z := range s.z {
+		sum += float64(z) * float64(z)
+	}
+	return sum / float64(len(s.z))
+}
+
 // Merge adds other's counters into s. Both must come from one family (by
 // value); the result is exactly the signature of the concatenated streams.
 func (s *ChainMiddleSignature) Merge(other *ChainMiddleSignature) error {
@@ -301,4 +334,28 @@ func EstimateChainJoin(f *ChainEndSignature, g *ChainMiddleSignature, h *ChainEn
 		sum += float64(f.z[m]) * float64(g.z[m]) * float64(h.z[m])
 	}
 	return sum / float64(len(g.z)), nil
+}
+
+// ChainErrorBound is the §5-style one-standard-deviation envelope of the
+// k-averaged chain estimator. Expanding E[X²] of one atomic product
+// X = S(F)·S(G)·S(H) over the two independent four-wise families yields
+// nine sign-pairing terms, and every one is at most SJ(F)·SJ(G)·SJ(H)
+// (Cauchy–Schwarz, with SJ(G) the PAIR self-join Σ g_{a,b}²), so
+//
+//	Var(mean of k) ≤ 9·SJ(F)·SJ(G)·SJ(H) / k
+//
+// — the chain analogue of Lemma 4.4's 2·SJ(F)·SJ(G)/k.
+func ChainErrorBound(sjF, sjG, sjH float64, k int) float64 {
+	if k < 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(9 * sjF * sjG * sjH / float64(k))
+}
+
+// ChainUpperBound is the Fact 1.1 analogue for chains: by two
+// applications of Cauchy–Schwarz,
+//
+//	|F ⋈a G ⋈b H| = Σ_{a,b} f_a·g_{a,b}·h_b ≤ √(SJ(F)·SJ(G)·SJ(H)).
+func ChainUpperBound(sjF, sjG, sjH float64) float64 {
+	return math.Sqrt(sjF * sjG * sjH)
 }

@@ -3,15 +3,26 @@
 // algorithms periodically catch up "by stepping through any additions to
 // the update log since the previous run".
 //
-// Record format (little endian):
+// Record format, version 1 (little endian):
 //
 //	byte   kind (0 insert, 1 delete, 2 query)
 //	uint64 value (0 for query)
 //	uint32 crc32 of the 9 bytes above
 //
+// Record format, version 2 — the multi-attribute tuple records of the
+// engine's chain-join schemas (kind bytes 3 and 4 never appear in logs
+// written before they existed, so both versions coexist in one stream
+// and old logs read back unchanged):
+//
+//	byte   kind (3 tuple insert, 4 tuple delete)
+//	byte   arity m (2..255; arity-1 ops use the version-1 kinds)
+//	m × uint64 attribute values, primary first
+//	uint32 crc32 of the 2+8m bytes above
+//
 // Each record is independently checksummed so a torn tail write is
 // detected and reported as a clean truncation point rather than silent
-// corruption. A Reader hands back stream.Op values; a Writer appends them.
+// corruption. A Reader hands back stream.Op values (tuple records carry
+// their non-primary attributes in Op.Rest); a Writer appends them.
 package oplog
 
 import (
@@ -26,7 +37,25 @@ import (
 	"amstrack/internal/stream"
 )
 
-const recordSize = 1 + 8 + 4
+// MinRecordSize is the smallest record encoding (the version-1 layout).
+// A log tail shorter than this cannot hold any complete record, which is
+// what lets recovery classify an undecodable sub-record tail as torn
+// rather than corrupt.
+const MinRecordSize = 1 + 8 + 4
+
+const (
+	recordSize = MinRecordSize
+	// Tuple-record kind bytes (version 2). They live beyond the
+	// stream.OpKind space on purpose: a version-1 reader meeting one
+	// reports corruption instead of misdecoding it.
+	kindTupleInsert = 3
+	kindTupleDelete = 4
+	// maxArity is the widest tuple a record can carry (the arity field is
+	// one byte; 0 and 1 are reserved for the version-1 kinds).
+	maxArity = 255
+	// maxRecordSize bounds the Reader's scratch: the widest tuple record.
+	maxRecordSize = 2 + 8*maxArity + 4
+)
 
 // ErrCorrupt is returned when a record fails its checksum.
 var ErrCorrupt = errors.New("oplog: corrupt record")
@@ -34,7 +63,7 @@ var ErrCorrupt = errors.New("oplog: corrupt record")
 // Writer appends operations to an underlying writer.
 type Writer struct {
 	w     *bufio.Writer
-	buf   [recordSize]byte
+	buf   [maxRecordSize]byte
 	group []byte // AppendGroup encode scratch
 	n     int64
 }
@@ -44,17 +73,53 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
 
+// encode serializes op into lw.buf and returns the record length. Ops
+// without Rest encode as version-1 records byte-for-byte, so a log of
+// single-attribute ops is indistinguishable from one written before
+// tuple records existed.
+func (lw *Writer) encode(op stream.Op) (int, error) {
+	if len(op.Rest) == 0 {
+		switch op.Kind {
+		case stream.Insert, stream.Delete, stream.Query:
+		default:
+			return 0, fmt.Errorf("oplog: invalid op kind %d", op.Kind)
+		}
+		lw.buf[0] = byte(op.Kind)
+		binary.LittleEndian.PutUint64(lw.buf[1:], op.Value)
+		binary.LittleEndian.PutUint32(lw.buf[9:], crc32.ChecksumIEEE(lw.buf[:9]))
+		return recordSize, nil
+	}
+	var kind byte
+	switch op.Kind {
+	case stream.Insert:
+		kind = kindTupleInsert
+	case stream.Delete:
+		kind = kindTupleDelete
+	default:
+		return 0, fmt.Errorf("oplog: op kind %d cannot carry a tuple payload", op.Kind)
+	}
+	arity := 1 + len(op.Rest)
+	if arity > maxArity {
+		return 0, fmt.Errorf("oplog: tuple arity %d exceeds %d", arity, maxArity)
+	}
+	lw.buf[0] = kind
+	lw.buf[1] = byte(arity)
+	binary.LittleEndian.PutUint64(lw.buf[2:], op.Value)
+	for i, v := range op.Rest {
+		binary.LittleEndian.PutUint64(lw.buf[10+8*i:], v)
+	}
+	body := 2 + 8*arity
+	binary.LittleEndian.PutUint32(lw.buf[body:], crc32.ChecksumIEEE(lw.buf[:body]))
+	return body + 4, nil
+}
+
 // Append writes one operation.
 func (lw *Writer) Append(op stream.Op) error {
-	switch op.Kind {
-	case stream.Insert, stream.Delete, stream.Query:
-	default:
-		return fmt.Errorf("oplog: invalid op kind %d", op.Kind)
+	n, err := lw.encode(op)
+	if err != nil {
+		return err
 	}
-	lw.buf[0] = byte(op.Kind)
-	binary.LittleEndian.PutUint64(lw.buf[1:], op.Value)
-	binary.LittleEndian.PutUint32(lw.buf[9:], crc32.ChecksumIEEE(lw.buf[:9]))
-	if _, err := lw.w.Write(lw.buf[:]); err != nil {
+	if _, err := lw.w.Write(lw.buf[:n]); err != nil {
 		return err
 	}
 	lw.n++
@@ -82,21 +147,21 @@ func (lw *Writer) AppendGroup(ops []stream.Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	if cap(lw.group) < len(ops)*recordSize {
-		lw.group = make([]byte, len(ops)*recordSize)
-	}
 	g := lw.group[:0]
-	for _, op := range ops {
-		switch op.Kind {
-		case stream.Insert, stream.Delete, stream.Query:
-		default:
-			return fmt.Errorf("oplog: invalid op kind %d", op.Kind)
-		}
-		lw.buf[0] = byte(op.Kind)
-		binary.LittleEndian.PutUint64(lw.buf[1:], op.Value)
-		binary.LittleEndian.PutUint32(lw.buf[9:], crc32.ChecksumIEEE(lw.buf[:9]))
-		g = append(g, lw.buf[:]...)
+	if cap(g) < len(ops)*recordSize {
+		// Capacity hint only (tuple records run longer than recordSize);
+		// append grows as needed and the grown scratch is kept below, so
+		// steady-state group commits stay allocation-free.
+		g = make([]byte, 0, len(ops)*recordSize)
 	}
+	for _, op := range ops {
+		n, err := lw.encode(op)
+		if err != nil {
+			return err
+		}
+		g = append(g, lw.buf[:n]...)
+	}
+	lw.group = g
 	if _, err := lw.w.Write(g); err != nil {
 		return err
 	}
@@ -148,8 +213,9 @@ func (p FlushPolicy) Due(pending int, age time.Duration) bool {
 // Reader decodes operations from an underlying reader.
 type Reader struct {
 	r   *bufio.Reader
-	buf [recordSize]byte
+	buf [maxRecordSize]byte
 	n   int64
+	off int64 // byte offset just past the last cleanly decoded record
 }
 
 // NewReader wraps r.
@@ -159,28 +225,77 @@ func NewReader(r io.Reader) *Reader {
 
 // Next returns the next operation. io.EOF signals a clean end;
 // io.ErrUnexpectedEOF a torn tail (the stream ended mid-record);
-// ErrCorrupt a checksum failure. Any other error is a genuine read
-// failure from the underlying reader, passed through unchanged — callers
-// that truncate torn tails (engine recovery) must NOT treat a transient
-// I/O error as permission to cut a healthy log.
+// ErrCorrupt a checksum failure or an undecodable kind byte. Any other
+// error is a genuine read failure from the underlying reader, passed
+// through unchanged — callers that truncate torn tails (engine recovery)
+// must NOT treat a transient I/O error as permission to cut a healthy
+// log.
 func (lr *Reader) Next() (stream.Op, error) {
-	if _, err := io.ReadFull(lr.r, lr.buf[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return stream.Op{}, err
+	kind, err := lr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return stream.Op{}, io.EOF
 		}
 		return stream.Op{}, fmt.Errorf("oplog: read record %d: %w", lr.n, err)
 	}
-	if crc32.ChecksumIEEE(lr.buf[:9]) != binary.LittleEndian.Uint32(lr.buf[9:]) {
-		return stream.Op{}, fmt.Errorf("%w at record %d", ErrCorrupt, lr.n)
-	}
-	kind := stream.OpKind(lr.buf[0])
+	lr.buf[0] = kind
+	// The kind byte fixes the record length. A corrupted kind byte either
+	// lands on another valid kind (the CRC below catches it) or falls
+	// outside the registry, reported as corruption here.
+	var body int // record length up to (excluding) the CRC trailer
+	have := 1    // header bytes already in lr.buf
 	switch kind {
-	case stream.Insert, stream.Delete, stream.Query:
+	case byte(stream.Insert), byte(stream.Delete), byte(stream.Query):
+		body = 9
+	case kindTupleInsert, kindTupleDelete:
+		arity, err := lr.r.ReadByte()
+		if err != nil {
+			return stream.Op{}, lr.torn(err)
+		}
+		lr.buf[1] = arity
+		have = 2
+		if arity < 2 {
+			return stream.Op{}, fmt.Errorf("%w at record %d: tuple arity %d", ErrCorrupt, lr.n, arity)
+		}
+		body = 2 + 8*int(arity)
 	default:
 		return stream.Op{}, fmt.Errorf("%w at record %d: kind %d", ErrCorrupt, lr.n, kind)
 	}
+	if _, err := io.ReadFull(lr.r, lr.buf[have:body+4]); err != nil {
+		return stream.Op{}, lr.torn(err)
+	}
+	if crc32.ChecksumIEEE(lr.buf[:body]) != binary.LittleEndian.Uint32(lr.buf[body:]) {
+		return stream.Op{}, fmt.Errorf("%w at record %d", ErrCorrupt, lr.n)
+	}
+	var op stream.Op
+	switch kind {
+	case kindTupleInsert, kindTupleDelete:
+		op.Kind = stream.Insert
+		if kind == kindTupleDelete {
+			op.Kind = stream.Delete
+		}
+		op.Value = binary.LittleEndian.Uint64(lr.buf[2:])
+		arity := int(lr.buf[1])
+		op.Rest = make([]uint64, arity-1)
+		for i := range op.Rest {
+			op.Rest[i] = binary.LittleEndian.Uint64(lr.buf[10+8*i:])
+		}
+	default:
+		op.Kind = stream.OpKind(kind)
+		op.Value = binary.LittleEndian.Uint64(lr.buf[1:])
+	}
 	lr.n++
-	return stream.Op{Kind: kind, Value: binary.LittleEndian.Uint64(lr.buf[1:])}, nil
+	lr.off += int64(body + 4)
+	return op, nil
+}
+
+// torn maps a mid-record short read onto io.ErrUnexpectedEOF (a clean
+// EOF after the kind byte is still a torn record: the record started).
+func (lr *Reader) torn(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("oplog: read record %d: %w", lr.n, err)
 }
 
 // Count returns how many records have been read so far.
@@ -188,7 +303,7 @@ func (lr *Reader) Count() int64 { return lr.n }
 
 // Offset returns the byte offset just past the last cleanly decoded
 // record — the truncation point a recovery should cut a torn log back to.
-func (lr *Reader) Offset() int64 { return lr.n * recordSize }
+func (lr *Reader) Offset() int64 { return lr.off }
 
 // ReadAll decodes every remaining record.
 func ReadAll(r io.Reader) ([]stream.Op, error) {

@@ -37,7 +37,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("read %d ops, want %d", len(got), len(ops))
 	}
 	for i := range ops {
-		if got[i] != ops[i] {
+		if !got[i].Equal(ops[i]) {
 			t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
 		}
 	}
@@ -65,7 +65,7 @@ func TestRoundTripProperty(t *testing.T) {
 			return false
 		}
 		for i := range ops {
-			if got[i] != ops[i] {
+			if !got[i].Equal(ops[i]) {
 				return false
 			}
 		}

@@ -42,9 +42,32 @@ func (k OpKind) String() string {
 }
 
 // Op is one tracking operation. Value is ignored for Query.
+//
+// Multi-attribute relations (the §5 chain-join extension) log every
+// tuple attribute: Value carries the PRIMARY attribute (the one every
+// single-attribute consumer tracks) and Rest the remaining attributes in
+// schema order; Rest is nil for single-attribute ops. Consumers that
+// model one value per op — Canonicalize, Validate, Tracker replay —
+// deliberately key on Value alone, which is exactly the "old logs replay
+// as single-attribute" compatibility rule of the engine.
 type Op struct {
 	Kind  OpKind
 	Value uint64
+	Rest  []uint64
+}
+
+// Equal reports whether two ops are identical, attribute payload
+// included. (Op is not ==-comparable now that it carries a slice.)
+func (o Op) Equal(p Op) bool {
+	if o.Kind != p.Kind || o.Value != p.Value || len(o.Rest) != len(p.Rest) {
+		return false
+	}
+	for i, v := range o.Rest {
+		if p.Rest[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // FromValues converts an insert-only value sequence into operations.

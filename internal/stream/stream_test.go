@@ -45,7 +45,7 @@ func TestCanonicalizeCancelsMostRecent(t *testing.T) {
 	// the delete cancels the SECOND insert of 1 (the most recent), so the
 	// first insert's position survives.
 	ops := []Op{
-		{Insert, 1}, {Insert, 2}, {Insert, 1}, {Delete, 1},
+		{Kind: Insert, Value: 1}, {Kind: Insert, Value: 2}, {Kind: Insert, Value: 1}, {Kind: Delete, Value: 1},
 	}
 	got, err := Canonicalize(ops)
 	if err != nil {
@@ -57,7 +57,7 @@ func TestCanonicalizeCancelsMostRecent(t *testing.T) {
 }
 
 func TestCanonicalizeDropsQueries(t *testing.T) {
-	ops := []Op{{Insert, 1}, {Query, 0}, {Insert, 2}}
+	ops := []Op{{Kind: Insert, Value: 1}, {Kind: Query, Value: 0}, {Kind: Insert, Value: 2}}
 	got, err := Canonicalize(ops)
 	if err != nil {
 		t.Fatal(err)
@@ -68,10 +68,10 @@ func TestCanonicalizeDropsQueries(t *testing.T) {
 }
 
 func TestCanonicalizeInvalidDelete(t *testing.T) {
-	if _, err := Canonicalize([]Op{{Delete, 1}}); err == nil {
+	if _, err := Canonicalize([]Op{{Kind: Delete, Value: 1}}); err == nil {
 		t.Fatal("delete-before-insert did not error")
 	}
-	if _, err := Canonicalize([]Op{{Insert, 1}, {Delete, 1}, {Delete, 1}}); err == nil {
+	if _, err := Canonicalize([]Op{{Kind: Insert, Value: 1}, {Kind: Delete, Value: 1}, {Kind: Delete, Value: 1}}); err == nil {
 		t.Fatal("double delete did not error")
 	}
 }
@@ -94,11 +94,11 @@ func TestCanonicalMultisetMatchesReplay(t *testing.T) {
 		for _, x := range raw {
 			v := uint64(x % 32)
 			if r.Float64() < 0.3 && live[v] > 0 {
-				ops = append(ops, Op{Delete, v})
+				ops = append(ops, Op{Kind: Delete, Value: v})
 				live[v]--
 				total--
 			} else {
-				ops = append(ops, Op{Insert, v})
+				ops = append(ops, Op{Kind: Insert, Value: v})
 				live[v]++
 				total++
 			}
@@ -127,10 +127,10 @@ func TestCanonicalMultisetMatchesReplay(t *testing.T) {
 // relative order.
 func TestCanonicalPreservesOrder(t *testing.T) {
 	ops := []Op{
-		{Insert, 10}, {Insert, 20}, {Insert, 10}, {Insert, 30},
-		{Delete, 10}, // cancels second insert of 10
-		{Insert, 40},
-		{Delete, 30},
+		{Kind: Insert, Value: 10}, {Kind: Insert, Value: 20}, {Kind: Insert, Value: 10}, {Kind: Insert, Value: 30},
+		{Kind: Delete, Value: 10}, // cancels second insert of 10
+		{Kind: Insert, Value: 40},
+		{Kind: Delete, Value: 30},
 	}
 	got, err := Canonicalize(ops)
 	if err != nil {
@@ -148,11 +148,11 @@ func TestCanonicalPreservesOrder(t *testing.T) {
 }
 
 func TestValidateAgreesWithCanonicalize(t *testing.T) {
-	good := []Op{{Insert, 1}, {Delete, 1}, {Insert, 2}}
+	good := []Op{{Kind: Insert, Value: 1}, {Kind: Delete, Value: 1}, {Kind: Insert, Value: 2}}
 	if err := Validate(good); err != nil {
 		t.Fatalf("valid sequence rejected: %v", err)
 	}
-	bad := []Op{{Insert, 1}, {Delete, 2}}
+	bad := []Op{{Kind: Insert, Value: 1}, {Kind: Delete, Value: 2}}
 	if err := Validate(bad); err == nil {
 		t.Fatal("invalid sequence accepted")
 	}
@@ -162,7 +162,7 @@ func TestValidateAgreesWithCanonicalize(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
-	s := Summarize([]Op{{Insert, 1}, {Insert, 2}, {Delete, 1}, {Query, 0}})
+	s := Summarize([]Op{{Kind: Insert, Value: 1}, {Kind: Insert, Value: 2}, {Kind: Delete, Value: 1}, {Kind: Query, Value: 0}})
 	if s.Inserts != 2 || s.Deletes != 1 || s.Queries != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
@@ -236,7 +236,7 @@ func (r *recordingTracker) Delete(v uint64) error {
 func TestReplay(t *testing.T) {
 	tr := &recordingTracker{}
 	queries := 0
-	ops := []Op{{Insert, 1}, {Query, 0}, {Delete, 1}, {Query, 0}}
+	ops := []Op{{Kind: Insert, Value: 1}, {Kind: Query, Value: 0}, {Kind: Delete, Value: 1}, {Kind: Query, Value: 0}}
 	if err := Replay(ops, tr, func(int) { queries++ }); err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestReplay(t *testing.T) {
 
 func TestReplayNilOnQuery(t *testing.T) {
 	tr := &recordingTracker{}
-	if err := Replay([]Op{{Query, 0}}, tr, nil); err != nil {
+	if err := Replay([]Op{{Kind: Query, Value: 0}}, tr, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -298,7 +298,7 @@ func TestBatchReplay(t *testing.T) {
 
 func TestBatchReplaySkipsQueries(t *testing.T) {
 	tr := &recordingTracker{}
-	ops := []Op{{Insert, 1}, {Query, 0}, {Insert, 2}}
+	ops := []Op{{Kind: Insert, Value: 1}, {Kind: Query, Value: 0}, {Kind: Insert, Value: 2}}
 	n, err := BatchReplay(ops, tr, 10, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -328,10 +328,10 @@ type failErr struct{}
 func (*failErr) Error() string { return "boom" }
 
 func TestReplayPropagatesDeleteError(t *testing.T) {
-	if err := Replay([]Op{{Insert, 1}, {Delete, 1}}, &failingTracker{}, nil); err == nil {
+	if err := Replay([]Op{{Kind: Insert, Value: 1}, {Kind: Delete, Value: 1}}, &failingTracker{}, nil); err == nil {
 		t.Fatal("delete error not propagated")
 	}
-	if _, err := BatchReplay([]Op{{Insert, 1}, {Delete, 1}}, &failingTracker{}, 1, nil); err == nil {
+	if _, err := BatchReplay([]Op{{Kind: Insert, Value: 1}, {Kind: Delete, Value: 1}}, &failingTracker{}, 1, nil); err == nil {
 		t.Fatal("delete error not propagated by BatchReplay")
 	}
 }
