@@ -15,14 +15,15 @@
 //	amsbench -experiment fastacc           # Fast-AMS vs flat tug-of-war accuracy
 //	amsbench -experiment fastjoin          # fast vs flat join signature speed+accuracy
 //	amsbench -experiment engineingest      # locked vs absorber engine ingest cost
+//	amsbench -experiment ckpttail          # ingest tail latency, checkpointer off vs on
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
 // file per experiment into DIR. -seed fixes the data-set seed (default 1),
 // making every figure exactly reproducible. -json additionally writes
 // machine-readable results for experiments that support it (fastjoin →
-// BENCH_fastjoin.json, engineingest → BENCH_engine.json), so CI can
-// track the perf trajectory.
+// BENCH_fastjoin.json, engineingest → BENCH_engine.json, ckpttail →
+// BENCH_ckpt.json), so CI can track the perf trajectory.
 package main
 
 import (
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -242,6 +243,28 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "ckpttail":
+			r, err := experiments.RunCkptTail(1024, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("ckpttail", "Ingest tail latency under always-on durability (k=1024, absorber)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("p99 insert latency: checkpointer off %.0f ns, on %.0f ns → ratio %.2f (%d checkpoints)\n\n",
+				r.OffP99Ns, r.OnP99Ns, r.Ratio, r.Checkpoints)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_ckpt.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_ckpt.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -257,7 +280,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -8,10 +8,19 @@
 //	amsd -addr :7600 -dir /var/lib/amsd -k 1024
 //
 // With -dir the engine is durable: every update is oplog-appended before
-// it is applied, POST /v1/checkpoint (or -checkpoint-every) folds the
-// logs into a checkpoint blob, and a restart recovers by checkpoint load
-// plus log replay — including truncating a torn final record after a
-// crash. Without -dir the engine is in-memory only.
+// it is applied, and a restart recovers by checkpoint load plus log
+// replay — including truncating a torn final record after a crash.
+// Checkpoints come from three places: POST /v1/checkpoint on demand, the
+// engine's background checkpointer (-checkpoint-every fires on a
+// jittered timer, -checkpoint-segments fires when any relation's live
+// oplog segment count reaches the threshold), and a final checkpoint cut
+// during graceful shutdown. Without -dir the engine is in-memory only.
+//
+// On SIGTERM/SIGINT the daemon stops accepting connections, drains
+// in-flight requests, cuts a final checkpoint so restart recovery is
+// instant (empty logs), and closes the engine. If that final checkpoint
+// fails the process exits non-zero — the operator must know the last
+// moments of the stream were not made durable.
 //
 // -ingest-mode absorber switches the engine onto the lock-free write
 // path: ingest requests stage ops into per-goroutine buffers, per-shard
@@ -20,7 +29,10 @@
 // responses always reflect the request's own writes. -segment-ops N
 // additionally rolls each relation's oplog onto numbered segment files
 // every N records, bounding single-file recovery reads between
-// checkpoints. DESIGN.md §7 documents the path and its measured cost.
+// checkpoints. In absorber mode checkpoints are pause-free: the cut
+// rides an epoch fence through the absorber goroutines instead of
+// quiescing ingest. DESIGN.md §7 and §9 document both paths and their
+// measured cost.
 //
 // See internal/amsd for the endpoint reference and examples/amsdclient
 // for a complete client round trip.
@@ -32,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,7 +68,8 @@ func main() {
 		noSketch  = flag.Bool("nosketch", false, "disable the dedicated self-join sketch")
 		sketchS1  = flag.Int("sketch-s1", 0, "self-join sketch buckets per row (0: default)")
 		sketchS2  = flag.Int("sketch-s2", 0, "self-join sketch rows (0: default)")
-		ckptEvery = flag.Duration("checkpoint-every", 0, "automatic checkpoint interval (0: manual only; needs -dir)")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "background checkpoint interval, jittered (0: no timer; needs -dir)")
+		ckptSegs  = flag.Int("checkpoint-segments", 0, "checkpoint when a relation's live oplog segments reach N (0: no segment trigger; needs -dir)")
 		maxBodyMB = flag.Int64("max-body-mb", 0, "request-body cap in MiB for ingest and bundle uploads (0: default 64)")
 		ingest    = flag.String("ingest-mode", "", "write path: locked (synchronous) or absorber (lock-free staging + group-commit oplog); empty: engine default")
 		flushOps  = flag.Int("flush-ops", 0, "absorber group-commit: flush the oplog after N records (0: default 512)")
@@ -65,18 +79,20 @@ func main() {
 	flag.Parse()
 
 	opts := engine.Options{
-		SignatureWords: *k,
-		ChainWords:     *chainK,
-		Seed:           *seed,
-		SignatureRows:  *rows,
-		SketchS1:       *sketchS1,
-		SketchS2:       *sketchS2,
-		NoSketch:       *noSketch,
-		Shards:         *shards,
-		Dir:            *dir,
-		FlushOps:       *flushOps,
-		FlushInterval:  *flushIvl,
-		SegmentOps:     *segOps,
+		SignatureWords:     *k,
+		ChainWords:         *chainK,
+		Seed:               *seed,
+		SignatureRows:      *rows,
+		SketchS1:           *sketchS1,
+		SketchS2:           *sketchS2,
+		NoSketch:           *noSketch,
+		Shards:             *shards,
+		Dir:                *dir,
+		FlushOps:           *flushOps,
+		FlushInterval:      *flushIvl,
+		SegmentOps:         *segOps,
+		CheckpointInterval: *ckptEvery,
+		CheckpointSegments: *ckptSegs,
 	}
 	switch *ingest {
 	case "":
@@ -91,13 +107,24 @@ func main() {
 	if *flat {
 		opts.Scheme = engine.SchemeFlat
 	}
-	if err := run(opts, *addr, *ckptEvery, *maxBodyMB<<20); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, *addr, *maxBodyMB<<20, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "amsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts engine.Options, addr string, ckptEvery time.Duration, maxBody int64) error {
+// run serves until ctx is cancelled, then shuts down gracefully: stop
+// accepting, drain in-flight requests, final checkpoint, close. The
+// returned error is the process exit status — a failed final checkpoint
+// is an error even though the daemon otherwise exited cleanly. ready, if
+// non-nil, is called with the bound listen address (tests use :0).
+func run(ctx context.Context, opts engine.Options, addr string, maxBody int64, ready func(addr string)) error {
+	if (opts.CheckpointInterval > 0 || opts.CheckpointSegments > 0) && opts.Dir == "" {
+		return errors.New("-checkpoint-every / -checkpoint-segments require -dir")
+	}
 	var (
 		eng *engine.Engine
 		err error
@@ -111,42 +138,26 @@ func run(opts engine.Options, addr string, ckptEvery time.Duration, maxBody int6
 		return err
 	}
 
-	srv := &http.Server{Addr: addr, Handler: amsd.NewServerMaxBody(eng, maxBody)}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	if ckptEvery > 0 {
-		if opts.Dir == "" {
-			return errors.New("-checkpoint-every requires -dir")
-		}
-		go func() {
-			t := time.NewTicker(ckptEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					if n, err := eng.Checkpoint(); err != nil {
-						log.Printf("amsd: checkpoint: %v", err)
-					} else {
-						log.Printf("amsd: checkpoint written (%d bytes)", n)
-					}
-				}
-			}
-		}()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = eng.Close()
+		return err
+	}
+	srv := &http.Server{Handler: amsd.NewServerMaxBody(eng, maxBody)}
+	if ready != nil {
+		ready(ln.Addr().String())
 	}
 
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("amsd: serving on %s (durable: %v, k=%d, ingest: %s)",
-			addr, opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
-		errc <- srv.ListenAndServe()
+			ln.Addr(), opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
+		_ = eng.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -157,11 +168,15 @@ func run(opts engine.Options, addr string, ckptEvery time.Duration, maxBody int6
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("amsd: shutdown: %v", err)
 	}
+	var firstErr error
 	if eng.Dir() != "" {
 		// Final checkpoint so restart recovery is instant (empty logs).
 		if _, err := eng.Checkpoint(); err != nil {
-			log.Printf("amsd: final checkpoint: %v", err)
+			firstErr = fmt.Errorf("final checkpoint: %w", err)
 		}
 	}
-	return eng.Close()
+	if err := eng.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"amstrack/internal/amsd"
 	"amstrack/internal/engine"
 	"amstrack/internal/exact"
+	"amstrack/internal/oplog"
 	"amstrack/internal/xrand"
 )
 
@@ -247,11 +250,102 @@ func TestCheckpointInMemoryConflict(t *testing.T) {
 // TestRunFlagValidation exercises the daemon entry's option plumbing
 // without binding a port.
 func TestRunFlagValidation(t *testing.T) {
-	err := run(engine.Options{SignatureWords: 0}, "127.0.0.1:0", 0, 0)
+	err := run(context.Background(), engine.Options{SignatureWords: 0}, "127.0.0.1:0", 0, nil)
 	if err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if err := run(engine.Options{SignatureWords: 32}, "", time.Nanosecond, 0); err == nil {
+	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointInterval: time.Nanosecond}, "", 0, nil)
+	if err == nil {
 		t.Fatal("-checkpoint-every without -dir accepted")
+	}
+	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointSegments: 2}, "", 0, nil)
+	if err == nil {
+		t.Fatal("-checkpoint-segments without -dir accepted")
+	}
+}
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, a cancel that triggers graceful shutdown, and the channel that
+// yields run's exit status.
+func startDaemon(t *testing.T, opts engine.Options) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, opts, "127.0.0.1:0", 0, func(addr string) { ready <- addr })
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon died before ready: %v", err)
+		return "", nil, nil
+	}
+}
+
+// TestGracefulShutdown: cancelling the run context must stop accepting,
+// cut a final checkpoint, and exit cleanly — and a restart over the same
+// directory recovers every acknowledged op.
+func TestGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	opts := engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2, Dir: dir}
+	base, cancel, done := startDaemon(t, opts)
+	defer cancel()
+
+	client := http.DefaultClient
+	postJSON(t, client, base+"/v1/relations", amsd.DefineRequest{Name: "f"}, nil, http.StatusCreated)
+	vals := make([]uint64, 1000)
+	r := xrand.New(77)
+	for i := range vals {
+		vals[i] = r.Uint64n(200)
+	}
+	var ib amsd.IngestBody
+	postJSON(t, client, base+"/v1/ingest", amsd.IngestRequest{Relation: "f", Inserts: vals}, &ib, http.StatusOK)
+	if ib.Len != 1000 {
+		t.Fatalf("ingest len = %d", ib.Len)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown exit = %v, want nil", err)
+	}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting after shutdown")
+	}
+
+	back, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	rel, err := back.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1000 {
+		t.Fatalf("recovered Len = %d, want 1000", rel.Len())
+	}
+}
+
+// TestShutdownCheckpointFailure: when the final checkpoint cannot be
+// made durable (fsync failing at shutdown), run must return an error so
+// the process exits non-zero — a clean exit would tell the operator the
+// tail of the stream is safe when it is not.
+func TestShutdownCheckpointFailure(t *testing.T) {
+	ffs := oplog.NewFaultFS(nil)
+	opts := engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2, Dir: t.TempDir(), FS: ffs}
+	base, cancel, done := startDaemon(t, opts)
+	defer cancel()
+
+	client := http.DefaultClient
+	postJSON(t, client, base+"/v1/relations", amsd.DefineRequest{Name: "f"}, nil, http.StatusCreated)
+	postJSON(t, client, base+"/v1/ingest", amsd.IngestRequest{Relation: "f", Inserts: []uint64{1, 2, 3}}, nil, http.StatusOK)
+
+	ffs.FailSync(errors.New("fsync: device on fire"))
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("failed final checkpoint reported a clean exit")
 	}
 }

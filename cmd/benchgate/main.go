@@ -3,13 +3,16 @@
 // committed baseline and fails — exit 1 — when the gated hot-path cost
 // regressed beyond the tolerance. CI runs it after each experiment, so a
 // PR that slows a gated hot path by more than the tolerance cannot merge
-// silently. Two gated experiments:
+// silently. Three gated experiments:
 //
 //   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
 //     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
 //   - engineingest (BENCH_engine.json): the engine's absorber ingest
 //     path, normalized as absorber_ns_per_op ÷ locked_ns_per_op
-//     (single-writer durable ingest).
+//     (single-writer durable ingest);
+//   - ckpttail (BENCH_ckpt.json): p99 ingest latency with the background
+//     checkpointer ON, normalized as on_p99_ns ÷ off_p99_ns — the
+//     pause-free-checkpoint guarantee (acceptance: within 2x).
 //
 // The file's "experiment" field selects the gate; bench and baseline
 // must agree on it.
@@ -28,6 +31,7 @@
 //
 //	benchgate -bench BENCH_fastjoin.json -baseline BENCH_fastjoin.baseline.json [-max-regress 0.25]
 //	benchgate -bench BENCH_engine.json -baseline BENCH_engine.baseline.json [-max-regress 0.35]
+//	benchgate -bench BENCH_ckpt.json -baseline BENCH_ckpt.baseline.json [-max-regress 0.75]
 package main
 
 import (
@@ -50,15 +54,22 @@ type benchFile struct {
 	// engineingest: single-writer durable engine ingest cost.
 	LockedNsPerOp   float64 `json:"locked_ns_per_op"`
 	AbsorberNsPerOp float64 `json:"absorber_ns_per_op"`
+	// ckpttail: p99 ingest latency with the checkpointer off vs on.
+	OffP99Ns float64 `json:"off_p99_ns"`
+	OnP99Ns  float64 `json:"on_p99_ns"`
 }
 
 // pair returns (fast-path, reference-path) nanoseconds for the file's
 // experiment.
 func (b *benchFile) pair() (fast, ref float64) {
-	if b.Experiment == "engineingest" {
+	switch b.Experiment {
+	case "engineingest":
 		return b.AbsorberNsPerOp, b.LockedNsPerOp
+	case "ckpttail":
+		return b.OnP99Ns, b.OffP99Ns
+	default:
+		return b.FastNsPerUpdate, b.FlatNsPerUpdate
 	}
-	return b.FastNsPerUpdate, b.FlatNsPerUpdate
 }
 
 func main() {
@@ -85,8 +96,8 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin or engineingest", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, or ckpttail", path, b.Experiment)
 	}
 	fast, ref := b.pair()
 	if fast <= 0 || ref <= 0 {

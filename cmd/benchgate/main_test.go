@@ -155,3 +155,44 @@ func TestGateUpdateBaseline(t *testing.T) {
 		t.Fatalf("gate against refreshed baseline failed: %v", err)
 	}
 }
+
+func writeCkptBench(t *testing.T, dir, name string, on, off float64, k int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	body := fmt.Sprintf(`{"experiment":"ckpttail","k":%d,"off_p99_ns":%g,"on_p99_ns":%g}`,
+		k, off, on)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateCkptTail: the ckpttail gate reads the on/off p99 pair and
+// enforces the pause-free-checkpoint bound through the normalized ratio.
+func TestGateCkptTail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeCkptBench(t, dir, "base.json", 1200, 1000, 1024) // ratio 1.2
+	var out strings.Builder
+
+	// Slower machine, same on/off ratio → pass.
+	ok := writeCkptBench(t, dir, "ok.json", 3600, 3000, 1024)
+	if err := run(ok, base, 0.75, "normalized", false, &out); err != nil {
+		t.Fatalf("same-ratio ckpttail run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "experiment=ckpttail") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Checkpoint tail blew past 2x the quiet tail → fail at 75% over the
+	// 1.2 baseline (1.2 · 1.75 = 2.1).
+	bad := writeCkptBench(t, dir, "bad.json", 2500, 1000, 1024)
+	if err := run(bad, base, 0.75, "normalized", false, &out); err == nil {
+		t.Fatal("2.5x checkpoint tail passed the gate")
+	}
+
+	// Experiment mismatch between bench and baseline must error.
+	eng := writeEngineBench(t, dir, "engine.json", 250, 1000, 1024)
+	if err := run(eng, base, 0.75, "normalized", false, &out); err == nil {
+		t.Fatal("engineingest measurement gated against ckpttail baseline")
+	}
+}

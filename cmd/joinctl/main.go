@@ -38,6 +38,7 @@ import (
 	"amstrack/internal/engine"
 	"amstrack/internal/exact"
 	"amstrack/internal/join"
+	"amstrack/internal/xrand"
 )
 
 func main() {
@@ -52,11 +53,13 @@ func main() {
 		attrA   = flag.String("attr-a", "", "chain mode: attribute joining F and G")
 		attrB   = flag.String("attr-b", "", "chain mode: attribute joining G and H")
 		strict  = flag.Bool("strict", false, "fail if any node lacks a relation (default: skip with a warning)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout (each retry attempt gets the full budget)")
+		retries = flag.Int("retries", 3, "attempts per node request; transport errors and 5xx retry, 4xx do not")
+		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the second attempt; doubles per retry, with jitter")
 		asJSON  = flag.Bool("json", false, "emit the result as one JSON object")
 	)
 	flag.Parse()
-	client := &http.Client{Timeout: *timeout}
+	client := newFetcher(&http.Client{Timeout: *timeout}, *retries, *backoff)
 	if *chain {
 		if *nodes == "" || *left == "" || *mid == "" || *right == "" || *attrA == "" || *attrB == "" {
 			fmt.Fprintln(os.Stderr, "joinctl: -chain needs -nodes, -left, -mid, -right, -attr-a, and -attr-b")
@@ -133,7 +136,7 @@ func (r *result) print(w io.Writer) {
 // coordinate pulls both relations' bundles from every node, merges the
 // partitions, and estimates the join with bounds. warnW receives skip
 // warnings in non-strict mode.
-func coordinate(client *http.Client, nodes []string, f, g string, strict bool, warnW io.Writer) (*result, error) {
+func coordinate(client *fetcher, nodes []string, f, g string, strict bool, warnW io.Writer) (*result, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("no nodes given")
 	}
@@ -190,7 +193,7 @@ func (r *chainResult) print(w io.Writer) {
 // coordinateChain pulls all three relations' bundles from every node,
 // merges each relation's partitions (chain sections merge linearly, like
 // the pairwise synopses), and estimates the chain join with bounds.
-func coordinateChain(client *http.Client, nodes []string, f, attrA, g, attrB, h string, strict bool, warnW io.Writer) (*chainResult, error) {
+func coordinateChain(client *fetcher, nodes []string, f, attrA, g, attrB, h string, strict bool, warnW io.Writer) (*chainResult, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("no nodes given")
 	}
@@ -228,11 +231,11 @@ func coordinateChain(client *http.Client, nodes []string, f, attrA, g, attrB, h 
 
 // mergeAcross fetches one relation's bundle from every node and merges
 // the partitions; n reports how many nodes contributed.
-func mergeAcross(client *http.Client, nodes []string, rel string, strict bool, warnW io.Writer) (*engine.RelationBundle, int, error) {
+func mergeAcross(client *fetcher, nodes []string, rel string, strict bool, warnW io.Writer) (*engine.RelationBundle, int, error) {
 	var merged *engine.RelationBundle
 	n := 0
 	for _, node := range nodes {
-		b, err := fetchBundle(client, node, rel)
+		b, err := client.fetchBundle(node, rel)
 		if err != nil {
 			if !strict && errors.Is(err, errNotFound) {
 				if warnW != nil {
@@ -272,26 +275,89 @@ func relPath(rel string) string {
 	return strings.Join(segs, "/")
 }
 
-// fetchBundle GETs one relation's synopsis bundle from one node.
-func fetchBundle(client *http.Client, node, rel string) (*engine.RelationBundle, error) {
-	resp, err := client.Get(node + "/v1/signatures/" + relPath(rel))
+// fetcher wraps the HTTP client with the coordinator's retry policy:
+// every node request gets up to retries attempts, each with the client's
+// full timeout budget, separated by exponential backoff with jitter.
+// Transport errors and 5xx responses retry (the node may be restarting
+// or mid-recovery); 4xx responses are definitive and fail immediately.
+type fetcher struct {
+	client  *http.Client
+	retries int                 // attempts per request, >= 1
+	backoff time.Duration       // base delay before the second attempt; 0 disables waiting
+	sleep   func(time.Duration) // test seam; nil means time.Sleep
+	rng     *xrand.Rand
+}
+
+func newFetcher(client *http.Client, retries int, backoff time.Duration) *fetcher {
+	if retries < 1 {
+		retries = 1
+	}
+	return &fetcher{client: client, retries: retries, backoff: backoff,
+		rng: xrand.New(uint64(time.Now().UnixNano()))}
+}
+
+// pause sleeps before retry attempt (1-based, so the first retry waits
+// ~backoff, the next ~2·backoff, ...). Full jitter in [d/2, d)
+// desynchronizes a fleet of coordinators hammering one recovering node.
+func (fx *fetcher) pause(attempt int) {
+	if fx.backoff <= 0 {
+		return
+	}
+	d := fx.backoff << uint(attempt-1)
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(fx.rng.Uint64n(uint64(half)))
+	}
+	if fx.sleep != nil {
+		fx.sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// fetchBundle GETs one relation's synopsis bundle from one node,
+// retrying transient failures per the fetcher's policy. A persistent
+// failure reports how many attempts were burned; mergeAcross prefixes
+// the node URL so the operator knows exactly which node is down.
+func (fx *fetcher) fetchBundle(node, rel string) (*engine.RelationBundle, error) {
+	var lastErr error
+	for attempt := 0; attempt < fx.retries; attempt++ {
+		if attempt > 0 {
+			fx.pause(attempt)
+		}
+		b, retryable, err := fx.fetchOnce(node, rel)
+		if err == nil {
+			return b, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%d attempts exhausted: %w", fx.retries, lastErr)
+}
+
+// fetchOnce is a single GET; retryable marks failures worth another try.
+func (fx *fetcher) fetchOnce(node, rel string) (_ *engine.RelationBundle, retryable bool, _ error) {
+	resp, err := fx.client.Get(node + "/v1/signatures/" + relPath(rel))
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
-		return nil, errNotFound
+		return nil, false, errNotFound
+	case resp.StatusCode >= 500:
+		return nil, true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	case resp.StatusCode != http.StatusOK:
-		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
 	b := &engine.RelationBundle{}
 	if err := b.UnmarshalBinary(body); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return b, nil
+	return b, false, nil
 }

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"amstrack/internal/amsd"
 	"amstrack/internal/dist"
@@ -89,7 +91,7 @@ func TestCoordinatorBitIdentical(t *testing.T) {
 		}
 		return out
 	}
-	client := &http.Client{}
+	client := testFetcher()
 	for i := range engines {
 		for rel, vs := range map[string][]uint64{"orders": orders, "lineitems": lineitems} {
 			ro, _ := engines[i].Get(rel)
@@ -258,7 +260,7 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 				urls[i] = ts.URL
 			}
 
-			client := &http.Client{}
+			client := testFetcher()
 			res, err := coordinateChain(client, urls, "forders", "a", "glineitem", "b", "hparts", true, nil)
 			if err != nil {
 				t.Fatal(err)
@@ -330,7 +332,7 @@ func TestCoordinatorPartialNodes(t *testing.T) {
 	r.InsertBatch([]uint64{2, 3})
 
 	urls := []string{ts1.URL, ts2.URL}
-	client := &http.Client{}
+	client := testFetcher()
 	var warn strings.Builder
 	res, err := coordinate(client, urls, "orders", "regional", false, &warn)
 	if err != nil {
@@ -363,7 +365,7 @@ func TestCoordinatorEscapedNames(t *testing.T) {
 		r, _ := e1.Get(name)
 		r.InsertBatch([]uint64{1, 2, 3})
 	}
-	client := &http.Client{}
+	client := testFetcher()
 	res, err := coordinate(client, []string{ts1.URL}, "sales?2024", "ref #1 data", true, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -396,6 +398,98 @@ func TestResultPrint(t *testing.T) {
 	for _, want := range []string{"f ⋈ g across 2 node(s)", "estimate", "Lemma 4.4", "k=512", "Fact 1.1"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// testFetcher is a no-retry, no-sleep fetcher for the happy-path tests.
+func testFetcher() *fetcher {
+	return newFetcher(&http.Client{}, 1, 0)
+}
+
+// TestFetchRetryFlakyNode: a node that 500s twice before answering must
+// succeed under the retry policy, with exponentially growing (jittered)
+// backoff between attempts — and a 404 must NOT burn retries.
+func TestFetchRetryFlakyNode(t *testing.T) {
+	eng, err := engine.New(nodeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	define(t, eng, "orders")
+	r, _ := eng.Get("orders")
+	r.InsertBatch([]uint64{1, 2, 3})
+	blob, err := eng.ExportRelation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls, notFoundCalls int
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.URL.Path, "ghost") {
+			notFoundCalls++
+			http.Error(w, `{"error":"unknown relation"}`, http.StatusNotFound)
+			return
+		}
+		calls++
+		if calls <= 2 {
+			http.Error(w, "restarting", http.StatusInternalServerError)
+			return
+		}
+		w.Write(blob)
+	}))
+	t.Cleanup(flaky.Close)
+
+	fx := newFetcher(&http.Client{}, 3, 100*time.Millisecond)
+	var sleeps []time.Duration
+	fx.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+
+	b, err := fx.fetchBundle(flaky.URL, "orders")
+	if err != nil {
+		t.Fatalf("flaky node not retried: %v", err)
+	}
+	if b.Rows != 3 || calls != 3 {
+		t.Fatalf("rows=%d calls=%d", b.Rows, calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", sleeps)
+	}
+	// Jittered exponential: first wait in [50ms, 100ms), second in
+	// [100ms, 200ms) — strictly longer.
+	if sleeps[0] < 50*time.Millisecond || sleeps[0] >= 100*time.Millisecond ||
+		sleeps[1] < 100*time.Millisecond || sleeps[1] >= 200*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v, want jittered doubling from 100ms", sleeps)
+	}
+
+	// 404 is definitive: one request, no sleeps, errNotFound.
+	sleeps = nil
+	if _, err := fx.fetchBundle(flaky.URL, "ghost"); !errors.Is(err, errNotFound) {
+		t.Fatalf("404 err = %v, want errNotFound", err)
+	}
+	if notFoundCalls != 1 || len(sleeps) != 0 {
+		t.Fatalf("404 was retried: calls=%d sleeps=%v", notFoundCalls, sleeps)
+	}
+}
+
+// TestPersistentFailureNamesNode: when a node stays down past the retry
+// budget, the coordinator's error names the node and the attempt count —
+// the operator must not have to guess which of N nodes is sick.
+func TestPersistentFailureNamesNode(t *testing.T) {
+	healthy, ts := newNode(t)
+	define(t, healthy, "orders")
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+
+	fx := newFetcher(&http.Client{}, 3, time.Millisecond)
+	fx.sleep = func(time.Duration) {}
+	_, _, err := mergeAcross(fx, []string{ts.URL, dead.URL}, "orders", true, nil)
+	if err == nil {
+		t.Fatal("persistently failing node accepted")
+	}
+	for _, want := range []string{dead.URL, "3 attempts"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
 		}
 	}
 }

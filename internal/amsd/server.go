@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"amstrack/internal/engine"
 )
@@ -142,7 +143,10 @@ func statusFor(err error) int {
 	}
 }
 
-// HealthzBody is the GET /healthz response.
+// HealthzBody is the GET /healthz response. The durability block is what
+// operators alert on: a growing checkpoint age or segment count means
+// recovery is getting more expensive, and a sticky oplog or checkpoint
+// error means acknowledged ops may not be durable (status "degraded").
 type HealthzBody struct {
 	Status    string `json:"status"`
 	Relations int    `json:"relations"`
@@ -150,15 +154,49 @@ type HealthzBody struct {
 	// IngestMode is the engine's write path ("locked" or "absorber") —
 	// operators watching a fleet can verify the lock-free path is live.
 	IngestMode string `json:"ingest_mode"`
+	// Checkpoints counts checkpoint attempts since startup.
+	Checkpoints int64 `json:"checkpoints"`
+	// LastCheckpointAgeSeconds is the age of the last successful
+	// checkpoint; absent when none has completed yet.
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds,omitempty"`
+	// LastCheckpointError is the most recent checkpoint attempt's error,
+	// "" when it succeeded.
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+	// Segments is the live oplog segment count per relation — the replay
+	// volume a crash right now would cost.
+	Segments map[string]int `json:"segments,omitempty"`
+	// OplogErrors carries each relation's sticky append error, keyed by
+	// relation name; healthy relations are absent.
+	OplogErrors map[string]string `json:"oplog_errors,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthzBody{
-		Status:     "ok",
-		Relations:  len(s.eng.Names()),
-		Durable:    s.eng.Dir() != "",
-		IngestMode: s.eng.Options().IngestMode.String(),
-	})
+	st := s.eng.DurabilityStats()
+	body := HealthzBody{
+		Status:              "ok",
+		Relations:           len(s.eng.Names()),
+		Durable:             st.Durable,
+		IngestMode:          s.eng.Options().IngestMode.String(),
+		Checkpoints:         st.Checkpoints,
+		LastCheckpointError: st.LastCheckpointError,
+	}
+	if !st.LastCheckpointAt.IsZero() {
+		body.LastCheckpointAgeSeconds = time.Since(st.LastCheckpointAt).Seconds()
+	}
+	if st.Durable {
+		body.Segments = make(map[string]int, len(st.Relations))
+		body.OplogErrors = map[string]string{}
+		for name, rd := range st.Relations {
+			body.Segments[name] = rd.Segments
+			if rd.OplogError != "" {
+				body.OplogErrors[name] = rd.OplogError
+			}
+		}
+	}
+	if st.LastCheckpointError != "" || len(body.OplogErrors) > 0 {
+		body.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // RelationsBody is the GET /v1/relations response.

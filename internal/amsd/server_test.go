@@ -3,6 +3,7 @@ package amsd_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"amstrack/internal/amsd"
 	"amstrack/internal/engine"
+	"amstrack/internal/oplog"
 	"amstrack/internal/xrand"
 )
 
@@ -209,5 +211,71 @@ func TestSignatureExchangeRoundTrip(t *testing.T) {
 	}
 	if jb.Estimate != want.Estimate || jb.Sigma != want.Sigma {
 		t.Fatalf("remote join = %+v, want %+v", jb, want)
+	}
+}
+
+// TestHealthzDurability: /healthz must expose the operator-facing
+// durability block — checkpoint count and age, per-relation segment
+// counts — and flip to "degraded" when the oplog takes a sticky error.
+func TestHealthzDurability(t *testing.T) {
+	ffs := oplog.NewFaultFS(nil)
+	opts := srvOpts()
+	opts.Dir = t.TempDir()
+	opts.FS = ffs
+	eng, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rel, err := eng.Define("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rel.Insert(uint64(i))
+	}
+	if _, err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(amsd.NewServer(eng))
+	t.Cleanup(ts.Close)
+
+	get := func() amsd.HealthzBody {
+		t.Helper()
+		resp := do(t, "GET", ts.URL+"/healthz", "", nil)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d", resp.StatusCode)
+		}
+		var hb amsd.HealthzBody
+		if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+			t.Fatal(err)
+		}
+		return hb
+	}
+
+	hb := get()
+	if hb.Status != "ok" || !hb.Durable {
+		t.Fatalf("healthy body = %+v", hb)
+	}
+	if hb.Checkpoints < 1 || hb.LastCheckpointAgeSeconds <= 0 {
+		t.Fatalf("checkpoint stats missing: %+v", hb)
+	}
+	if _, ok := hb.Segments["orders"]; !ok || len(hb.OplogErrors) != 0 {
+		t.Fatalf("segment report = %+v", hb)
+	}
+
+	// Poison the oplog via a failing fsync; healthz must degrade and name
+	// the relation.
+	ffs.FailSync(errors.New("fsync: device on fire"))
+	rel.Insert(1)
+	_ = eng.Sync()
+	_, _ = eng.Checkpoint()
+	hb = get()
+	if hb.Status != "degraded" {
+		t.Fatalf("status after sticky error = %q, want degraded", hb.Status)
+	}
+	if hb.LastCheckpointError == "" && len(hb.OplogErrors) == 0 {
+		t.Fatalf("degraded body carries no error detail: %+v", hb)
 	}
 }

@@ -164,6 +164,26 @@ func (st *ShardedFastTugOfWar) Snapshot() (*FastTugOfWar, error) {
 	return merged, nil
 }
 
+// ShardSnapshot returns a plain FastTugOfWar equal to shard i alone,
+// cloned under that single shard's lock. A caller that owns a partition
+// of the stream (one engine absorber per shard) can snapshot each shard
+// from its own writer and merge the clones — by linearity the merge
+// equals Snapshot, without ever holding more than one shard lock.
+func (st *ShardedFastTugOfWar) ShardSnapshot(i int) (*FastTugOfWar, error) {
+	clone, err := NewFastTugOfWar(st.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &st.shards[i&int(st.mask)]
+	s.mu.Lock()
+	err = clone.Merge(s.tw)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return clone, nil
+}
+
 // Absorb merges a plain FastTugOfWar (e.g. a restored checkpoint
 // snapshot) into shard 0. By linearity the sharded sketch then behaves
 // exactly as if tw's stream had been ingested through it, which is how

@@ -47,6 +47,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -54,6 +55,7 @@ import (
 	"time"
 	"unsafe"
 
+	"amstrack/internal/core"
 	"amstrack/internal/join"
 	"amstrack/internal/oplog"
 	"amstrack/internal/stream"
@@ -106,9 +108,12 @@ type absBarrier struct {
 }
 
 // logMsg is one message to the group-commit log writer: applied ops to
-// append, or a flush barrier.
+// append, or a flush barrier. epoch is the log epoch the sending shard
+// was on when it applied the ops — during a checkpoint's fence window it
+// routes the append between the retiring and the forked log.
 type logMsg struct {
 	ops     []stagedOp
+	epoch   uint64
 	barrier *sync.WaitGroup
 }
 
@@ -136,6 +141,11 @@ type ingester struct {
 	// stopped is set only after every pipeline goroutine has exited; an
 	// observer of true is synchronized with all absorber writes.
 	stopped atomic.Bool
+	// shardEpochs[i] is the log epoch shard i currently applies under.
+	// Written only inside a fence's barrier visit (ON the absorber
+	// goroutine) and read only by the same goroutine's absorb loop, so no
+	// atomics: the shard channel orders the two.
+	shardEpochs []uint64
 }
 
 // newIngester builds and starts the staging slots, one absorber per
@@ -146,10 +156,11 @@ func newIngester(r *Relation) *ingester {
 		nSlots <<= 1
 	}
 	g := &ingester{
-		r:        r,
-		slots:    make([]stageSlot, nSlots),
-		slotMask: uint32(nSlots - 1),
-		chans:    make([]chan shardMsg, len(r.shards)),
+		r:           r,
+		slots:       make([]stageSlot, nSlots),
+		slotMask:    uint32(nSlots - 1),
+		chans:       make([]chan shardMsg, len(r.shards)),
+		shardEpochs: make([]uint64, len(r.shards)),
 	}
 	for i := range g.chans {
 		g.chans[i] = make(chan shardMsg, shardChanDepth)
@@ -387,7 +398,7 @@ func (g *ingester) absorb(shard int) {
 			}
 		}
 		if g.logCh != nil {
-			g.logCh <- logMsg{ops: msg.ops}
+			g.logCh <- logMsg{ops: msg.ops, epoch: g.shardEpochs[shard]}
 		}
 	}
 }
@@ -438,7 +449,7 @@ func (g *ingester) logger() {
 				}
 				scratch = append(scratch, stream.Op{Kind: kind, Value: op.v, Rest: op.tail()})
 			}
-			g.r.log.appendGroup(scratch)
+			g.r.log.appendGroupTagged(scratch, m.epoch)
 			pending += len(scratch)
 			if policy.Due(pending, 0) {
 				flush()
@@ -648,6 +659,78 @@ func (g *ingester) snapshotChainQuiesced() *shardChain {
 		fresh.merge(g.r.shards[i].chain)
 	}
 	return fresh
+}
+
+// relSnap is one relation's epoch-consistent checkpoint snapshot, cut by
+// fence: the merge of the per-shard clones taken behind the epoch flip.
+type relSnap struct {
+	sig    join.Signature
+	sketch *core.FastTugOfWar // nil when the engine runs without sketches
+	chain  *shardChain        // nil when the schema declares no chains
+}
+
+// fence cuts a consistent snapshot of every synopsis WITHOUT pausing
+// ingest — the pause-free checkpoint's core. One barrier sweep runs on
+// each absorber goroutine (the shard's single writer): it clones the
+// shard's signature, chain set, and sketch shard, and in the same visit
+// flips the shard onto newEpoch, so every op the shard applies afterwards
+// is tagged with the new epoch and group-committed to the pre-forked
+// next-epoch log. Ops applied before the flip were forwarded to the log
+// channel first (per-channel FIFO), and the trailing logBarrier waits for
+// the writer to consume them — so when fence returns, the retiring
+// epoch's segments hold EXACTLY the ops the snapshot covers, and the log
+// can be promoted. Writers never block beyond channel backpressure.
+func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
+	stopErr := errors.New("engine: ingest pipeline stopped during checkpoint fence")
+	if !g.flushAllSlots(false) {
+		return relSnap{}, stopErr
+	}
+	n := len(g.r.shards)
+	sigs := make([]join.Signature, n)
+	chains := make([]*shardChain, n)
+	sketches := make([]*core.FastTugOfWar, n)
+	errs := make([]error, n)
+	if !g.barrier(func(shard int, sh *sigShard) {
+		c := g.r.eng.newSignature()
+		mustMerge(c, sh.sig)
+		sigs[shard] = c
+		if sh.chain != nil {
+			cc := g.r.newEmptyChain()
+			cc.merge(sh.chain)
+			chains[shard] = cc
+		}
+		if g.r.sketch != nil {
+			sketches[shard], errs[shard] = g.r.sketch.ShardSnapshot(shard)
+		}
+		g.shardEpochs[shard] = newEpoch
+	}) {
+		return relSnap{}, stopErr
+	}
+	g.logBarrier()
+	for _, err := range errs {
+		if err != nil {
+			return relSnap{}, err
+		}
+	}
+	snap := relSnap{sig: g.r.eng.newSignature()}
+	for _, c := range sigs {
+		mustMerge(snap.sig, c)
+	}
+	if g.r.schema.hasChain() {
+		snap.chain = g.r.newEmptyChain()
+		for _, c := range chains {
+			snap.chain.merge(c)
+		}
+	}
+	if g.r.sketch != nil {
+		snap.sketch = sketches[0]
+		for _, sk := range sketches[1:] {
+			if err := snap.sketch.Merge(sk); err != nil {
+				return relSnap{}, err
+			}
+		}
+	}
+	return snap, nil
 }
 
 // mustMerge merges same-family signatures; a mismatch is an engine

@@ -121,10 +121,10 @@ func breakLog(t *testing.T, r *Relation) {
 	t.Helper()
 	r.log.mu.Lock()
 	defer r.log.mu.Unlock()
-	if r.log.f == nil {
+	if r.log.cur == nil {
 		t.Fatal("relation has no log file")
 	}
-	if err := r.log.f.Close(); err != nil {
+	if err := r.log.cur.f.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -399,7 +399,7 @@ func (e *Engine) ImportRelation(name string, data []byte) error {
 		r.discard()
 		return err
 	}
-	if err := r.log.create(e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
+	if err := r.log.create(e.fs, e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
 		r.discard()
 		return err
 	}

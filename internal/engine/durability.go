@@ -1,7 +1,7 @@
 // Durability: the §5 warehouse recipe. Every update is appended to a
 // per-relation operation log (internal/oplog's independently-checksummed
 // records) before the synopses apply it; Checkpoint serializes the whole
-// engine into one blob and resets the logs; Open recovers by loading the
+// engine into one blob and retires the logs; Open recovers by loading the
 // checkpoint and replaying whatever each log accumulated since — cutting
 // off a torn tail at the last clean record boundary, exactly the failure
 // a crash mid-append leaves behind.
@@ -10,9 +10,31 @@
 // creates it, Drop deletes it, and recovery only resurrects relations
 // whose file is present — so a drop stays dropped even when an older
 // checkpoint still carries the relation.
+//
+// Checkpoints come in two shapes. Locked mode stops the world: every
+// relation is quiesced, the blob is cut, and each log is rotated onto
+// the next epoch. Absorber mode is PAUSE-FREE: the engine forks every
+// log onto a next-epoch file, then an epoch fence runs through the
+// absorbers — each shard clones its synopses and flips onto the new
+// epoch ON its own absorber goroutine, so ingest never stops; ops
+// applied after a shard's flip are tagged with the new epoch and routed
+// to the forked log. Once the blob (the merge of the shard clones)
+// renames into place, the old-epoch segments are garbage and compaction
+// unlinks them. Crash ordering: rename commits first, unlinks follow, so
+// recovery sees either replayable segments or an already-covering
+// checkpoint — never a gap. A crash mid-fence leaves segments of an
+// epoch BEYOND the checkpoint's; recovery replays every epoch at or
+// above the checkpoint's (linearity makes the order irrelevant) and
+// re-baselines the directory onto a fresh epoch.
+//
+// All file access goes through an oplog.FS seam (Options.FS) so the
+// fault-injection torture tests can fail fsync, run out of space, tear
+// writes, and kill the process at the named crash points writeFileAtomic
+// and the compaction loops call out.
 package engine
 
 import (
+	"bytes"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -38,9 +60,9 @@ const (
 // relFileName maps a relation name and log epoch to the first log
 // segment. Hex keeps arbitrary names filesystem-safe and the mapping
 // invertible; the epoch tag is what makes checkpointing crash-safe —
-// recovery replays only logs of the checkpoint's own epoch, so a log the
-// checkpoint already absorbed (older epoch, left behind by a crash
-// mid-rotation) can never be double-applied.
+// recovery replays only logs at or beyond the checkpoint's own epoch, so
+// a log the checkpoint already absorbed (older epoch, left behind by a
+// crash mid-compaction) can never be double-applied.
 func relFileName(name string, epoch uint64) string {
 	return fmt.Sprintf("%s%s-e%d%s", logPrefix, hex.EncodeToString([]byte(name)), epoch, logSuffix)
 }
@@ -85,100 +107,126 @@ func relNameFromFile(file string) (name string, epoch uint64, seq int, ok bool) 
 	return string(raw), epoch, seq, true
 }
 
+// segWriter is the append state of one epoch's segment sequence: the
+// open handle of the current segment plus the numbering that names the
+// next one.
+type segWriter struct {
+	epoch uint64
+	seq   int   // current segment number
+	count int64 // records in the current segment
+	path  string
+	f     oplog.File
+	w     *oplog.Writer
+}
+
 // relLog is the durable half of a relation. In in-memory engines every
-// method is a cheap no-op (w == nil). Locked-mode appends flush to the
+// method is a cheap no-op (cur == nil). Locked-mode appends flush to the
 // OS on every call, so the kernel — not the process — owns buffered ops
-// the moment an ingest call returns; absorber-mode appendGroup leaves
-// flushing to the group-commit policy (osFlush). fsync happens at Sync,
-// Checkpoint, Close, and on every segment roll. Write errors are sticky:
-// once an append fails, later ops are not logged (they would be out of
-// order) and the error surfaces on Err, Sync, and Checkpoint.
+// the moment an ingest call returns; absorber-mode appendGroupTagged
+// leaves flushing to the group-commit policy (osFlush). fsync happens at
+// Sync, Checkpoint, Close, and on every segment roll. Write errors are
+// sticky: once an append fails, later ops are not logged (they would be
+// out of order) and the error surfaces on Err, Sync, and Checkpoint.
 //
 // With SegmentOps > 0 the log is a sequence of numbered segment files,
 // each capped at SegmentOps records: full segments are fsynced and
 // closed, appends continue on the next segment, and recovery replays the
 // segments in order. Rolling bounds the size of any single log file (and
-// any single recovery read) between checkpoints.
+// any single recovery read) between checkpoints, and pings onRoll so a
+// segment-count-triggered background checkpointer can react.
+//
+// During an epoch fence (absorber checkpoints) the log is briefly SPLIT:
+// next holds the forked next-epoch writer, and tagged appends route by
+// their epoch tag — ops applied before a shard's fence flip land in cur,
+// ops after it in next. promote retires cur once every shard has
+// flipped.
 type relLog struct {
-	mu       sync.Mutex
-	dir      string
-	name     string
-	epoch    uint64
-	seq      int   // current segment number
-	segOps   int64 // roll threshold in records; 0 disables rolling
-	segCount int64 // records in the current segment
-	path     string
-	f        *os.File
-	w        *oplog.Writer
-	sticky   error
+	mu     sync.Mutex
+	fs     oplog.FS
+	dir    string
+	name   string
+	segOps int64 // roll threshold in records; 0 disables rolling
+	cur    *segWriter
+	next   *segWriter // non-nil only inside an epoch-fence window
+	sticky error
+	onRoll func() // segment-roll notification; set once at relation build
 }
 
 // create opens a fresh (truncated) segment-0 log for a newly defined
 // relation at the given epoch. No-op when dir is empty.
-func (l *relLog) create(dir, name string, epoch uint64, segOps int64) error {
+func (l *relLog) create(fsys oplog.FS, dir, name string, epoch uint64, segOps int64) error {
 	if dir == "" {
 		return nil
 	}
 	path := filepath.Join(dir, segFileName(name, epoch, 0))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("engine: create oplog: %w", err)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.dir, l.name, l.epoch, l.seq, l.segOps, l.segCount = dir, name, epoch, 0, segOps, 0
-	l.f, l.path, l.w, l.sticky = f, path, oplog.NewWriter(f), nil
+	l.fs, l.dir, l.name, l.segOps = fsys, dir, name, segOps
+	l.cur = &segWriter{epoch: epoch, path: path, f: f, w: oplog.NewWriter(f)}
+	l.next, l.sticky = nil, nil
 	return nil
 }
 
 // attach binds an already-positioned append handle (recovery): the open
 // file is segment seq of the given epoch and holds count records.
-func (l *relLog) attach(f *os.File, dir, name string, epoch uint64, seq int, count, segOps int64) {
+func (l *relLog) attach(f oplog.File, fsys oplog.FS, dir, name string, epoch uint64, seq int, count, segOps int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.dir, l.name, l.epoch, l.seq, l.segOps, l.segCount = dir, name, epoch, seq, segOps, count
-	l.f, l.path, l.w, l.sticky = f, filepath.Join(dir, segFileName(name, epoch, seq)), oplog.NewWriter(f), nil
+	l.fs, l.dir, l.name, l.segOps = fsys, dir, name, segOps
+	l.cur = &segWriter{
+		epoch: epoch, seq: seq, count: count,
+		path: filepath.Join(dir, segFileName(name, epoch, seq)),
+		f:    f, w: oplog.NewWriter(f),
+	}
+	l.next, l.sticky = nil, nil
 }
 
-// rollLocked finishes the current segment (flush + fsync + close) and
+// rollLocked finishes sw's current segment (flush + fsync + close) and
 // opens the next one. Caller holds l.mu.
-func (l *relLog) rollLocked() error {
-	if err := l.w.Flush(); err != nil {
+func (l *relLog) rollLocked(sw *segWriter) error {
+	if err := sw.w.Flush(); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := sw.f.Sync(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
+	if err := sw.f.Close(); err != nil {
 		return err
 	}
-	l.seq++
-	path := filepath.Join(l.dir, segFileName(l.name, l.epoch, l.seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	sw.seq++
+	path := filepath.Join(l.dir, segFileName(l.name, sw.epoch, sw.seq))
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	l.f, l.path, l.w, l.segCount = f, path, oplog.NewWriter(f), 0
+	sw.f, sw.path, sw.w, sw.count = f, path, oplog.NewWriter(f), 0
+	if l.onRoll != nil {
+		l.onRoll()
+	}
 	return nil
 }
 
-// appendLocked writes ops, rolling segments as they fill. Caller holds
-// l.mu and has checked w and sticky.
-func (l *relLog) appendLocked(ops []stream.Op) error {
+// appendToLocked writes ops to sw, rolling segments as they fill. Caller
+// holds l.mu and has checked cur and sticky.
+func (l *relLog) appendToLocked(sw *segWriter, ops []stream.Op) error {
 	for len(ops) > 0 {
-		if l.segOps > 0 && l.segCount >= l.segOps {
-			if err := l.rollLocked(); err != nil {
+		if l.segOps > 0 && sw.count >= l.segOps {
+			if err := l.rollLocked(sw); err != nil {
 				return err
 			}
 		}
 		n := int64(len(ops))
-		if l.segOps > 0 && n > l.segOps-l.segCount {
-			n = l.segOps - l.segCount
+		if l.segOps > 0 && n > l.segOps-sw.count {
+			n = l.segOps - sw.count
 		}
-		if err := l.w.AppendGroup(ops[:n]); err != nil {
+		if err := sw.w.AppendGroup(ops[:n]); err != nil {
 			return err
 		}
-		l.segCount += n
+		sw.count += n
 		ops = ops[n:]
 	}
 	return nil
@@ -190,40 +238,53 @@ func (l *relLog) appendOps(ops ...stream.Op) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.w == nil || l.sticky != nil {
+	if l.cur == nil || l.sticky != nil {
 		return
 	}
-	err := l.appendLocked(ops)
+	err := l.appendToLocked(l.cur, ops)
 	if err == nil {
-		err = l.w.Flush()
+		err = l.cur.w.Flush()
 	}
 	if err != nil {
 		l.sticky = fmt.Errorf("engine: oplog append: %w", err)
 	}
 }
 
-// appendGroup appends a batch WITHOUT flushing to the OS — the absorber
-// path's group commit. The records become OS-owned at the next osFlush
-// (flush policy), sync, roll, or close.
-func (l *relLog) appendGroup(ops []stream.Op) {
+// appendGroupTagged appends a batch WITHOUT flushing to the OS — the
+// absorber path's group commit. epoch is the log epoch the ops were
+// applied under (the absorber's fence state): during a split window,
+// ops at or beyond the forked epoch go to the next-epoch writer, so the
+// retiring epoch's segments hold exactly the ops the fence snapshot
+// covers. The records become OS-owned at the next osFlush (flush
+// policy), sync, roll, or close.
+func (l *relLog) appendGroupTagged(ops []stream.Op, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.w == nil || l.sticky != nil {
+	if l.cur == nil || l.sticky != nil {
 		return
 	}
-	if err := l.appendLocked(ops); err != nil {
+	sw := l.cur
+	if l.next != nil && epoch >= l.next.epoch {
+		sw = l.next
+	}
+	if err := l.appendToLocked(sw, ops); err != nil {
 		l.sticky = fmt.Errorf("engine: oplog append: %w", err)
 	}
 }
 
-// osFlush pushes pending appended records to the OS (group commit).
+// osFlush pushes pending appended records to the OS (group commit),
+// covering both writers of a split window.
 func (l *relLog) osFlush() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.w == nil || l.sticky != nil {
+	if l.cur == nil || l.sticky != nil {
 		return
 	}
-	if err := l.w.Flush(); err != nil {
+	err := l.cur.w.Flush()
+	if err == nil && l.next != nil {
+		err = l.next.w.Flush()
+	}
+	if err != nil {
 		l.sticky = fmt.Errorf("engine: oplog flush: %w", err)
 	}
 }
@@ -277,34 +338,142 @@ func (l *relLog) err() error {
 	return l.sticky
 }
 
-// sync flushes and fsyncs the log.
+// poison sets the sticky error (post-fence checkpoint failures): further
+// appends are refused loudly rather than acknowledged un-durable.
+func (l *relLog) poison(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil || l.sticky != nil {
+		return
+	}
+	l.sticky = err
+}
+
+// sync flushes and fsyncs the log (both writers of a split window).
 func (l *relLog) sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.w == nil {
+	if l.cur == nil {
 		return nil
 	}
 	if l.sticky != nil {
 		return l.sticky
 	}
-	if err := l.w.Flush(); err != nil {
+	if err := l.cur.w.Flush(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.cur.f.Sync(); err != nil {
+		return err
+	}
+	if l.next != nil {
+		if err := l.next.w.Flush(); err != nil {
+			return err
+		}
+		return l.next.f.Sync()
+	}
+	return nil
+}
+
+// liveSegments counts the on-disk segment files this log currently owns.
+func (l *relLog) liveSegments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	if l.cur != nil {
+		n += l.cur.seq + 1
+	}
+	if l.next != nil {
+		n += l.next.seq + 1
+	}
+	return n
+}
+
+// fork opens the next-epoch segment-0 writer alongside the current one —
+// the first step of a pause-free checkpoint. Nothing routes to it until
+// an absorber's fence flip tags ops with the new epoch, so a failed fork
+// aborts cleanly via unfork.
+func (l *relLog) fork(newEpoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil
+	}
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if l.next != nil {
+		return fmt.Errorf("engine: log already forked to epoch %d", l.next.epoch)
+	}
+	path := filepath.Join(l.dir, segFileName(l.name, newEpoch, 0))
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: fork oplog to epoch %d: %w", newEpoch, err)
+	}
+	l.next = &segWriter{epoch: newEpoch, path: path, f: f, w: oplog.NewWriter(f)}
+	return nil
+}
+
+// unfork abandons a fork before any fence flip has routed ops to it.
+func (l *relLog) unfork() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next == nil {
+		return
+	}
+	_ = l.next.f.Close()
+	_ = l.fs.Remove(l.next.path)
+	l.next = nil
+}
+
+// promote seals the retiring epoch (flush + fsync + close — after the
+// fence, nothing routes there anymore) and makes the forked writer
+// current. It returns the retired segment paths so the caller can unlink
+// them once the covering checkpoint has renamed into place.
+func (l *relLog) promote() ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil, nil
+	}
+	if l.next == nil {
+		return nil, errors.New("engine: promote without fork")
+	}
+	old := l.cur
+	var err error
+	if l.sticky != nil {
+		err = l.sticky
+	} else if err = old.w.Flush(); err == nil {
+		err = old.f.Sync()
+	}
+	if cerr := old.f.Close(); err == nil {
+		err = cerr
+	}
+	absorbed := make([]string, 0, old.seq+1)
+	for s := 0; s <= old.seq; s++ {
+		absorbed = append(absorbed, filepath.Join(l.dir, segFileName(l.name, old.epoch, s)))
+	}
+	l.cur, l.next = l.next, nil
+	if err != nil {
+		if l.sticky == nil {
+			l.sticky = fmt.Errorf("engine: seal epoch %d: %w", old.epoch, err)
+		}
+		return nil, l.sticky
+	}
+	return absorbed, nil
 }
 
 // rotate moves the relation onto a fresh log of the new epoch after a
-// successful checkpoint, then deletes the absorbed old-epoch segments. A
-// crash at any point leaves either old segments (stale, ignored and
-// cleaned by the next Open) or the new log.
+// successful stop-the-world checkpoint, then deletes the absorbed
+// old-epoch segments. A crash at any point leaves either old segments
+// (stale, ignored and cleaned by the next Open) or the new log.
 func (l *relLog) rotate(dir, name string, epoch uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.cur == nil {
 		return nil
 	}
 	newPath := filepath.Join(dir, segFileName(name, epoch, 0))
-	nf, err := os.OpenFile(newPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
+	nf, err := l.fs.OpenFile(newPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o644)
 	if err != nil {
 		// The checkpoint already absorbed the old-epoch log; appending
 		// there would write ops the next recovery discards unread. Poison
@@ -313,52 +482,73 @@ func (l *relLog) rotate(dir, name string, epoch uint64) error {
 		l.sticky = fmt.Errorf("engine: log rotation to epoch %d: %w", epoch, err)
 		return l.sticky
 	}
-	oldF, oldEpoch, oldSeq := l.f, l.epoch, l.seq
-	l.f, l.path, l.w, l.sticky = nf, newPath, oplog.NewWriter(nf), nil
-	l.epoch, l.seq, l.segCount = epoch, 0, 0
-	err = oldF.Close()
-	for s := 0; s <= oldSeq; s++ {
-		if rmErr := os.Remove(filepath.Join(dir, segFileName(name, oldEpoch, s))); err == nil {
+	old := l.cur
+	l.cur = &segWriter{epoch: epoch, path: newPath, f: nf, w: oplog.NewWriter(nf)}
+	l.sticky = nil
+	err = old.f.Close()
+	for s := 0; s <= old.seq; s++ {
+		if rmErr := l.fs.Remove(filepath.Join(dir, segFileName(name, old.epoch, s))); err == nil {
 			err = rmErr
+		}
+		if s == 0 {
+			if cErr := l.fs.Crash("compact-mid"); err == nil {
+				err = cErr
+			}
 		}
 	}
 	return err
 }
 
-// remove closes and deletes every log segment (relation dropped).
+// remove closes and deletes every log segment (relation dropped),
+// including a split window's forked segments.
 func (l *relLog) remove() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.cur == nil {
 		return nil
 	}
-	err := l.f.Close()
-	for s := 0; s <= l.seq; s++ {
-		if rmErr := os.Remove(filepath.Join(l.dir, segFileName(l.name, l.epoch, s))); err == nil {
+	err := l.cur.f.Close()
+	for s := 0; s <= l.cur.seq; s++ {
+		if rmErr := l.fs.Remove(filepath.Join(l.dir, segFileName(l.name, l.cur.epoch, s))); err == nil {
 			err = rmErr
 		}
 	}
-	l.f, l.w = nil, nil
+	if l.next != nil {
+		if cerr := l.next.f.Close(); err == nil {
+			err = cerr
+		}
+		for s := 0; s <= l.next.seq; s++ {
+			if rmErr := l.fs.Remove(filepath.Join(l.dir, segFileName(l.name, l.next.epoch, s))); err == nil {
+				err = rmErr
+			}
+		}
+	}
+	l.cur, l.next = nil, nil
 	return err
 }
 
-// close flushes and closes the handle without deleting the file.
+// close flushes and closes the handles without deleting the files.
 func (l *relLog) close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.cur == nil {
 		return nil
 	}
 	var err error
 	if l.sticky != nil {
 		err = l.sticky
-	} else if err = l.w.Flush(); err == nil {
-		err = l.f.Sync()
+	} else if err = l.cur.w.Flush(); err == nil {
+		err = l.cur.f.Sync()
 	}
-	if cerr := l.f.Close(); err == nil {
+	if cerr := l.cur.f.Close(); err == nil {
 		err = cerr
 	}
-	l.f, l.w = nil, nil
+	if l.next != nil {
+		if cerr := l.next.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	l.cur, l.next = nil, nil
 	return err
 }
 
@@ -369,6 +559,14 @@ func (l *relLog) close() error {
 // (SignatureWords, Seed, scheme, sketch) come from the checkpoint when
 // one exists — opts must agree on SignatureWords and Seed so a
 // misconfigured reopen fails loudly instead of silently re-keying.
+//
+// Logs may span SEVERAL epochs at or beyond the checkpoint's: a crash
+// inside a pause-free checkpoint's fence window leaves the retiring
+// epoch's segments next to the freshly forked ones. Linearity makes the
+// replay order irrelevant, so recovery replays them all, then
+// re-baselines the directory (fresh logs at a new epoch, a covering
+// checkpoint, old segments deleted) so the invariant "one live epoch per
+// relation" holds again before the engine is handed back.
 func Open(opts Options) (*Engine, error) {
 	opts, err := opts.normalize()
 	if err != nil {
@@ -377,13 +575,14 @@ func Open(opts Options) (*Engine, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("engine: Open requires Options.Dir (use New for an in-memory engine)")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
 
 	var e *Engine
 	ckPath := filepath.Join(opts.Dir, checkpointFile)
-	switch data, err := os.ReadFile(ckPath); {
+	switch data, err := fsys.ReadFile(ckPath); {
 	case err == nil:
 		e, err = unmarshalEngine(data, opts)
 		if err != nil {
@@ -413,20 +612,20 @@ func Open(opts Options) (*Engine, error) {
 			e.opts.SignatureWords, e.opts.Seed, opts.SignatureWords, opts.Seed)
 	}
 
-	entries, err := os.ReadDir(opts.Dir)
+	entries, err := fsys.ReadDir(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
-	// A log file of ANY epoch marks the relation as existing; only the
-	// checkpoint's own epoch carries ops not yet absorbed. Older-epoch
-	// files are leftovers of a crash between checkpoint rename and log
-	// rotation — their ops are inside the checkpoint already, so they are
-	// deleted, never replayed. Newer epochs cannot exist (rotation only
-	// happens after a successful rename) and mean a corrupted directory.
-	// Current-epoch logs may span several numbered segments; recovery
-	// replays them in sequence order.
-	current := map[string]map[int]string{} // name → seq → path
+	// A log file of ANY epoch marks the relation as existing. Epochs
+	// below the checkpoint's are leftovers of a crash between the
+	// checkpoint rename and compaction — their ops are inside the
+	// checkpoint already, so they are deleted, never replayed. Epochs at
+	// or beyond the checkpoint's carry unabsorbed ops (several epochs at
+	// once when a crash landed inside a fence window); each epoch may
+	// span several numbered segments, replayed in sequence order.
+	pending := map[string]map[uint64]map[int]string{} // name → epoch → seq → path
 	present := map[string]bool{}
+	maxEpoch := e.epoch
 	for _, ent := range entries {
 		if ent.IsDir() {
 			continue
@@ -436,20 +635,22 @@ func Open(opts Options) (*Engine, error) {
 			continue
 		}
 		path := filepath.Join(opts.Dir, ent.Name())
-		switch {
-		case epoch == e.epoch:
-			present[name] = true
-			if current[name] == nil {
-				current[name] = map[int]string{}
-			}
-			current[name][seq] = path
-		case epoch < e.epoch:
-			present[name] = true
-			if err := os.Remove(path); err != nil {
+		present[name] = true
+		if epoch < e.epoch {
+			if err := fsys.Remove(path); err != nil {
 				return nil, fmt.Errorf("engine: remove absorbed log %s: %w", path, err)
 			}
-		default:
-			return nil, fmt.Errorf("engine: log %s has epoch %d beyond checkpoint epoch %d", path, epoch, e.epoch)
+			continue
+		}
+		if pending[name] == nil {
+			pending[name] = map[uint64]map[int]string{}
+		}
+		if pending[name][epoch] == nil {
+			pending[name][epoch] = map[int]string{}
+		}
+		pending[name][epoch][seq] = path
+		if epoch > maxEpoch {
+			maxEpoch = epoch
 		}
 	}
 	// A checkpointed relation without any log file was dropped after that
@@ -465,6 +666,8 @@ func Open(opts Options) (*Engine, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	rebase := maxEpoch > e.epoch
+	var replayed []string // every pending segment path, for rebase cleanup
 	for _, name := range names {
 		r := e.rels[name]
 		if r == nil {
@@ -477,66 +680,96 @@ func Open(opts Options) (*Engine, error) {
 			}
 			e.rels[name] = r
 		}
-		if segs, ok := current[name]; ok {
+		epochs := make([]uint64, 0, len(pending[name]))
+		for ep := range pending[name] {
+			epochs = append(epochs, ep)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		var lastPaths []string
+		var lastCount int64
+		for _, ep := range epochs {
 			// Segments must be contiguous from 0: appends only ever roll
 			// onto seq+1, so a gap means a deleted or lost file.
+			segs := pending[name][ep]
 			paths := make([]string, len(segs))
 			for s := 0; s < len(segs); s++ {
 				p, ok := segs[s]
 				if !ok {
-					return nil, fmt.Errorf("engine: relation %q: log segment %d missing (have %d segments)", name, s, len(segs))
+					return nil, fmt.Errorf("engine: relation %q: epoch %d log segment %d missing (have %d segments)",
+						name, ep, s, len(segs))
 				}
 				paths[s] = p
 			}
-			if err := r.recoverSegments(opts.Dir, name, e.epoch, paths, opts.SegmentOps); err != nil {
+			for i, p := range paths {
+				// A torn tail is legal only in each epoch's LAST segment —
+				// the one being appended (or sealed) when the crash hit;
+				// earlier segments were fsynced at their roll.
+				count, err := r.replaySegment(fsys, p, i == len(paths)-1)
+				if err != nil {
+					return nil, fmt.Errorf("engine: relation %q: epoch %d segment %d: %w", name, ep, i, err)
+				}
+				lastCount = count
+			}
+			replayed = append(replayed, paths...)
+			lastPaths = paths
+		}
+		if rebase {
+			continue // fresh logs are created below, at the rebased epoch
+		}
+		if len(epochs) > 0 {
+			last := lastPaths[len(lastPaths)-1]
+			af, err := fsys.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
 				return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 			}
-		} else if err := r.log.create(opts.Dir, name, e.epoch, opts.SegmentOps); err != nil {
+			r.log.attach(af, fsys, opts.Dir, name, e.epoch, len(lastPaths)-1, lastCount, opts.SegmentOps)
+		} else if err := r.log.create(fsys, opts.Dir, name, e.epoch, opts.SegmentOps); err != nil {
 			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 		}
 	}
+	if rebase {
+		// Re-baseline: fresh logs first (a relation with no log file reads
+		// as dropped, so logs must exist before the blob commits), then the
+		// covering checkpoint, then the replayed segments. A crash between
+		// any two steps recovers: before the rename the old blob replays
+		// the same epochs again; after it the leftovers are sub-epoch
+		// garbage the classification above deletes.
+		newEpoch := maxEpoch + 1
+		for _, name := range names {
+			if err := e.rels[name].log.create(fsys, opts.Dir, name, newEpoch, opts.SegmentOps); err != nil {
+				return nil, fmt.Errorf("engine: relation %q: rebase: %w", name, err)
+			}
+		}
+		data, err := e.marshalLocked(newEpoch, true)
+		if err != nil {
+			return nil, fmt.Errorf("engine: rebase checkpoint: %w", err)
+		}
+		if err := writeFileAtomic(fsys, ckPath, data); err != nil {
+			return nil, fmt.Errorf("engine: rebase checkpoint: %w", err)
+		}
+		e.epoch = newEpoch
+		for _, p := range replayed {
+			if err := fsys.Remove(p); err != nil {
+				return nil, fmt.Errorf("engine: remove rebased log %s: %w", p, err)
+			}
+		}
+	}
 	recovered = true
+	e.startCheckpointer()
 	return e, nil
 }
 
-// recoverSegments replays one relation's log segments, in order, into
-// its synopses (no re-logging) and reopens the LAST segment for
-// appending. A torn tail (io.ErrUnexpectedEOF) is legal only in the last
-// segment — the one that was being appended at the crash — and is
-// truncated at the last clean record; anywhere else, or a mid-log
-// checksum failure, is real corruption and fails recovery.
-func (r *Relation) recoverSegments(dir, name string, epoch uint64, paths []string, segOps int64) error {
-	var lastCount int64
-	for i, path := range paths {
-		last := i == len(paths)-1
-		count, err := r.replaySegment(path, last)
-		if err != nil {
-			return fmt.Errorf("segment %d: %w", i, err)
-		}
-		lastCount = count
-	}
-	lastPath := paths[len(paths)-1]
-	af, err := os.OpenFile(lastPath, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	r.log.attach(af, dir, name, epoch, len(paths)-1, lastCount, segOps)
-	return nil
-}
-
 // replaySegment feeds one segment's records to the synopses, truncating
-// a torn tail when allowed. Returns the clean record count.
-func (r *Relation) replaySegment(path string, allowTorn bool) (int64, error) {
-	f, err := os.Open(path)
+// a torn tail when allowed. Returns the clean record count. Segments are
+// bounded by the roll threshold, so a whole-file read keeps the recovery
+// I/O shape simple and lets the fault seam interpose cleanly.
+func (r *Relation) replaySegment(fsys oplog.FS, path string, allowTorn bool) (int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return 0, err
-	}
-	lr := oplog.NewReader(f)
+	size := int64(len(data))
+	lr := oplog.NewReader(bytes.NewReader(data))
 	torn := false
 replay:
 	for {
@@ -546,13 +779,12 @@ replay:
 			break replay
 		case errors.Is(err, io.ErrUnexpectedEOF):
 			if !allowTorn {
-				f.Close()
 				return 0, errors.New("replay: torn record in a sealed segment")
 			}
 			torn = true
 			break replay
 		case errors.Is(err, oplog.ErrCorrupt) &&
-			allowTorn && fi.Size()-lr.Offset() < oplog.MinRecordSize:
+			allowTorn && size-lr.Offset() < oplog.MinRecordSize:
 			// A tail too short to hold ANY record is a torn write, even
 			// when its bytes do not decode as a record prefix (records
 			// are variable-length now, so an arbitrary cut can land on
@@ -562,17 +794,12 @@ replay:
 			torn = true
 			break replay
 		case err != nil:
-			f.Close()
 			return 0, fmt.Errorf("replay: %w", err)
 		}
 		r.applyRecovered(op)
 	}
-	clean := lr.Offset()
-	if err := f.Close(); err != nil {
-		return 0, err
-	}
 	if torn {
-		if err := os.Truncate(path, clean); err != nil {
+		if err := fsys.Truncate(path, lr.Offset()); err != nil {
 			return 0, fmt.Errorf("truncate torn tail: %w", err)
 		}
 	}
@@ -619,12 +846,12 @@ func (r *Relation) applyRecovered(op stream.Op) {
 // Dir returns the durability directory ("" for in-memory engines).
 func (e *Engine) Dir() string { return e.opts.Dir }
 
-// Checkpoint stops the world (every relation quiesced: exclusive op
-// locks in locked mode, a full staging+absorber+log pause in absorber
-// mode), serializes the engine into one blob written atomically (tmp +
-// fsync + rename), then rotates every relation onto a fresh next-epoch
-// log: the checkpoint now owns the logged history. Returns the blob size
-// on success.
+// Checkpoint cuts a durable snapshot of the whole engine. In locked mode
+// it stops the world (every relation quiesced); in absorber mode it runs
+// the pause-free epoch fence — ingest keeps flowing the entire time.
+// Either way the blob is written atomically (tmp + fsync + rename) and
+// the retired log segments are compacted afterwards. Returns the blob
+// size on success.
 func (e *Engine) Checkpoint() (int, error) {
 	if e.opts.Dir == "" {
 		return 0, errors.New("engine: in-memory engine has no checkpoint directory")
@@ -635,8 +862,24 @@ func (e *Engine) Checkpoint() (int, error) {
 }
 
 // checkpointLocked is Checkpoint under an already-held engine lock (also
-// used by Drop to persist the dropped set).
+// used by Define/Drop/Import to persist structural changes). It records
+// the outcome for DurabilityStats either way.
 func (e *Engine) checkpointLocked() (int, error) {
+	var n int
+	var err error
+	if e.opts.IngestMode == IngestAbsorber {
+		n, err = e.checkpointFenced()
+	} else {
+		n, err = e.checkpointQuiesced()
+	}
+	e.recordCheckpoint(n, err)
+	return n, err
+}
+
+// checkpointQuiesced is the stop-the-world path (locked mode): every
+// relation quiesced, one blob, then every log rotated onto the next
+// epoch.
+func (e *Engine) checkpointQuiesced() (int, error) {
 	names := make([]string, 0, len(e.rels))
 	for n := range e.rels {
 		names = append(names, n)
@@ -663,10 +906,13 @@ func (e *Engine) checkpointLocked() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := writeFileAtomic(filepath.Join(e.opts.Dir, checkpointFile), data); err != nil {
+	if err := writeFileAtomic(e.fs, filepath.Join(e.opts.Dir, checkpointFile), data); err != nil {
 		return 0, err
 	}
 	e.epoch = newEpoch
+	if err := e.fs.Crash("ckpt-post-rename-pre-unlink"); err != nil {
+		return 0, err
+	}
 	// Rotate every relation even if one fails: a skipped rotation leaves
 	// that relation poisoned (see rotate), not the whole set.
 	var rotErr error
@@ -681,34 +927,126 @@ func (e *Engine) checkpointLocked() (int, error) {
 	return len(data), nil
 }
 
+// checkpointFenced is the pause-free path (absorber mode). Ingest never
+// stops: the snapshot is cut shard-by-shard ON the absorbers behind an
+// epoch fence, and ops applied after a shard's flip are group-committed
+// to a pre-forked next-epoch log. The fence flip is the point of no
+// return — a failure after it poisons the logs (the in-memory state and
+// the on-disk epochs no longer share a committed baseline; a restart
+// recovers cleanly via the multi-epoch replay in Open).
+func (e *Engine) checkpointFenced() (int, error) {
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Surface sticky append errors before committing to a fence.
+	for _, n := range names {
+		if err := e.rels[n].log.err(); err != nil {
+			return 0, err
+		}
+	}
+	newEpoch := e.epoch + 1
+	forked := make([]string, 0, len(names))
+	for _, n := range names {
+		if err := e.rels[n].log.fork(newEpoch); err != nil {
+			for _, m := range forked {
+				e.rels[m].log.unfork()
+			}
+			return 0, fmt.Errorf("engine: relation %q: %w", n, err)
+		}
+		forked = append(forked, n)
+	}
+	fail := func(stage string, err error) (int, error) {
+		perr := fmt.Errorf("engine: checkpoint abandoned after epoch fence (%s): %w", stage, err)
+		for _, n := range names {
+			e.rels[n].log.poison(perr)
+		}
+		return 0, perr
+	}
+	snaps := make(map[string]relSnap, len(names))
+	for _, n := range names {
+		snap, err := e.rels[n].ing.fence(newEpoch)
+		if err != nil {
+			return fail("snapshot", err)
+		}
+		snaps[n] = snap
+	}
+	var absorbed []string
+	for _, n := range names {
+		paths, err := e.rels[n].log.promote()
+		if err != nil {
+			return fail("promote", err)
+		}
+		absorbed = append(absorbed, paths...)
+	}
+	data, err := e.marshalSnaps(newEpoch, snaps)
+	if err != nil {
+		return fail("marshal", err)
+	}
+	if err := writeFileAtomic(e.fs, filepath.Join(e.opts.Dir, checkpointFile), data); err != nil {
+		return fail("commit", err)
+	}
+	e.epoch = newEpoch
+	// Compaction: the rename above committed the checkpoint, so the
+	// retired segments are garbage — unlinks go strictly AFTER it, and a
+	// crash anywhere in this loop leaves only sub-epoch files the next
+	// Open deletes unread. A failure here does NOT poison: the engine is
+	// fully consistent, only the cleanup is owed.
+	var compErr error
+	if err := e.fs.Crash("ckpt-post-rename-pre-unlink"); err != nil {
+		compErr = err
+	}
+	for i, p := range absorbed {
+		if compErr == nil {
+			if err := e.fs.Remove(p); err != nil {
+				compErr = err
+			}
+		}
+		if i == 0 && compErr == nil {
+			if err := e.fs.Crash("compact-mid"); err != nil {
+				compErr = err
+			}
+		}
+	}
+	if compErr != nil {
+		return len(data), fmt.Errorf("engine: compact absorbed segments: %w", compErr)
+	}
+	return len(data), nil
+}
+
 // writeFileAtomic writes data via a temp file, fsyncs it, renames it over
 // path, and fsyncs the directory, so a crash leaves either the old or the
-// new checkpoint — never a torn one.
-func writeFileAtomic(path string, data []byte) error {
+// new checkpoint — never a torn one. The named crash points bracket the
+// two durability edges of the protocol.
+func writeFileAtomic(fsys oplog.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	_, err = f.Write(data)
+	if err == nil {
+		err = fsys.Crash("ckpt-pre-fsync")
+	}
 	if err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = fsys.Crash("ckpt-post-fsync-pre-rename")
+	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = fsys.SyncDir(filepath.Dir(path))
 	return nil
 }
 
@@ -746,11 +1084,13 @@ func (e *Engine) Drain() error {
 	return first
 }
 
-// Close drains and stops each relation's absorber pipeline (absorber
-// mode), then flushes and closes every relation log. The engine's
-// in-memory synopses stay queryable; further ingest after Close is a
-// caller bug (not logged in locked mode, discarded in absorber mode).
+// Close stops the background checkpointer, drains and stops each
+// relation's absorber pipeline (absorber mode), then flushes and closes
+// every relation log. The engine's in-memory synopses stay queryable;
+// further ingest after Close is a caller bug (not logged in locked mode,
+// discarded in absorber mode).
 func (e *Engine) Close() error {
+	e.stopCheckpointer()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error

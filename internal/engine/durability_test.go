@@ -456,10 +456,14 @@ func TestDropRedefineDoesNotResurrect(t *testing.T) {
 	}
 }
 
-// TestFailedRotationPoisonsLog: if the post-checkpoint log rotation
-// fails, the relation must refuse further (un-durable) appends loudly
-// rather than acknowledging ops that the next recovery would discard as
-// already-absorbed.
+// TestFailedRotationPoisonsLog: if the epoch handoff of a checkpoint
+// fails, neither path may acknowledge un-durable ops silently. The two
+// modes fail at different protocol points with different blast radius:
+// locked mode rotates AFTER the blob commits, so a failed rotation must
+// poison the relation (its absorbed log is gone and cannot be appended
+// to); absorber mode forks the next-epoch log BEFORE the fence, so the
+// same fault aborts the checkpoint cleanly — no poison, ingest keeps
+// running, and a later checkpoint succeeds once the fault clears.
 func TestFailedRotationPoisonsLog(t *testing.T) {
 	dir := t.TempDir()
 	e, err := Open(durOpts(dir))
@@ -470,14 +474,50 @@ func TestFailedRotationPoisonsLog(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		f.Insert(uint64(i % 7))
 	}
-	// Block the epoch-1 log path with a directory so rotation fails while
-	// the checkpoint blob itself (same dir, different name) succeeds.
+	// Block the epoch-1 log path with a directory so the epoch handoff
+	// fails while the checkpoint blob itself (same dir, different name)
+	// could still succeed.
 	if err := os.Mkdir(filepath.Join(dir, relFileName("f", 1)), 0o755); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := e.Checkpoint(); err == nil {
-		t.Fatal("checkpoint with failed rotation reported success")
+		t.Fatal("checkpoint with blocked epoch-1 log reported success")
 	}
+
+	if e.Options().IngestMode == IngestAbsorber {
+		// Clean abort: the fork failed before the fence, nothing was
+		// committed, the relation stays healthy on epoch 0.
+		if err := f.Err(); err != nil {
+			t.Fatalf("aborted fenced checkpoint poisoned the log: %v", err)
+		}
+		f.Insert(99)
+		if err := e.Sync(); err != nil {
+			t.Fatalf("ingest after aborted checkpoint: %v", err)
+		}
+		if err := os.Remove(filepath.Join(dir, relFileName("f", 1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint after fault cleared: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(durOpts(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer back.Close()
+		rel, err := back.Get("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.Len() != 101 {
+			t.Fatalf("recovered Len = %d, want 101", rel.Len())
+		}
+		return
+	}
+
 	if f.Err() == nil {
 		t.Fatal("relation not poisoned after failed rotation")
 	}

@@ -35,6 +35,7 @@ import (
 	"amstrack/internal/core"
 	"amstrack/internal/exact"
 	"amstrack/internal/join"
+	"amstrack/internal/oplog"
 	"amstrack/internal/xrand"
 )
 
@@ -177,6 +178,21 @@ type Options struct {
 	// relation schema declares (0 → SignatureWords). Engines that exchange
 	// chain signatures across nodes need equal ChainWords and Seed.
 	ChainWords int
+	// CheckpointInterval enables the background checkpointer: the engine
+	// takes a checkpoint roughly every interval (jittered ±10% so a fleet
+	// of daemons does not checkpoint in lockstep). 0 disables the timer.
+	// Durable engines only.
+	CheckpointInterval time.Duration
+	// CheckpointSegments triggers a background checkpoint whenever any
+	// relation's live oplog segment count reaches this threshold — the
+	// knob that bounds log volume (and recovery time) under sustained
+	// load regardless of the timer. 0 disables the trigger. Requires
+	// SegmentOps (segment rolling) to have any effect.
+	CheckpointSegments int
+	// FS is the filesystem seam for all durability I/O (nil → the real
+	// filesystem). Tests inject an oplog.FaultFS here to fail fsync, run
+	// out of space, or crash at named points in the commit protocol.
+	FS oplog.FS
 }
 
 // Validate reports whether the options are usable.
@@ -268,6 +284,15 @@ func (o Options) normalize() (Options, error) {
 	if o.ChainWords < 1 {
 		return o, fmt.Errorf("engine: ChainWords = %d, must be >= 1", o.ChainWords)
 	}
+	if o.CheckpointInterval < 0 {
+		return o, fmt.Errorf("engine: CheckpointInterval = %v, must be >= 0", o.CheckpointInterval)
+	}
+	if o.CheckpointSegments < 0 {
+		return o, fmt.Errorf("engine: CheckpointSegments = %d, must be >= 0", o.CheckpointSegments)
+	}
+	if o.FS == nil {
+		o.FS = oplog.OSFS
+	}
 	return o, nil
 }
 
@@ -287,12 +312,29 @@ type Engine struct {
 	mu   sync.RWMutex
 	rels map[string]*Relation
 	// epoch numbers the current log generation (durable engines). Each
-	// checkpoint absorbs the logs of the previous epoch and rotates every
-	// relation onto epoch-tagged fresh logs; recovery replays ONLY logs
-	// whose epoch matches the loaded checkpoint, so a crash anywhere
-	// between the checkpoint rename and the log rotation can never
+	// checkpoint absorbs the logs of the previous epoch and moves every
+	// relation onto epoch-tagged fresh logs; recovery replays only logs
+	// at or beyond the loaded checkpoint's epoch, so a crash anywhere
+	// between the checkpoint rename and the log compaction can never
 	// double-apply absorbed ops.
 	epoch uint64
+
+	// fs is the durability filesystem seam (Options.FS, normalized).
+	fs oplog.FS
+	// ckptKick wakes the background checkpointer when a segment rolls
+	// (capacity 1: concurrent rolls coalesce into one wake-up).
+	ckptKick chan struct{}
+	// ckpt is the background checkpointer, nil unless Open started one.
+	ckpt *checkpointer
+
+	// statMu guards the checkpoint outcome stats below (written by both
+	// foreground Checkpoint calls and the background checkpointer, read
+	// by DurabilityStats without the engine lock).
+	statMu        sync.Mutex
+	lastCkptAt    time.Time
+	lastCkptBytes int
+	lastCkptErr   error
+	ckptCount     int64
 }
 
 // New creates an empty in-memory engine (opts.Dir is ignored here; use
@@ -307,7 +349,12 @@ func newEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, rels: make(map[string]*Relation)}
+	e := &Engine{
+		opts:     opts,
+		rels:     make(map[string]*Relation),
+		fs:       opts.FS,
+		ckptKick: make(chan struct{}, 1),
+	}
 	switch opts.Scheme {
 	case SchemeFast:
 		e.fastFam, err = join.NewFastFamily(opts.SignatureWords/opts.SignatureRows, opts.SignatureRows, opts.Seed)
@@ -432,6 +479,7 @@ func (e *Engine) newRelation(name string, schema Schema) (*Relation, error) {
 	if e.opts.IngestMode == IngestAbsorber {
 		r.ing = newIngester(r)
 	}
+	r.log.onRoll = e.noteSegmentRoll
 	return r, nil
 }
 
@@ -474,7 +522,7 @@ func (e *Engine) DefineSchema(name string, schema Schema) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.log.create(e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
+	if err := r.log.create(e.fs, e.opts.Dir, name, e.epoch, e.opts.SegmentOps); err != nil {
 		r.discard()
 		return nil, err
 	}
@@ -1177,6 +1225,53 @@ const engineBlobVersion = 2
 // absorber-mode shard state may be read directly; otherwise snapshots go
 // through the drain-barrier path.
 func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
+	b, names := e.marshalHeader(epoch)
+	for _, n := range names {
+		r := e.rels[n]
+		var sig join.Signature
+		var chain *shardChain
+		if quiesced && r.ing != nil {
+			// Under pause the slots are held: the barrier-based snapshot
+			// would self-deadlock, and direct reads are exactly what the
+			// quiescence licenses.
+			sig = r.ing.snapshotSigQuiesced()
+			chain = r.ing.snapshotChainQuiesced()
+		} else {
+			sig = r.snapshotSig()
+			chain = r.snapshotChain()
+		}
+		var sk *core.FastTugOfWar
+		if r.sketch != nil {
+			var err error
+			if sk, err = r.sketch.Snapshot(); err != nil {
+				return nil, err
+			}
+		}
+		if err := buildRelationBlob(b, n, r, sig, sk, chain); err != nil {
+			return nil, err
+		}
+	}
+	return b.Seal(), nil
+}
+
+// marshalSnaps serializes the engine from fence-cut snapshots (one per
+// relation, cut by the pause-free checkpoint): the live shard state is
+// never touched, so ingest keeps mutating it while the blob is built.
+func (e *Engine) marshalSnaps(epoch uint64, snaps map[string]relSnap) ([]byte, error) {
+	b, names := e.marshalHeader(epoch)
+	for _, n := range names {
+		snap := snaps[n]
+		if err := buildRelationBlob(b, n, e.rels[n], snap.sig, snap.sketch, snap.chain); err != nil {
+			return nil, err
+		}
+	}
+	return b.Seal(), nil
+}
+
+// marshalHeader builds the checkpoint blob header (engine configuration
+// plus relation count) and returns the builder with the sorted relation
+// names the per-relation sections must follow.
+func (e *Engine) marshalHeader(epoch uint64) (*blob.Builder, []string) {
 	b := blob.NewBuilder(blob.MagicEngine, engineBlobVersion, 1024)
 	b.U64(uint64(e.opts.SignatureWords))
 	b.U64(e.opts.Seed)
@@ -1197,46 +1292,30 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 	}
 	sort.Strings(names)
 	b.U32(uint32(len(names)))
-	for _, n := range names {
-		r := e.rels[n]
-		var sig join.Signature
-		var chain *shardChain
-		if quiesced && r.ing != nil {
-			// Under pause the slots are held: the barrier-based snapshot
-			// would self-deadlock, and direct reads are exactly what the
-			// quiescence licenses.
-			sig = r.ing.snapshotSigQuiesced()
-			chain = r.ing.snapshotChainQuiesced()
-		} else {
-			sig = r.snapshotSig()
-			chain = r.snapshotChain()
-		}
-		sigBlob, err := sig.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		b.String(n)
-		b.Bytes(sigBlob)
-		if r.sketch == nil {
-			b.U32(0)
-		} else {
-			snap, err := r.sketch.Snapshot()
-			if err != nil {
-				return nil, err
-			}
-			skBlob, err := snap.MarshalBinary()
-			if err != nil {
-				return nil, err
-			}
-			b.U32(1)
-			b.Bytes(skBlob)
-		}
-		buildSchema(b, r.schema)
-		if err := buildChain(b, chain); err != nil {
-			return nil, err
-		}
+	return b, names
+}
+
+// buildRelationBlob appends one relation's checkpoint section from
+// already-materialized synopsis snapshots.
+func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signature, sk *core.FastTugOfWar, chain *shardChain) error {
+	sigBlob, err := sig.MarshalBinary()
+	if err != nil {
+		return err
 	}
-	return b.Seal(), nil
+	b.String(name)
+	b.Bytes(sigBlob)
+	if sk == nil {
+		b.U32(0)
+	} else {
+		skBlob, err := sk.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		b.U32(1)
+		b.Bytes(skBlob)
+	}
+	buildSchema(b, r.schema)
+	return buildChain(b, chain)
 }
 
 // buildChain appends a chain section (possibly empty) to a payload.
@@ -1301,8 +1380,8 @@ func (e *Engine) UnmarshalBinary(data []byte) error {
 			r.ing.stop()
 		}
 	}
-	e.opts, e.flatFam, e.fastFam, e.skCfg, e.rels, e.epoch =
-		fresh.opts, fresh.flatFam, fresh.fastFam, fresh.skCfg, fresh.rels, fresh.epoch
+	e.opts, e.flatFam, e.fastFam, e.skCfg, e.rels, e.epoch, e.fs =
+		fresh.opts, fresh.flatFam, fresh.fastFam, fresh.skCfg, fresh.rels, fresh.epoch, fresh.fs
 	return nil
 }
 
@@ -1346,6 +1425,9 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 	opts.FlushOps = runtime.FlushOps
 	opts.FlushInterval = runtime.FlushInterval
 	opts.SegmentOps = runtime.SegmentOps
+	opts.CheckpointInterval = runtime.CheckpointInterval
+	opts.CheckpointSegments = runtime.CheckpointSegments
+	opts.FS = runtime.FS
 	fresh, err := newEngine(opts)
 	if err != nil {
 		return nil, err

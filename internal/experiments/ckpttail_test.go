@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// TestPctNs pins the quantile read used by the ckpttail headline.
+func TestPctNs(t *testing.T) {
+	lats := make([]int64, 1000)
+	for i := range lats {
+		lats[i] = int64(999 - i) // reversed: pctNs must sort a copy
+	}
+	if got := pctNs(lats, 0.99); got != 989 {
+		t.Fatalf("p99 = %v, want 989", got)
+	}
+	if got := pctNs(lats, 0.999); got != 998 {
+		t.Fatalf("p99.9 = %v, want 998", got)
+	}
+	if lats[0] != 999 {
+		t.Fatal("pctNs mutated its input")
+	}
+	if got := pctNs(nil, 0.99); got != 0 {
+		t.Fatalf("empty p99 = %v", got)
+	}
+}
+
+// TestRunCkptTailSmoke runs the real experiment end to end (small k):
+// both distributions measured, at least two checkpoints fenced during
+// the ON pass, and the headline ratio populated.
+func TestRunCkptTailSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest latency run")
+	}
+	r, err := RunCkptTail(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Experiment != "ckpttail" || r.K != 64 {
+		t.Fatalf("result header = %+v", r)
+	}
+	if r.OffP99Ns <= 0 || r.OnP99Ns <= 0 || r.OffP999Ns < r.OffP99Ns || r.OnP999Ns < r.OnP99Ns {
+		t.Fatalf("latency quantiles implausible: %+v", r)
+	}
+	if r.Checkpoints < 2 {
+		t.Fatalf("ON run took %d checkpoints, want >= 2", r.Checkpoints)
+	}
+	if r.Ratio <= 0 {
+		t.Fatalf("ratio = %v", r.Ratio)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if rows := len(r.Table().String()); rows == 0 {
+		t.Fatal("empty table")
+	}
+}
