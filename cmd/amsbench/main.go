@@ -16,6 +16,7 @@
 //	amsbench -experiment fastjoin          # fast vs flat join signature speed+accuracy
 //	amsbench -experiment engineingest      # locked vs absorber engine ingest cost
 //	amsbench -experiment ckpttail          # ingest tail latency, checkpointer off vs on
+//	amsbench -experiment wireingest        # HTTP JSON vs amswire streaming ingest
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
@@ -23,7 +24,8 @@
 // making every figure exactly reproducible. -json additionally writes
 // machine-readable results for experiments that support it (fastjoin →
 // BENCH_fastjoin.json, engineingest → BENCH_engine.json, ckpttail →
-// BENCH_ckpt.json), so CI can track the perf trajectory.
+// BENCH_ckpt.json, wireingest → BENCH_wire.json), so CI can track the
+// perf trajectory.
 package main
 
 import (
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -265,6 +267,31 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "wireingest":
+			// k=64, no sketch: a transport benchmark wants the lightest
+			// engine shape, so the measured contrast is the request cycle
+			// vs the pipelined stream — not the synopsis hash loop.
+			r, err := experiments.RunWireIngest(64, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("wireingest", "Streaming ingest: HTTP JSON vs amswire (k=64, no sketch, real listeners)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("%d-client uniform ingest: http %.1f ns/row, wire %.1f ns/row → %.1fx speedup\n\n",
+				4, r.HTTPNsPerRow, r.WireNsPerRow, r.Speedup)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_wire.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_wire.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -280,7 +307,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -22,11 +22,13 @@
 // fails the process exits non-zero — the operator must know the last
 // moments of the stream were not made durable.
 //
-// -ingest-mode absorber switches the engine onto the lock-free write
-// path: ingest requests stage ops into per-goroutine buffers, per-shard
-// absorber goroutines apply them, and the oplog is group-committed
-// (-flush-ops / -flush-interval). Queries drain staged ops first, so
-// responses always reflect the request's own writes. -segment-ops N
+// The default write path is the engine's lock-free absorber: ingest
+// requests stage ops into per-goroutine buffers, per-shard absorber
+// goroutines apply them, and the oplog is group-committed (-flush-ops /
+// -flush-interval). Queries drain staged ops first, so responses always
+// reflect the request's own writes. -ingest-mode locked switches back
+// to the synchronous path (every op applied and logged before the
+// request returns — the absorber's correctness oracle). -segment-ops N
 // additionally rolls each relation's oplog onto numbered segment files
 // every N records, bounding single-file recovery reads between
 // checkpoints. In absorber mode checkpoints are pause-free: the cut
@@ -34,8 +36,21 @@
 // quiescing ingest. DESIGN.md §7 and §9 document both paths and their
 // measured cost.
 //
-// See internal/amsd for the endpoint reference and examples/amsdclient
-// for a complete client round trip.
+// -wire-addr additionally serves amswire, the length-prefixed binary
+// streaming-ingest protocol (internal/wire), beside the HTTP listener.
+// Both surfaces feed the same engine: bulk loaders stream pipelined
+// binary batches over the wire port, while control-plane calls (define,
+// estimate, checkpoint) stay on HTTP JSON. The /healthz body grows a
+// "wire" block with the listener address and its connection/batch/row
+// counters. On shutdown the wire listener closes FIRST — every open
+// stream gets a GOODBYE frame and its staged batches are drained —
+// before HTTP drains and the final checkpoint is cut, so the durability
+// story above extends to open streams. DESIGN.md §10 documents the
+// protocol and its tuning.
+//
+// See internal/amsd for the endpoint reference, examples/amsdclient for
+// a complete HTTP client round trip, and examples/wireclient for the
+// streaming-ingest counterpart.
 package main
 
 import (
@@ -53,11 +68,13 @@ import (
 
 	"amstrack/internal/amsd"
 	"amstrack/internal/engine"
+	"amstrack/internal/wire"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":7600", "listen address")
+		wireAddr  = flag.String("wire-addr", "", "amswire binary streaming-ingest listen address (empty: HTTP only)")
 		dir       = flag.String("dir", "", "durability directory (empty: in-memory engine)")
 		k         = flag.Int("k", 1024, "join-signature size in memory words per relation")
 		chainK    = flag.Int("chain-words", 0, "chain-signature size in memory words (0: same as -k)")
@@ -71,7 +88,7 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 0, "background checkpoint interval, jittered (0: no timer; needs -dir)")
 		ckptSegs  = flag.Int("checkpoint-segments", 0, "checkpoint when a relation's live oplog segments reach N (0: no segment trigger; needs -dir)")
 		maxBodyMB = flag.Int64("max-body-mb", 0, "request-body cap in MiB for ingest and bundle uploads (0: default 64)")
-		ingest    = flag.String("ingest-mode", "", "write path: locked (synchronous) or absorber (lock-free staging + group-commit oplog); empty: engine default")
+		ingest    = flag.String("ingest-mode", "", "write path: locked (synchronous) or absorber (lock-free staging + group-commit oplog); empty: engine default (absorber)")
 		flushOps  = flag.Int("flush-ops", 0, "absorber group-commit: flush the oplog after N records (0: default 512)")
 		flushIvl  = flag.Duration("flush-interval", 0, "absorber group-commit: flush the oplog after the oldest pending record waited this long (0: default 200µs)")
 		segOps    = flag.Int64("segment-ops", 0, "roll each relation's oplog onto a numbered segment every N records (0: off)")
@@ -110,18 +127,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, opts, *addr, *maxBodyMB<<20, nil); err != nil {
+	if err := run(ctx, opts, *addr, *wireAddr, *maxBodyMB<<20, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "amsd:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves until ctx is cancelled, then shuts down gracefully: stop
-// accepting, drain in-flight requests, final checkpoint, close. The
-// returned error is the process exit status — a failed final checkpoint
-// is an error even though the daemon otherwise exited cleanly. ready, if
-// non-nil, is called with the bound listen address (tests use :0).
-func run(ctx context.Context, opts engine.Options, addr string, maxBody int64, ready func(addr string)) error {
+// run serves until ctx is cancelled, then shuts down gracefully: close
+// the wire listener (GOODBYE to every open stream), stop accepting HTTP,
+// drain in-flight requests, final checkpoint, close. The returned error
+// is the process exit status — a failed final checkpoint is an error
+// even though the daemon otherwise exited cleanly. ready, if non-nil, is
+// called with the bound HTTP listen address (tests use :0); the bound
+// wire address is reported under /healthz "wire".
+func run(ctx context.Context, opts engine.Options, addr, wireAddr string, maxBody int64, ready func(addr string)) error {
 	if (opts.CheckpointInterval > 0 || opts.CheckpointSegments > 0) && opts.Dir == "" {
 		return errors.New("-checkpoint-every / -checkpoint-segments require -dir")
 	}
@@ -143,26 +162,76 @@ func run(ctx context.Context, opts engine.Options, addr string, maxBody int64, r
 		_ = eng.Close()
 		return err
 	}
-	srv := &http.Server{Handler: amsd.NewServerMaxBody(eng, maxBody)}
+	handler := amsd.NewServerMaxBody(eng, maxBody)
+
+	var (
+		wireSrv *wire.Server
+		wireLn  net.Listener
+	)
+	if wireAddr != "" {
+		wireLn, err = net.Listen("tcp", wireAddr)
+		if err != nil {
+			_ = ln.Close()
+			_ = eng.Close()
+			return err
+		}
+		wireSrv = wire.NewServer(eng)
+		boundWire := wireLn.Addr().String()
+		handler.SetWireStatus(func() amsd.WireStatus {
+			st := wireSrv.Stats()
+			return amsd.WireStatus{
+				Addr:       boundWire,
+				Conns:      st.Conns,
+				TotalConns: st.TotalConns,
+				Batches:    st.Batches,
+				Rows:       st.Rows,
+				Flushes:    st.Flushes,
+				Errors:     st.Errors,
+			}
+		})
+		go func() {
+			if err := wireSrv.Serve(wireLn); err != nil && !errors.Is(err, wire.ErrServerClosed) {
+				log.Printf("amsd: wire listener: %v", err)
+			}
+		}()
+	}
+
+	srv := &http.Server{Handler: handler}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("amsd: serving on %s (durable: %v, k=%d, ingest: %s)",
-			ln.Addr(), opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
+		if wireLn != nil {
+			log.Printf("amsd: serving on %s + wire %s (durable: %v, k=%d, ingest: %s)",
+				ln.Addr(), wireLn.Addr(), opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
+		} else {
+			log.Printf("amsd: serving on %s (durable: %v, k=%d, ingest: %s)",
+				ln.Addr(), opts.Dir != "", opts.SignatureWords, eng.Options().IngestMode)
+		}
 		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
+		if wireSrv != nil {
+			_ = wireSrv.Close()
+		}
 		_ = eng.Close()
 		return err
 	case <-ctx.Done():
 	}
 
 	log.Print("amsd: shutting down")
+	// Wire streams first: each open stream gets a GOODBYE and its staged
+	// batches are drained before the final checkpoint below, so an acked
+	// batch can never miss the checkpoint cut.
+	if wireSrv != nil {
+		if err := wireSrv.Close(); err != nil {
+			log.Printf("amsd: wire shutdown: %v", err)
+		}
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {

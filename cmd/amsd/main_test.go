@@ -14,6 +14,7 @@ import (
 	"amstrack/internal/engine"
 	"amstrack/internal/exact"
 	"amstrack/internal/oplog"
+	"amstrack/internal/wire"
 	"amstrack/internal/xrand"
 )
 
@@ -250,30 +251,31 @@ func TestCheckpointInMemoryConflict(t *testing.T) {
 // TestRunFlagValidation exercises the daemon entry's option plumbing
 // without binding a port.
 func TestRunFlagValidation(t *testing.T) {
-	err := run(context.Background(), engine.Options{SignatureWords: 0}, "127.0.0.1:0", 0, nil)
+	err := run(context.Background(), engine.Options{SignatureWords: 0}, "127.0.0.1:0", "", 0, nil)
 	if err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointInterval: time.Nanosecond}, "", 0, nil)
+	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointInterval: time.Nanosecond}, "", "", 0, nil)
 	if err == nil {
 		t.Fatal("-checkpoint-every without -dir accepted")
 	}
-	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointSegments: 2}, "", 0, nil)
+	err = run(context.Background(), engine.Options{SignatureWords: 32, CheckpointSegments: 2}, "", "", 0, nil)
 	if err == nil {
 		t.Fatal("-checkpoint-segments without -dir accepted")
 	}
 }
 
-// startDaemon runs the daemon on an ephemeral port and returns its base
-// URL, a cancel that triggers graceful shutdown, and the channel that
-// yields run's exit status.
-func startDaemon(t *testing.T, opts engine.Options) (string, context.CancelFunc, <-chan error) {
+// startDaemon runs the daemon on an ephemeral port (plus an ephemeral
+// wire port when wireAddr is non-empty) and returns its base URL, a
+// cancel that triggers graceful shutdown, and the channel that yields
+// run's exit status.
+func startDaemon(t *testing.T, opts engine.Options, wireAddr string) (string, context.CancelFunc, <-chan error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, opts, "127.0.0.1:0", 0, func(addr string) { ready <- addr })
+		done <- run(ctx, opts, "127.0.0.1:0", wireAddr, 0, func(addr string) { ready <- addr })
 	}()
 	select {
 	case addr := <-ready:
@@ -291,7 +293,7 @@ func startDaemon(t *testing.T, opts engine.Options) (string, context.CancelFunc,
 func TestGracefulShutdown(t *testing.T) {
 	dir := t.TempDir()
 	opts := engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2, Dir: dir}
-	base, cancel, done := startDaemon(t, opts)
+	base, cancel, done := startDaemon(t, opts, "")
 	defer cancel()
 
 	client := http.DefaultClient
@@ -336,7 +338,7 @@ func TestGracefulShutdown(t *testing.T) {
 func TestShutdownCheckpointFailure(t *testing.T) {
 	ffs := oplog.NewFaultFS(nil)
 	opts := engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2, Dir: t.TempDir(), FS: ffs}
-	base, cancel, done := startDaemon(t, opts)
+	base, cancel, done := startDaemon(t, opts, "")
 	defer cancel()
 
 	client := http.DefaultClient
@@ -347,5 +349,83 @@ func TestShutdownCheckpointFailure(t *testing.T) {
 	cancel()
 	if err := <-done; err == nil {
 		t.Fatal("failed final checkpoint reported a clean exit")
+	}
+}
+
+// TestWireListener: with -wire-addr the daemon serves amswire beside
+// HTTP against the same engine — batches streamed over the wire port are
+// visible to HTTP estimates after a FLUSH, /healthz grows the wire
+// block, and graceful shutdown says GOODBYE to the stream, cuts the
+// final checkpoint, and recovers every acked batch.
+func TestWireListener(t *testing.T) {
+	dir := t.TempDir()
+	opts := engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2, Dir: dir}
+	base, cancel, done := startDaemon(t, opts, "127.0.0.1:0")
+	defer cancel()
+	client := http.DefaultClient
+
+	// The bound wire address is published in /healthz.
+	var hb amsd.HealthzBody
+	getJSON(t, client, base+"/healthz", &hb, http.StatusOK)
+	if hb.Wire == nil || hb.Wire.Addr == "" {
+		t.Fatalf("healthz wire block missing: %+v", hb)
+	}
+
+	postJSON(t, client, base+"/v1/relations", amsd.DefineRequest{Name: "f"}, nil, http.StatusCreated)
+
+	wc, err := wire.Dial(hb.Wire.Addr, wire.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	vals := make([]uint64, 2000)
+	r := xrand.New(99)
+	for i := range vals {
+		vals[i] = r.Uint64n(300)
+	}
+	if err := wc.InsertBatch("f", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-your-writes across surfaces: the HTTP estimate sees the
+	// flushed wire batches.
+	var sj amsd.SelfJoinBody
+	getJSON(t, client, base+"/v1/selfjoin?relation=f", &sj, http.StatusOK)
+	if sj.Len != 2000 {
+		t.Fatalf("HTTP sees Len = %d after wire flush, want 2000", sj.Len)
+	}
+	getJSON(t, client, base+"/healthz", &hb, http.StatusOK)
+	if hb.Wire == nil || hb.Wire.Rows != 2000 || hb.Wire.Conns != 1 {
+		t.Fatalf("healthz wire counters = %+v", hb.Wire)
+	}
+
+	// Graceful shutdown underneath an open stream: the client learns via
+	// GOODBYE (or a connection error), never a silent hang.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown exit = %v, want nil", err)
+	}
+	err = wc.InsertBatch("f", vals[:1])
+	if err == nil {
+		err = wc.Flush()
+	}
+	if err == nil {
+		t.Fatal("stream survived daemon shutdown")
+	}
+
+	back, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	rel, err := back.Get("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2000 {
+		t.Fatalf("recovered Len = %d, want 2000", rel.Len())
 	}
 }

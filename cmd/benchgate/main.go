@@ -3,7 +3,7 @@
 // committed baseline and fails — exit 1 — when the gated hot-path cost
 // regressed beyond the tolerance. CI runs it after each experiment, so a
 // PR that slows a gated hot path by more than the tolerance cannot merge
-// silently. Three gated experiments:
+// silently. Four gated experiments:
 //
 //   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
 //     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
@@ -12,7 +12,10 @@
 //     (single-writer durable ingest);
 //   - ckpttail (BENCH_ckpt.json): p99 ingest latency with the background
 //     checkpointer ON, normalized as on_p99_ns ÷ off_p99_ns — the
-//     pause-free-checkpoint guarantee (acceptance: within 2x).
+//     pause-free-checkpoint guarantee (acceptance: within 2x);
+//   - wireingest (BENCH_wire.json): end-to-end streaming ingest over
+//     amswire, normalized as wire_ns_per_row ÷ http_ns_per_row at 4
+//     concurrent clients (acceptance: wire at least 3x HTTP's rows/sec).
 //
 // The file's "experiment" field selects the gate; bench and baseline
 // must agree on it.
@@ -32,6 +35,7 @@
 //	benchgate -bench BENCH_fastjoin.json -baseline BENCH_fastjoin.baseline.json [-max-regress 0.25]
 //	benchgate -bench BENCH_engine.json -baseline BENCH_engine.baseline.json [-max-regress 0.35]
 //	benchgate -bench BENCH_ckpt.json -baseline BENCH_ckpt.baseline.json [-max-regress 0.75]
+//	benchgate -bench BENCH_wire.json -baseline BENCH_wire.baseline.json [-max-regress 0.5]
 package main
 
 import (
@@ -57,6 +61,9 @@ type benchFile struct {
 	// ckpttail: p99 ingest latency with the checkpointer off vs on.
 	OffP99Ns float64 `json:"off_p99_ns"`
 	OnP99Ns  float64 `json:"on_p99_ns"`
+	// wireingest: 4-client streaming ingest, HTTP JSON vs amswire.
+	HTTPNsPerRow float64 `json:"http_ns_per_row"`
+	WireNsPerRow float64 `json:"wire_ns_per_row"`
 }
 
 // pair returns (fast-path, reference-path) nanoseconds for the file's
@@ -67,6 +74,8 @@ func (b *benchFile) pair() (fast, ref float64) {
 		return b.AbsorberNsPerOp, b.LockedNsPerOp
 	case "ckpttail":
 		return b.OnP99Ns, b.OffP99Ns
+	case "wireingest":
+		return b.WireNsPerRow, b.HTTPNsPerRow
 	default:
 		return b.FastNsPerUpdate, b.FlatNsPerUpdate
 	}
@@ -96,8 +105,8 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, or ckpttail", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, or wireingest", path, b.Experiment)
 	}
 	fast, ref := b.pair()
 	if fast <= 0 || ref <= 0 {

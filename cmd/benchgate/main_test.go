@@ -196,3 +196,45 @@ func TestGateCkptTail(t *testing.T) {
 		t.Fatal("engineingest measurement gated against ckpttail baseline")
 	}
 }
+
+func writeWireBench(t *testing.T, dir, name string, wire, http float64, k int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	body := fmt.Sprintf(`{"experiment":"wireingest","k":%d,"http_ns_per_row":%g,"wire_ns_per_row":%g}`,
+		k, http, wire)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateWireIngest: the wireingest gate reads the wire/http pair and
+// normalizes the same way, so a slower runner with the same transport
+// contrast still passes.
+func TestGateWireIngest(t *testing.T) {
+	dir := t.TempDir()
+	base := writeWireBench(t, dir, "base.json", 80, 300, 64) // ratio 0.267
+	var out strings.Builder
+
+	// Slower machine, same ratio → pass.
+	ok := writeWireBench(t, dir, "ok.json", 160, 600, 64)
+	if err := run(ok, base, 0.5, "normalized", false, &out); err != nil {
+		t.Fatalf("same-ratio wireingest run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "experiment=wireingest") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Wire path lost its edge (ratio 0.53, double the baseline) → fail
+	// at 50% tolerance.
+	bad := writeWireBench(t, dir, "bad.json", 160, 300, 64)
+	if err := run(bad, base, 0.5, "normalized", false, &out); err == nil {
+		t.Fatal("2x wire-transport regression passed the 50% gate")
+	}
+
+	// Experiment mismatch between bench and baseline must error.
+	ck := writeCkptBench(t, dir, "ckpt.json", 1200, 1000, 64)
+	if err := run(ck, base, 0.5, "normalized", false, &out); err == nil {
+		t.Fatal("ckpttail measurement gated against wireingest baseline")
+	}
+}

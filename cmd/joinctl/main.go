@@ -59,7 +59,13 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the result as one JSON object")
 	)
 	flag.Parse()
-	client := newFetcher(&http.Client{Timeout: *timeout}, *retries, *backoff)
+	// One keep-alive transport for the whole coordination: every node is
+	// asked for a signature AND per-relation stats, so reusing the
+	// connection across phases halves the dials per node. The idle-pool
+	// cap is per host — a wide -nodes list still keeps one warm
+	// connection per daemon.
+	tr := &http.Transport{MaxIdleConnsPerHost: 4}
+	client := newFetcher(&http.Client{Timeout: *timeout, Transport: tr}, *retries, *backoff)
 	if *chain {
 		if *nodes == "" || *left == "" || *mid == "" || *right == "" || *attrA == "" || *attrB == "" {
 			fmt.Fprintln(os.Stderr, "joinctl: -chain needs -nodes, -left, -mid, -right, -attr-a, and -attr-b")

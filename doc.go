@@ -74,16 +74,24 @@
 // OpenEngine adds oplog-backed durability — updates append to
 // per-relation logs, Checkpoint folds them into one blob, and reopening
 // recovers via checkpoint load plus log replay (torn tails truncated).
-// cmd/amsd serves the engine over HTTP JSON; DESIGN.md §5 documents the
-// architecture.
+// cmd/amsd serves the engine over two surfaces with two audiences: HTTP
+// JSON is the control plane — defining relations, asking estimates,
+// checkpointing, health — where a request cycle per call is the right
+// trade for curl-ability; amswire (-wire-addr, internal/wire) is the
+// data plane for bulk loaders and continuous update streams, a
+// length-prefixed binary framing with pipelined acknowledgements that
+// removes the per-batch request cycle (several times the HTTP rows/sec
+// at equal batch sizes). DESIGN.md §5 documents the architecture,
+// §10 the wire protocol.
 //
-// The write path is selectable via EngineOptions.IngestMode. The default
-// locked path applies and logs every op synchronously. IngestAbsorber is
-// the lock-free hot path: callers stage ops into CAS-claimed buffers
-// (EngineOptions.StageOps), per-shard absorber goroutines apply them
-// under single-writer discipline, and a group-commit writer batches
-// oplog appends (EngineOptions.FlushOps records or
-// EngineOptions.FlushInterval, whichever first). Queries drain staged
+// The write path is selectable via EngineOptions.IngestMode. The
+// default is the lock-free absorber path: callers stage ops into
+// CAS-claimed buffers (EngineOptions.StageOps), per-shard absorber
+// goroutines apply them under single-writer discipline, and a
+// group-commit writer batches oplog appends (EngineOptions.FlushOps
+// records or EngineOptions.FlushInterval, whichever first).
+// IngestLocked — the synchronous oracle — applies and logs every op
+// before the call returns. Queries drain staged
 // ops before answering, so reads always see the caller's own writes, and
 // checkpoints quiesce the pipeline, so recovery stays bit-identical —
 // the trade is durability granularity: ops become OS-owned at the flush

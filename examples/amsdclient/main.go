@@ -53,9 +53,15 @@ func main() {
 
 	// --- client side: nothing below touches the engine directly ---
 
+	// One shared client for the whole session: keep-alives mean the
+	// batched ingest loop below reuses a single TCP connection instead of
+	// paying a dial per POST.
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	defer hc.CloseIdleConnections()
+
 	post := func(path string, body, out any) {
 		raw, _ := json.Marshal(body)
-		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(raw))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +76,7 @@ func main() {
 		}
 	}
 	get := func(path string, out any) {
-		resp, err := http.Get(base + path)
+		resp, err := hc.Get(base + path)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -43,11 +43,13 @@
 package amsd
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"amstrack/internal/engine"
@@ -71,6 +73,9 @@ type Server struct {
 	// maxBody is the per-request body cap in bytes (DefaultMaxBody unless
 	// overridden with NewServerMaxBody).
 	maxBody int64
+	// wireStatus, when set, contributes the amswire listener's snapshot to
+	// /healthz (see SetWireStatus).
+	wireStatus func() WireStatus
 }
 
 // NewServer builds the handler for eng with the default body cap.
@@ -168,7 +173,26 @@ type HealthzBody struct {
 	// OplogErrors carries each relation's sticky append error, keyed by
 	// relation name; healthy relations are absent.
 	OplogErrors map[string]string `json:"oplog_errors,omitempty"`
+	// Wire is the amswire streaming-ingest listener's snapshot; absent
+	// when the daemon serves HTTP only.
+	Wire *WireStatus `json:"wire,omitempty"`
 }
+
+// WireStatus mirrors wire.Stats for /healthz (declared here so the HTTP
+// layer does not import the wire package; cmd/amsd bridges the two).
+type WireStatus struct {
+	Addr       string `json:"addr"`
+	Conns      int64  `json:"conns"`
+	TotalConns int64  `json:"total_conns"`
+	Batches    int64  `json:"batches"`
+	Rows       int64  `json:"rows"`
+	Flushes    int64  `json:"flushes"`
+	Errors     int64  `json:"errors"`
+}
+
+// SetWireStatus registers the amswire snapshot source surfaced under
+// /healthz "wire". Call before the server starts handling requests.
+func (s *Server) SetWireStatus(fn func() WireStatus) { s.wireStatus = fn }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.DurabilityStats()
@@ -195,6 +219,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if st.LastCheckpointError != "" || len(body.OplogErrors) > 0 {
 		body.Status = "degraded"
+	}
+	if s.wireStatus != nil {
+		ws := s.wireStatus()
+		body.Wire = &ws
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -302,9 +330,52 @@ func checkRows(rel *engine.Relation, rows [][]uint64) error {
 	return nil
 }
 
+// ingestScratch is the per-request decode state of the ingest hot path:
+// the raw body bytes and the request struct whose value slices survive
+// between requests. encoding/json grows a slice in place when its
+// capacity suffices, so after warm-up a steady stream of similarly-sized
+// batches decodes with no per-request buffer or op-slice allocations —
+// the engine's batch paths copy staged ops before returning, which is
+// what makes handing them pooled slices safe.
+type ingestScratch struct {
+	buf bytes.Buffer
+	req IngestRequest
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// ingestScratchMax caps the retained capacity: a one-off huge batch must
+// not pin its buffers in the pool forever.
+const ingestScratchMax = 1 << 20
+
+// reset readies the scratch for the next decode, keeping capacities.
+func (sc *ingestScratch) reset() {
+	sc.buf.Reset()
+	sc.req.Relation = ""
+	sc.req.Inserts = sc.req.Inserts[:0]
+	sc.req.Deletes = sc.req.Deletes[:0]
+	sc.req.InsertRows = sc.req.InsertRows[:0]
+	sc.req.DeleteRows = sc.req.DeleteRows[:0]
+}
+
+func putIngestScratch(sc *ingestScratch) {
+	if sc.buf.Cap() > ingestScratchMax ||
+		cap(sc.req.Inserts)+cap(sc.req.Deletes) > ingestScratchMax/8 {
+		return // oversized: let it go instead of pinning it
+	}
+	ingestPool.Put(sc)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req IngestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := ingestPool.Get().(*ingestScratch)
+	defer putIngestScratch(sc)
+	sc.reset()
+	if _, err := sc.buf.ReadFrom(r.Body); err != nil {
+		writeErr(w, statusFor(err), fmt.Errorf("read request: %w", err))
+		return
+	}
+	req := &sc.req
+	if err := json.Unmarshal(sc.buf.Bytes(), req); err != nil {
 		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
 		return
 	}

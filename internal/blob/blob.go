@@ -45,6 +45,7 @@ const (
 	MagicChainMidSig  uint32 = 0xA0517008 // join.ChainMiddleSignature (§5 chain middle)
 	MagicRelBundle    uint32 = 0xA0517009 // engine.RelationBundle (multi-node exchange)
 	MagicChainBundle  uint32 = 0xA051700A // engine.ChainBundle (per-attribute chain synopsis set)
+	MagicWireFrame    uint32 = 0xA051700B // wire.Frame (amswire streaming-ingest protocol)
 )
 
 // PeekMagic returns the frame magic of data without verifying the frame
@@ -128,6 +129,9 @@ func NewBuilder(magic uint32, version uint8, sizeHint int) *Builder {
 	return &Builder{magic: magic, version: version, buf: make([]byte, 0, sizeHint)}
 }
 
+// U8 appends a single byte (discriminator tags, small enums).
+func (b *Builder) U8(v uint8) { b.buf = append(b.buf, v) }
+
 // U32 appends a little-endian uint32.
 func (b *Builder) U32(v uint32) { b.buf = binary.LittleEndian.AppendUint32(b.buf, v) }
 
@@ -184,6 +188,15 @@ func (c *Cursor) take(n int) []byte {
 	p := c.buf[c.off : c.off+n]
 	c.off += n
 	return p
+}
+
+// U8 reads a single byte.
+func (c *Cursor) U8() uint8 {
+	p := c.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
 }
 
 // U32 reads a little-endian uint32.

@@ -68,10 +68,12 @@ const (
 type IngestMode int
 
 const (
-	// IngestDefault resolves to IngestLocked, unless the environment
-	// variable AMSTRACK_INGEST_MODE overrides it ("locked" or "absorber")
-	// — the hook CI uses to force the whole test suite through the
-	// lock-free path under the race detector.
+	// IngestDefault resolves to IngestAbsorber — the lock-free path is
+	// the measured winner under every concurrent load and its group
+	// commit is invisible to single-threaded callers — unless the
+	// environment variable AMSTRACK_INGEST_MODE overrides it ("locked"
+	// or "absorber"), the hook CI uses to force the whole test suite
+	// through the synchronous path under the race detector.
 	IngestDefault IngestMode = iota
 	// IngestLocked is the synchronous path: every op holds the relation's
 	// shared op-lock plus one shard mutex and appends to the oplog before
@@ -152,10 +154,11 @@ type Options struct {
 	// Dir enables oplog-backed durability when non-empty: per-relation
 	// logs and checkpoints live there. Empty means in-memory only.
 	Dir string
-	// IngestMode selects the write path (IngestDefault → locked, unless
-	// AMSTRACK_INGEST_MODE overrides). Both modes produce bit-identical
-	// synopses for the same op multiset; they differ in concurrency
-	// discipline and in when ops become durable (see the constants).
+	// IngestMode selects the write path (IngestDefault → absorber,
+	// unless AMSTRACK_INGEST_MODE overrides). Both modes produce
+	// bit-identical synopses for the same op multiset; they differ in
+	// concurrency discipline and in when ops become durable (see the
+	// constants).
 	IngestMode IngestMode
 	// StageOps is the absorber staging-buffer capacity in ops
 	// (0 → 256). Absorber mode only.
@@ -252,10 +255,10 @@ func (o Options) normalize() (Options, error) {
 	o.Shards = n
 	if o.IngestMode == IngestDefault {
 		switch env := os.Getenv(ingestModeEnv); env {
-		case "", "locked":
-			o.IngestMode = IngestLocked
-		case "absorber":
+		case "", "absorber":
 			o.IngestMode = IngestAbsorber
+		case "locked":
+			o.IngestMode = IngestLocked
 		default:
 			return o, fmt.Errorf("engine: %s=%q, want locked or absorber", ingestModeEnv, env)
 		}

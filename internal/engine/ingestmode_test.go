@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIngestDefaultResolution pins the IngestDefault contract after the
+// absorber flip: the zero value resolves to the lock-free path, the
+// AMSTRACK_INGEST_MODE environment hook still forces either path for a
+// whole process (the CI race job's lever), and an explicit Options
+// choice always beats the environment.
+func TestIngestDefaultResolution(t *testing.T) {
+	cases := []struct {
+		name    string
+		env     string // "" means unset
+		setEnv  bool
+		mode    IngestMode
+		want    IngestMode
+		wantErr string
+	}{
+		{name: "zero value resolves to absorber", want: IngestAbsorber},
+		{name: "env absorber", env: "absorber", setEnv: true, want: IngestAbsorber},
+		{name: "env locked overrides the default", env: "locked", setEnv: true, want: IngestLocked},
+		{name: "env empty string is the default", env: "", setEnv: true, want: IngestAbsorber},
+		{name: "explicit locked beats env absorber", env: "absorber", setEnv: true, mode: IngestLocked, want: IngestLocked},
+		{name: "explicit absorber beats env locked", env: "locked", setEnv: true, mode: IngestAbsorber, want: IngestAbsorber},
+		{name: "unknown env value is an error", env: "turbo", setEnv: true, wantErr: "AMSTRACK_INGEST_MODE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.setEnv {
+				t.Setenv(ingestModeEnv, tc.env)
+			} else {
+				// t.Setenv then unset is not a thing; scrub via empty and
+				// rely on the "env empty string" case above to pin that
+				// empty and unset behave identically.
+				t.Setenv(ingestModeEnv, "")
+			}
+			eng, err := New(Options{SignatureWords: 16, Seed: 1, IngestMode: tc.mode})
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if got := eng.Options().IngestMode; got != tc.want {
+				t.Fatalf("resolved ingest mode = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestRunWireIngestSmoke runs the real transport race end to end (small
+// k, real localhost listeners): every sweep cell measured, the 4-client
+// uniform gate pair populated, and wire ahead of HTTP — the direction
+// the perf-trajectory gate watches.
+func TestRunWireIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end transport benchmark")
+	}
+	r, err := RunWireIngest(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Experiment != "wireingest" || r.K != 64 || r.BatchRows != wireIngestBatch {
+		t.Fatalf("result header = %+v", r)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("sweep has %d cells, want 8 (2 transports x 2 client counts x 2 dists)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.NsPerRow <= 0 || row.RowsPerSec <= 0 {
+			t.Fatalf("cell %+v has non-positive timings", row)
+		}
+	}
+	if r.HTTPNsPerRow <= 0 || r.WireNsPerRow <= 0 {
+		t.Fatalf("gate pair missing: %+v", r)
+	}
+	// Not the full 3x acceptance bar — a loaded test runner flaps — but
+	// the transport ordering itself must hold.
+	if r.Speedup < 1 {
+		t.Fatalf("wire (%.0f ns/row) slower than HTTP JSON (%.0f ns/row)", r.WireNsPerRow, r.HTTPNsPerRow)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table().String()) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"amstrack/internal/blob"
+)
+
+// frameTable is one frame of every kind, fields exercised asymmetrically
+// so a transposed field cannot round-trip by accident.
+func frameTable() []Frame {
+	return []Frame{
+		{Kind: KindHello, Proto: ProtoVersion, Window: 128},
+		{Kind: KindWelcome, Proto: ProtoVersion, Text: "absorber"},
+		{Kind: KindBatch, Seq: 7, Arity: 1, Relation: "r", Vals: []uint64{1, 2, 3}},
+		{Kind: KindBatch, Seq: 8, Del: true, Arity: 1, Relation: "orders", Vals: []uint64{42}},
+		{Kind: KindBatch, Seq: 9, Arity: 3, Relation: "t", Vals: []uint64{1, 2, 3, 4, 5, 6}},
+		{Kind: KindBatch, Seq: 10, Arity: 2, Relation: "empty/ok", Vals: nil},
+		{Kind: KindFlush, Seq: 11},
+		{Kind: KindAck, Seq: 12},
+		{Kind: KindError, Seq: 13, Relation: "r", Text: "oplog: injected crash"},
+		{Kind: KindError, Text: "protocol violation"},
+		{Kind: KindGoodbye, Text: "server shutting down"},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, want := range frameTable() {
+		enc := EncodeFrame(&want)
+		var got Frame
+		if err := DecodeFrame(enc, &got); err != nil {
+			t.Fatalf("%v: decode: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.Proto != want.Proto ||
+			got.Window != want.Window || got.Del != want.Del ||
+			got.Relation != want.Relation || got.Text != want.Text {
+			t.Fatalf("%v: decoded %+v, want %+v", want.Kind, got, want)
+		}
+		if want.Kind == KindBatch {
+			if got.Arity != want.Arity {
+				t.Fatalf("%v: arity %d, want %d", want.Kind, got.Arity, want.Arity)
+			}
+			if len(got.Vals) != len(want.Vals) {
+				t.Fatalf("%v: %d vals, want %d", want.Kind, len(got.Vals), len(want.Vals))
+			}
+			for i := range want.Vals {
+				if got.Vals[i] != want.Vals[i] {
+					t.Fatalf("%v: val[%d] = %d, want %d", want.Kind, i, got.Vals[i], want.Vals[i])
+				}
+			}
+		}
+		// Canonical: an accepted frame re-encodes byte-identically.
+		if re := EncodeFrame(&got); !bytes.Equal(re, enc) {
+			t.Fatalf("%v: re-encode differs (%d vs %d bytes)", want.Kind, len(re), len(enc))
+		}
+	}
+}
+
+// TestDecodeFrameValsReuse verifies the decode path reuses the caller's
+// Vals capacity — the property the server's hot loop depends on.
+func TestDecodeFrameValsReuse(t *testing.T) {
+	f := Frame{Vals: make([]uint64, 0, 64)}
+	backing := &f.Vals[:1][0]
+	enc := EncodeFrame(&Frame{Kind: KindBatch, Seq: 1, Arity: 1, Relation: "r", Vals: []uint64{9, 8, 7}})
+	if err := DecodeFrame(enc, &f); err != nil {
+		t.Fatal(err)
+	}
+	if &f.Vals[0] != backing {
+		t.Fatal("decode reallocated Vals despite sufficient capacity")
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := EncodeFrame(&Frame{Kind: KindBatch, Seq: 1, Arity: 2, Relation: "r", Vals: []uint64{1, 2, 3, 4}})
+	flip := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error // nil: any error accepted
+	}{
+		{"empty", nil, blob.ErrTooShort},
+		{"truncated body", good[:len(good)-9], nil},
+		{"corrupt payload byte", flip(func(b []byte) { b[10] ^= 0x40 }), blob.ErrChecksum},
+		{"corrupt crc", flip(func(b []byte) { b[len(b)-1] ^= 1 }), blob.ErrChecksum},
+		{"foreign magic", reseal(t, blob.MagicRelBundle, good), blob.ErrMagic},
+		{"future version", blob.Seal(blob.MagicWireFrame, 9, []byte{byte(KindAck), 0, 0, 0, 0, 0, 0, 0, 0}), blob.ErrVersion},
+		{"unknown kind", blob.Seal(blob.MagicWireFrame, frameVersion, []byte{0xEE}), ErrBadFrame},
+		{"reserved batch flags", sealBatch(0x02, 1, "r", 1), ErrBadFrame},
+		{"arity zero", sealBatch(0, 0, "r", 0), ErrBadFrame},
+		{"no relation", sealBatch(0, 1, "", 1), ErrBadFrame},
+		{"row count vs values mismatch", sealBatch(0, 2, "r", 3), ErrBadFrame},
+		{"trailing bytes", blob.Seal(blob.MagicWireFrame, frameVersion,
+			append([]byte{byte(KindAck)}, make([]byte, 12)...)), blob.ErrTrailing},
+		{"truncated ack", blob.Seal(blob.MagicWireFrame, frameVersion, []byte{byte(KindAck), 1, 2}), blob.ErrTruncated},
+	}
+	for _, tc := range cases {
+		var f Frame
+		err := DecodeFrame(tc.data, &f)
+		if err == nil {
+			t.Fatalf("%s: decode accepted", tc.name)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// reseal re-frames a valid frame body under a different magic with a
+// valid CRC, so only the magic check can reject it.
+func reseal(t *testing.T, magic uint32, framed []byte) []byte {
+	t.Helper()
+	_, payload, err := blob.Open(blob.MagicWireFrame, frameVersion, framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob.Seal(magic, frameVersion, payload)
+}
+
+// sealBatch hand-builds a BATCH payload with the given flags/arity/rows
+// header over exactly `rows` single values — used to express header
+// combinations the encoder refuses to produce.
+func sealBatch(flags, arity byte, rel string, rows uint32) []byte {
+	b := blob.NewBuilder(blob.MagicWireFrame, frameVersion, 64)
+	b.U8(byte(KindBatch))
+	b.U64(1) // seq
+	b.U8(flags)
+	b.U8(arity)
+	b.String(rel)
+	b.U32(rows)
+	for i := uint32(0); i < rows; i++ {
+		b.U64(uint64(i))
+	}
+	return b.Seal()
+}
+
+func TestReadFrame(t *testing.T) {
+	var stream []byte
+	want := frameTable()
+	for i := range want {
+		stream = AppendFrame(stream, &want[i])
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := range want {
+		body, err := readFrame(r, &buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var f Frame
+		if err := DecodeFrame(body, &f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Kind != want[i].Kind {
+			t.Fatalf("frame %d: kind %v, want %v", i, f.Kind, want[i].Kind)
+		}
+	}
+	if _, err := readFrame(r, &buf); err != io.EOF {
+		t.Fatalf("clean end: %v, want io.EOF", err)
+	}
+
+	// A tear inside a frame is ErrUnexpectedEOF, not a clean EOF.
+	if _, err := readFrame(bytes.NewReader(stream[:7]), &buf); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A hostile length prefix is rejected before any allocation.
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxFrame+1)
+	if _, err := readFrame(bytes.NewReader(huge[:]), &buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized prefix: %v, want ErrFrameTooLarge", err)
+	}
+}

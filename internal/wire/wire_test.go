@@ -1,0 +1,346 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"amstrack/internal/engine"
+)
+
+// memOpts is the in-memory engine shape shared by server and mirror —
+// bundle comparison needs equal Seed and dimensions on both sides.
+func memOpts() engine.Options {
+	return engine.Options{SignatureWords: 64, Seed: 7, SketchS1: 64, SketchS2: 4, Shards: 2}
+}
+
+// startServer serves eng on an ephemeral TCP port and tears everything
+// down with the test.
+func startServer(t *testing.T, eng *engine.Engine) (*Server, string) {
+	t.Helper()
+	srv := NewServer(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func newEngine(t *testing.T, opts engine.Options) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// expectSameRelation asserts the wire-fed engine and the directly-fed
+// mirror hold bit-identical synopses for name — the linearity guarantee
+// the protocol must preserve.
+func expectSameRelation(t *testing.T, got, want *engine.Engine, name string) {
+	t.Helper()
+	gb, err := got.ExportRelation(name)
+	if err != nil {
+		t.Fatalf("%s: export got: %v", name, err)
+	}
+	wb, err := want.ExportRelation(name)
+	if err != nil {
+		t.Fatalf("%s: export want: %v", name, err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("%s: wire-fed synopsis differs from mirror (%d vs %d bundle bytes)", name, len(gb), len(wb))
+	}
+}
+
+func TestWireEndToEnd(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	mirror := newEngine(t, memOpts())
+	for _, e := range []*engine.Engine{eng, mirror} {
+		if _, err := e.Define("f"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.DefineSchema("g", engine.Schema{Attrs: []string{"a", "b"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, addr := startServer(t, eng)
+
+	cl, err := Dial(addr, Options{Conns: 2, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl.IngestMode(), eng.Options().IngestMode.String(); got != want {
+		t.Fatalf("handshake ingest mode %q, engine resolved %q", got, want)
+	}
+
+	// Single-attribute inserts and deletes, spread over several batches so
+	// both pool connections and the ack pipeline see traffic.
+	mf, _ := mirror.Get("f")
+	var rows int64
+	for b := 0; b < 8; b++ {
+		vals := make([]uint64, 100)
+		for i := range vals {
+			vals[i] = uint64(b*31+i) % 257
+		}
+		if err := cl.InsertBatch("f", vals); err != nil {
+			t.Fatal(err)
+		}
+		mf.InsertBatch(vals)
+		rows += int64(len(vals))
+	}
+	del := []uint64{3, 9, 27, 81}
+	if err := cl.DeleteBatch("f", del); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.DeleteBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	rows += int64(len(del))
+
+	// Tuple rows on the schema relation.
+	mg, _ := mirror.Get("g")
+	tuples := make([][]uint64, 200)
+	for i := range tuples {
+		tuples[i] = []uint64{uint64(i) % 97, uint64(3*i) % 89}
+	}
+	if err := cl.InsertRows("g", tuples); err != nil {
+		t.Fatal(err)
+	}
+	mg.InsertTupleBatch(tuples)
+	rows += int64(len(tuples))
+	if err := cl.DeleteRows("g", tuples[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.DeleteTupleBatch(tuples[:10]); err != nil {
+		t.Fatal(err)
+	}
+	rows += 10
+
+	// FLUSH is the read-your-writes barrier: after it, Len and the
+	// synopses must reflect every batch above.
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mirror.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ef, _ := eng.Get("f")
+	if got, want := ef.Len(), mf.Len(); got != want {
+		t.Fatalf("f.Len = %d after flush, mirror %d", got, want)
+	}
+	expectSameRelation(t, eng, mirror, "f")
+	expectSameRelation(t, eng, mirror, "g")
+
+	st := srv.Stats()
+	if st.Rows != rows {
+		t.Fatalf("stats counted %d rows, sent %d", st.Rows, rows)
+	}
+	if st.Batches < 10 || st.Flushes < 1 || st.TotalConns < 1 || st.Errors != 0 {
+		t.Fatalf("implausible stats after clean run: %+v", st)
+	}
+
+	if err := cl.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The server notices the GOODBYEs asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Conns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still reports %d open conns after client close", srv.Stats().Conns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWireServerErrors(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	if _, err := eng.Define("f"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, eng)
+	cl, err := Dial(addr, Options{Conns: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Unknown relation: the batch is staged optimistically on the client,
+	// the server answers ERROR naming the relation, and the flush barrier
+	// surfaces it.
+	err = cl.InsertBatch("nope", []uint64{1})
+	if err == nil {
+		err = cl.Flush()
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("unknown relation: got %v, want *ServerError", err)
+	}
+	if se.Relation != "nope" {
+		t.Fatalf("unknown relation: error names %q, want %q", se.Relation, "nope")
+	}
+
+	// The stream was torn down by the ERROR; the next operation redials
+	// transparently and the connection works again.
+	if err := cl.InsertBatch("f", []uint64{1, 2, 3}); err != nil {
+		t.Fatalf("redial after server error: %v", err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatalf("flush after redial: %v", err)
+	}
+
+	// Arity mismatch: tuple rows against an arity-1 relation.
+	se = nil
+	err = cl.InsertRows("f", [][]uint64{{1, 2}, {3, 4}})
+	if err == nil {
+		err = cl.Flush()
+	}
+	if !errors.As(err, &se) {
+		t.Fatalf("arity mismatch: got %v, want *ServerError", err)
+	}
+	if se.Relation != "f" {
+		t.Fatalf("arity mismatch: error names %q, want %q", se.Relation, "f")
+	}
+}
+
+// TestWireProtoVersionMismatch speaks the raw protocol: a HELLO with a
+// future version must be answered by ERROR, not silence.
+func TestWireProtoVersionMismatch(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	_, addr := startServer(t, eng)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write(AppendFrame(nil, &Frame{Kind: KindHello, Proto: 99, Window: 1})); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	body, err := readFrame(nc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if err := DecodeFrame(body, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindError {
+		t.Fatalf("got %v, want ERROR", f.Kind)
+	}
+}
+
+// TestWireSeqRegression: batch sequence numbers must be strictly
+// increasing per stream; a replayed seq is a protocol error (it would
+// make ack bookkeeping ambiguous).
+func TestWireSeqRegression(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	if _, err := eng.Define("f"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, eng)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var out []byte
+	out = AppendFrame(out, &Frame{Kind: KindHello, Proto: ProtoVersion, Window: 8})
+	out = AppendFrame(out, &Frame{Kind: KindBatch, Seq: 5, Arity: 1, Relation: "f", Vals: []uint64{1}})
+	out = AppendFrame(out, &Frame{Kind: KindBatch, Seq: 5, Arity: 1, Relation: "f", Vals: []uint64{2}})
+	if _, err := nc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for {
+		body, err := readFrame(nc, &buf)
+		if err != nil {
+			t.Fatalf("stream ended without ERROR: %v", err)
+		}
+		var f Frame
+		if err := DecodeFrame(body, &f); err != nil {
+			t.Fatal(err)
+		}
+		switch f.Kind {
+		case KindWelcome, KindAck:
+			continue
+		case KindError:
+			return // the replayed seq was rejected
+		default:
+			t.Fatalf("unexpected %v", f.Kind)
+		}
+	}
+}
+
+// TestWireClientReconnect restarts the server on the same address and
+// expects the client to recover by itself: the outage surfaces as errors
+// (never silent retries — a replayed batch would double-apply into the
+// linear synopses), then the jittered redial path brings the stream back.
+func TestWireClientReconnect(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	if _, err := eng.Define("f"); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(eng)
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	go func() { _ = srv1.Serve(ln1) }()
+
+	cl, err := Dial(addr, Options{Conns: 1, RetryBackoff: time.Millisecond, DialRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.InsertBatch("f", []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The outage must surface as at least one error.
+	deadline := time.Now().Add(5 * time.Second)
+	var sawErr bool
+	for !sawErr {
+		if time.Now().After(deadline) {
+			t.Fatal("no error surfaced while server was down")
+		}
+		if err := cl.InsertBatch("f", []uint64{3}); err != nil {
+			sawErr = true
+		} else if err := cl.Flush(); err != nil {
+			sawErr = true
+		}
+	}
+
+	srv2 := NewServer(eng)
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv2.Serve(ln2) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	// And the client must come back without being rebuilt.
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("client did not reconnect after server restart")
+		}
+		if err := cl.InsertBatch("f", []uint64{4}); err == nil {
+			if err := cl.Flush(); err == nil {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
