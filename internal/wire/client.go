@@ -65,6 +65,12 @@ var ErrGoodbye = errors.New("wire: server shutting down (GOODBYE)")
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("wire: client closed")
 
+// ErrInterrupted reports that the stream broke and was redialed while a
+// call was waiting for acks. Batches sent before the failure were never
+// acknowledged and must be considered lost; the redialed connection
+// carries only traffic sent after it.
+var ErrInterrupted = errors.New("wire: stream redialed while awaiting acks; unacked batches lost")
+
 // ServerError is an ERROR frame surfaced to the caller: the server tore
 // the stream down, naming the relation when one was at fault (a sticky
 // oplog failure, an unknown relation, an arity mismatch).
@@ -229,8 +235,9 @@ type clientConn struct {
 	cond   *sync.Cond
 	nc     net.Conn
 	mode   string // server's ingest mode from WELCOME
-	seq    uint64 // last sent batch seq
-	acked  uint64 // last cumulatively acked seq
+	gen    uint64 // dial generation; bumped by every successful redial
+	seq    uint64 // last sent batch seq (resets with the generation)
+	acked  uint64 // last cumulatively acked seq (resets with the generation)
 	err    error  // terminal stream error; cleared by the next successful redial
 	fails  int    // consecutive dial failures, for backoff growth
 	closed bool
@@ -248,7 +255,10 @@ func newClientConn(addr string, opts *Options, salt uint64) *clientConn {
 
 // ensureLocked makes the connection usable: if it is fresh or broken it
 // redials (up to DialRetries attempts with jittered exponential backoff)
-// and runs the handshake. Caller holds mu.
+// and runs the handshake. Caller holds mu. The backoff sleeps drop the
+// mutex, so while one caller waits out a retry storm the others are not
+// wedged behind it — they queue on the lock, observe the broken state,
+// and either find the connection repaired or join the retry accounting.
 func (cc *clientConn) ensureLocked() error {
 	if cc.closed {
 		return ErrClosed
@@ -256,14 +266,22 @@ func (cc *clientConn) ensureLocked() error {
 	if cc.nc != nil && cc.err == nil {
 		return nil
 	}
-	if cc.nc != nil {
-		_ = cc.nc.Close()
-		cc.nc = nil
-	}
 	var lastErr error
 	for attempt := 0; attempt < cc.opts.DialRetries; attempt++ {
 		if cc.fails > 0 {
 			cc.pause()
+			// The lock was dropped during the sleep: another caller may
+			// have closed the client or already repaired the connection.
+			if cc.closed {
+				return ErrClosed
+			}
+			if cc.nc != nil && cc.err == nil {
+				return nil
+			}
+		}
+		if cc.nc != nil {
+			_ = cc.nc.Close()
+			cc.nc = nil
 		}
 		if err := cc.dialLocked(); err != nil {
 			cc.fails++
@@ -279,8 +297,8 @@ func (cc *clientConn) ensureLocked() error {
 
 // pause sleeps the jittered exponential backoff for the current failure
 // streak (full jitter in [d/2, d), the joinctl policy). Caller holds mu;
-// the sleep deliberately holds it — other users of this connection must
-// not slam the same dead address meanwhile.
+// the sleep itself releases it so Flush/Close and the other pool users
+// are never parked behind a multi-second retry storm.
 func (cc *clientConn) pause() {
 	shift := cc.fails - 1
 	if shift > 10 {
@@ -290,7 +308,9 @@ func (cc *clientConn) pause() {
 	if half := d / 2; half > 0 {
 		d = half + time.Duration(cc.rng.Uint64n(uint64(half)))
 	}
+	cc.mu.Unlock()
 	time.Sleep(d)
+	cc.mu.Lock()
 }
 
 // dialLocked performs one dial + handshake attempt.
@@ -327,6 +347,11 @@ func (cc *clientConn) dialLocked() error {
 	cc.nc = nc
 	cc.mode = f.Text
 	cc.seq, cc.acked = 0, 0
+	cc.gen++
+	// Wake waiters parked on the previous generation's acks; they check
+	// the generation and report ErrInterrupted instead of matching their
+	// stale targets against the fresh stream's counters.
+	cc.cond.Broadcast()
 	go cc.readLoop(nc)
 	return nil
 }
@@ -456,10 +481,18 @@ func (cc *clientConn) sendRows(relation string, del bool, rows [][]uint64) error
 }
 
 // writeBatchLocked sends one BATCH frame, blocking while the ack window
-// is full. Caller holds mu and has ensured the connection.
+// is full. Caller holds mu and has ensured the connection. The window
+// wait is generation-checked: if the stream breaks and another caller
+// redials while we sleep, our earlier frames died with the old
+// connection, so continuing on the fresh one would silently drop the
+// batch's prefix — report ErrInterrupted instead.
 func (cc *clientConn) writeBatchLocked(relation string, del bool, arity int, vals []uint64) error {
-	for cc.seq-cc.acked >= uint64(cc.opts.Window) && cc.err == nil {
+	gen := cc.gen
+	for cc.seq-cc.acked >= uint64(cc.opts.Window) && cc.err == nil && cc.gen == gen {
 		cc.cond.Wait()
+	}
+	if cc.gen != gen {
+		return ErrInterrupted
 	}
 	if cc.err != nil {
 		return cc.takeErrLocked()
@@ -488,7 +521,12 @@ func (cc *clientConn) takeErrLocked() error {
 
 // flush sends FLUSH and waits for the cumulative ack to reach the last
 // sent seq. A connection that was never dialed (or has nothing unacked)
-// returns immediately.
+// returns immediately. The wait is generation-checked: `target` is
+// meaningful only on the connection that sent it, so if a concurrent
+// sender redials while we sleep (resetting seq/acked for the fresh
+// stream), comparing the new generation's acks against the old target
+// could claim lost pre-failure batches were durable — report
+// ErrInterrupted instead.
 func (cc *clientConn) flush() error {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
@@ -501,6 +539,7 @@ func (cc *clientConn) flush() error {
 	if cc.nc == nil || cc.seq == cc.acked {
 		return nil
 	}
+	gen := cc.gen
 	target := cc.seq
 	cc.buf = AppendFrame(cc.buf[:0], &Frame{Kind: KindFlush, Seq: target})
 	if _, err := cc.nc.Write(cc.buf); err != nil {
@@ -509,8 +548,11 @@ func (cc *clientConn) flush() error {
 		}
 		return cc.takeErrLocked()
 	}
-	for cc.acked < target && cc.err == nil {
+	for cc.acked < target && cc.err == nil && cc.gen == gen {
 		cc.cond.Wait()
+	}
+	if cc.gen != gen {
+		return ErrInterrupted
 	}
 	if cc.err != nil {
 		return cc.takeErrLocked()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"amstrack/internal/engine"
 )
@@ -85,6 +86,18 @@ var ErrServerClosed = errors.New("wire: server closed")
 // the instant the reader catches up) instead of in loss recovery.
 const recvBuf = 256 << 10
 
+// handshakeTimeout bounds the wait for a client's HELLO. Before the
+// handshake completes the connection has no ack loop and therefore no
+// goroutine watching the shutdown signal, so an idle pre-HELLO stream
+// must be reaped by deadline or it would wedge Close's wg.Wait.
+const handshakeTimeout = 10 * time.Second
+
+// closeGrace bounds how long Close lets in-flight I/O finish. The
+// GOODBYE write gets this long to reach each client; a connection parked
+// in handshake or an acker blocked writing to a client that stopped
+// reading hits the deadline and tears down, so Close always returns.
+const closeGrace = 2 * time.Second
+
 // Serve accepts streams on ln until Close (→ ErrServerClosed) or a
 // listener error. One Serve per Server.
 func (s *Server) Serve(ln net.Listener) error {
@@ -127,7 +140,10 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting, sends GOODBYE to every open stream, closes
-// them, and waits for the connection goroutines to finish.
+// them, and waits for the connection goroutines to finish. Every stream
+// gets closeGrace to finish in-flight I/O: a deadline on the conn
+// guarantees that readers parked in handshake and ackers blocked writing
+// to stalled clients unblock, so Close cannot hang on a wedged peer.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -137,8 +153,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	deadline := time.Now().Add(closeGrace)
 	for c := range s.conns {
 		c.sayGoodbye()
+		_ = c.nc.SetDeadline(deadline)
 	}
 	s.mu.Unlock()
 	var err error
@@ -150,11 +168,11 @@ func (s *Server) Close() error {
 }
 
 // ackMsg is one reader→acker handoff: a staged batch to acknowledge, a
-// FLUSH barrier to serve, or a terminal error to report before closing.
+// FLUSH barrier to serve (seq = last staged batch, no relation), or a
+// terminal error to report before closing.
 type ackMsg struct {
 	seq    uint64
 	rel    *engine.Relation // staged batch: drain before acking
-	flush  bool
 	err    error  // terminal: send ERROR and tear down
 	errRel string // relation at fault, "" for connection-level errors
 }
@@ -219,12 +237,16 @@ func (c *srvConn) send(m ackMsg) bool {
 
 // handshake reads HELLO and answers WELCOME with the engine's resolved
 // ingest mode, so a client can verify which write path its stream feeds.
+// The read is bounded by handshakeTimeout — until the ack loop exists
+// nothing else can reap an idle connection.
 func (c *srvConn) handshake() error {
+	_ = c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	var buf []byte
 	body, err := readFrame(c.nc, &buf)
 	if err != nil {
 		return err
 	}
+	_ = c.nc.SetReadDeadline(time.Time{})
 	var f Frame
 	if err := DecodeFrame(body, &f); err != nil {
 		return err
@@ -312,9 +334,15 @@ func (c *srvConn) readLoop() {
 					ErrBadFrame, f.Arity, f.Relation, ent.arity))
 				return
 			}
+			// Deletes can fail synchronously: in locked mode the exact
+			// tracker rejects absent values on the spot (absorber mode
+			// reports the same failure as a sticky error at the drain).
+			// Either way it goes back as an ERROR frame naming the
+			// relation, matching the HTTP ingest path's semantics.
+			var delErr error
 			if ent.arity == 1 {
 				if f.Del {
-					_ = ent.rel.DeleteBatch(f.Vals) // sticky error surfaces at the drain
+					delErr = ent.rel.DeleteBatch(f.Vals)
 				} else {
 					ent.rel.InsertBatch(f.Vals)
 				}
@@ -324,10 +352,14 @@ func (c *srvConn) readLoop() {
 					rows = append(rows, f.Vals[i:i+ent.arity])
 				}
 				if f.Del {
-					_ = ent.rel.DeleteTupleBatch(rows)
+					delErr = ent.rel.DeleteTupleBatch(rows)
 				} else {
 					ent.rel.InsertTupleBatch(rows)
 				}
+			}
+			if delErr != nil {
+				fail(f.Seq, f.Relation, delErr)
+				return
 			}
 			c.srv.batches.Add(1)
 			c.srv.rows.Add(int64(f.Rows()))
@@ -335,8 +367,12 @@ func (c *srvConn) readLoop() {
 				return
 			}
 		case KindFlush:
+			// The barrier rides the ordinary ack path: a relation-less
+			// message at the last staged seq forces the acker through a
+			// drain round, and the resulting ACK of `last` covers every
+			// batch sent before the FLUSH — exactly read-your-writes.
 			c.srv.flushes.Add(1)
-			if !c.send(ackMsg{seq: last, flush: true}) {
+			if !c.send(ackMsg{seq: last}) {
 				return
 			}
 		case KindGoodbye:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"amstrack/internal/engine"
+	"amstrack/internal/oplog"
 )
 
 // memOpts is the in-memory engine shape shared by server and mirror —
@@ -205,6 +206,92 @@ func TestWireServerErrors(t *testing.T) {
 	}
 	if se.Relation != "f" {
 		t.Fatalf("arity mismatch: error names %q, want %q", se.Relation, "f")
+	}
+}
+
+// TestWireServerCloseUnblocksIdleHandshake pins the shutdown guarantee:
+// a connection that never sends HELLO has no ack loop watching the bye
+// channel, so only the handshake/Close deadlines can reap it — Close
+// must still return promptly instead of wedging wg.Wait (and with it the
+// daemon's whole SIGTERM path) on one idle client.
+func TestWireServerCloseUnblocksIdleHandshake(t *testing.T) {
+	eng := newEngine(t, memOpts())
+	srv := NewServer(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Conns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never registered the connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > closeGrace+3*time.Second {
+		t.Fatalf("Close took %v with an idle pre-HELLO conn; want ~%v", d, closeGrace)
+	}
+}
+
+// TestWireLockedModeDeleteErrorSurfaces: in locked ingest mode a failed
+// delete reports its error synchronously from DeleteTupleBatch; the wire
+// path must hand it back as an ERROR frame naming the relation — the
+// same semantics the HTTP ingest handler gives its callers — never a
+// clean ACK for a delete the engine rejected.
+func TestWireLockedModeDeleteErrorSurfaces(t *testing.T) {
+	ffs := oplog.NewFaultFS(nil)
+	opts := memOpts()
+	opts.Dir = t.TempDir()
+	opts.FS = ffs
+	opts.IngestMode = engine.IngestLocked
+	eng, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close() // errors after the crash below; irrelevant here
+	if _, err := eng.DefineSchema("g", engine.Schema{Attrs: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, eng)
+	cl, err := Dial(addr, Options{Conns: 1, DialRetries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rows := [][]uint64{{1, 2}, {3, 4}}
+	if err := cl.InsertRows("g", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the filesystem: the next oplog append fails, so the delete
+	// returns the sticky error synchronously in locked mode.
+	ffs.CrashNow()
+	err = cl.DeleteRows("g", rows)
+	if err == nil {
+		err = cl.Flush()
+	}
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("failed delete surfaced as %v, want *ServerError", err)
+	}
+	if se.Relation != "g" {
+		t.Fatalf("error names relation %q, want %q", se.Relation, "g")
 	}
 }
 
