@@ -17,6 +17,7 @@
 //	amsbench -experiment engineingest      # locked vs absorber engine ingest cost
 //	amsbench -experiment ckpttail          # ingest tail latency, checkpointer off vs on
 //	amsbench -experiment wireingest        # HTTP JSON vs amswire streaming ingest
+//	amsbench -experiment coordserve        # coordinator: per-query pull vs cached daemon
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
@@ -24,8 +25,8 @@
 // making every figure exactly reproducible. -json additionally writes
 // machine-readable results for experiments that support it (fastjoin →
 // BENCH_fastjoin.json, engineingest → BENCH_engine.json, ckpttail →
-// BENCH_ckpt.json, wireingest → BENCH_wire.json), so CI can track the
-// perf trajectory.
+// BENCH_ckpt.json, wireingest → BENCH_wire.json, coordserve →
+// BENCH_coord.json), so CI can track the perf trajectory.
 package main
 
 import (
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, coordserve, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -292,6 +293,31 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "coordserve":
+			// Coordinator serving tier: per-query bundle pulls vs the
+			// joinctl -serve cached daemon, same two live nodes, same
+			// bit-identical answer.
+			r, err := experiments.RunCoordServe(1024, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("coordserve", "Coordinator serving: per-query pull vs cached daemon (k=1024, 2 nodes, live refresh)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("%d-client join queries: pull %.0f ns/query, cached %.0f ns/query → %.1fx speedup\n\n",
+				4, r.PullNsPerQuery, r.CachedNsPerQuery, r.Speedup)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_coord.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_coord.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -307,7 +333,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest", "coordserve"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

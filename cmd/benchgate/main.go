@@ -3,7 +3,7 @@
 // committed baseline and fails — exit 1 — when the gated hot-path cost
 // regressed beyond the tolerance. CI runs it after each experiment, so a
 // PR that slows a gated hot path by more than the tolerance cannot merge
-// silently. Four gated experiments:
+// silently. Five gated experiments:
 //
 //   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
 //     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
@@ -15,7 +15,11 @@
 //     pause-free-checkpoint guarantee (acceptance: within 2x);
 //   - wireingest (BENCH_wire.json): end-to-end streaming ingest over
 //     amswire, normalized as wire_ns_per_row ÷ http_ns_per_row at 4
-//     concurrent clients (acceptance: wire at least 3x HTTP's rows/sec).
+//     concurrent clients (acceptance: wire at least 3x HTTP's rows/sec);
+//   - coordserve (BENCH_coord.json): the coordinator daemon's cached
+//     join serving, normalized as cached_ns_per_query ÷
+//     pull_ns_per_query at 4 concurrent clients (acceptance: cached at
+//     least 10x the per-query pull path's estimates/sec).
 //
 // The file's "experiment" field selects the gate; bench and baseline
 // must agree on it.
@@ -36,6 +40,7 @@
 //	benchgate -bench BENCH_engine.json -baseline BENCH_engine.baseline.json [-max-regress 0.35]
 //	benchgate -bench BENCH_ckpt.json -baseline BENCH_ckpt.baseline.json [-max-regress 0.75]
 //	benchgate -bench BENCH_wire.json -baseline BENCH_wire.baseline.json [-max-regress 0.5]
+//	benchgate -bench BENCH_coord.json -baseline BENCH_coord.baseline.json [-max-regress 0.5]
 package main
 
 import (
@@ -64,6 +69,9 @@ type benchFile struct {
 	// wireingest: 4-client streaming ingest, HTTP JSON vs amswire.
 	HTTPNsPerRow float64 `json:"http_ns_per_row"`
 	WireNsPerRow float64 `json:"wire_ns_per_row"`
+	// coordserve: 4-client join queries, per-query pull vs cached daemon.
+	PullNsPerQuery   float64 `json:"pull_ns_per_query"`
+	CachedNsPerQuery float64 `json:"cached_ns_per_query"`
 }
 
 // pair returns (fast-path, reference-path) nanoseconds for the file's
@@ -76,6 +84,8 @@ func (b *benchFile) pair() (fast, ref float64) {
 		return b.OnP99Ns, b.OffP99Ns
 	case "wireingest":
 		return b.WireNsPerRow, b.HTTPNsPerRow
+	case "coordserve":
+		return b.CachedNsPerQuery, b.PullNsPerQuery
 	default:
 		return b.FastNsPerUpdate, b.FlatNsPerUpdate
 	}
@@ -105,8 +115,8 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, or wireingest", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" && b.Experiment != "coordserve" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, wireingest, or coordserve", path, b.Experiment)
 	}
 	fast, ref := b.pair()
 	if fast <= 0 || ref <= 0 {

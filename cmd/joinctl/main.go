@@ -1,9 +1,10 @@
-// Command joinctl is the multi-node coordinator: it pulls per-partition
-// synopsis bundles from N amsd nodes (GET /v1/signatures/{name}), merges
-// each relation's partitions into the synopses of the union — EXACT, by
-// linearity of the AGMS summaries, provided every node runs the same
-// -seed and shape flags — and prints the join-size estimate with the
-// paper's Lemma 4.4 one-σ bound and Fact 1.1 upper bound attached.
+// Command joinctl is the multi-node coordinator CLI over internal/coord:
+// it pulls per-partition synopsis bundles from N amsd nodes
+// (GET /v1/signatures/{name}), merges each relation's partitions into
+// the synopses of the union — EXACT, by linearity of the AGMS summaries,
+// provided every node runs the same -seed and shape flags — and prints
+// the join-size estimate with the paper's Lemma 4.4 one-σ bound and
+// Fact 1.1 upper bound attached.
 //
 // Usage:
 //
@@ -17,28 +18,37 @@
 //
 //	joinctl -nodes ... -chain -left F -attr-a a -mid G -attr-b b -right H
 //
+// Serve mode turns the one-shot coordinator into a daemon: a
+// per-(node, relation) bundle cache kept warm by background refresh
+// loops that poll each node's cheap freshness stamp and refetch only
+// changed bundles, answering GET /v1/join, POST /v1/join/chain,
+// GET /v1/pairs, and GET /healthz from memory with zero node round
+// trips. Every answer carries staleness_ms — the age of the oldest node
+// copy it depends on — and -max-staleness turns that bound into a 503
+// refusal. A lost node degrades freshness, never availability:
+//
+//	joinctl -nodes ... -serve -listen :7700 -relations orders,lineitems
+//
 // Each node is assumed to hold a disjoint partition of every named
 // relation (a node that does not know a relation is skipped with a
 // warning unless -strict). The coordinated estimate is bit-identical to
 // what a single node holding ALL the data would answer — in chain mode
-// too, since the middle signatures merge linearly like everything else.
+// and from the serve-mode cache too, since the synopses (and their
+// freshness stamps) merge linearly.
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
+	"log"
 	"net/http"
-	"net/url"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"amstrack/internal/engine"
-	"amstrack/internal/exact"
-	"amstrack/internal/join"
-	"amstrack/internal/xrand"
+	"amstrack/internal/coord"
 )
 
 func main() {
@@ -55,24 +65,42 @@ func main() {
 		strict  = flag.Bool("strict", false, "fail if any node lacks a relation (default: skip with a warning)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout (each retry attempt gets the full budget)")
 		retries = flag.Int("retries", 3, "attempts per node request; transport errors and 5xx retry, 4xx do not")
-		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the second attempt; doubles per retry, with jitter")
+		backoff = flag.Duration("retry-backoff", 100*time.Millisecond, "base delay before the second attempt; doubles per retry (capped ~30s), with jitter")
+		maxMB   = flag.Int64("max-bundle-mb", 64, "per-response size cap in MiB; a node response past it fails instead of exhausting memory")
 		asJSON  = flag.Bool("json", false, "emit the result as one JSON object")
+
+		serve     = flag.Bool("serve", false, "run as a cached coordinator daemon instead of a one-shot query")
+		listen    = flag.String("listen", ":7700", "serve mode: HTTP listen address")
+		relations = flag.String("relations", "", "serve mode: comma-separated relation names to keep cached (required)")
+		refresh   = flag.Duration("refresh", coord.DefaultRefresh, "serve mode: background refresh interval per node (jittered)")
+		maxStale  = flag.Duration("max-staleness", 0, "serve mode: refuse (503) answers older than this; 0 serves forever with staleness reported")
 	)
 	flag.Parse()
 	// One keep-alive transport for the whole coordination: every node is
-	// asked for a signature AND per-relation stats, so reusing the
-	// connection across phases halves the dials per node. The idle-pool
-	// cap is per host — a wide -nodes list still keeps one warm
-	// connection per daemon.
+	// asked for signatures AND freshness stats, so reusing the connection
+	// across phases halves the dials per node. The idle-pool cap is per
+	// host — a wide -nodes list still keeps one warm connection per
+	// daemon.
 	tr := &http.Transport{MaxIdleConnsPerHost: 4}
-	client := newFetcher(&http.Client{Timeout: *timeout, Transport: tr}, *retries, *backoff)
+	fx := coord.NewFetcher(&http.Client{Timeout: *timeout, Transport: tr}, *retries, *backoff)
+	fx.SetMaxBody(*maxMB << 20)
+
+	if *serve {
+		if *nodes == "" || *relations == "" {
+			fmt.Fprintln(os.Stderr, "joinctl: -serve needs -nodes and -relations")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runServe(fx, coord.SplitNodes(*nodes), coord.SplitNodes(*relations), *listen, *refresh, *maxStale)
+		return
+	}
 	if *chain {
 		if *nodes == "" || *left == "" || *mid == "" || *right == "" || *attrA == "" || *attrB == "" {
 			fmt.Fprintln(os.Stderr, "joinctl: -chain needs -nodes, -left, -mid, -right, -attr-a, and -attr-b")
 			flag.Usage()
 			os.Exit(2)
 		}
-		res, err := coordinateChain(client, splitNodes(*nodes), *left, *attrA, *mid, *attrB, *right, *strict, os.Stderr)
+		res, err := coord.CoordinateChain(fx, coord.SplitNodes(*nodes), *left, *attrA, *mid, *attrB, *right, *strict, os.Stderr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "joinctl:", err)
 			os.Exit(1)
@@ -83,7 +111,7 @@ func main() {
 				res.Estimate, res.Sigma, res.Upper, res.SJF, res.SJG, res.SJH, res.K)
 			return
 		}
-		res.print(os.Stdout)
+		res.Print(os.Stdout)
 		return
 	}
 	if *nodes == "" || *f == "" || *g == "" {
@@ -91,8 +119,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	urls := splitNodes(*nodes)
-	res, err := coordinate(client, urls, *f, *g, *strict, os.Stderr)
+	res, err := coord.Coordinate(fx, coord.SplitNodes(*nodes), *f, *g, *strict, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "joinctl:", err)
 		os.Exit(1)
@@ -102,268 +129,48 @@ func main() {
 			res.F, res.G, res.Nodes, res.RowsF, res.RowsG, res.Estimate, res.Sigma, res.Fact11, res.SJF, res.SJG, res.K)
 		return
 	}
-	res.print(os.Stdout)
+	res.Print(os.Stdout)
 }
 
-// splitNodes parses the -nodes list, dropping empty entries and trailing
-// slashes so "http://a:7600/," round-trips.
-func splitNodes(s string) []string {
-	var out []string
-	for _, n := range strings.Split(s, ",") {
-		n = strings.TrimRight(strings.TrimSpace(n), "/")
-		if n != "" {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
-// result is one coordinated cross-node join estimate.
-type result struct {
-	F, G         string
-	Nodes        int   // nodes that contributed at least one partition
-	RowsF, RowsG int64 // merged tuple counts
-	Estimate     float64
-	Sigma        float64 // Lemma 4.4 one-σ bound
-	Fact11       float64 // Fact 1.1 upper bound
-	SJF, SJG     float64 // merged self-join estimates behind the bounds
-	K            int     // signature memory words (both relations)
-}
-
-func (r *result) print(w io.Writer) {
-	fmt.Fprintf(w, "join %s ⋈ %s across %d node(s)\n", r.F, r.G, r.Nodes)
-	fmt.Fprintf(w, "  rows           : %s=%d  %s=%d\n", r.F, r.RowsF, r.G, r.RowsG)
-	fmt.Fprintf(w, "  estimate       : %.6g\n", r.Estimate)
-	fmt.Fprintf(w, "  ±σ (Lemma 4.4) : %.6g  (k=%d)\n", r.Sigma, r.K)
-	fmt.Fprintf(w, "  Fact 1.1 bound : %.6g\n", r.Fact11)
-	fmt.Fprintf(w, "  SJ estimates   : %s=%.6g  %s=%.6g\n", r.F, r.SJF, r.G, r.SJG)
-}
-
-// coordinate pulls both relations' bundles from every node, merges the
-// partitions, and estimates the join with bounds. warnW receives skip
-// warnings in non-strict mode.
-func coordinate(client *fetcher, nodes []string, f, g string, strict bool, warnW io.Writer) (*result, error) {
-	if len(nodes) == 0 {
-		return nil, errors.New("no nodes given")
-	}
-	bf, nf, err := mergeAcross(client, nodes, f, strict, warnW)
+// runServe runs the cached coordinator daemon until SIGINT/SIGTERM:
+// warm the cache synchronously (a node being down at startup is logged,
+// not fatal — its partitions fill in when it comes back), start the
+// refresh loops, serve, then drain on signal.
+func runServe(fx *coord.Fetcher, nodes, relations []string, listen string, refresh, maxStale time.Duration) {
+	logger := log.New(os.Stderr, "joinctl: ", log.LstdFlags)
+	d, err := coord.NewDaemon(coord.Config{
+		Nodes:        nodes,
+		Relations:    relations,
+		Refresh:      refresh,
+		MaxStaleness: maxStale,
+		Fetcher:      fx,
+		Logf:         logger.Printf,
+	})
 	if err != nil {
-		return nil, err
+		logger.Fatal(err)
 	}
-	bg, ng, err := mergeAcross(client, nodes, g, strict, warnW)
-	if err != nil {
-		return nil, err
+	if err := d.Sweep(); err != nil {
+		logger.Printf("startup sweep: %v (serving anyway; refresh loops will recover)", err)
 	}
-	est, err := join.EstimateJoin(bf.Sig, bg.Sig)
-	if err != nil {
-		return nil, err
-	}
-	sjF, sjG := bf.SelfJoinEstimate(), bg.SelfJoinEstimate()
-	k := bf.Sig.MemoryWords()
-	contributed := nf
-	if ng > contributed {
-		contributed = ng
-	}
-	return &result{
-		F: f, G: g, Nodes: contributed,
-		RowsF: bf.Rows, RowsG: bg.Rows,
-		Estimate: est,
-		Sigma:    join.ErrorBound(sjF, sjG, k),
-		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
-		SJF:      sjF, SJG: sjG,
-		K: k,
-	}, nil
-}
+	d.Start()
+	srv := &http.Server{Addr: listen, Handler: d.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("serving %d relation(s) from %d node(s) on %s (refresh %v)",
+		len(relations), len(nodes), listen, refresh)
 
-// chainResult is one coordinated three-way chain estimate.
-type chainResult struct {
-	F, AttrA, G, AttrB, H string
-	Nodes                 int // nodes that contributed at least one partition
-	RowsF, RowsG, RowsH   int64
-	Estimate              float64
-	Sigma                 float64 // variance-envelope one-σ bound
-	Upper                 float64 // Cauchy–Schwarz upper bound
-	SJF, SJG, SJH         float64 // merged chain self-join estimates
-	K                     int     // chain signature words
-}
-
-func (r *chainResult) print(w io.Writer) {
-	fmt.Fprintf(w, "chain %s ⋈%s %s ⋈%s %s across %d node(s)\n", r.F, r.AttrA, r.G, r.AttrB, r.H, r.Nodes)
-	fmt.Fprintf(w, "  rows           : %s=%d  %s=%d  %s=%d\n", r.F, r.RowsF, r.G, r.RowsG, r.H, r.RowsH)
-	fmt.Fprintf(w, "  estimate       : %.6g\n", r.Estimate)
-	fmt.Fprintf(w, "  ±σ (envelope)  : %.6g  (k=%d)\n", r.Sigma, r.K)
-	fmt.Fprintf(w, "  C–S bound      : %.6g\n", r.Upper)
-	fmt.Fprintf(w, "  SJ estimates   : %s=%.6g  %s=%.6g  %s=%.6g\n", r.F, r.SJF, r.G, r.SJG, r.H, r.SJH)
-}
-
-// coordinateChain pulls all three relations' bundles from every node,
-// merges each relation's partitions (chain sections merge linearly, like
-// the pairwise synopses), and estimates the chain join with bounds.
-func coordinateChain(client *fetcher, nodes []string, f, attrA, g, attrB, h string, strict bool, warnW io.Writer) (*chainResult, error) {
-	if len(nodes) == 0 {
-		return nil, errors.New("no nodes given")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		logger.Fatal(err)
+	case s := <-sig:
+		logger.Printf("%v: shutting down", s)
 	}
-	bf, nf, err := mergeAcross(client, nodes, f, strict, warnW)
-	if err != nil {
-		return nil, err
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
 	}
-	bg, ng, err := mergeAcross(client, nodes, g, strict, warnW)
-	if err != nil {
-		return nil, err
-	}
-	bh, nh, err := mergeAcross(client, nodes, h, strict, warnW)
-	if err != nil {
-		return nil, err
-	}
-	ce, err := engine.EstimateChainBundles(bf, attrA, bg, attrB, bh)
-	if err != nil {
-		return nil, fmt.Errorf("%w (check that every node runs equal -seed, shape, and schema declarations)", err)
-	}
-	contributed := nf
-	for _, n := range []int{ng, nh} {
-		if n > contributed {
-			contributed = n
-		}
-	}
-	return &chainResult{
-		F: f, AttrA: attrA, G: g, AttrB: attrB, H: h,
-		Nodes: contributed,
-		RowsF: bf.Rows, RowsG: bg.Rows, RowsH: bh.Rows,
-		Estimate: ce.Estimate, Sigma: ce.Sigma, Upper: ce.Upper,
-		SJF: ce.SJF, SJG: ce.SJG, SJH: ce.SJH,
-		K: ce.K,
-	}, nil
-}
-
-// mergeAcross fetches one relation's bundle from every node and merges
-// the partitions; n reports how many nodes contributed.
-func mergeAcross(client *fetcher, nodes []string, rel string, strict bool, warnW io.Writer) (*engine.RelationBundle, int, error) {
-	var merged *engine.RelationBundle
-	n := 0
-	for _, node := range nodes {
-		b, err := client.fetchBundle(node, rel)
-		if err != nil {
-			if !strict && errors.Is(err, errNotFound) {
-				if warnW != nil {
-					fmt.Fprintf(warnW, "joinctl: node %s has no relation %q, skipping\n", node, rel)
-				}
-				continue
-			}
-			return nil, 0, fmt.Errorf("node %s, relation %q: %w", node, rel, err)
-		}
-		n++
-		if merged == nil {
-			merged = b
-			continue
-		}
-		if err := merged.Merge(b); err != nil {
-			return nil, 0, fmt.Errorf("node %s, relation %q: %w (check that every node runs equal -seed and shape flags)", node, rel, err)
-		}
-	}
-	if merged == nil {
-		return nil, 0, fmt.Errorf("relation %q: no node has it", rel)
-	}
-	return merged, n, nil
-}
-
-// errNotFound marks a 404 from a node: the relation is not defined there.
-var errNotFound = errors.New("relation not found")
-
-// relPath escapes a relation name for the /v1/signatures/{name...} route.
-// Names may contain '/' (the route is multi-segment), so each segment is
-// escaped separately; anything else ('?', '#', spaces) must not leak into
-// the URL as syntax.
-func relPath(rel string) string {
-	segs := strings.Split(rel, "/")
-	for i, s := range segs {
-		segs[i] = url.PathEscape(s)
-	}
-	return strings.Join(segs, "/")
-}
-
-// fetcher wraps the HTTP client with the coordinator's retry policy:
-// every node request gets up to retries attempts, each with the client's
-// full timeout budget, separated by exponential backoff with jitter.
-// Transport errors and 5xx responses retry (the node may be restarting
-// or mid-recovery); 4xx responses are definitive and fail immediately.
-type fetcher struct {
-	client  *http.Client
-	retries int                 // attempts per request, >= 1
-	backoff time.Duration       // base delay before the second attempt; 0 disables waiting
-	sleep   func(time.Duration) // test seam; nil means time.Sleep
-	rng     *xrand.Rand
-}
-
-func newFetcher(client *http.Client, retries int, backoff time.Duration) *fetcher {
-	if retries < 1 {
-		retries = 1
-	}
-	return &fetcher{client: client, retries: retries, backoff: backoff,
-		rng: xrand.New(uint64(time.Now().UnixNano()))}
-}
-
-// pause sleeps before retry attempt (1-based, so the first retry waits
-// ~backoff, the next ~2·backoff, ...). Full jitter in [d/2, d)
-// desynchronizes a fleet of coordinators hammering one recovering node.
-func (fx *fetcher) pause(attempt int) {
-	if fx.backoff <= 0 {
-		return
-	}
-	d := fx.backoff << uint(attempt-1)
-	if half := d / 2; half > 0 {
-		d = half + time.Duration(fx.rng.Uint64n(uint64(half)))
-	}
-	if fx.sleep != nil {
-		fx.sleep(d)
-	} else {
-		time.Sleep(d)
-	}
-}
-
-// fetchBundle GETs one relation's synopsis bundle from one node,
-// retrying transient failures per the fetcher's policy. A persistent
-// failure reports how many attempts were burned; mergeAcross prefixes
-// the node URL so the operator knows exactly which node is down.
-func (fx *fetcher) fetchBundle(node, rel string) (*engine.RelationBundle, error) {
-	var lastErr error
-	for attempt := 0; attempt < fx.retries; attempt++ {
-		if attempt > 0 {
-			fx.pause(attempt)
-		}
-		b, retryable, err := fx.fetchOnce(node, rel)
-		if err == nil {
-			return b, nil
-		}
-		if !retryable {
-			return nil, err
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("%d attempts exhausted: %w", fx.retries, lastErr)
-}
-
-// fetchOnce is a single GET; retryable marks failures worth another try.
-func (fx *fetcher) fetchOnce(node, rel string) (_ *engine.RelationBundle, retryable bool, _ error) {
-	resp, err := fx.client.Get(node + "/v1/signatures/" + relPath(rel))
-	if err != nil {
-		return nil, true, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, true, err
-	}
-	switch {
-	case resp.StatusCode == http.StatusNotFound:
-		return nil, false, errNotFound
-	case resp.StatusCode >= 500:
-		return nil, true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
-	case resp.StatusCode != http.StatusOK:
-		return nil, false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	b := &engine.RelationBundle{}
-	if err := b.UnmarshalBinary(body); err != nil {
-		return nil, false, err
-	}
-	return b, false, nil
+	d.Stop()
 }

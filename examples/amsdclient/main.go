@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -59,6 +60,11 @@ func main() {
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 	defer hc.CloseIdleConnections()
 
+	// Cap every response read: even against a trusted daemon, a client
+	// should bound what it is willing to buffer — the wrong process on
+	// the right port must fail loudly, not exhaust memory.
+	const maxResponse = 64 << 20
+
 	post := func(path string, body, out any) {
 		raw, _ := json.Marshal(body)
 		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(raw))
@@ -70,7 +76,7 @@ func main() {
 			log.Fatalf("POST %s: %s", path, resp.Status)
 		}
 		if out != nil {
-			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponse)).Decode(out); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -84,7 +90,7 @@ func main() {
 		if resp.StatusCode >= 300 {
 			log.Fatalf("GET %s: %s", path, resp.Status)
 		}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponse)).Decode(out); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -122,10 +122,24 @@ func main() {
 	check(err)
 	resp, err := http.Post(nodes[0].URL+"/v1/join/remote?relation=lineitems", "application/octet-stream", bytes.NewReader(blob))
 	check(err)
-	body, err := io.ReadAll(resp.Body)
+	body, err := readCapped(resp.Body)
 	resp.Body.Close()
 	check(err)
 	fmt.Printf("\nnode 0 × node 1 one-shot remote join (half ⋈ half):\n  %s", body)
+}
+
+// maxResponse caps every response read: a coordinator must bound what it
+// accepts from a node, even a trusted one — a misconfigured server (or
+// the wrong process on the right port) must fail loudly, not exhaust
+// memory. joinctl exposes the same cap as -max-bundle-mb.
+const maxResponse = 64 << 20
+
+func readCapped(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxResponse+1))
+	if err == nil && len(data) > maxResponse {
+		return nil, fmt.Errorf("response exceeds the %d-byte cap", maxResponse)
+	}
+	return data, err
 }
 
 func fetchBundle(nodeURL, rel string) *engine.RelationBundle {
@@ -135,7 +149,7 @@ func fetchBundle(nodeURL, rel string) *engine.RelationBundle {
 	if resp.StatusCode != http.StatusOK {
 		panic(fmt.Sprintf("GET %s/v1/signatures/%s: HTTP %d", nodeURL, rel, resp.StatusCode))
 	}
-	data, err := io.ReadAll(resp.Body)
+	data, err := readCapped(resp.Body)
 	check(err)
 	b := &engine.RelationBundle{}
 	check(b.UnmarshalBinary(data))

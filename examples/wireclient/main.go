@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -66,6 +67,10 @@ func main() {
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 	defer hc.CloseIdleConnections()
 
+	// Cap every response read — a client should bound what it buffers
+	// even from a trusted daemon.
+	const maxResponse = 64 << 20
+
 	post := func(path string, body, out any) {
 		raw, _ := json.Marshal(body)
 		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(raw))
@@ -77,7 +82,7 @@ func main() {
 			log.Fatalf("POST %s: %s", path, resp.Status)
 		}
 		if out != nil {
-			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponse)).Decode(out); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -139,7 +144,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&jb); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponse)).Decode(&jb); err != nil {
 		log.Fatal(err)
 	}
 	resp.Body.Close()

@@ -31,7 +31,12 @@
 // Multi-node signature exchange (bundle bodies are the binary
 // engine.RelationBundle blob, Content-Type application/octet-stream):
 //
-//	GET    /v1/signatures/{name}     export the relation's synopsis bundle
+//	GET    /v1/signatures/{name}     export the relation's synopsis bundle;
+//	                                 ?stat=1 (or a HEAD request) returns only
+//	                                 the freshness stamp — {epoch, seq, rows}
+//	                                 as JSON / X-Amstrack-* headers — so a
+//	                                 coordinator can skip refetching an
+//	                                 unchanged bundle
 //	PUT    /v1/signatures/{name}     import a bundle as a NEW relation;
 //	                                 ?mode=merge folds it into an existing one
 //	POST   /v1/join/remote?relation=F  estimate F ⋈ (uploaded bundle) + bounds
@@ -583,11 +588,51 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, CheckpointBody{Bytes: n})
 }
 
+// SignatureStatBody is the GET /v1/signatures/{name}?stat=1 response:
+// the relation's freshness stamp without the bundle payload. Seq moves
+// with every mutation and Epoch with every durability-log generation, so
+// an unchanged (epoch, seq) pair guarantees the export bytes are
+// unchanged — the contract coordinator caches poll before refetching.
+type SignatureStatBody struct {
+	Relation string `json:"relation"`
+	Epoch    uint64 `json:"epoch"`
+	Seq      uint64 `json:"seq"`
+	Rows     int64  `json:"rows"`
+}
+
+// setStampHeaders mirrors the stamp into X-Amstrack-* headers so HEAD
+// callers get it without a body.
+func setStampHeaders(w http.ResponseWriter, st engine.RelationStat) {
+	w.Header().Set("X-Amstrack-Epoch", fmt.Sprint(st.Epoch))
+	w.Header().Set("X-Amstrack-Seq", fmt.Sprint(st.Seq))
+	w.Header().Set("X-Amstrack-Rows", fmt.Sprint(st.Rows))
+}
+
 // handleExportSignature streams the relation's synopsis bundle — the
 // linear synopses a coordinator or peer node can merge into its own with
-// zero accuracy loss (engines must share Seed and shape options).
+// zero accuracy loss (engines must share Seed and shape options). With
+// ?stat=1, or on a HEAD request (Go's mux routes HEAD through GET
+// patterns), it answers with just the freshness stamp: no synopsis
+// serialization, no payload — the cheap probe a background refresher
+// issues every interval.
 func (s *Server) handleExportSignature(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if r.Method == http.MethodHead || r.URL.Query().Get("stat") != "" {
+		st, err := s.eng.StatRelation(name)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		setStampHeaders(w, st)
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		writeJSON(w, http.StatusOK, SignatureStatBody{
+			Relation: name, Epoch: st.Epoch, Seq: st.Seq, Rows: st.Rows,
+		})
+		return
+	}
 	data, err := s.eng.ExportRelation(name)
 	if err != nil {
 		writeErr(w, statusFor(err), err)

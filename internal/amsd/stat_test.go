@@ -1,0 +1,127 @@
+package amsd_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/engine"
+)
+
+// getStat fetches /v1/signatures/{name}?stat=1 and decodes the body.
+func getStat(t *testing.T, base, name string) (amsd.SignatureStatBody, *http.Response) {
+	t.Helper()
+	resp := do(t, "GET", base+"/v1/signatures/"+name+"?stat=1", "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stat %s: status %d", name, resp.StatusCode)
+	}
+	var st amsd.SignatureStatBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st, resp
+}
+
+// TestSignatureStat pins the coordinator-facing refresh contract: the
+// stat probe reports the relation's live stamp, a mutation moves it, a
+// read does not, and the stamp always equals the one inside the bundle
+// a full export would return right now.
+func TestSignatureStat(t *testing.T) {
+	eng, ts := newServer(t, 0)
+
+	st, resp := getStat(t, ts.URL, "orders")
+	if st.Relation != "orders" || st.Rows != 2000 || st.Seq == 0 {
+		t.Fatalf("stat = %+v, want relation=orders rows=2000 seq>0", st)
+	}
+	if st.Epoch != 0 {
+		t.Fatalf("in-memory engine reported epoch %d", st.Epoch)
+	}
+	if h := resp.Header.Get("X-Amstrack-Seq"); h == "" {
+		t.Fatal("stat response missing X-Amstrack-Seq header")
+	}
+
+	// The stat must agree with the stamp inside the actual export.
+	resp2 := do(t, "GET", ts.URL+"/v1/signatures/orders", "", nil)
+	raw, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b engine.RelationBundle
+	if err := b.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != st.Seq || b.Epoch != st.Epoch || b.Rows != st.Rows {
+		t.Fatalf("bundle stamp (%d,%d,%d) disagrees with stat (%d,%d,%d)",
+			b.Epoch, b.Seq, b.Rows, st.Epoch, st.Seq, st.Rows)
+	}
+
+	// Exports and stats are reads: the stamp must not move.
+	again, _ := getStat(t, ts.URL, "orders")
+	if again != st {
+		t.Fatalf("stat moved across reads: %+v then %+v", st, again)
+	}
+
+	// A mutation through the ingest endpoint moves Seq by the op count.
+	resp3 := do(t, "POST", ts.URL+"/v1/ingest", "application/json",
+		[]byte(`{"relation": "orders", "inserts": [1, 2, 3]}`))
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp3.StatusCode)
+	}
+	after, _ := getStat(t, ts.URL, "orders")
+	if after.Seq != st.Seq+3 {
+		t.Fatalf("Seq after 3 inserts = %d, want %d", after.Seq, st.Seq+3)
+	}
+	if after.Rows != st.Rows+3 {
+		t.Fatalf("Rows after 3 inserts = %d, want %d", after.Rows, st.Rows+3)
+	}
+
+	// Engine-side view agrees with the HTTP view.
+	es, err := eng.StatRelation("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Seq != after.Seq || es.Rows != after.Rows {
+		t.Fatalf("engine stat %+v disagrees with HTTP stat %+v", es, after)
+	}
+}
+
+// TestSignatureStatHead: HEAD answers with the stamp headers and no
+// body — the cheapest possible freshness probe.
+func TestSignatureStatHead(t *testing.T) {
+	_, ts := newServer(t, 0)
+
+	resp := do(t, "HEAD", ts.URL+"/v1/signatures/orders", "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Amstrack-Seq") == "" ||
+		resp.Header.Get("X-Amstrack-Epoch") == "" ||
+		resp.Header.Get("X-Amstrack-Rows") == "" {
+		t.Fatalf("HEAD missing stamp headers: %v", resp.Header)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 0 {
+		t.Fatalf("HEAD returned %d body bytes", len(body))
+	}
+
+	ghost := do(t, "HEAD", ts.URL+"/v1/signatures/ghost", "", nil)
+	ghost.Body.Close()
+	if ghost.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD unknown relation: status %d, want 404", ghost.StatusCode)
+	}
+
+	ghostStat := do(t, "GET", ts.URL+"/v1/signatures/ghost?stat=1", "", nil)
+	ghostStat.Body.Close()
+	if ghostStat.StatusCode != http.StatusNotFound {
+		t.Fatalf("stat unknown relation: status %d, want 404", ghostStat.StatusCode)
+	}
+}

@@ -1,0 +1,180 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"amstrack/internal/engine"
+	"amstrack/internal/exact"
+	"amstrack/internal/join"
+)
+
+// SplitNodes parses a comma-separated node-URL list, dropping empty
+// entries and trailing slashes so "http://a:7600/," round-trips.
+func SplitNodes(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimRight(strings.TrimSpace(n), "/")
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Result is one coordinated cross-node join estimate.
+type Result struct {
+	F, G         string
+	Nodes        int   // nodes that contributed at least one partition
+	RowsF, RowsG int64 // merged tuple counts
+	Estimate     float64
+	Sigma        float64 // Lemma 4.4 one-σ bound
+	Fact11       float64 // Fact 1.1 upper bound
+	SJF, SJG     float64 // merged self-join estimates behind the bounds
+	K            int     // signature memory words (both relations)
+}
+
+// Print renders the human-readable report joinctl emits.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "join %s ⋈ %s across %d node(s)\n", r.F, r.G, r.Nodes)
+	fmt.Fprintf(w, "  rows           : %s=%d  %s=%d\n", r.F, r.RowsF, r.G, r.RowsG)
+	fmt.Fprintf(w, "  estimate       : %.6g\n", r.Estimate)
+	fmt.Fprintf(w, "  ±σ (Lemma 4.4) : %.6g  (k=%d)\n", r.Sigma, r.K)
+	fmt.Fprintf(w, "  Fact 1.1 bound : %.6g\n", r.Fact11)
+	fmt.Fprintf(w, "  SJ estimates   : %s=%.6g  %s=%.6g\n", r.F, r.SJF, r.G, r.SJG)
+}
+
+// pairEstimate computes the join estimate and bounds from two merged
+// bundles — shared by the one-shot Coordinate and the daemon's cached
+// query path, so both answer bit-identically from the same synopses.
+func pairEstimate(f, g string, bf, bg *engine.RelationBundle, nodes int) (*Result, error) {
+	est, err := join.EstimateJoin(bf.Sig, bg.Sig)
+	if err != nil {
+		return nil, err
+	}
+	sjF, sjG := bf.SelfJoinEstimate(), bg.SelfJoinEstimate()
+	k := bf.Sig.MemoryWords()
+	return &Result{
+		F: f, G: g, Nodes: nodes,
+		RowsF: bf.Rows, RowsG: bg.Rows,
+		Estimate: est,
+		Sigma:    join.ErrorBound(sjF, sjG, k),
+		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:      sjF, SJG: sjG,
+		K: k,
+	}, nil
+}
+
+// Coordinate pulls both relations' bundles from every node, merges the
+// partitions, and estimates the join with bounds. warnW receives skip
+// warnings in non-strict mode.
+func Coordinate(fx *Fetcher, nodes []string, f, g string, strict bool, warnW io.Writer) (*Result, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("no nodes given")
+	}
+	bf, nf, err := MergeAcross(fx, nodes, f, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	bg, ng, err := MergeAcross(fx, nodes, g, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	return pairEstimate(f, g, bf, bg, max(nf, ng))
+}
+
+// ChainResult is one coordinated three-way chain estimate.
+type ChainResult struct {
+	F, AttrA, G, AttrB, H string
+	Nodes                 int // nodes that contributed at least one partition
+	RowsF, RowsG, RowsH   int64
+	Estimate              float64
+	Sigma                 float64 // variance-envelope one-σ bound
+	Upper                 float64 // Cauchy–Schwarz upper bound
+	SJF, SJG, SJH         float64 // merged chain self-join estimates
+	K                     int     // chain signature words
+}
+
+// Print renders the human-readable chain report joinctl emits.
+func (r *ChainResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "chain %s ⋈%s %s ⋈%s %s across %d node(s)\n", r.F, r.AttrA, r.G, r.AttrB, r.H, r.Nodes)
+	fmt.Fprintf(w, "  rows           : %s=%d  %s=%d  %s=%d\n", r.F, r.RowsF, r.G, r.RowsG, r.H, r.RowsH)
+	fmt.Fprintf(w, "  estimate       : %.6g\n", r.Estimate)
+	fmt.Fprintf(w, "  ±σ (envelope)  : %.6g  (k=%d)\n", r.Sigma, r.K)
+	fmt.Fprintf(w, "  C–S bound      : %.6g\n", r.Upper)
+	fmt.Fprintf(w, "  SJ estimates   : %s=%.6g  %s=%.6g  %s=%.6g\n", r.F, r.SJF, r.G, r.SJG, r.H, r.SJH)
+}
+
+// chainEstimate computes the chain estimate and bounds from three merged
+// bundles — shared by CoordinateChain and the daemon.
+func chainEstimate(f, attrA, g, attrB, h string, bf, bg, bh *engine.RelationBundle, nodes int) (*ChainResult, error) {
+	ce, err := engine.EstimateChainBundles(bf, attrA, bg, attrB, bh)
+	if err != nil {
+		return nil, fmt.Errorf("%w (check that every node runs equal -seed, shape, and schema declarations)", err)
+	}
+	return &ChainResult{
+		F: f, AttrA: attrA, G: g, AttrB: attrB, H: h,
+		Nodes: nodes,
+		RowsF: bf.Rows, RowsG: bg.Rows, RowsH: bh.Rows,
+		Estimate: ce.Estimate, Sigma: ce.Sigma, Upper: ce.Upper,
+		SJF: ce.SJF, SJG: ce.SJG, SJH: ce.SJH,
+		K: ce.K,
+	}, nil
+}
+
+// CoordinateChain pulls all three relations' bundles from every node,
+// merges each relation's partitions (chain sections merge linearly, like
+// the pairwise synopses), and estimates the chain join with bounds.
+func CoordinateChain(fx *Fetcher, nodes []string, f, attrA, g, attrB, h string, strict bool, warnW io.Writer) (*ChainResult, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("no nodes given")
+	}
+	bf, nf, err := MergeAcross(fx, nodes, f, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	bg, ng, err := MergeAcross(fx, nodes, g, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	bh, nh, err := MergeAcross(fx, nodes, h, strict, warnW)
+	if err != nil {
+		return nil, err
+	}
+	return chainEstimate(f, attrA, g, attrB, h, bf, bg, bh, max(nf, max(ng, nh)))
+}
+
+// MergeAcross fetches one relation's bundle from every node and merges
+// the partitions IN NODE-LIST ORDER — the same order the daemon's cache
+// merges in, which is what keeps cached answers bit-identical to fresh
+// pulls. n reports how many nodes contributed.
+func MergeAcross(fx *Fetcher, nodes []string, rel string, strict bool, warnW io.Writer) (*engine.RelationBundle, int, error) {
+	var merged *engine.RelationBundle
+	n := 0
+	for _, node := range nodes {
+		b, err := fx.FetchBundle(node, rel)
+		if err != nil {
+			if !strict && errors.Is(err, ErrNotFound) {
+				if warnW != nil {
+					fmt.Fprintf(warnW, "joinctl: node %s has no relation %q, skipping\n", node, rel)
+				}
+				continue
+			}
+			return nil, 0, fmt.Errorf("node %s, relation %q: %w", node, rel, err)
+		}
+		n++
+		if merged == nil {
+			merged = b
+			continue
+		}
+		if err := merged.Merge(b); err != nil {
+			return nil, 0, fmt.Errorf("node %s, relation %q: %w (check that every node runs equal -seed and shape flags)", node, rel, err)
+		}
+	}
+	if merged == nil {
+		return nil, 0, fmt.Errorf("relation %q: no node has it", rel)
+	}
+	return merged, n, nil
+}

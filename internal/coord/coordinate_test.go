@@ -1,13 +1,11 @@
-package main
+package coord
 
 import (
 	"bytes"
-	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
 	"amstrack/internal/amsd"
 	"amstrack/internal/dist"
@@ -22,7 +20,12 @@ func nodeOpts() engine.Options {
 
 func newNode(t *testing.T) (*engine.Engine, *httptest.Server) {
 	t.Helper()
-	eng, err := engine.New(nodeOpts())
+	return newNodeOpts(t, nodeOpts())
+}
+
+func newNodeOpts(t *testing.T, opts engine.Options) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng, err := engine.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,6 +41,11 @@ func define(t *testing.T, e *engine.Engine, names ...string) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// testFetcher is a no-retry, no-sleep fetcher for the happy-path tests.
+func testFetcher() *Fetcher {
+	return NewFetcher(&http.Client{}, 1, 0)
 }
 
 // TestCoordinatorBitIdentical is the acceptance path: two amsd nodes each
@@ -68,8 +76,7 @@ func TestCoordinatorBitIdentical(t *testing.T) {
 	fl, _ := full.Get("lineitems")
 	fo.InsertBatch(orders)
 	fl.InsertBatch(lineitems)
-	fo2, _ := full.Get("orders")
-	if err := fo2.DeleteBatch(orders[:2000]); err != nil {
+	if err := fo.DeleteBatch(orders[:2000]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -104,7 +111,7 @@ func TestCoordinatorBitIdentical(t *testing.T) {
 		}
 	}
 
-	res, err := coordinate(client, urls, "orders", "lineitems", true, nil)
+	res, err := Coordinate(client, urls, "orders", "lineitems", true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,8 +130,9 @@ func TestCoordinatorBitIdentical(t *testing.T) {
 	}
 
 	// The merged wire bundle itself is bit-identical to the single node's
-	// export — estimates AND serialized bytes.
-	merged, _, err := mergeAcross(client, urls, "orders", true, nil)
+	// export — estimates AND serialized bytes, freshness stamp included
+	// (Seq sums over the disjoint partitions).
+	merged, _, err := MergeAcross(client, urls, "orders", true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,14 +169,15 @@ func defineChainRels(t *testing.T, e *engine.Engine) {
 	}
 }
 
-// TestChainCoordinatorBitIdentical is the chain acceptance path: THREE
-// amsd nodes each hold a third of the F(a) ⋈a G(a,b) ⋈b H(b) data
-// (zipf-skewed ends, a mixed middle, plus a deletion wave); the
-// coordinator merges the shipped chain sections and its estimate — and
-// every bound attached to it — is BIT-IDENTICAL to a single node having
-// ingested everything. Run under BOTH ingest modes: linearity makes the
-// merge exact regardless of the write path.
-func TestChainCoordinatorBitIdentical(t *testing.T) {
+// chainData is the shared dataset of the chain coordinator tests.
+type chainData struct {
+	fvals, hvals []uint64
+	grows        [][]uint64
+	n, del       int
+}
+
+func makeChainData(t *testing.T) *chainData {
+	t.Helper()
 	zf, err := dist.NewZipf(1.1, 3000, 41)
 	if err != nil {
 		t.Fatal(err)
@@ -186,56 +195,69 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 9000
-	fvals := dist.Take(zf, n)
-	hvals := dist.Take(zh, n)
+	d := &chainData{n: n, del: n / 10}
+	d.fvals = dist.Take(zf, n)
+	d.hvals = dist.Take(zh, n)
 	as, bs := dist.Take(za, n), dist.Take(zb, n)
-	grows := make([][]uint64, n)
-	for i := range grows {
-		grows[i] = []uint64{as[i], bs[i]}
+	d.grows = make([][]uint64, n)
+	for i := range d.grows {
+		d.grows[i] = []uint64{as[i], bs[i]}
 	}
-	del := n / 10
+	return d
+}
 
-	ingestThird := func(e *engine.Engine, i, parts int) {
-		pick := func(j int) bool { return parts == 1 || j%parts == i }
-		rf, _ := e.Get("forders")
-		rg, _ := e.Get("glineitem")
-		rh, _ := e.Get("hparts")
-		var fs, hs []uint64
-		var gs [][]uint64
-		for j := 0; j < n; j++ {
-			if pick(j) {
-				fs = append(fs, fvals[j])
-				gs = append(gs, grows[j])
-				hs = append(hs, hvals[j])
-			}
-		}
-		rf.InsertBatch(fs)
-		rg.InsertTupleBatch(gs)
-		rh.InsertBatch(hs)
-		// The deletion wave is partitioned the same way.
-		var dfs, dhs []uint64
-		var dgs [][]uint64
-		for j := 0; j < del; j++ {
-			if pick(j) {
-				dfs = append(dfs, fvals[j])
-				dgs = append(dgs, grows[j])
-				dhs = append(dhs, hvals[j])
-			}
-		}
-		if err := rf.DeleteBatch(dfs); err != nil {
-			t.Fatal(err)
-		}
-		if err := rg.DeleteTupleBatch(dgs); err != nil {
-			t.Fatal(err)
-		}
-		if err := rh.DeleteBatch(dhs); err != nil {
-			t.Fatal(err)
-		}
-		if err := e.Drain(); err != nil {
-			t.Fatal(err)
+// ingestPart loads partition i of parts into an engine (parts == 1 loads
+// everything), deletion wave included.
+func (d *chainData) ingestPart(t *testing.T, e *engine.Engine, i, parts int) {
+	t.Helper()
+	pick := func(j int) bool { return parts == 1 || j%parts == i }
+	rf, _ := e.Get("forders")
+	rg, _ := e.Get("glineitem")
+	rh, _ := e.Get("hparts")
+	var fs, hs []uint64
+	var gs [][]uint64
+	for j := 0; j < d.n; j++ {
+		if pick(j) {
+			fs = append(fs, d.fvals[j])
+			gs = append(gs, d.grows[j])
+			hs = append(hs, d.hvals[j])
 		}
 	}
+	rf.InsertBatch(fs)
+	rg.InsertTupleBatch(gs)
+	rh.InsertBatch(hs)
+	var dfs, dhs []uint64
+	var dgs [][]uint64
+	for j := 0; j < d.del; j++ {
+		if pick(j) {
+			dfs = append(dfs, d.fvals[j])
+			dgs = append(dgs, d.grows[j])
+			dhs = append(dhs, d.hvals[j])
+		}
+	}
+	if err := rf.DeleteBatch(dfs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.DeleteTupleBatch(dgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rh.DeleteBatch(dhs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
 
+// TestChainCoordinatorBitIdentical is the chain acceptance path: THREE
+// amsd nodes each hold a third of the F(a) ⋈a G(a,b) ⋈b H(b) data
+// (zipf-skewed ends, a mixed middle, plus a deletion wave); the
+// coordinator merges the shipped chain sections and its estimate — and
+// every bound attached to it — is BIT-IDENTICAL to a single node having
+// ingested everything. Run under BOTH ingest modes: linearity makes the
+// merge exact regardless of the write path.
+func TestChainCoordinatorBitIdentical(t *testing.T) {
+	data := makeChainData(t)
 	for _, mode := range []engine.IngestMode{engine.IngestLocked, engine.IngestAbsorber} {
 		t.Run(mode.String(), func(t *testing.T) {
 			// Single-node reference over the full data.
@@ -244,7 +266,7 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			defineChainRels(t, full)
-			ingestThird(full, 0, 1)
+			data.ingestPart(t, full, 0, 1)
 
 			// Three nodes, each holding every third tuple, over HTTP.
 			urls := make([]string, 3)
@@ -254,14 +276,14 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 					t.Fatal(err)
 				}
 				defineChainRels(t, eng)
-				ingestThird(eng, i, 3)
+				data.ingestPart(t, eng, i, 3)
 				ts := httptest.NewServer(amsd.NewServer(eng))
 				t.Cleanup(ts.Close)
 				urls[i] = ts.URL
 			}
 
 			client := testFetcher()
-			res, err := coordinateChain(client, urls, "forders", "a", "glineitem", "b", "hparts", true, nil)
+			res, err := CoordinateChain(client, urls, "forders", "a", "glineitem", "b", "hparts", true, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -276,14 +298,14 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 				res.SJF != want.SJF || res.SJG != want.SJG || res.SJH != want.SJH || res.K != want.K {
 				t.Fatalf("coordinated chain bounds %+v != single-node %+v", res, want)
 			}
-			if res.Nodes != 3 || res.RowsG != int64(n-del) {
+			if res.Nodes != 3 || res.RowsG != int64(data.n-data.del) {
 				t.Fatalf("nodes/rows = %+v", res)
 			}
 
 			// The merged wire bundles themselves — chain sections included —
 			// are bit-identical to the single node's exports.
 			for _, rel := range []string{"forders", "glineitem", "hparts"} {
-				merged, _, err := mergeAcross(client, urls, rel, true, nil)
+				merged, _, err := MergeAcross(client, urls, rel, true, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -305,11 +327,11 @@ func TestChainCoordinatorBitIdentical(t *testing.T) {
 
 // TestChainResultPrint pins the chain output shape.
 func TestChainResultPrint(t *testing.T) {
-	r := &chainResult{F: "f", AttrA: "a", G: "g", AttrB: "b", H: "h", Nodes: 3,
+	r := &ChainResult{F: "f", AttrA: "a", G: "g", AttrB: "b", H: "h", Nodes: 3,
 		RowsF: 1, RowsG: 2, RowsH: 3, Estimate: 99, Sigma: 5, Upper: 1000,
 		SJF: 1, SJG: 2, SJH: 3, K: 512}
 	var buf strings.Builder
-	r.print(&buf)
+	r.Print(&buf)
 	for _, want := range []string{"chain f ⋈a g ⋈b h across 3 node(s)", "estimate", "envelope", "k=512", "C–S bound"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, buf.String())
@@ -318,7 +340,7 @@ func TestChainResultPrint(t *testing.T) {
 }
 
 // TestCoordinatorPartialNodes: a relation missing on one node is skipped
-// (with a warning) unless -strict.
+// (with a warning) unless strict.
 func TestCoordinatorPartialNodes(t *testing.T) {
 	e1, ts1 := newNode(t)
 	e2, ts2 := newNode(t)
@@ -334,7 +356,7 @@ func TestCoordinatorPartialNodes(t *testing.T) {
 	urls := []string{ts1.URL, ts2.URL}
 	client := testFetcher()
 	var warn strings.Builder
-	res, err := coordinate(client, urls, "orders", "regional", false, &warn)
+	res, err := Coordinate(client, urls, "orders", "regional", false, &warn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,13 +366,13 @@ func TestCoordinatorPartialNodes(t *testing.T) {
 	if !strings.Contains(warn.String(), "regional") {
 		t.Fatalf("no skip warning: %q", warn.String())
 	}
-	if _, err := coordinate(client, urls, "orders", "regional", true, nil); err == nil {
+	if _, err := Coordinate(client, urls, "orders", "regional", true, nil); err == nil {
 		t.Fatal("strict mode accepted a missing partition")
 	}
-	if _, err := coordinate(client, urls, "orders", "ghost", false, nil); err == nil {
+	if _, err := Coordinate(client, urls, "orders", "ghost", false, nil); err == nil {
 		t.Fatal("fully absent relation accepted")
 	}
-	if _, err := coordinate(client, nil, "a", "b", false, nil); err == nil {
+	if _, err := Coordinate(client, nil, "a", "b", false, nil); err == nil {
 		t.Fatal("empty node list accepted")
 	}
 }
@@ -366,14 +388,14 @@ func TestCoordinatorEscapedNames(t *testing.T) {
 		r.InsertBatch([]uint64{1, 2, 3})
 	}
 	client := testFetcher()
-	res, err := coordinate(client, []string{ts1.URL}, "sales?2024", "ref #1 data", true, nil)
+	res, err := Coordinate(client, []string{ts1.URL}, "sales?2024", "ref #1 data", true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.RowsF != 3 || res.RowsG != 3 {
 		t.Fatalf("rows = %+v", res)
 	}
-	if res2, err := coordinate(client, []string{ts1.URL}, "sales/2026/q1", "sales?2024", true, nil); err != nil {
+	if res2, err := Coordinate(client, []string{ts1.URL}, "sales/2026/q1", "sales?2024", true, nil); err != nil {
 		t.Fatal(err)
 	} else if res2.RowsF != 3 {
 		t.Fatalf("multi-segment rows = %+v", res2)
@@ -383,113 +405,21 @@ func TestCoordinatorEscapedNames(t *testing.T) {
 // TestSplitNodes: URL list parsing tolerates spaces, empties, and
 // trailing slashes.
 func TestSplitNodes(t *testing.T) {
-	got := splitNodes(" http://a:7600/, ,http://b:7600 ,")
+	got := SplitNodes(" http://a:7600/, ,http://b:7600 ,")
 	if len(got) != 2 || got[0] != "http://a:7600" || got[1] != "http://b:7600" {
-		t.Fatalf("splitNodes = %q", got)
+		t.Fatalf("SplitNodes = %q", got)
 	}
 }
 
 // TestResultPrint pins the human output shape.
 func TestResultPrint(t *testing.T) {
-	r := &result{F: "f", G: "g", Nodes: 2, RowsF: 10, RowsG: 20,
+	r := &Result{F: "f", G: "g", Nodes: 2, RowsF: 10, RowsG: 20,
 		Estimate: 1234, Sigma: 56, Fact11: 9999, SJF: 11, SJG: 22, K: 512}
 	var buf strings.Builder
-	r.print(&buf)
+	r.Print(&buf)
 	for _, want := range []string{"f ⋈ g across 2 node(s)", "estimate", "Lemma 4.4", "k=512", "Fact 1.1"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, buf.String())
-		}
-	}
-}
-
-// testFetcher is a no-retry, no-sleep fetcher for the happy-path tests.
-func testFetcher() *fetcher {
-	return newFetcher(&http.Client{}, 1, 0)
-}
-
-// TestFetchRetryFlakyNode: a node that 500s twice before answering must
-// succeed under the retry policy, with exponentially growing (jittered)
-// backoff between attempts — and a 404 must NOT burn retries.
-func TestFetchRetryFlakyNode(t *testing.T) {
-	eng, err := engine.New(nodeOpts())
-	if err != nil {
-		t.Fatal(err)
-	}
-	define(t, eng, "orders")
-	r, _ := eng.Get("orders")
-	r.InsertBatch([]uint64{1, 2, 3})
-	blob, err := eng.ExportRelation("orders")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	var calls, notFoundCalls int
-	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if strings.Contains(req.URL.Path, "ghost") {
-			notFoundCalls++
-			http.Error(w, `{"error":"unknown relation"}`, http.StatusNotFound)
-			return
-		}
-		calls++
-		if calls <= 2 {
-			http.Error(w, "restarting", http.StatusInternalServerError)
-			return
-		}
-		w.Write(blob)
-	}))
-	t.Cleanup(flaky.Close)
-
-	fx := newFetcher(&http.Client{}, 3, 100*time.Millisecond)
-	var sleeps []time.Duration
-	fx.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
-
-	b, err := fx.fetchBundle(flaky.URL, "orders")
-	if err != nil {
-		t.Fatalf("flaky node not retried: %v", err)
-	}
-	if b.Rows != 3 || calls != 3 {
-		t.Fatalf("rows=%d calls=%d", b.Rows, calls)
-	}
-	if len(sleeps) != 2 {
-		t.Fatalf("backoff sleeps = %v, want 2", sleeps)
-	}
-	// Jittered exponential: first wait in [50ms, 100ms), second in
-	// [100ms, 200ms) — strictly longer.
-	if sleeps[0] < 50*time.Millisecond || sleeps[0] >= 100*time.Millisecond ||
-		sleeps[1] < 100*time.Millisecond || sleeps[1] >= 200*time.Millisecond {
-		t.Fatalf("backoff sleeps = %v, want jittered doubling from 100ms", sleeps)
-	}
-
-	// 404 is definitive: one request, no sleeps, errNotFound.
-	sleeps = nil
-	if _, err := fx.fetchBundle(flaky.URL, "ghost"); !errors.Is(err, errNotFound) {
-		t.Fatalf("404 err = %v, want errNotFound", err)
-	}
-	if notFoundCalls != 1 || len(sleeps) != 0 {
-		t.Fatalf("404 was retried: calls=%d sleeps=%v", notFoundCalls, sleeps)
-	}
-}
-
-// TestPersistentFailureNamesNode: when a node stays down past the retry
-// budget, the coordinator's error names the node and the attempt count —
-// the operator must not have to guess which of N nodes is sick.
-func TestPersistentFailureNamesNode(t *testing.T) {
-	healthy, ts := newNode(t)
-	define(t, healthy, "orders")
-	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		http.Error(w, "on fire", http.StatusInternalServerError)
-	}))
-	t.Cleanup(dead.Close)
-
-	fx := newFetcher(&http.Client{}, 3, time.Millisecond)
-	fx.sleep = func(time.Duration) {}
-	_, _, err := mergeAcross(fx, []string{ts.URL, dead.URL}, "orders", true, nil)
-	if err == nil {
-		t.Fatal("persistently failing node accepted")
-	}
-	for _, want := range []string{dead.URL, "3 attempts"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Fatalf("error %q does not name %q", err, want)
 		}
 	}
 }

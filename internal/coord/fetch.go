@@ -1,0 +1,268 @@
+// Package coord is the coordinator serving tier: the logic joinctl grew
+// out of. It pulls per-partition synopsis bundles from N amsd nodes,
+// merges each relation's partitions into the synopses of the union —
+// EXACT, by linearity of the AGMS summaries, provided every node runs
+// the same seed and shape options — and estimates joins with the paper's
+// bounds attached. On top of the one-shot Coordinate/CoordinateChain
+// calls it layers a Daemon: a per-(node, relation) versioned bundle
+// cache kept warm by background refresh loops that poll the nodes' cheap
+// freshness-stamp endpoint and refetch only what changed, so join
+// queries are answered from memory with zero node round trips.
+package coord
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"amstrack/internal/engine"
+	"amstrack/internal/xrand"
+)
+
+// ErrNotFound marks a 404 from a node: the relation is not defined there.
+var ErrNotFound = errors.New("relation not found")
+
+// ErrTooLarge marks a response body that overran the fetcher's bundle
+// cap. It is definitive, not retryable: the node's bundle will not
+// shrink on the next attempt, and retrying a multi-megabyte download is
+// exactly the bandwidth waste the cap exists to stop.
+var ErrTooLarge = errors.New("bundle exceeds the response size cap")
+
+// DefaultMaxBody caps fetched response bodies: generous enough for
+// k≈10⁶ bundles with chain sections, small enough that a misconfigured
+// or hostile node cannot balloon the coordinator. joinctl's
+// -max-bundle-mb flag overrides it.
+const DefaultMaxBody = 64 << 20
+
+// maxBackoff caps the exponential retry backoff. Past ~30s a node is
+// down, not busy: longer waits only delay the operator's answer, and an
+// unclamped doubling overflows time.Duration around attempt 40.
+const maxBackoff = 30 * time.Second
+
+// Fetcher wraps an HTTP client with the coordinator's retry policy:
+// every node request gets up to retries attempts, each with the client's
+// full timeout budget, separated by exponential backoff with full jitter
+// in [d/2, d). Transport errors and 5xx responses retry (the node may be
+// restarting or mid-recovery); 4xx responses are definitive and fail
+// immediately. Response bodies are capped at MaxBody.
+//
+// A Fetcher is safe for concurrent use by multiple goroutines except for
+// the jitter RNG, which is guarded by the assumption that concurrent
+// retries tolerate correlated jitter — xrand.Rand is not synchronized,
+// so concurrent pauses may read torn state; the worst case is a
+// non-uniform jitter draw, never a panic or an out-of-range duration,
+// because the draw is re-bounded below.
+type Fetcher struct {
+	client  *http.Client
+	retries int           // attempts per request, >= 1
+	backoff time.Duration // base delay before the second attempt; 0 disables waiting
+	maxBody int64         // response body cap in bytes
+
+	sleep func(time.Duration) // test seam; nil means time.Sleep
+	rng   *xrand.Rand
+}
+
+// NewFetcher builds a fetcher with the default response cap. retries
+// below 1 is treated as 1; backoff 0 retries without waiting.
+func NewFetcher(client *http.Client, retries int, backoff time.Duration) *Fetcher {
+	if retries < 1 {
+		retries = 1
+	}
+	return &Fetcher{client: client, retries: retries, backoff: backoff,
+		maxBody: DefaultMaxBody, rng: xrand.New(jitterSeed())}
+}
+
+// SetMaxBody overrides the response body cap in bytes (<= 0 restores the
+// default). Call before the fetcher is shared across goroutines.
+func (fx *Fetcher) SetMaxBody(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBody
+	}
+	fx.maxBody = n
+}
+
+// jitterSeed seeds each fetcher's jitter RNG independently: cryptographic
+// randomness when available, otherwise the clock mixed with the PID.
+// A fleet of coordinators started by the same supervisor in the same
+// tick must NOT share a jitter sequence — synchronized backoff defeats
+// its whole purpose of spreading the retry storm that follows a node
+// restart.
+func jitterSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return xrand.Mix64(uint64(time.Now().UnixNano())) ^ xrand.Mix64(uint64(os.Getpid())<<1|1)
+}
+
+// pause sleeps before retry attempt (1-based, so the first retry waits
+// ~backoff, the next ~2·backoff, ...). The doubling is computed by
+// repeated shifting with an overflow guard and clamped to maxBackoff:
+// a single unchecked `backoff << (attempt-1)` goes negative around
+// attempt 40 (time.Duration is an int64 of nanoseconds), which used to
+// skip the jitter draw and hand time.Sleep a negative duration — i.e. no
+// wait at all, turning the late retries into a busy retry storm against
+// an already-struggling node. Full jitter in [d/2, d) desynchronizes a
+// fleet of coordinators hammering one recovering node.
+func (fx *Fetcher) pause(attempt int) {
+	if fx.backoff <= 0 {
+		return
+	}
+	d := fx.backoff
+	for i := 1; i < attempt && d < maxBackoff; i++ {
+		if d > maxBackoff/2 { // next shift would pass (or overflow past) the cap
+			d = maxBackoff
+			break
+		}
+		d <<= 1
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(fx.rng.Uint64n(uint64(half)))
+	}
+	if fx.sleep != nil {
+		fx.sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// RelPath escapes a relation name for the /v1/signatures/{name...}
+// route. Names may contain '/' (the route is multi-segment), so each
+// segment is escaped separately; anything else ('?', '#', spaces) must
+// not leak into the URL as syntax.
+func RelPath(rel string) string {
+	segs := strings.Split(rel, "/")
+	for i, s := range segs {
+		segs[i] = url.PathEscape(s)
+	}
+	return strings.Join(segs, "/")
+}
+
+// retry drives one logical request through the retry policy. op performs
+// a single attempt and reports whether its failure is worth another try.
+func (fx *Fetcher) retry(op func() (retryable bool, err error)) error {
+	var lastErr error
+	for attempt := 0; attempt < fx.retries; attempt++ {
+		if attempt > 0 {
+			fx.pause(attempt)
+		}
+		retryable, err := op()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%d attempts exhausted: %w", fx.retries, lastErr)
+}
+
+// readCapped reads the whole response body, enforcing the fetcher's cap.
+// The extra byte of headroom distinguishes "exactly at the cap" from
+// "overran it" without trusting Content-Length.
+func (fx *Fetcher) readCapped(body io.Reader) ([]byte, bool, error) {
+	data, err := io.ReadAll(io.LimitReader(body, fx.maxBody+1))
+	if err != nil {
+		return nil, true, err
+	}
+	if int64(len(data)) > fx.maxBody {
+		return nil, false, fmt.Errorf("%w (%d-byte cap; raise -max-bundle-mb if the bundle is legitimately this large)", ErrTooLarge, fx.maxBody)
+	}
+	return data, false, nil
+}
+
+// FetchBundleBytes GETs one relation's serialized synopsis bundle from
+// one node, retrying transient failures per the fetcher's policy. A
+// persistent failure reports how many attempts were burned; callers
+// prefix the node URL so the operator knows exactly which node is down.
+func (fx *Fetcher) FetchBundleBytes(node, rel string) ([]byte, error) {
+	var out []byte
+	err := fx.retry(func() (bool, error) {
+		resp, err := fx.client.Get(node + "/v1/signatures/" + RelPath(rel))
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return false, ErrNotFound
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		case resp.StatusCode != http.StatusOK:
+			return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		out = body
+		return false, nil
+	})
+	return out, err
+}
+
+// FetchBundle fetches and decodes one relation's bundle.
+func (fx *Fetcher) FetchBundle(node, rel string) (*engine.RelationBundle, error) {
+	raw, err := fx.FetchBundleBytes(node, rel)
+	if err != nil {
+		return nil, err
+	}
+	b := &engine.RelationBundle{}
+	if err := b.UnmarshalBinary(raw); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Stat is a relation's freshness stamp as reported by a node's
+// GET /v1/signatures/{name}?stat=1 endpoint. An unchanged stamp
+// guarantees the node's export bytes are unchanged, so a cached copy
+// with the same stamp is still exact.
+type Stat struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+	Rows  int64  `json:"rows"`
+}
+
+// FetchStat polls one relation's freshness stamp from one node — the
+// cheap probe (no synopsis serialization, a ~100-byte JSON body) the
+// daemon's refresh loops issue every interval.
+func (fx *Fetcher) FetchStat(node, rel string) (Stat, error) {
+	var st Stat
+	err := fx.retry(func() (bool, error) {
+		resp, err := fx.client.Get(node + "/v1/signatures/" + RelPath(rel) + "?stat=1")
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return false, ErrNotFound
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		case resp.StatusCode != http.StatusOK:
+			return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return false, fmt.Errorf("decode stat: %w", err)
+		}
+		return false, nil
+	})
+	return st, err
+}

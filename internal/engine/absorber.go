@@ -397,6 +397,7 @@ func (g *ingester) absorb(shard int) {
 				}
 			}
 		}
+		sh.ops += uint64(len(msg.ops))
 		if g.logCh != nil {
 			g.logCh <- logMsg{ops: msg.ops, epoch: g.shardEpochs[shard]}
 		}
@@ -667,6 +668,7 @@ type relSnap struct {
 	sig    join.Signature
 	sketch *core.FastTugOfWar // nil when the engine runs without sketches
 	chain  *shardChain        // nil when the schema declares no chains
+	seq    uint64             // op-sequence counter at the same cut
 }
 
 // fence cuts a consistent snapshot of every synopsis WITHOUT pausing
@@ -689,6 +691,7 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 	sigs := make([]join.Signature, n)
 	chains := make([]*shardChain, n)
 	sketches := make([]*core.FastTugOfWar, n)
+	seqs := make([]uint64, n)
 	errs := make([]error, n)
 	if !g.barrier(func(shard int, sh *sigShard) {
 		c := g.r.eng.newSignature()
@@ -702,6 +705,10 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 		if g.r.sketch != nil {
 			sketches[shard], errs[shard] = g.r.sketch.ShardSnapshot(shard)
 		}
+		// The op counter rides the same cut: every op this shard applies
+		// after the flip is excluded here and present in the next epoch's
+		// log, so checkpoint (seq, synopses) stay mutually exact.
+		seqs[shard] = sh.ops
 		g.shardEpochs[shard] = newEpoch
 	}) {
 		return relSnap{}, stopErr
@@ -715,6 +722,9 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 	snap := relSnap{sig: g.r.eng.newSignature()}
 	for _, c := range sigs {
 		mustMerge(snap.sig, c)
+	}
+	for _, s := range seqs {
+		snap.seq += s
 	}
 	if g.r.schema.hasChain() {
 		snap.chain = g.r.newEmptyChain()
@@ -771,4 +781,36 @@ func (g *ingester) len(logBarrier bool) int64 {
 		n += l
 	}
 	return n
+}
+
+// stat reads (Seq, Len) behind one drain barrier — the freshness pair
+// the stat endpoint serves. After stop it falls back to direct reads.
+func (g *ingester) stat() (uint64, int64) {
+	var seq uint64
+	var rows int64
+	direct := func() (uint64, int64) {
+		g.waitStopped()
+		seq, rows = 0, 0
+		for i := range g.r.shards {
+			seq += g.r.shards[i].ops
+			rows += g.r.shards[i].sig.Len()
+		}
+		return seq, rows
+	}
+	if !g.flushAllSlots(false) {
+		return direct()
+	}
+	seqs := make([]uint64, len(g.r.shards))
+	lens := make([]int64, len(g.r.shards))
+	if !g.barrier(func(shard int, sh *sigShard) {
+		seqs[shard] = sh.ops
+		lens[shard] = sh.sig.Len()
+	}) {
+		return direct()
+	}
+	for i := range seqs {
+		seq += seqs[i]
+		rows += lens[i]
+	}
+	return seq, rows
 }

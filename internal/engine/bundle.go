@@ -41,7 +41,24 @@ type RelationBundle struct {
 	// single-attribute, chainless schema. Chainless bundles marshal as
 	// version-1 frames, byte-identical to pre-chain exports.
 	Chain *ChainBundle
+	// Epoch and Seq are the freshness stamp (version 3). Epoch is the
+	// exporting engine's durability-log generation (0 for in-memory
+	// engines); Seq is the relation's logical version — mutation ops
+	// applied since creation, deterministic, linear under merges (a
+	// merged bundle's Seq is the sum of its parts), and reconstructed
+	// exactly by crash recovery. A coordinator cache compares the stamp
+	// from a cheap stat probe against the one on its cached bundle and
+	// skips the transfer when nothing changed. Both zero on bundles from
+	// pre-stamp engines and on virgin relations; such bundles marshal in
+	// the old unstamped framing, byte-identical to pre-stamp exports.
+	Epoch uint64
+	Seq   uint64
 }
+
+// stamped reports whether the bundle carries a freshness stamp. A
+// (0, 0) stamp means "no information": a virgin relation on a
+// never-checkpointed engine, or a bundle from a pre-stamp engine.
+func (b *RelationBundle) stamped() bool { return b.Epoch != 0 || b.Seq != 0 }
 
 // ChainBundle is the chain half of an exported synopsis set: the
 // relation's schema and its chain signatures in the canonical layout
@@ -231,21 +248,33 @@ func (b *RelationBundle) Merge(other *RelationBundle) error {
 		}
 	}
 	b.Rows += other.Rows
+	// The stamp merges like the counters: Seq is op counts, so disjoint
+	// partitions sum to exactly the union's Seq — a coordinator's merged
+	// bundle stays byte-identical to a single node holding all the data.
+	// Epoch is per-engine metadata with no cross-node sum; keep the max.
+	b.Seq += other.Seq
+	if other.Epoch > b.Epoch {
+		b.Epoch = other.Epoch
+	}
 	return nil
 }
 
 // relBundleVersion is the newest bundle frame version: version 2 added
-// the schema + chain section. Chainless legacy-schema bundles still
-// marshal as version 1, byte-identical to pre-chain exports, so the
-// canonical-encoding property (equal bundles → equal bytes) holds across
-// the upgrade.
-const relBundleVersion = 2
+// the schema + chain section; version 3 added the (Epoch, Seq)
+// freshness stamp and an explicit chain-presence flag. Unstamped
+// bundles still marshal in the old framing — chainless as version 1,
+// chain-carrying as version 2, both byte-identical to pre-stamp
+// exports — so the canonical-encoding property (equal bundles → equal
+// bytes) holds across the upgrade, and a version-3 frame with a zero
+// stamp is rejected as non-canonical.
+const relBundleVersion = 3
 
 // MarshalBinary packs the bundle as one blob: the signature blob, the
-// optional sketch blob, the row count, and (version 2) the schema and
-// chain section, each inside the shared framing. The encoding is
-// canonical — equal bundles marshal to equal bytes — which is what lets
-// tests assert merged-vs-single bit-identity on the wire format itself.
+// optional sketch blob, the row count, then (version 3) the freshness
+// stamp and a chain-presence flag, and finally the schema + chain
+// section when present. The encoding is canonical — equal bundles
+// marshal to equal bytes — which is what lets tests assert
+// merged-vs-single bit-identity on the wire format itself.
 func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 	if b.Sig == nil {
 		return nil, errors.New("engine: bundle without signature")
@@ -255,8 +284,11 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	version := uint8(1)
-	if b.Chain != nil {
+	switch {
+	case b.stamped():
 		version = relBundleVersion
+	case b.Chain != nil:
+		version = 2
 	}
 	bb := blob.NewBuilder(blob.MagicRelBundle, version, len(sigBlob)+64)
 	bb.Bytes(sigBlob)
@@ -271,6 +303,15 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 		bb.Bytes(skBlob)
 	}
 	bb.I64(b.Rows)
+	if version >= 3 {
+		bb.U64(b.Epoch)
+		bb.U64(b.Seq)
+		if b.Chain != nil {
+			bb.U32(1)
+		} else {
+			bb.U32(0)
+		}
+	}
 	if b.Chain != nil {
 		buildSchema(bb, b.Chain.Schema)
 		if err := buildChain(bb, &shardChain{ends: b.Chain.Ends, mids: b.Chain.Mids}); err != nil {
@@ -297,8 +338,23 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 		skBlob = c.Bytes()
 	}
 	rows := c.I64()
+	var epoch, seq uint64
+	hasChain := version == 2
+	if version >= 3 {
+		epoch = c.U64()
+		seq = c.U64()
+		switch flag := c.U32(); flag {
+		case 0:
+		case 1:
+			hasChain = true
+		default:
+			if c.Err() == nil {
+				return fmt.Errorf("engine: relation bundle: chain flag %d out of range {0,1}", flag)
+			}
+		}
+	}
 	var chain *ChainBundle
-	if version >= 2 {
+	if hasChain {
 		schema, err := readSchema(c)
 		if err != nil {
 			return fmt.Errorf("engine: relation bundle: %w", err)
@@ -318,6 +374,11 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 	if hasSketch > 1 {
 		return fmt.Errorf("engine: relation bundle: sketch flag %d out of range {0,1}", hasSketch)
 	}
+	if version >= 3 && epoch == 0 && seq == 0 {
+		// Zero-stamp bundles marshal in the unstamped framing; a
+		// version-3 frame carrying one is non-canonical by construction.
+		return errors.New("engine: relation bundle: version 3 frame without a freshness stamp")
+	}
 	sig, err := join.UnmarshalSignature(sigBlob)
 	if err != nil {
 		return fmt.Errorf("engine: relation bundle: %w", err)
@@ -330,7 +391,48 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 		}
 	}
 	b.Sig, b.Sketch, b.Rows, b.Chain = sig, sketch, rows, chain
+	b.Epoch, b.Seq = epoch, seq
 	return nil
+}
+
+// Epoch returns the engine's durability-log generation: 0 until the
+// first checkpoint (and always 0 for in-memory engines), bumped by every
+// checkpoint since. It travels in exported bundle stamps and the stat
+// endpoint as per-engine freshness context.
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// RelationStat is the cheap freshness probe behind the coordinator's
+// delta-aware refresh: a cache holding a bundle stamped (Epoch, Seq)
+// can skip re-fetching the synopses while a fresh stat reports the same
+// stamp — Seq is deterministic and bumps with every mutation, so an
+// equal stamp from a live engine means the bundle bytes have not
+// changed. (After a crash that lost unsynced staged ops, a recovered
+// engine re-counts from the persisted checkpoint stamp; DESIGN.md §11
+// spells out the resulting staleness window and why the cache
+// self-heals on the next mutation.)
+type RelationStat struct {
+	Epoch uint64
+	Seq   uint64
+	Rows  int64
+}
+
+// StatRelation reads the named relation's freshness stamp and row count
+// without materializing synopses — one drain-barrier sweep instead of a
+// full export, which is what makes a skip probe worth issuing.
+func (e *Engine) StatRelation(name string) (RelationStat, error) {
+	r, err := e.Get(name)
+	if err != nil {
+		return RelationStat{}, err
+	}
+	epoch := e.Epoch()
+	r.opMu.RLock()
+	defer r.opMu.RUnlock()
+	seq, rows := r.statCut()
+	return RelationStat{Epoch: epoch, Seq: seq, Rows: rows}, nil
 }
 
 // ExportRelation serializes the named relation's synopsis set as one
@@ -340,15 +442,22 @@ func (e *Engine) ExportRelation(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.exportBundle()
+	// The epoch is read before the relation's op lock: checkpoints hold
+	// the engine lock while quiescing relations, so the reverse order
+	// would invert theirs.
+	return r.exportBundle(e.Epoch())
 }
 
-func (r *Relation) exportBundle() ([]byte, error) {
+func (r *Relation) exportBundle(epoch uint64) ([]byte, error) {
 	// The shared op lock makes signature, sketch, and row count a
 	// consistent cut against concurrent ingest batches.
 	r.opMu.RLock()
 	defer r.opMu.RUnlock()
-	b := RelationBundle{Sig: r.snapshotSig()}
+	// Seq is read before the synopses are snapshotted, so under
+	// concurrent ingest the stamp can only trail the data — a cache
+	// comparing stamps may refetch needlessly, never skip a change.
+	seq, _ := r.statCut()
+	b := RelationBundle{Sig: r.snapshotSig(), Epoch: epoch, Seq: seq}
 	b.Rows = b.Sig.Len()
 	if r.sketch != nil {
 		snap, err := r.sketch.Snapshot()
@@ -506,6 +615,12 @@ func (r *Relation) absorbBundle(b *RelationBundle) error {
 			return fmt.Errorf("%w: self-join sketch shape mismatch", ErrIncompatible)
 		}
 	}
+	// The absorbed ops advance the relation's logical version by the
+	// bundle's own op count (zero for pre-stamp bundles), mirroring
+	// RelationBundle.Merge — so import-then-export round-trips the stamp
+	// and a partition merged node-side re-exports the same Seq a
+	// coordinator-side merge would compute.
+	r.shards[0].ops += b.Seq
 	return nil
 }
 

@@ -819,6 +819,7 @@ func (r *Relation) applyRecovered(op stream.Op) {
 	}
 	del := op.Kind == stream.Delete
 	s := r.shardOf(op.Value)
+	s.ops++ // one logged record = one mutation op, exactly as ingested
 	if del {
 		_ = s.sig.Delete(op.Value)
 	} else {

@@ -440,7 +440,16 @@ type sigShard struct {
 	mu    sync.Mutex
 	sig   join.Signature
 	chain *shardChain // nil unless the schema declares chain synopses
-	_     [32]byte    // pad to reduce false sharing between shard locks
+	// ops counts the mutation ops this shard has applied (a batch of n
+	// rows counts n). The per-relation sum is the relation's Seq — its
+	// logical version. Guarded by whatever guards the shard's synopses:
+	// mu in locked mode, the single absorber goroutine in absorber mode,
+	// the recovery thread during replay, quiescence during bundle
+	// absorption. Deterministic by construction: equal op sequences give
+	// equal sums, checkpoints persist it, and replay re-derives the tail —
+	// so recovery reconstructs it bit-exactly along with the synopses.
+	ops   uint64
+	_     [24]byte // pad to reduce false sharing between shard locks
 }
 
 // newRelation builds the in-memory half of a relation. schema must
@@ -647,6 +656,7 @@ func (r *Relation) Insert(v uint64) {
 		one := [1]uint64{v}
 		s.chain.insert(&r.plan, one[:])
 	}
+	s.ops++
 	s.mu.Unlock()
 	if r.sketch != nil {
 		r.sketch.Insert(v)
@@ -718,6 +728,7 @@ func (r *Relation) applyTupleLocked(vals []uint64, del bool) {
 			s.chain.insert(&r.plan, vals)
 		}
 	}
+	s.ops++
 	s.mu.Unlock()
 }
 
@@ -742,6 +753,7 @@ func (r *Relation) Delete(v uint64) error {
 		one := [1]uint64{v}
 		s.chain.delete(&r.plan, one[:])
 	}
+	s.ops++
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -922,6 +934,7 @@ func (r *Relation) applyShardBatch(s *sigShard, vs []uint64, del bool) {
 			}
 		}
 	}
+	s.ops += uint64(len(vs))
 }
 
 // Err returns the relation's sticky log error, if any: a failed append
@@ -958,6 +971,50 @@ func (r *Relation) DrainLen() (int64, error) {
 		return r.ing.len(true), r.Err()
 	}
 	return r.Len(), r.Err()
+}
+
+// Seq returns the relation's logical version: the number of mutation
+// ops applied since the relation was created (a batch of n rows counts
+// n; queries and snapshots count zero). It is deterministic — equal op
+// sequences yield equal Seq — linear under partition merges (a merged
+// bundle's Seq is the sum of its parts, exactly like its counters), and
+// reconstructed bit-exactly by crash recovery (checkpoints persist it,
+// replay re-derives the tail). Equal Seq from one engine therefore
+// means the synopses have not changed — the cheap freshness probe the
+// coordinator's bundle cache keys on. In absorber mode staged ops are
+// drained first (read-your-writes).
+func (r *Relation) Seq() uint64 {
+	seq, _ := r.statCut()
+	return seq
+}
+
+// statCut reads (Seq, Len) in one synchronization sweep: a single
+// shard-lock pass in locked mode, one drain + on-absorber barrier in
+// absorber mode — the pair a stat endpoint wants without paying two
+// barriers.
+func (r *Relation) statCut() (seq uint64, rows int64) {
+	if r.ing != nil {
+		return r.ing.stat()
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		seq += s.ops
+		rows += s.sig.Len()
+		s.mu.Unlock()
+	}
+	return seq, rows
+}
+
+// opsQuiesced sums the shard op counters with no synchronization; legal
+// only while the relation is quiesced (or during single-threaded
+// recovery).
+func (r *Relation) opsQuiesced() uint64 {
+	var seq uint64
+	for i := range r.shards {
+		seq += r.shards[i].ops
+	}
+	return seq
 }
 
 // snapshotSig merges the shard signatures into one, shard by shard (the
@@ -1219,9 +1276,12 @@ func (e *Engine) MarshalBinary() ([]byte, error) {
 const flagNoSketch uint32 = 1 << 0
 
 // engineBlobVersion is the checkpoint format version: version 2 added
-// ChainWords and a per-relation schema + chain section; version-1 blobs
-// (single-attribute, chainless) still load.
-const engineBlobVersion = 2
+// ChainWords and a per-relation schema + chain section; version 3 added
+// the per-relation op-sequence counter (Seq). Version-1 and version-2
+// blobs still load (their relations recover with Seq counting only
+// replayed ops — the one upgrade where a stamp restarts low; it is
+// monotone again from there).
+const engineBlobVersion = 3
 
 // marshalLocked serializes under the engine lock. quiesced tells it the
 // caller holds every relation quiesced (Checkpoint), in which case
@@ -1243,6 +1303,12 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 			sig = r.snapshotSig()
 			chain = r.snapshotChain()
 		}
+		var seq uint64
+		if quiesced {
+			seq = r.opsQuiesced()
+		} else {
+			seq, _ = r.statCut()
+		}
 		var sk *core.FastTugOfWar
 		if r.sketch != nil {
 			var err error
@@ -1250,7 +1316,7 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 				return nil, err
 			}
 		}
-		if err := buildRelationBlob(b, n, r, sig, sk, chain); err != nil {
+		if err := buildRelationBlob(b, n, r, sig, sk, chain, seq); err != nil {
 			return nil, err
 		}
 	}
@@ -1264,7 +1330,7 @@ func (e *Engine) marshalSnaps(epoch uint64, snaps map[string]relSnap) ([]byte, e
 	b, names := e.marshalHeader(epoch)
 	for _, n := range names {
 		snap := snaps[n]
-		if err := buildRelationBlob(b, n, e.rels[n], snap.sig, snap.sketch, snap.chain); err != nil {
+		if err := buildRelationBlob(b, n, e.rels[n], snap.sig, snap.sketch, snap.chain, snap.seq); err != nil {
 			return nil, err
 		}
 	}
@@ -1299,8 +1365,10 @@ func (e *Engine) marshalHeader(epoch uint64) (*blob.Builder, []string) {
 }
 
 // buildRelationBlob appends one relation's checkpoint section from
-// already-materialized synopsis snapshots.
-func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signature, sk *core.FastTugOfWar, chain *shardChain) error {
+// already-materialized synopsis snapshots. seq is the op-sequence
+// counter at the same cut as the snapshots (exact: the fence visit and
+// the quiesced read both capture it with the synopses).
+func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signature, sk *core.FastTugOfWar, chain *shardChain, seq uint64) error {
 	sigBlob, err := sig.MarshalBinary()
 	if err != nil {
 		return err
@@ -1318,7 +1386,11 @@ func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signa
 		b.Bytes(skBlob)
 	}
 	buildSchema(b, r.schema)
-	return buildChain(b, chain)
+	if err := buildChain(b, chain); err != nil {
+		return err
+	}
+	b.U64(seq)
+	return nil
 }
 
 // buildChain appends a chain section (possibly empty) to a payload.
@@ -1499,6 +1571,12 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		}
 		if err := r.loadChain(endBlobs, midBlobs); err != nil {
 			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+		}
+		if version >= 3 {
+			// The whole recovered count lands on shard 0 — only the
+			// per-relation sum is meaningful, and replay bumps whatever
+			// shards the tail ops route to.
+			r.shards[0].ops = c.U64()
 		}
 	}
 	if err := c.Close(); err != nil {

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/coord"
+	"amstrack/internal/engine"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/xrand"
+)
+
+// This file scores the coordinator SERVING tier: the same cross-node
+// join question answered two ways against the same pair of live amsd
+// nodes. The pull path is what one-shot joinctl always did — per query,
+// fetch every relation's bundle from every node, merge, estimate: 2
+// relations x 2 nodes = 4 HTTP round trips plus decode+merge, per
+// query. The cached path is the joinctl -serve daemon: background
+// refresh keeps a per-(node, relation) bundle cache warm (stat probes,
+// delta fetches), and the query path reads the pre-merged synopses —
+// zero node round trips. Both answers are bit-identical by linearity;
+// the GATED metric is the 4-client cached/pull ns-per-query ratio,
+// measured in the same process so the pull loop doubles as the
+// machine-speed probe. The acceptance bar from the coordinator PR:
+// cached serving at least 10x the pull path's estimates/sec.
+
+// CoordServeRow is one measured cell of the serving sweep.
+type CoordServeRow struct {
+	Path        string  `json:"path"` // "pull" or "cached"
+	Clients     int     `json:"clients"`
+	NsPerQuery  float64 `json:"ns_per_query"`
+	QueriesPerS float64 `json:"queries_per_sec"`
+}
+
+// CoordServeResult carries the gated headline and the sweep.
+type CoordServeResult struct {
+	Experiment string `json:"experiment"`
+	K          int    `json:"k"`
+	Nodes      int    `json:"nodes"`
+
+	// 4 concurrent clients — the gate pair.
+	PullNsPerQuery   float64 `json:"pull_ns_per_query"`
+	CachedNsPerQuery float64 `json:"cached_ns_per_query"`
+	Speedup          float64 `json:"speedup"`
+
+	Rows []CoordServeRow `json:"rows"`
+}
+
+const (
+	coordServeNodes   = 2
+	coordServeClients = 4 // the gated concurrency level
+)
+
+// RunCoordServe measures ns/query for the pull and cached coordinator
+// paths at signature size k, across client counts {1, coordServeClients},
+// against coordServeNodes live amsd nodes holding a partitioned
+// relation pair. The daemon runs with its real background refresh loops
+// on, so the cached numbers include the serving tier's steady-state
+// overhead, not an idealized frozen cache.
+func RunCoordServe(k int, seed uint64) (*CoordServeResult, error) {
+	res := &CoordServeResult{Experiment: "coordserve", K: k, Nodes: coordServeNodes}
+
+	// Two nodes, each holding every other tuple of both relations. The
+	// shape matches the coordinator tests: sketch on, so the cached and
+	// pull answers exercise the full estimate (join + self-join bounds).
+	opts := engine.Options{SignatureWords: k, SignatureRows: 4, Seed: seed,
+		SketchS1: 128, SketchS2: 4}
+	urls := make([]string, coordServeNodes)
+	var servers []*httptest.Server
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	rng := xrand.New(seed*0x9E3779B97F4A7C15 + 5)
+	for i := range urls {
+		eng, err := engine.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, rel := range []string{"orders", "lineitems"} {
+			r, err := eng.Define(rel)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]uint64, 20000)
+			for j := range vals {
+				vals[j] = rng.Uint64n(4096)
+			}
+			r.InsertBatch(vals)
+		}
+		ts := httptest.NewServer(amsd.NewServer(eng))
+		servers = append(servers, ts)
+		urls[i] = ts.URL
+	}
+
+	// The serving daemon: warm the cache, then run the REAL refresh
+	// loops for the whole measurement.
+	d, err := coord.NewDaemon(coord.Config{
+		Nodes:     urls,
+		Relations: []string{"orders", "lineitems"},
+		Fetcher:   coord.NewFetcher(&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Sweep(); err != nil {
+		return nil, err
+	}
+	d.Start()
+	defer d.Stop()
+	dts := httptest.NewServer(d.Handler())
+	defer dts.Close()
+
+	for _, path := range []string{"pull", "cached"} {
+		for _, clients := range []int{1, coordServeClients} {
+			ns, err := timeCoordQueries(path, clients, urls, dts.URL)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, CoordServeRow{
+				Path: path, Clients: clients,
+				NsPerQuery: ns, QueriesPerS: 1e9 / ns,
+			})
+			if clients == coordServeClients {
+				switch path {
+				case "pull":
+					res.PullNsPerQuery = ns
+				case "cached":
+					res.CachedNsPerQuery = ns
+				}
+			}
+		}
+	}
+	if res.CachedNsPerQuery > 0 {
+		res.Speedup = res.PullNsPerQuery / res.CachedNsPerQuery
+	}
+	return res, nil
+}
+
+// timeCoordQueries measures steady-state ns/query for one path at one
+// concurrency level: clients goroutines asking the same cross-node join
+// question in a loop until enough wall time accumulates.
+func timeCoordQueries(path string, clients int, nodeURLs []string, daemonURL string) (float64, error) {
+	// query(c) answers one orders ⋈ lineitems question end to end.
+	var query func(c int) error
+	switch path {
+	case "pull":
+		// One fetcher per simulated client, each with its own keep-alive
+		// pool — N coordinators, not one shared proxy.
+		fxs := make([]*coord.Fetcher, clients)
+		for c := range fxs {
+			fxs[c] = coord.NewFetcher(&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0)
+		}
+		query = func(c int) error {
+			_, err := coord.Coordinate(fxs[c], nodeURLs, "orders", "lineitems", true, nil)
+			return err
+		}
+	case "cached":
+		hcs := make([]*http.Client, clients)
+		for c := range hcs {
+			hcs[c] = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+		}
+		url := daemonURL + "/v1/join?f=orders&g=lineitems"
+		query = func(c int) error {
+			resp, err := hcs[c].Get(url)
+			if err != nil {
+				return err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body) // drain so the conn is reused
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("GET /v1/join: %s", resp.Status)
+			}
+			return nil
+		}
+	default:
+		return 0, fmt.Errorf("experiments: unknown path %q", path)
+	}
+
+	// Warm up each client (dials, keep-alive conns).
+	for c := 0; c < clients; c++ {
+		if err := query(c); err != nil {
+			return 0, err
+		}
+	}
+
+	const minDuration = 80 * time.Millisecond
+	var (
+		stop   = make(chan struct{})
+		counts = make([]int64, clients)
+		errs   = make([]error, clients)
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := query(c); err != nil {
+					errs[c] = err
+					return
+				}
+				counts[c]++
+			}
+		}(c)
+	}
+	time.Sleep(minDuration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return 0, fmt.Errorf("experiments: %s client %d: %w", path, c, errs[c])
+		}
+		total += counts[c]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: no queries completed in %v", elapsed)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(total), nil
+}
+
+// Table renders the sweep for amsbench's aligned-text output.
+func (r *CoordServeResult) Table() *tablefmt.Table {
+	t := tablefmt.New("path", "clients", "ns/query", "queries/s")
+	for _, row := range r.Rows {
+		t.AddRow(row.Path, row.Clients, row.NsPerQuery, row.QueriesPerS)
+	}
+	return t
+}
+
+// JSON serializes the result for machine consumption (BENCH_coord.json).
+func (r *CoordServeResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

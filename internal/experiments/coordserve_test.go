@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestRunCoordServeSmoke runs the real serving race end to end (small k,
+// real localhost nodes, live daemon refresh): every sweep cell measured,
+// the 4-client gate pair populated, and the cached path ahead of the
+// per-query pull path — the direction the perf-trajectory gate watches.
+func TestRunCoordServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end serving benchmark")
+	}
+	r, err := RunCoordServe(128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Experiment != "coordserve" || r.K != 128 || r.Nodes != coordServeNodes {
+		t.Fatalf("result header = %+v", r)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("sweep has %d cells, want 4 (2 paths x 2 client counts)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.NsPerQuery <= 0 || row.QueriesPerS <= 0 {
+			t.Fatalf("cell %+v has non-positive timings", row)
+		}
+	}
+	if r.PullNsPerQuery <= 0 || r.CachedNsPerQuery <= 0 {
+		t.Fatalf("gate pair missing: %+v", r)
+	}
+	// Not the full 10x acceptance bar — a loaded test runner flaps — but
+	// the cached path must beat pulling every bundle per query.
+	if r.Speedup < 1 {
+		t.Fatalf("cached (%.0f ns/query) slower than pull (%.0f ns/query)", r.CachedNsPerQuery, r.PullNsPerQuery)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table().String()) == 0 {
+		t.Fatal("empty table")
+	}
+}
