@@ -18,6 +18,7 @@
 //	amsbench -experiment ckpttail          # ingest tail latency, checkpointer off vs on
 //	amsbench -experiment wireingest        # HTTP JSON vs amswire streaming ingest
 //	amsbench -experiment coordserve        # coordinator: per-query pull vs cached daemon
+//	amsbench -experiment routedingest      # partitioned fleet: direct vs routed amswire ingest
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
@@ -26,7 +27,8 @@
 // machine-readable results for experiments that support it (fastjoin →
 // BENCH_fastjoin.json, engineingest → BENCH_engine.json, ckpttail →
 // BENCH_ckpt.json, wireingest → BENCH_wire.json, coordserve →
-// BENCH_coord.json), so CI can track the perf trajectory.
+// BENCH_coord.json, routedingest → BENCH_router.json), so CI can track
+// the perf trajectory.
 package main
 
 import (
@@ -44,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, coordserve, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, coordserve, routedingest, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -318,6 +320,32 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "routedingest":
+			// Partitioned ingest fleet: the same 4-client amswire stream
+			// direct into one node vs through the consistent-hash router
+			// (3 nodes), with ring-conservation and drain/rebalance audits
+			// built into the routed run.
+			r, err := experiments.RunRoutedIngest(64, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("routedingest", "Partitioned ingest: direct vs consistent-hash routed amswire (k=64, no sketch, 3 nodes)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("%d-client uniform ingest: direct %.1f ns/row, routed %.1f ns/row → %.2fx overhead; %d rows conserved through drain\n\n",
+				4, r.DirectNsPerRow, r.RoutedNsPerRow, r.Overhead, r.RowsRouted)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_router.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_router.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -333,7 +361,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest", "coordserve"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest", "coordserve", "routedingest"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -196,7 +196,15 @@ func run(ctx context.Context, opts engine.Options, addr, wireAddr string, maxBod
 		}()
 	}
 
-	srv := &http.Server{Handler: handler}
+	// ReadHeaderTimeout alone defeats slowloris (a conn dribbling header
+	// bytes forever); ReadTimeout stays 0 because ingest bodies can
+	// legitimately take minutes on a slow uplink, and IdleTimeout reaps
+	// keep-alive conns that stopped talking.
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

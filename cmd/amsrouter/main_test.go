@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/coord"
+	"amstrack/internal/engine"
+	"amstrack/internal/router"
+	"amstrack/internal/wire"
+	"amstrack/internal/xrand"
+)
+
+// startNode boots one in-process amsd fleet member (HTTP + wire with
+// the healthz bridge), returning its engine and HTTP base URL.
+func startNode(t *testing.T) (*engine.Engine, string) {
+	t.Helper()
+	eng, err := engine.New(engine.Options{SignatureWords: 64, Seed: 5, SketchS1: 32, SketchS2: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	handler := amsd.NewServer(eng)
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireAddr := wireLn.Addr().String()
+	handler.SetWireStatus(func() amsd.WireStatus { return amsd.WireStatus{Addr: wireAddr} })
+	wsrv := wire.NewServer(eng)
+	go func() { _ = wsrv.Serve(wireLn) }()
+	hsrv := &http.Server{Handler: handler}
+	go func() { _ = hsrv.Serve(httpLn) }()
+	t.Cleanup(func() { _ = wsrv.Close(); _ = hsrv.Close() })
+	return eng, "http://" + httpLn.Addr().String()
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon to
+// claim — the wire listener address is not reported by run's ready
+// callback, so the test picks it up front.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestDaemonRoundTrip boots the full amsrouter daemon over a two-node
+// fleet and drives both upstream surfaces: HTTP define + ingest, then
+// an amswire stream, then checks the rows landed across the fleet
+// exactly once and the daemon shuts down cleanly on context cancel.
+func TestDaemonRoundTrip(t *testing.T) {
+	eng0, base0 := startNode(t)
+	eng1, base1 := startNode(t)
+
+	hc := &http.Client{Timeout: 5 * time.Second}
+	opts := router.Options{
+		Nodes:         []string{base0, base1},
+		Client:        hc,
+		Fetcher:       coord.NewFetcher(hc, 2, 10*time.Millisecond),
+		ProbeInterval: 50 * time.Millisecond,
+	}
+
+	wireAddr := freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, opts, "127.0.0.1:0", wireAddr, func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	}
+
+	// HTTP surface: define, ingest, health.
+	postJSON(t, hc, base+"/v1/relations", map[string]any{"name": "f"}, http.StatusCreated)
+	vals := make([]uint64, 1000)
+	r := xrand.New(77)
+	for i := range vals {
+		vals[i] = r.Uint64n(200)
+	}
+	postJSON(t, hc, base+"/v1/ingest", map[string]any{"relation": "f", "inserts": vals}, http.StatusOK)
+
+	resp, err := hc.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb router.HealthzBody
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hb.Mode != "routed" || len(hb.Nodes) != 2 {
+		t.Fatalf("healthz = %+v", hb)
+	}
+
+	// Wire surface: stream more rows and flush.
+	wc, err := wire.Dial(wireAddr, wire.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.InsertBatch("f", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = wc.Close()
+
+	// Every row exactly once across the fleet, both nodes in play.
+	var total int64
+	for _, eng := range []*engine.Engine{eng0, eng1} {
+		rel, err := eng.Get("f")
+		if err != nil {
+			t.Fatalf("a fleet node never saw the relation: %v", err)
+		}
+		if rel.Len() == 0 {
+			t.Fatal("a fleet node holds zero rows — the ring routed everything one way")
+		}
+		total += rel.Len()
+	}
+	if total != 2000 {
+		t.Fatalf("fleet holds %d rows, 2000 were acked", total)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown exit = %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if _, err := hc.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still accepting after shutdown")
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, wantStatus int) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (want %d): %v", url, resp.StatusCode, wantStatus, e)
+	}
+}

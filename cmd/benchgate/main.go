@@ -3,7 +3,7 @@
 // committed baseline and fails — exit 1 — when the gated hot-path cost
 // regressed beyond the tolerance. CI runs it after each experiment, so a
 // PR that slows a gated hot path by more than the tolerance cannot merge
-// silently. Five gated experiments:
+// silently. Six gated experiments:
 //
 //   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
 //     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
@@ -19,7 +19,12 @@
 //   - coordserve (BENCH_coord.json): the coordinator daemon's cached
 //     join serving, normalized as cached_ns_per_query ÷
 //     pull_ns_per_query at 4 concurrent clients (acceptance: cached at
-//     least 10x the per-query pull path's estimates/sec).
+//     least 10x the per-query pull path's estimates/sec);
+//   - routedingest (BENCH_router.json): the partitioned-ingest tier's
+//     per-row toll, normalized as routed_ns_per_row ÷ direct_ns_per_row
+//     at 4 concurrent amswire clients — what the consistent-hash router
+//     (ring partition, re-framing, second hop, composed ack ladder)
+//     charges over a direct single-node stream.
 //
 // The file's "experiment" field selects the gate; bench and baseline
 // must agree on it.
@@ -41,6 +46,7 @@
 //	benchgate -bench BENCH_ckpt.json -baseline BENCH_ckpt.baseline.json [-max-regress 0.75]
 //	benchgate -bench BENCH_wire.json -baseline BENCH_wire.baseline.json [-max-regress 0.5]
 //	benchgate -bench BENCH_coord.json -baseline BENCH_coord.baseline.json [-max-regress 0.5]
+//	benchgate -bench BENCH_router.json -baseline BENCH_router.baseline.json [-max-regress 0.5]
 package main
 
 import (
@@ -72,6 +78,9 @@ type benchFile struct {
 	// coordserve: 4-client join queries, per-query pull vs cached daemon.
 	PullNsPerQuery   float64 `json:"pull_ns_per_query"`
 	CachedNsPerQuery float64 `json:"cached_ns_per_query"`
+	// routedingest: 4-client amswire ingest, direct node vs routed fleet.
+	DirectNsPerRow float64 `json:"direct_ns_per_row"`
+	RoutedNsPerRow float64 `json:"routed_ns_per_row"`
 }
 
 // pair returns (fast-path, reference-path) nanoseconds for the file's
@@ -86,6 +95,8 @@ func (b *benchFile) pair() (fast, ref float64) {
 		return b.WireNsPerRow, b.HTTPNsPerRow
 	case "coordserve":
 		return b.CachedNsPerQuery, b.PullNsPerQuery
+	case "routedingest":
+		return b.RoutedNsPerRow, b.DirectNsPerRow
 	default:
 		return b.FastNsPerUpdate, b.FlatNsPerUpdate
 	}
@@ -115,8 +126,8 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" && b.Experiment != "coordserve" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, wireingest, or coordserve", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" && b.Experiment != "coordserve" && b.Experiment != "routedingest" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, wireingest, coordserve, or routedingest", path, b.Experiment)
 	}
 	fast, ref := b.pair()
 	if fast <= 0 || ref <= 0 {

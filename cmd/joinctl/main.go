@@ -153,7 +153,16 @@ func runServe(fx *coord.Fetcher, nodes, relations []string, listen string, refre
 		logger.Printf("startup sweep: %v (serving anyway; refresh loops will recover)", err)
 	}
 	d.Start()
-	srv := &http.Server{Addr: listen, Handler: d.Handler()}
+	// Query bodies are tiny, so a full ReadTimeout is safe here; the
+	// header timeout is what stops a slowloris client from pinning a
+	// conn forever, and IdleTimeout reaps dead keep-alives.
+	srv := &http.Server{
+		Addr:              listen,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Printf("serving %d relation(s) from %d node(s) on %s (refresh %v)",

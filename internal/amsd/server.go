@@ -14,6 +14,7 @@
 //	                                 "attrs"/"chain_a"/"chain_b"/"chain_ab"
 //	                                 declare a multi-attribute schema with §5
 //	                                 chain synopses
+//	GET    /v1/relations/{name}      the relation's schema (DefineRequest shapes)
 //	DELETE /v1/relations/{name}      drop a relation
 //	POST   /v1/ingest                {"relation": N, "inserts": [...], "deletes": [...]};
 //	                                 multi-attribute relations use
@@ -98,6 +99,7 @@ func NewServerMaxBody(eng *engine.Engine, maxBody int64) *Server {
 	s.mux.HandleFunc("POST /v1/relations", s.handleDefine)
 	// {name...} (multi-segment) so relation names containing '/' stay
 	// reachable through the API.
+	s.mux.HandleFunc("GET /v1/relations/{name...}", s.handleRelationSchema)
 	s.mux.HandleFunc("DELETE /v1/relations/{name...}", s.handleDrop)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/selfjoin", s.handleSelfJoin)
@@ -286,6 +288,32 @@ func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, DefineBody{Relation: req.Name, Attrs: rel.Schema().Attrs})
+}
+
+// SchemaBody is the GET /v1/relations/{name} response: the relation's
+// normalized schema in the same field shapes DefineRequest accepts, so a
+// router (or any other tier) can read a node's schema and replay the
+// exact define elsewhere.
+type SchemaBody struct {
+	Relation string     `json:"relation"`
+	Attrs    []string   `json:"attrs"`
+	ChainA   []string   `json:"chain_a,omitempty"`
+	ChainB   []string   `json:"chain_b,omitempty"`
+	ChainAB  [][]string `json:"chain_ab,omitempty"`
+}
+
+func (s *Server) handleRelationSchema(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.eng.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	sc := rel.Schema()
+	body := SchemaBody{Relation: rel.Name(), Attrs: sc.Attrs, ChainA: sc.EndA, ChainB: sc.EndB}
+	for _, p := range sc.Middle {
+		body.ChainAB = append(body.ChainAB, []string{p[0], p[1]})
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // DropBody is the DELETE /v1/relations/{name} response.

@@ -1,0 +1,178 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The admin verbs the rebalance flow needs on top of the read-only
+// fetch surface: list a node's relations, push a bundle into a node
+// (import or merge), and drop a relation. Retryability differs per verb
+// and the differences are load-bearing — see each method.
+
+// ListRelations GETs a node's defined relation names, retrying per the
+// fetcher's policy (the call is read-only and idempotent).
+func (fx *Fetcher) ListRelations(node string) ([]string, error) {
+	var names []string
+	err := fx.retry(func() (bool, error) {
+		resp, err := fx.client.Get(node + "/v1/relations")
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		var out struct {
+			Relations []string `json:"relations"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			return false, fmt.Errorf("decode relations: %w", err)
+		}
+		names = out.Relations
+		return false, nil
+	})
+	return names, err
+}
+
+// Schema is a relation's schema as reported by GET /v1/relations/{name},
+// in the same field shapes the define endpoint accepts — fetch it from
+// one node, POST it to another, and the two relations are mergeable.
+type Schema struct {
+	Relation string     `json:"relation"`
+	Attrs    []string   `json:"attrs"`
+	ChainA   []string   `json:"chain_a,omitempty"`
+	ChainB   []string   `json:"chain_b,omitempty"`
+	ChainAB  [][]string `json:"chain_ab,omitempty"`
+}
+
+// FetchSchema GETs one relation's schema from one node. ErrNotFound
+// reports the relation is not defined there.
+func (fx *Fetcher) FetchSchema(node, rel string) (Schema, error) {
+	var sc Schema
+	err := fx.retry(func() (bool, error) {
+		resp, err := fx.client.Get(node + "/v1/relations/" + RelPath(rel))
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return false, ErrNotFound
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		case resp.StatusCode != http.StatusOK:
+			return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &sc); err != nil {
+			return false, fmt.Errorf("decode schema: %w", err)
+		}
+		return false, nil
+	})
+	return sc, err
+}
+
+// MergeBundleBytes PUTs a serialized bundle into an EXISTING relation on
+// a node (?mode=merge) in exactly ONE attempt — no retry, ever. Merge
+// adds the bundle's counts into the node's linear synopses, so a retry
+// after an ambiguous failure (transport error after the body was sent,
+// 5xx from a node that applied the merge before dying on the response)
+// risks adding them TWICE, which corrupts the synopses silently. A
+// failure here is for the operator: re-verify the destination's stamp
+// before deciding whether to re-send. ErrNotFound reports the target
+// relation is not defined on the node.
+func (fx *Fetcher) MergeBundleBytes(node, rel string, bundle []byte) error {
+	req, err := http.NewRequest(http.MethodPut,
+		node+"/v1/signatures/"+RelPath(rel)+"?mode=merge", bytes.NewReader(bundle))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := fx.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("merge not retried (may or may not have applied; verify the destination stamp): %w", err)
+	}
+	defer resp.Body.Close()
+	body, _, err := fx.readCapped(resp.Body)
+	if err != nil {
+		return fmt.Errorf("merge response unread (HTTP %d; verify the destination stamp): %w", resp.StatusCode, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return ErrNotFound
+	case resp.StatusCode != http.StatusOK:
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// ImportBundleBytes PUTs a serialized bundle onto a node as a NEW
+// relation. Transport errors and 5xx retry per the fetcher's policy:
+// import is not idempotent either, but its failure mode is loud — a
+// duplicate lands as 409 (already defined), never as silent corruption —
+// so the retry trades a possible spurious 409 for robustness against a
+// restarting node. Callers that see a 409 after a retried transport
+// error should compare stamps before assuming the import landed.
+func (fx *Fetcher) ImportBundleBytes(node, rel string, bundle []byte) error {
+	return fx.retry(func() (bool, error) {
+		req, err := http.NewRequest(http.MethodPut,
+			node+"/v1/signatures/"+RelPath(rel), bytes.NewReader(bundle))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := fx.client.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return resp.StatusCode >= 500, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return false, nil
+	})
+}
+
+// DeleteRelation DELETEs a relation from a node, retrying per the
+// fetcher's policy. Delete is naturally idempotent — a 404 means the
+// relation is gone, which is the goal state — so a 404 (first attempt or
+// after a retried ambiguous failure) reports success.
+func (fx *Fetcher) DeleteRelation(node, rel string) error {
+	return fx.retry(func() (bool, error) {
+		req, err := http.NewRequest(http.MethodDelete, node+"/v1/relations/"+RelPath(rel), nil)
+		if err != nil {
+			return false, err
+		}
+		resp, err := fx.client.Do(req)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		body, retryable, err := fx.readCapped(resp.Body)
+		if err != nil {
+			return retryable, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK, resp.StatusCode == http.StatusNotFound:
+			return false, nil
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	})
+}

@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"amstrack/internal/amsd"
+	"amstrack/internal/coord"
+	"amstrack/internal/engine"
+	"amstrack/internal/router"
+	"amstrack/internal/tablefmt"
+	"amstrack/internal/wire"
+)
+
+// This file prices the partitioned-ingest tier: the same amswire client
+// stream is timed twice, once straight into a single amsd node and once
+// through the amsrouter fronting a routedIngestNodes-member fleet (ring
+// partition, per-node re-framing, a second network hop, and the
+// composed ack ladder — upstream FLUSH waits for every downstream ACK).
+// The GATED metric is the 4-client uniform ratio routed/direct measured
+// in the same process: the direct loop is the machine-speed probe, so
+// the overhead number survives runner-hardware variance. The router
+// buys horizontal write scaling and failover; this gate keeps the toll
+// it charges per row from creeping.
+//
+// The run doubles as a cheap robustness assertion: after the timed
+// phase every routed row must be findable on exactly one node (ring
+// partition conservation), and draining one member through the admin
+// rebalance path must conserve the fleet total bit-for-bit at the row
+// count level. A routing or rebalance bug that loses or duplicates rows
+// fails the benchmark before any torture test runs.
+
+// RoutedIngestRow is one measured cell of the path sweep.
+type RoutedIngestRow struct {
+	Path       string  `json:"path"` // "direct" or "routed"
+	Clients    int     `json:"clients"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// RoutedIngestResult carries the gated headline and the sweep.
+type RoutedIngestResult struct {
+	Experiment string `json:"experiment"`
+	K          int    `json:"k"`
+	BatchRows  int    `json:"batch_rows"`
+	Nodes      int    `json:"nodes"`
+
+	// 4 concurrent clients, uniform keys — the gate pair.
+	DirectNsPerRow float64 `json:"direct_ns_per_row"`
+	RoutedNsPerRow float64 `json:"routed_ns_per_row"`
+	Overhead       float64 `json:"overhead"` // routed ÷ direct
+
+	// Conservation audit of the routed runs (all clients, timed rows +
+	// warm-up): fleet row total after the final flush, and again after
+	// one member was drained into its ring successor.
+	RowsRouted     int64 `json:"rows_routed"`
+	RowsAfterDrain int64 `json:"rows_after_drain"`
+
+	Rows []RoutedIngestRow `json:"rows"`
+}
+
+const (
+	routedIngestBatch   = 512
+	routedIngestClients = 4
+	routedIngestNodes   = 3
+)
+
+// RunRoutedIngest measures end-to-end amswire ingest cost direct vs
+// through the consistent-hash router at signature size k, across client
+// counts {1, routedIngestClients}, uniform keys. Every timed run ends
+// with the client's FLUSH barrier, which for the routed path completes
+// only after every downstream node acked — staged rows cannot flatter
+// the router.
+func RunRoutedIngest(k int, seed uint64) (*RoutedIngestResult, error) {
+	res := &RoutedIngestResult{
+		Experiment: "routedingest",
+		K:          k,
+		BatchRows:  routedIngestBatch,
+		Nodes:      routedIngestNodes,
+	}
+	for _, path := range []string{"direct", "routed"} {
+		for _, clients := range []int{1, routedIngestClients} {
+			ns, err := timeRoutedIngest(res, k, path, clients, seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, RoutedIngestRow{
+				Path:       path,
+				Clients:    clients,
+				NsPerRow:   ns,
+				RowsPerSec: 1e9 / ns,
+			})
+			if clients == routedIngestClients {
+				switch path {
+				case "direct":
+					res.DirectNsPerRow = ns
+				case "routed":
+					res.RoutedNsPerRow = ns
+				}
+			}
+		}
+	}
+	if res.DirectNsPerRow > 0 {
+		res.Overhead = res.RoutedNsPerRow / res.DirectNsPerRow
+	}
+	return res, nil
+}
+
+// fleetMember is one in-process amsd node: engine, HTTP listener (the
+// router's control surface: healthz, schema, admin verbs), and a wire
+// listener advertised through healthz exactly as cmd/amsd does.
+type fleetMember struct {
+	eng     *engine.Engine
+	base    string
+	httpSrv *http.Server
+	wireSrv *wire.Server
+}
+
+func startFleetMember(k int, seed uint64) (*fleetMember, error) {
+	eng, err := engine.New(engine.Options{SignatureWords: k, Seed: seed, NoSketch: true})
+	if err != nil {
+		return nil, err
+	}
+	m := &fleetMember{eng: eng}
+	handler := amsd.NewServer(eng)
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		httpLn.Close()
+		eng.Close()
+		return nil, err
+	}
+	m.base = "http://" + httpLn.Addr().String()
+	wireAddr := wireLn.Addr().String()
+	handler.SetWireStatus(func() amsd.WireStatus { return amsd.WireStatus{Addr: wireAddr} })
+	m.wireSrv = wire.NewServer(eng)
+	go func() { _ = m.wireSrv.Serve(wireLn) }()
+	m.httpSrv = &http.Server{Handler: handler}
+	go func() { _ = m.httpSrv.Serve(httpLn) }()
+	return m, nil
+}
+
+func (m *fleetMember) close() {
+	_ = m.wireSrv.Close()
+	_ = m.httpSrv.Close()
+	_ = m.eng.Close()
+}
+
+// relRows returns the relation's row count on one member, 0 if the
+// member no longer holds it (post-drain).
+func relRows(m *fleetMember, name string) int64 {
+	rel, err := m.eng.Get(name)
+	if err != nil {
+		return 0
+	}
+	return rel.Len()
+}
+
+// timeRoutedIngest measures steady-state ns/row for one path at one
+// client count; for the routed path it additionally audits row
+// conservation and (at the gated client count) the drain/rebalance
+// flow, recording both into res.
+func timeRoutedIngest(res *RoutedIngestResult, k int, path string, clients int, seed uint64) (float64, error) {
+	streams, err := wireIngestStreams(clients, "uniform", seed)
+	if err != nil {
+		return 0, err
+	}
+
+	// Build the ingest target: a bare node, or the fleet + router with
+	// the router's own wire listener upstream.
+	var (
+		addr    string
+		cleanup func()
+		fleet   []*fleetMember
+		rt      *router.Router
+	)
+	switch path {
+	case "direct":
+		eng, err := engine.New(engine.Options{SignatureWords: k, Seed: seed, NoSketch: true})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := eng.Define("r"); err != nil {
+			eng.Close()
+			return 0, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			eng.Close()
+			return 0, err
+		}
+		addr = ln.Addr().String()
+		srv := wire.NewServer(eng)
+		go func() { _ = srv.Serve(ln) }()
+		cleanup = func() { _ = srv.Close(); _ = eng.Close() }
+	case "routed":
+		for i := 0; i < routedIngestNodes; i++ {
+			m, err := startFleetMember(k, seed)
+			if err != nil {
+				for _, f := range fleet {
+					f.close()
+				}
+				return 0, err
+			}
+			fleet = append(fleet, m)
+		}
+		bases := make([]string, len(fleet))
+		for i, f := range fleet {
+			bases[i] = f.base
+		}
+		client := &http.Client{Timeout: 10 * time.Second}
+		rt, err = router.New(router.Options{
+			Nodes:   bases,
+			Client:  client,
+			Fetcher: coord.NewFetcher(client, 2, 20*time.Millisecond),
+		})
+		if err != nil {
+			for _, f := range fleet {
+				f.close()
+			}
+			return 0, err
+		}
+		if err := rt.Define(coord.Schema{Relation: "r"}); err != nil {
+			rt.Close()
+			for _, f := range fleet {
+				f.close()
+			}
+			return 0, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rt.Close()
+			for _, f := range fleet {
+				f.close()
+			}
+			return 0, err
+		}
+		addr = ln.Addr().String()
+		front := wire.NewServerSink(rt.Sink())
+		go func() { _ = front.Serve(ln) }()
+		cleanup = func() {
+			_ = front.Close()
+			_ = rt.Close()
+			for _, f := range fleet {
+				f.close()
+			}
+		}
+	default:
+		return 0, fmt.Errorf("experiments: unknown ingest path %q", path)
+	}
+	defer cleanup()
+
+	wcs := make([]*wire.Client, clients)
+	for c := range wcs {
+		wc, err := wire.Dial(addr, wire.Options{Conns: 1})
+		if err != nil {
+			return 0, err
+		}
+		defer wc.Close()
+		wcs[c] = wc
+	}
+
+	// Warm up: one batch + FLUSH per client (dials, handshakes, the
+	// router's downstream sessions and schema adoption).
+	for c := 0; c < clients; c++ {
+		if err := wcs[c].InsertBatch("r", streams[c][0]); err != nil {
+			return 0, err
+		}
+		if err := wcs[c].Flush(); err != nil {
+			return 0, err
+		}
+	}
+
+	const minDuration = 80 * time.Millisecond
+	var (
+		stop   = make(chan struct{})
+		counts = make([]int64, clients)
+		errs   = make([]error, clients)
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			batches := streams[c]
+			n := int64(0)
+			for b := 0; ; b++ {
+				select {
+				case <-stop:
+					counts[c] = n
+					errs[c] = wcs[c].Flush()
+					return
+				default:
+				}
+				if err := wcs[c].InsertBatch("r", batches[b%len(batches)]); err != nil {
+					errs[c] = err
+					counts[c] = n
+					return
+				}
+				n += routedIngestBatch
+			}
+		}(c)
+	}
+	time.Sleep(minDuration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return 0, fmt.Errorf("experiments: %s client %d: %w", path, c, errs[c])
+		}
+		total += counts[c]
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: no rows completed in %v", elapsed)
+	}
+
+	if path == "routed" {
+		if err := auditRoutedFleet(res, rt, fleet, total+int64(clients*routedIngestBatch), clients); err != nil {
+			return 0, err
+		}
+	}
+	return float64(elapsed.Nanoseconds()) / float64(total), nil
+}
+
+// auditRoutedFleet asserts ring-partition conservation (every acked row
+// on exactly one node) and, at the gated client count, runs the
+// drain/rebalance flow and re-asserts the total. sent counts warm-up
+// batches too — everything was FLUSH-barriered, so the fleet must hold
+// exactly sent rows.
+func auditRoutedFleet(res *RoutedIngestResult, rt *router.Router, fleet []*fleetMember, sent int64, clients int) error {
+	fleetTotal := func() int64 {
+		var n int64
+		for _, f := range fleet {
+			n += relRows(f, "r")
+		}
+		return n
+	}
+	got := fleetTotal()
+	if got != sent {
+		return fmt.Errorf("experiments: routed fleet holds %d rows, %d were acked — partition not conserved", got, sent)
+	}
+	if clients != routedIngestClients {
+		return nil
+	}
+	res.RowsRouted = got
+	// Retire the member with the most rows through the admin rebalance:
+	// export → merge into ring successor → delete. Row totals must not
+	// move.
+	victim := fleet[0]
+	for _, f := range fleet[1:] {
+		if relRows(f, "r") > relRows(victim, "r") {
+			victim = f
+		}
+	}
+	if _, err := rt.DrainNode(victim.base); err != nil {
+		return fmt.Errorf("experiments: drain %s: %w", victim.base, err)
+	}
+	res.RowsAfterDrain = fleetTotal()
+	if res.RowsAfterDrain != sent {
+		return fmt.Errorf("experiments: drain moved the fleet from %d to %d rows — rebalance not conservative", sent, res.RowsAfterDrain)
+	}
+	if relRows(victim, "r") != 0 {
+		return fmt.Errorf("experiments: drained member still holds %d rows", relRows(victim, "r"))
+	}
+	return nil
+}
+
+// Table renders the sweep for amsbench's aligned-text output.
+func (r *RoutedIngestResult) Table() *tablefmt.Table {
+	t := tablefmt.New("path", "clients", "ns/row", "Mrows/s")
+	for _, row := range r.Rows {
+		t.AddRow(row.Path, row.Clients, row.NsPerRow, row.RowsPerSec/1e6)
+	}
+	return t
+}
+
+// JSON serializes the result for machine consumption (BENCH_router.json).
+func (r *RoutedIngestResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestRunRoutedIngestSmoke runs the real partitioned-ingest race end to
+// end (small k, real localhost fleet): every sweep cell measured, the
+// 4-client gate pair populated, and the built-in conservation audits —
+// ring partition and drain/rebalance — holding at real row volumes.
+func TestRunRoutedIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end fleet benchmark")
+	}
+	r, err := RunRoutedIngest(64, 3)
+	if err != nil {
+		t.Fatal(err) // conservation violations surface here as errors
+	}
+	if r.Experiment != "routedingest" || r.K != 64 || r.Nodes != routedIngestNodes {
+		t.Fatalf("result header = %+v", r)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("sweep has %d cells, want 4 (2 paths x 2 client counts)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.NsPerRow <= 0 || row.RowsPerSec <= 0 {
+			t.Fatalf("cell %+v has non-positive timings", row)
+		}
+	}
+	if r.DirectNsPerRow <= 0 || r.RoutedNsPerRow <= 0 {
+		t.Fatalf("gate pair missing: %+v", r)
+	}
+	// The router cannot be FASTER than the direct path it wraps; an
+	// overhead under 1 means a barrier leaked and rows went untimed.
+	if r.Overhead < 1 {
+		t.Fatalf("routed (%.1f ns/row) beat direct (%.1f ns/row) — ack ladder not composing", r.RoutedNsPerRow, r.DirectNsPerRow)
+	}
+	if r.RowsRouted <= 0 || r.RowsAfterDrain != r.RowsRouted {
+		t.Fatalf("conservation audit did not run: routed=%d afterDrain=%d", r.RowsRouted, r.RowsAfterDrain)
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table().String()) == 0 {
+		t.Fatal("empty table")
+	}
+}

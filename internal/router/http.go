@@ -1,0 +1,278 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"amstrack/internal/coord"
+)
+
+// Handler is the router's upstream HTTP surface. The ingest-facing
+// routes mirror amsd's (same paths, same JSON bodies), so a loader or
+// an operator script pointed at a single node works against the router
+// unchanged; the /v1/admin routes are the router's own.
+//
+//	GET    /healthz                  per-node health, ring membership
+//	GET    /v1/relations             relation names (proxied from a live node)
+//	POST   /v1/relations             define across the whole fleet
+//	GET    /v1/relations/{name}      schema (router's adopted copy)
+//	POST   /v1/ingest                partition + route + ack barrier
+//	GET    /v1/ring?key=K            debug: the key's owning node
+//	POST   /v1/admin/drain           {"node": base} — drain + rebalance off a node
+//	POST   /v1/admin/forget          {"node": base} — clear quarantine, rebaseline
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /v1/relations", r.handleList)
+	mux.HandleFunc("POST /v1/relations", r.handleDefine)
+	mux.HandleFunc("GET /v1/relations/{name...}", r.handleSchema)
+	mux.HandleFunc("POST /v1/ingest", r.handleIngest)
+	mux.HandleFunc("GET /v1/ring", r.handleRing)
+	mux.HandleFunc("POST /v1/admin/drain", r.handleDrain)
+	mux.HandleFunc("POST /v1/admin/forget", r.handleForget)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// HealthzBody is the router's /healthz response.
+type HealthzBody struct {
+	Status string       `json:"status"` // "ok" or "degraded" (any node not healthy)
+	Mode   string       `json:"mode"`   // always "routed"
+	Nodes  []NodeHealth `json:"nodes"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body := HealthzBody{Status: "ok", Mode: "routed", Nodes: r.Health()}
+	for _, n := range body.Nodes {
+		if n.State != StateHealthy.String() {
+			body.Status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (r *Router) handleList(w http.ResponseWriter, _ *http.Request) {
+	var lastErr error = errors.New("no live nodes")
+	for _, m := range r.ring.Members() {
+		r.mu.Lock()
+		alive := r.aliveLocked(m)
+		r.mu.Unlock()
+		if !alive {
+			continue
+		}
+		names, err := r.opts.Fetcher.ListRelations(m)
+		if err == nil {
+			if names == nil {
+				names = []string{}
+			}
+			writeJSON(w, http.StatusOK, map[string][]string{"relations": names})
+			return
+		}
+		lastErr = err
+	}
+	writeErr(w, http.StatusBadGateway, lastErr)
+}
+
+func (r *Router) handleDefine(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Name    string     `json:"name"`
+		Attrs   []string   `json:"attrs"`
+		ChainA  []string   `json:"chain_a"`
+		ChainB  []string   `json:"chain_b"`
+		ChainAB [][]string `json:"chain_ab"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sc := coord.Schema{Relation: body.Name, Attrs: body.Attrs,
+		ChainA: body.ChainA, ChainB: body.ChainB, ChainAB: body.ChainAB}
+	if err := r.Define(sc); err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	attrs := body.Attrs
+	if len(attrs) == 0 {
+		attrs = []string{"value"}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"relation": body.Name, "attrs": attrs})
+}
+
+func (r *Router) handleSchema(w http.ResponseWriter, req *http.Request) {
+	rs, err := r.Relation(req.PathValue("name"))
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, coord.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	r.mu.Lock()
+	sc := rs.schema
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, sc)
+}
+
+// IngestBody mirrors amsd's ingest response. Len is the fleet-total row
+// count (sum of per-node lens — exact under linearity), or -1 when a
+// node's stat was unreachable; the ingest itself is still acknowledged.
+type IngestBody struct {
+	Relation string `json:"relation"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Len      int64  `json:"len"`
+}
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Relation   string     `json:"relation"`
+		Inserts    []uint64   `json:"inserts"`
+		Deletes    []uint64   `json:"deletes"`
+		InsertRows [][]uint64 `json:"insert_rows"`
+		DeleteRows [][]uint64 `json:"delete_rows"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rs, err := r.Relation(body.Relation)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, coord.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	flat := func(rows [][]uint64) ([]uint64, error) {
+		out := make([]uint64, 0, len(rows)*rs.arity)
+		for i, row := range rows {
+			if len(row) != rs.arity {
+				return nil, fmt.Errorf("row %d has %d values, relation %q has arity %d",
+					i, len(row), rs.name, rs.arity)
+			}
+			out = append(out, row...)
+		}
+		return out, nil
+	}
+	ins, del := body.Inserts, body.Deletes
+	if rs.arity != 1 {
+		if len(body.Inserts)+len(body.Deletes) > 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("relation %q has arity %d; use insert_rows/delete_rows", rs.name, rs.arity))
+			return
+		}
+		if ins, err = flat(body.InsertRows); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if del, err = flat(body.DeleteRows); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if len(body.InsertRows)+len(body.DeleteRows) > 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("relation %q has arity 1; use inserts/deletes", rs.name))
+		return
+	}
+	// Inserts before deletes, mirroring amsd's handler.
+	if err := r.route(rs, false, ins); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := r.route(rs, true, del); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := r.Flush(rs.name); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestBody{
+		Relation: rs.name,
+		Inserted: len(ins) / rs.arity,
+		Deleted:  len(del) / rs.arity,
+		Len:      r.fleetLen(rs),
+	})
+}
+
+// fleetLen sums the relation's row count across members — exact under
+// linearity when every stat answers; -1 when one does not.
+func (r *Router) fleetLen(rs *relState) int64 {
+	r.mu.Lock()
+	members := make([]string, 0, len(rs.accts))
+	for m := range rs.accts {
+		members = append(members, m)
+	}
+	r.mu.Unlock()
+	var total int64
+	for _, m := range members {
+		st, err := statOnce(r.opts.Client, m, rs.name)
+		if err != nil {
+			return -1
+		}
+		total += st.Rows
+	}
+	return total
+}
+
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	key, err := strconv.ParseUint(req.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad ?key: %w", err))
+		return
+	}
+	r.mu.Lock()
+	owner, ok := r.ring.Owner(key, r.aliveLocked)
+	r.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no live nodes"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "owner": owner})
+}
+
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	rep, err := r.DrainNode(body.Node)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (r *Router) handleForget(w http.ResponseWriter, req *http.Request) {
+	var body struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := r.Forget(body.Node); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"forgotten": body.Node})
+}

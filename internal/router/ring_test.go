@@ -1,0 +1,142 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"amstrack/internal/xrand"
+)
+
+// TestRingDeterministicAcrossRouters is the property a fleet of
+// stateless routers depends on: two rings built independently from the
+// same membership — in ANY input order — assign every key to the same
+// owner. No coordination, no shared state, just the hash.
+func TestRingDeterministicAcrossRouters(t *testing.T) {
+	members := []string{"http://n3:7600", "http://n1:7600", "http://n5:7600", "http://n2:7600", "http://n4:7600"}
+	shuffled := []string{"http://n5:7600", "http://n2:7600", "http://n4:7600", "http://n1:7600", "http://n3:7600"}
+	a := NewRing(members, 0)
+	b := NewRing(shuffled, 0)
+	dup := NewRing(append(append([]string(nil), members...), members...), 0) // dedup must not change placement
+
+	rng := xrand.New(99)
+	for i := 0; i < 20000; i++ {
+		key := rng.Uint64()
+		oa, ok := a.Owner(key, nil)
+		if !ok {
+			t.Fatal("ring with members found no owner")
+		}
+		ob, _ := b.Owner(key, nil)
+		od, _ := dup.Owner(key, nil)
+		if oa != ob || oa != od {
+			t.Fatalf("key %d: owners diverge across identically-membered rings: %q vs %q vs %q", key, oa, ob, od)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract: adding
+// or removing one of N members moves only ~1/N of the keyspace, and
+// every key that moves is explained by the membership change — a key
+// moves on removal only if the removed node owned it, and on addition
+// only onto the new node.
+func TestRingMinimalMovement(t *testing.T) {
+	const n, keys = 5, 40000
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://node%d:7600", i)
+	}
+	full := NewRing(members, 0)
+	without := NewRing(members[:n-1], 0)
+	plusOne := NewRing(append(append([]string(nil), members...), "http://node-new:7600"), 0)
+
+	rng := xrand.New(7)
+	removedOwned, movedOnRemove, movedOnAdd, movedElsewhere := 0, 0, 0, 0
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		before, _ := full.Owner(key, nil)
+		afterRemove, _ := without.Owner(key, nil)
+		afterAdd, _ := plusOne.Owner(key, nil)
+
+		removed := members[n-1]
+		if before == removed {
+			removedOwned++
+		}
+		if before != afterRemove {
+			moved := before == removed // only the removed node's keys may move
+			if !moved {
+				t.Fatalf("key %d moved %q→%q on removal of %q — movement not minimal", key, before, afterRemove, removed)
+			}
+			movedOnRemove++
+		}
+		if before != afterAdd {
+			if afterAdd != "http://node-new:7600" {
+				movedElsewhere++
+			}
+			movedOnAdd++
+		}
+	}
+	if movedElsewhere > 0 {
+		t.Fatalf("%d keys moved between OLD members when a node was added — movement not minimal", movedElsewhere)
+	}
+	if movedOnRemove != removedOwned {
+		t.Fatalf("removal moved %d keys but the removed member owned %d", movedOnRemove, removedOwned)
+	}
+	// Fractions: ~1/5 on removal, ~1/6 on addition, generous ±60%
+	// tolerance (vnode placement is hash-lumpy at small N).
+	checkFraction := func(what string, moved int, ideal float64) {
+		frac := float64(moved) / keys
+		if frac < ideal*0.4 || frac > ideal*1.6 {
+			t.Fatalf("%s moved %.3f of keys, want ~%.3f (1/N movement violated)", what, frac, ideal)
+		}
+	}
+	checkFraction("removal", movedOnRemove, 1.0/n)
+	checkFraction("addition", movedOnAdd, 1.0/(n+1))
+}
+
+// TestRingFailoverWalkStability: masking a member with the alive
+// predicate must behave exactly like the ownership rule says — dead
+// member's keys land on live members, every other key keeps its owner,
+// and un-masking restores the original assignment bit-for-bit.
+func TestRingFailoverWalkStability(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ring := NewRing(members, 0)
+	dead := "http://b:1"
+	alive := func(m string) bool { return m != dead }
+
+	rng := xrand.New(3)
+	reassigned := 0
+	for i := 0; i < 10000; i++ {
+		key := rng.Uint64()
+		before, _ := ring.Owner(key, nil)
+		during, ok := ring.Owner(key, alive)
+		if !ok || during == dead {
+			t.Fatalf("key %d: failover walk landed on the dead member", key)
+		}
+		if before != dead && during != before {
+			t.Fatalf("key %d: owner changed %q→%q though its owner was alive", key, before, during)
+		}
+		if before == dead {
+			reassigned++
+		}
+		after, _ := ring.Owner(key, nil)
+		if after != before {
+			t.Fatalf("key %d: assignment did not restore after the mask lifted", key)
+		}
+	}
+	if reassigned == 0 {
+		t.Fatal("dead member owned no keys — test tests nothing")
+	}
+
+	// All dead: no owner, reported honestly.
+	if _, ok := ring.Owner(1, func(string) bool { return false }); ok {
+		t.Fatal("owner found on a fully dead ring")
+	}
+
+	// SuccessorOf never returns the member itself and respects alive.
+	succ, ok := ring.SuccessorOf(dead, alive)
+	if !ok || succ == dead {
+		t.Fatalf("SuccessorOf(%q) = %q, ok=%v", dead, succ, ok)
+	}
+	if _, ok := NewRing([]string{"solo"}, 0).SuccessorOf("solo", nil); ok {
+		t.Fatal("a lone member found a successor")
+	}
+}

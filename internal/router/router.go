@@ -1,0 +1,837 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"amstrack/internal/coord"
+	"amstrack/internal/xrand"
+)
+
+// Options configures a Router. Nodes is required; everything else has a
+// sane default.
+type Options struct {
+	// Nodes are the amsd nodes' HTTP base URLs ("http://host:port").
+	// They are the ring members; order does not matter.
+	Nodes []string
+	// VNodes is the virtual-node count per member (DefaultVNodes if 0).
+	VNodes int
+	// QueueDepth bounds each node's in-flight queue in batches. A full
+	// queue blocks the producer — honest backpressure, surfaced upstream
+	// as a stalled HTTP request or an unread wire stream, never a
+	// silently growing buffer.
+	QueueDepth int
+	// AckTimeout is how long a wire session waits for ACK progress on a
+	// non-empty pending window before declaring the node unresponsive
+	// and failing over.
+	AckTimeout time.Duration
+	// ProbeInterval paces the health prober (jittered per tick).
+	ProbeInterval time.Duration
+	// DownAfter is the consecutive-failure count that demotes a node
+	// from suspect to down.
+	DownAfter int
+	// FailoverBudget caps how many times one batch may be re-routed
+	// before its failure is surfaced upstream as a sticky error.
+	FailoverBudget int
+	// Client issues node HTTP requests (probes, stats, HTTP-fallback
+	// ingest). http.DefaultClient if nil.
+	Client *http.Client
+	// Fetcher drives the admin verbs (schemas, bundles, rebalance).
+	// Built from Client with modest retries if nil.
+	Fetcher *coord.Fetcher
+	// DialTimeout bounds one wire-session dial.
+	DialTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 10 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 3
+	}
+	if o.FailoverBudget <= 0 {
+		o.FailoverBudget = 4
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Fetcher == nil {
+		o.Fetcher = coord.NewFetcher(o.Client, 2, 50*time.Millisecond)
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Health states of one node, in degradation order.
+type NodeState int
+
+const (
+	// StateHealthy routes. A fresh router starts every node here and
+	// lets the first probe or delivery correct it.
+	StateHealthy NodeState = iota
+	// StateSuspect stops routing NEW work to the node but keeps probing
+	// it; one successful probe restores healthy. Suspect is cheap to
+	// enter (a single failed delivery) because under linearity moving a
+	// node's arcs to its neighbors changes nothing but load.
+	StateSuspect
+	// StateDown is suspect after DownAfter consecutive failures. The
+	// difference is ceremony on the way back: a down node must pass the
+	// rejoin audit (recovered Seq == router's acked ledger, per
+	// relation) before it routes again.
+	StateDown
+	// StateQuarantined is the audit-failed terminal state: the node's
+	// recovered state disagrees with the acked ledger, so routing to it
+	// — or trusting its bundles — risks double-counted rows. Only an
+	// operator Forget (accepting the node's state as a new baseline)
+	// clears it.
+	StateQuarantined
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("NodeState(%d)", int(s))
+}
+
+// node is the router's per-member state: health, the bounded delivery
+// queue, and the live wire session if one is up.
+type node struct {
+	base  string // HTTP base URL; the ring member name
+	queue chan *subBatch
+
+	// Guarded by Router.mu.
+	state    NodeState
+	fails    int
+	lastErr  string
+	reasons  []string // quarantine reasons
+	draining bool
+	sess     *session // nil when no wire session is up
+	httpOnly bool     // node advertises no wire listener
+}
+
+// acct is the router's acked ledger for one (node, relation): base is
+// the relation's Seq when the router first took responsibility for
+// routing to the node, acked counts row-ops acknowledged since. The
+// rejoin audit's whole question is "does the node's recovered Seq equal
+// base+acked" — equality proves the node holds exactly the acked
+// stream, so failing over everything un-acked was exact.
+type acct struct {
+	base  uint64
+	acked uint64
+}
+
+// relState is one logical relation as the router sees it. It doubles as
+// the wire.SinkRelation handed to the upstream wire server.
+type relState struct {
+	r      *Router
+	name   string
+	arity  int
+	schema coord.Schema
+
+	// Guarded by Router.mu.
+	inflight int   // subBatches routed, not yet acked or failed
+	sticky   error // first terminal failure; poisons the relation upstream
+	accts    map[string]*acct
+	rows     [][]uint64 // Apply scratch for multi-attribute rows
+}
+
+// subBatch is the router's unit of delivery, ack, and failover: one
+// relation, one op kind, rows all owned by the node it is queued for.
+// vals is owned by the batch (copied out of the caller's buffer).
+type subBatch struct {
+	rel      *relState
+	del      bool
+	vals     []uint64 // row-major, rel.arity values per row
+	attempts int      // failover hops consumed
+}
+
+func (sb *subBatch) rowCount() int { return len(sb.vals) / sb.rel.arity }
+
+// Router is the partitioned-ingest tier core: ring + health + queues +
+// the acked ledger. One Router serves both upstream surfaces (its
+// wire.Sink and its HTTP handler) and owns the node sessions.
+type Router struct {
+	opts Options
+	ring *Ring
+
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast on ack / failure / health transitions
+	nodes map[string]*node
+	rels  map[string]*relState
+	stop  chan struct{}
+	done  sync.WaitGroup
+	rng   *xrand.Rand // jitter; guarded by mu
+
+	closed bool
+}
+
+// New builds a router over the given nodes and starts its senders and
+// health prober. Callers must Close it.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("router: no nodes configured")
+	}
+	r := &Router{
+		opts:  opts,
+		ring:  NewRing(opts.Nodes, opts.VNodes),
+		nodes: map[string]*node{},
+		rels:  map[string]*relState{},
+		stop:  make(chan struct{}),
+		rng:   xrand.New(jitterSeed()),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, base := range r.ring.Members() {
+		n := &node{base: base, queue: make(chan *subBatch, opts.QueueDepth)}
+		r.nodes[base] = n
+		r.done.Add(1)
+		go r.runSender(n)
+	}
+	r.done.Add(1)
+	go r.runProber()
+	return r, nil
+}
+
+// jitterSeed mirrors coord's: independent per router so a fleet of
+// routers restarted together does not probe or back off in lockstep.
+func jitterSeed() uint64 {
+	return xrand.Mix64(uint64(time.Now().UnixNano())) ^ xrand.Mix64(uint64(time.Now().UnixMicro())<<1|1)
+}
+
+// Close tears down sessions, stops the prober, and fails any batches
+// still in flight (their relations go sticky, so an upstream Flush
+// caller sees an error rather than a hang).
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.stop)
+	for _, n := range r.nodes {
+		if n.sess != nil {
+			n.sess.shutdown()
+		}
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.done.Wait()
+	// Senders have exited; drain queued batches so Flush waiters wake.
+	r.mu.Lock()
+	for _, n := range r.nodes {
+	drain:
+		for {
+			select {
+			case sb := <-n.queue:
+				r.failLocked(sb, errors.New("router closed"))
+			default:
+				break drain
+			}
+		}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// aliveLocked reports whether a member currently accepts routed work.
+func (r *Router) aliveLocked(member string) bool {
+	n := r.nodes[member]
+	return n != nil && n.state == StateHealthy && !n.draining
+}
+
+// liveCountLocked counts routable members.
+func (r *Router) liveCountLocked() int {
+	c := 0
+	for m := range r.nodes {
+		if r.aliveLocked(m) {
+			c++
+		}
+	}
+	return c
+}
+
+// markFailureLocked records one delivery/probe failure against a node.
+func (r *Router) markFailureLocked(n *node, err error) {
+	if n.state == StateQuarantined {
+		return
+	}
+	n.fails++
+	n.lastErr = err.Error()
+	if n.fails >= r.opts.DownAfter {
+		n.state = StateDown
+	} else if n.state == StateHealthy {
+		n.state = StateSuspect
+	}
+	r.cond.Broadcast()
+}
+
+// markHealthyLocked restores a node to routing after a successful probe
+// (suspect) or a passed rejoin audit (down).
+func (r *Router) markHealthyLocked(n *node) {
+	n.fails = 0
+	n.lastErr = ""
+	n.state = StateHealthy
+	r.cond.Broadcast()
+}
+
+// quarantineLocked pins a node in the audit-failed state.
+func (r *Router) quarantineLocked(n *node, reason string) {
+	n.state = StateQuarantined
+	n.reasons = append(n.reasons, reason)
+	if n.sess != nil {
+		n.sess.shutdown()
+		n.sess = nil
+	}
+	r.cond.Broadcast()
+}
+
+// Relation resolves (or lazily adopts) a logical relation. If the
+// router has not seen the name, it reads the schema from a live node,
+// replays the define onto any member missing it, and seeds the acked
+// ledger from each member's current Seq — from that point on the
+// router's ledger and the fleet move in lockstep.
+func (r *Router) Relation(name string) (*relState, error) {
+	r.mu.Lock()
+	if rs, ok := r.rels[name]; ok {
+		r.mu.Unlock()
+		return rs, nil
+	}
+	r.mu.Unlock()
+
+	sc, err := r.fetchSchemaAny(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.adoptRelation(sc)
+}
+
+// fetchSchemaAny reads a relation's schema from the first member that
+// has it. ErrNotFound only if NO member has it.
+func (r *Router) fetchSchemaAny(name string) (coord.Schema, error) {
+	var lastErr error = coord.ErrNotFound
+	for _, m := range r.ring.Members() {
+		sc, err := r.opts.Fetcher.FetchSchema(m, name)
+		if err == nil {
+			return sc, nil
+		}
+		lastErr = err
+	}
+	return coord.Schema{}, fmt.Errorf("relation %q: %w", name, lastErr)
+}
+
+// Define defines a relation across the whole fleet (tolerating members
+// that already have it) and registers it with the router. All members
+// must be reachable: defining into a partially-visible fleet would
+// leave the ledger blind on the missing members.
+func (r *Router) Define(sc coord.Schema) error {
+	if sc.Relation == "" {
+		return errors.New("router: define without a relation name")
+	}
+	_, err := r.adoptRelation(sc)
+	return err
+}
+
+// adoptRelation ensures every member has the relation and seeds the
+// per-member ledger. Idempotent per name.
+func (r *Router) adoptRelation(sc coord.Schema) (*relState, error) {
+	arity := len(sc.Attrs)
+	if arity == 0 {
+		arity = 1
+	}
+	accts := make(map[string]*acct, len(r.ring.Members()))
+	for _, m := range r.ring.Members() {
+		st, err := r.opts.Fetcher.FetchStat(m, sc.Relation)
+		if errors.Is(err, coord.ErrNotFound) {
+			if err := r.defineOn(m, sc); err != nil {
+				return nil, fmt.Errorf("define %q on %s: %w", sc.Relation, m, err)
+			}
+			st = coord.Stat{}
+		} else if err != nil {
+			return nil, fmt.Errorf("stat %q on %s: %w", sc.Relation, m, err)
+		}
+		accts[m] = &acct{base: st.Seq}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rs, ok := r.rels[sc.Relation]; ok {
+		return rs, nil // raced with a concurrent resolve; first one wins
+	}
+	rs := &relState{r: r, name: sc.Relation, arity: arity, schema: sc, accts: accts}
+	r.rels[sc.Relation] = rs
+	return rs, nil
+}
+
+// defineOn replays a schema define onto one member via the same JSON
+// body DefineRequest accepts.
+func (r *Router) defineOn(member string, sc coord.Schema) error {
+	return postJSON(r.opts.Client, member+"/v1/relations", map[string]any{
+		"name":     sc.Relation,
+		"attrs":    sc.Attrs,
+		"chain_a":  sc.ChainA,
+		"chain_b":  sc.ChainB,
+		"chain_ab": sc.ChainAB,
+	}, http.StatusCreated)
+}
+
+// route partitions one upstream batch by each row's primary attribute
+// and queues one subBatch per owning node. vals is the caller's buffer
+// and is copied. Blocking on a full queue is the backpressure contract.
+func (r *Router) route(rs *relState, del bool, vals []uint64) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	if len(vals)%rs.arity != 0 {
+		return fmt.Errorf("router: %d values is not a whole number of arity-%d rows", len(vals), rs.arity)
+	}
+	r.mu.Lock()
+	if rs.sticky != nil {
+		err := rs.sticky
+		r.mu.Unlock()
+		return err
+	}
+	parts, err := r.partitionLocked(rs, vals)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	rs.inflight += len(parts)
+	r.mu.Unlock()
+
+	type queued struct {
+		owner string
+		sb    *subBatch
+	}
+	batches := make([]queued, 0, len(parts))
+	for owner, part := range parts {
+		batches = append(batches, queued{owner, &subBatch{rel: rs, del: del, vals: part}})
+	}
+	for i, q := range batches {
+		if !r.enqueue(q.owner, q.sb) {
+			// enqueue already failed q.sb; fail the rest so the
+			// in-flight count balances and Flush waiters wake.
+			r.mu.Lock()
+			for _, rest := range batches[i+1:] {
+				r.failLocked(rest.sb, errors.New("router closed"))
+			}
+			r.mu.Unlock()
+			return errors.New("router closed")
+		}
+	}
+	return nil
+}
+
+// partitionLocked splits vals (row-major) by ring owner of row[0].
+func (r *Router) partitionLocked(rs *relState, vals []uint64) (map[string][]uint64, error) {
+	parts := map[string][]uint64{}
+	for i := 0; i+rs.arity <= len(vals); i += rs.arity {
+		row := vals[i : i+rs.arity]
+		owner, ok := r.ring.Owner(row[0], r.aliveLocked)
+		if !ok {
+			return nil, errors.New("router: no live nodes")
+		}
+		parts[owner] = append(parts[owner], row...)
+	}
+	return parts, nil
+}
+
+// enqueue hands a subBatch to a node's sender, honoring shutdown.
+// Returns false only when the router is closing.
+func (r *Router) enqueue(member string, sb *subBatch) bool {
+	n := r.nodes[member]
+	select {
+	case n.queue <- sb:
+		return true
+	case <-r.stop:
+		r.mu.Lock()
+		r.failLocked(sb, errors.New("router closed"))
+		r.mu.Unlock()
+		return false
+	}
+}
+
+// failover re-routes a failed (never acked) batch through the current
+// live ring. Exactness argument (DESIGN.md §12): the batch was not
+// acknowledged by the failed node's sink, and the reconcile/audit
+// machinery guarantees the failed node will not silently keep a copy —
+// so re-sending it elsewhere applies it exactly once, and under
+// linearity WHERE it lands is irrelevant.
+func (r *Router) failover(sb *subBatch, cause error) {
+	r.mu.Lock()
+	sb.attempts++
+	if sb.attempts > r.opts.FailoverBudget {
+		r.failLocked(sb, fmt.Errorf("failover budget (%d) exhausted: %w", r.opts.FailoverBudget, cause))
+		r.mu.Unlock()
+		return
+	}
+	parts, err := r.partitionLocked(sb.rel, sb.vals)
+	if err != nil {
+		r.failLocked(sb, fmt.Errorf("%w (while failing over: %v)", err, cause))
+		r.mu.Unlock()
+		return
+	}
+	sb.rel.inflight += len(parts) - 1 // sb itself stays counted
+	// Jittered pause between hops so a flapping fleet is retried gently,
+	// not hammered (budget × pause bounds a batch's total retry cost).
+	pause := time.Duration(sb.attempts) * 10 * time.Millisecond
+	pause = pause/2 + time.Duration(r.rng.Uint64n(uint64(pause/2)+1))
+	r.mu.Unlock()
+
+	select {
+	case <-time.After(pause):
+	case <-r.stop:
+	}
+	for owner, part := range parts {
+		nsb := &subBatch{rel: sb.rel, del: sb.del, vals: part, attempts: sb.attempts}
+		r.enqueue(owner, nsb)
+	}
+}
+
+// failLocked records a terminal batch failure: the relation goes sticky
+// (upstream sees an error, exactly the amswire contract) and the
+// in-flight count drops so Flush waiters wake.
+func (r *Router) failLocked(sb *subBatch, err error) {
+	if sb.rel.sticky == nil {
+		sb.rel.sticky = fmt.Errorf("relation %q: batch of %d rows lost: %w", sb.rel.name, sb.rowCount(), err)
+	}
+	sb.rel.inflight--
+	r.cond.Broadcast()
+}
+
+// noteAcked credits an acknowledged batch to the (node, relation)
+// ledger. Every acked row is one engine op, so the ledger unit matches
+// Relation.Seq exactly.
+func (r *Router) noteAcked(n *node, sb *subBatch) {
+	r.mu.Lock()
+	if a := sb.rel.accts[n.base]; a != nil {
+		a.acked += uint64(sb.rowCount())
+	}
+	sb.rel.inflight--
+	n.fails = 0
+	if n.state == StateSuspect {
+		n.state = StateHealthy
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Flush is the read-your-writes barrier: it nudges every live session
+// to drain and blocks until the relation has nothing in flight,
+// returning the sticky error if routing failed terminally.
+func (r *Router) Flush(name string) error {
+	r.mu.Lock()
+	rs, ok := r.rels[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("router: unknown relation %q", name)
+	}
+	for _, n := range r.nodes {
+		if n.sess != nil {
+			n.sess.requestFlush()
+		}
+	}
+	for rs.inflight > 0 && rs.sticky == nil && !r.closed {
+		r.cond.Wait()
+		for _, n := range r.nodes {
+			if n.sess != nil {
+				n.sess.requestFlush()
+			}
+		}
+	}
+	err := rs.sticky
+	if err == nil && r.closed && rs.inflight > 0 {
+		err = errors.New("router closed with batches in flight")
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// FlushAll barriers every known relation.
+func (r *Router) FlushAll() error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.rels))
+	for name := range r.rels {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		if err := r.Flush(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// runSender is one node's delivery loop.
+func (r *Router) runSender(n *node) {
+	defer r.done.Done()
+	for {
+		select {
+		case sb := <-n.queue:
+			r.deliver(n, sb)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// deliver sends one subBatch to its node, or fails it over.
+func (r *Router) deliver(n *node, sb *subBatch) {
+	r.mu.Lock()
+	if n.state != StateHealthy || n.draining {
+		state := n.state
+		r.mu.Unlock()
+		r.failover(sb, fmt.Errorf("node %s is %v", n.base, state))
+		return
+	}
+	sess := n.sess
+	httpOnly := n.httpOnly
+	r.mu.Unlock()
+
+	if httpOnly {
+		if err := r.httpSend(n, sb); err != nil {
+			r.mu.Lock()
+			r.markFailureLocked(n, err)
+			r.mu.Unlock()
+			r.failover(sb, err)
+			return
+		}
+		r.noteAcked(n, sb)
+		return
+	}
+	if sess == nil {
+		var err error
+		sess, err = r.openSession(n)
+		if err != nil {
+			r.mu.Lock()
+			if errors.Is(err, errNoWire) {
+				n.httpOnly = true
+				r.mu.Unlock()
+				r.deliver(n, sb) // retry this batch over HTTP
+				return
+			}
+			r.markFailureLocked(n, err)
+			r.mu.Unlock()
+			r.failover(sb, err)
+			return
+		}
+	}
+	if err := sess.send(sb, len(n.queue) == 0); err != nil {
+		// The session records the batch as pending before writing, so a
+		// failed write is torn down and reconciled (including sb) by the
+		// session's teardown path; nothing more to do here.
+		return
+	}
+}
+
+// runProber is the health loop: every (jittered) interval it probes
+// non-healthy members, runs the rejoin audit on recovered down nodes,
+// and demotes healthy members whose /healthz stops answering or goes
+// degraded.
+func (r *Router) runProber() {
+	defer r.done.Done()
+	for {
+		r.mu.Lock()
+		iv := r.opts.ProbeInterval
+		iv = iv/2 + time.Duration(r.rng.Uint64n(uint64(iv/2)+1))
+		r.mu.Unlock()
+		select {
+		case <-time.After(iv):
+		case <-r.stop:
+			return
+		}
+		r.probeOnce()
+	}
+}
+
+// probeOnce sweeps every member once.
+func (r *Router) probeOnce() {
+	r.mu.Lock()
+	members := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		members = append(members, n)
+	}
+	r.mu.Unlock()
+
+	for _, n := range members {
+		r.mu.Lock()
+		state, draining := n.state, n.draining
+		r.mu.Unlock()
+		if state == StateQuarantined || draining {
+			continue
+		}
+		err := r.probeNode(n)
+		r.mu.Lock()
+		switch {
+		case err != nil:
+			r.markFailureLocked(n, err)
+			r.mu.Unlock()
+		case n.state == StateDown:
+			r.mu.Unlock()
+			r.rejoinAudit(n)
+		default:
+			r.markHealthyLocked(n)
+			r.mu.Unlock()
+		}
+	}
+}
+
+// probeNode is one /healthz round trip. A "degraded" status counts as a
+// failure: it means the node has a sticky durability error, so acks it
+// hands out may not survive a crash — routing to it would trade honest
+// backpressure for silent risk.
+func (r *Router) probeNode(n *node) error {
+	var body struct {
+		Status string `json:"status"`
+		Wire   *struct {
+			Addr string `json:"addr"`
+		} `json:"wire"`
+	}
+	if err := getJSON(r.opts.Client, n.base+"/healthz", &body); err != nil {
+		return err
+	}
+	if body.Status != "ok" {
+		return fmt.Errorf("node %s reports status %q", n.base, body.Status)
+	}
+	return nil
+}
+
+// rejoinAudit decides whether a recovered down node may route again.
+// For every relation the router has routed to it, the node's recovered
+// Seq must equal the ledger's base+acked: equality proves the node
+// holds exactly the acknowledged stream (un-acked work the router
+// failed over elsewhere is NOT hiding in its oplog), so rejoining
+// cannot double-count a row. Any mismatch quarantines the node with the
+// exact surplus/deficit — the operator decides, the router never
+// guesses.
+func (r *Router) rejoinAudit(n *node) {
+	r.mu.Lock()
+	type check struct {
+		rel      string
+		expected uint64
+	}
+	var checks []check
+	for name, rs := range r.rels {
+		if a, ok := rs.accts[n.base]; ok {
+			checks = append(checks, check{name, a.base + a.acked})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(checks, func(i, j int) bool { return checks[i].rel < checks[j].rel })
+
+	for _, c := range checks {
+		st, err := r.opts.Fetcher.FetchStat(n.base, c.rel)
+		if err != nil {
+			r.mu.Lock()
+			r.markFailureLocked(n, fmt.Errorf("rejoin audit stat %q: %w", c.rel, err))
+			r.mu.Unlock()
+			return
+		}
+		if st.Seq != c.expected {
+			r.mu.Lock()
+			r.quarantineLocked(n, fmt.Sprintf(
+				"rejoin refused: relation %q recovered seq %d, acked ledger expects %d (surplus of %d ops would double-count if merged)",
+				c.rel, st.Seq, c.expected, int64(st.Seq)-int64(c.expected)))
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.mu.Lock()
+	r.markHealthyLocked(n)
+	r.mu.Unlock()
+}
+
+// Forget clears a node's quarantine by accepting its current state as
+// the new ledger baseline: every relation's base is re-read from the
+// node and acked resets to zero. The operator is asserting "I have
+// verified (or accept) the node's contents"; the router records it and
+// moves on.
+func (r *Router) Forget(member string) error {
+	r.mu.Lock()
+	n := r.nodes[member]
+	r.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("router: unknown node %q", member)
+	}
+	r.mu.Lock()
+	rels := make([]*relState, 0, len(r.rels))
+	for _, rs := range r.rels {
+		rels = append(rels, rs)
+	}
+	r.mu.Unlock()
+	for _, rs := range rels {
+		st, err := r.opts.Fetcher.FetchStat(member, rs.name)
+		if err != nil && !errors.Is(err, coord.ErrNotFound) {
+			return fmt.Errorf("forget %s: stat %q: %w", member, rs.name, err)
+		}
+		r.mu.Lock()
+		if errors.Is(err, coord.ErrNotFound) {
+			delete(rs.accts, member)
+		} else {
+			rs.accts[member] = &acct{base: st.Seq}
+		}
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	n.reasons = nil
+	n.state = StateDown // must still pass a probe before routing
+	n.fails = r.opts.DownAfter
+	r.mu.Unlock()
+	return nil
+}
+
+// NodeHealth is one member's externally visible state.
+type NodeHealth struct {
+	Node    string   `json:"node"`
+	State   string   `json:"state"`
+	Fails   int      `json:"fails,omitempty"`
+	LastErr string   `json:"last_error,omitempty"`
+	Reasons []string `json:"quarantine_reasons,omitempty"`
+	Queue   int      `json:"queue_depth"`
+	Wire    bool     `json:"wire_session"`
+}
+
+// Health snapshots every member, sorted by name.
+func (r *Router) Health() []NodeHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeHealth, 0, len(r.nodes))
+	for _, m := range r.ring.Members() {
+		n := r.nodes[m]
+		out = append(out, NodeHealth{
+			Node: m, State: n.state.String(), Fails: n.fails, LastErr: n.lastErr,
+			Reasons: append([]string(nil), n.reasons...),
+			Queue:   len(n.queue), Wire: n.sess != nil,
+		})
+	}
+	return out
+}
+
+// Ring exposes the ring for tests and the debug endpoint.
+func (r *Router) Ring() *Ring { return r.ring }

@@ -1,0 +1,41 @@
+package router
+
+import (
+	"fmt"
+
+	"amstrack/internal/wire"
+)
+
+// Sink adapts the router to wire.Sink, so cmd/amsrouter serves the
+// byte-identical amswire protocol upstream that a single amsd node
+// does: loaders stream BATCH frames at the router, the router re-frames
+// them downstream per the ring, and an upstream ACK is issued only
+// after every downstream node has ACKed its share (wire.Server acks
+// after Drain, and routerRel.Drain is the router's Flush barrier) — the
+// ack ladder composes, so "acked by the router" still means "durable on
+// an amsd node".
+func (r *Router) Sink() wire.Sink { return routerSink{r} }
+
+type routerSink struct{ r *Router }
+
+func (s routerSink) IngestMode() string { return "routed" }
+
+func (s routerSink) Relation(name string) (wire.SinkRelation, error) {
+	return s.r.Relation(name)
+}
+
+// relState implements wire.SinkRelation directly: it is already the
+// per-relation handle the server wants to cache, and it is a pointer
+// (comparable) as the ack coalescer requires.
+
+func (rs *relState) Name() string { return rs.name }
+func (rs *relState) Arity() int   { return rs.arity }
+
+func (rs *relState) Apply(del bool, arity int, vals []uint64) error {
+	if arity != rs.arity {
+		return fmt.Errorf("relation %q has arity %d, batch has %d", rs.name, rs.arity, arity)
+	}
+	return rs.r.route(rs, del, vals)
+}
+
+func (rs *relState) Drain() error { return rs.r.Flush(rs.name) }

@@ -279,11 +279,13 @@ func DecodeFrame(data []byte, f *Frame) error {
 	return nil
 }
 
-// readFrame reads one length-prefixed frame body from r into buf
+// ReadFrame reads one length-prefixed frame body from r into buf
 // (growing it as needed) and returns the body slice, which aliases buf.
 // io.EOF is returned verbatim only when the stream ends cleanly between
-// frames; a tear inside a frame is io.ErrUnexpectedEOF.
-func readFrame(r io.Reader, buf *[]byte) ([]byte, error) {
+// frames; a tear inside a frame is io.ErrUnexpectedEOF. Exported so
+// other speakers of the protocol (the ingest router's node sessions)
+// can reuse the one framing reader instead of reimplementing it.
+func ReadFrame(r io.Reader, buf *[]byte) ([]byte, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
 		return nil, err

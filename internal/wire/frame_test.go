@@ -150,7 +150,7 @@ func TestReadFrame(t *testing.T) {
 	r := bytes.NewReader(stream)
 	var buf []byte
 	for i := range want {
-		body, err := readFrame(r, &buf)
+		body, err := ReadFrame(r, &buf)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
@@ -162,19 +162,19 @@ func TestReadFrame(t *testing.T) {
 			t.Fatalf("frame %d: kind %v, want %v", i, f.Kind, want[i].Kind)
 		}
 	}
-	if _, err := readFrame(r, &buf); err != io.EOF {
+	if _, err := ReadFrame(r, &buf); err != io.EOF {
 		t.Fatalf("clean end: %v, want io.EOF", err)
 	}
 
 	// A tear inside a frame is ErrUnexpectedEOF, not a clean EOF.
-	if _, err := readFrame(bytes.NewReader(stream[:7]), &buf); err != io.ErrUnexpectedEOF {
+	if _, err := ReadFrame(bytes.NewReader(stream[:7]), &buf); err != io.ErrUnexpectedEOF {
 		t.Fatalf("torn frame: %v, want io.ErrUnexpectedEOF", err)
 	}
 
 	// A hostile length prefix is rejected before any allocation.
 	var huge [4]byte
 	binary.LittleEndian.PutUint32(huge[:], MaxFrame+1)
-	if _, err := readFrame(bytes.NewReader(huge[:]), &buf); !errors.Is(err, ErrFrameTooLarge) {
+	if _, err := ReadFrame(bytes.NewReader(huge[:]), &buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized prefix: %v, want ErrFrameTooLarge", err)
 	}
 }

@@ -12,10 +12,12 @@ import (
 	"amstrack/internal/engine"
 )
 
-// Server speaks amswire on a listener and feeds one engine. Each
+// Server speaks amswire on a listener and feeds one Sink — an engine in
+// the amsd daemon, the routing core in the router daemon. Each
 // accepted connection runs two goroutines: a reader that decodes frames
-// and stages batches into the engine (the absorber staging path — no
-// locks, no JSON), and an acker that owns the connection's write side.
+// and stages batches into the sink (for an engine, the absorber staging
+// path — no locks, no JSON), and an acker that owns the connection's
+// write side.
 // The acker coalesces: it drains every relation the pending batches
 // touched ONCE, then acks the highest staged sequence number, so the
 // drain barrier (apply + hand oplog records to the OS) amortizes over
@@ -28,7 +30,7 @@ import (
 // can reach the engine, which is what lets the daemon's final-checkpoint
 // path (PR 6) extend to open streams.
 type Server struct {
-	eng *engine.Engine
+	sink Sink
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -56,8 +58,11 @@ type Stats struct {
 }
 
 // NewServer builds a wire server over eng.
-func NewServer(eng *engine.Engine) *Server {
-	return &Server{eng: eng, conns: map[*srvConn]struct{}{}}
+func NewServer(eng *engine.Engine) *Server { return NewServerSink(EngineSink(eng)) }
+
+// NewServerSink builds a wire server over an arbitrary Sink.
+func NewServerSink(sink Sink) *Server {
+	return &Server{sink: sink, conns: map[*srvConn]struct{}{}}
 }
 
 // Stats returns the current counter snapshot.
@@ -172,9 +177,9 @@ func (s *Server) Close() error {
 // terminal error to report before closing.
 type ackMsg struct {
 	seq    uint64
-	rel    *engine.Relation // staged batch: drain before acking
-	err    error  // terminal: send ERROR and tear down
-	errRel string // relation at fault, "" for connection-level errors
+	rel    SinkRelation // staged batch: drain before acking
+	err    error        // terminal: send ERROR and tear down
+	errRel string       // relation at fault, "" for connection-level errors
 }
 
 // srvConn is one accepted stream.
@@ -242,7 +247,7 @@ func (c *srvConn) send(m ackMsg) bool {
 func (c *srvConn) handshake() error {
 	_ = c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	var buf []byte
-	body, err := readFrame(c.nc, &buf)
+	body, err := ReadFrame(c.nc, &buf)
 	if err != nil {
 		return err
 	}
@@ -261,7 +266,7 @@ func (c *srvConn) handshake() error {
 	return c.writeFrame(&Frame{
 		Kind:  KindWelcome,
 		Proto: ProtoVersion,
-		Text:  c.srv.eng.Options().IngestMode.String(),
+		Text:  c.srv.sink.IngestMode(),
 	})
 }
 
@@ -272,24 +277,18 @@ func (c *srvConn) writeFrame(f *Frame) error {
 	return err
 }
 
-// relEntry caches the relation handle and its arity per connection, so
-// steady-state batches skip the engine's catalog lock.
-type relEntry struct {
-	rel   *engine.Relation
-	arity int
-}
-
 // readLoop decodes and stages frames until the stream ends or a frame is
 // terminal. Decode scratch (read buffer, Frame.Vals, the row slice) is
-// reused across frames: the engine's batch paths copy staged ops before
+// reused across frames: the sink's batch paths copy staged ops before
 // returning, so aliasing the scratch is safe and the per-row cost is
 // pure encoding — no allocation, no syscall beyond the read itself.
+// Sink relations are cached per connection, so steady-state batches skip
+// the sink's catalog lookup.
 func (c *srvConn) readLoop() {
 	var (
 		buf  []byte
 		f    Frame
-		rows [][]uint64
-		rels = map[string]relEntry{}
+		rels = map[string]SinkRelation{}
 		last uint64
 	)
 	fail := func(seq uint64, rel string, err error) {
@@ -297,7 +296,7 @@ func (c *srvConn) readLoop() {
 		c.send(ackMsg{seq: seq, err: err, errRel: rel})
 	}
 	for {
-		body, err := readFrame(c.nc, &buf)
+		body, err := ReadFrame(c.nc, &buf)
 		if err != nil {
 			// EOF between frames is the client hanging up; anything else
 			// (tear mid-frame, oversized prefix, socket error) is already
@@ -321,49 +320,29 @@ func (c *srvConn) readLoop() {
 			last = f.Seq
 			ent, ok := rels[f.Relation]
 			if !ok {
-				rel, err := c.srv.eng.Get(f.Relation)
-				if err != nil {
+				var err error
+				if ent, err = c.srv.sink.Relation(f.Relation); err != nil {
 					fail(f.Seq, f.Relation, err)
 					return
 				}
-				ent = relEntry{rel: rel, arity: rel.Arity()}
 				rels[f.Relation] = ent
 			}
-			if f.Arity != ent.arity {
+			if f.Arity != ent.Arity() {
 				fail(f.Seq, f.Relation, fmt.Errorf("%w: batch arity %d, relation %q has arity %d",
-					ErrBadFrame, f.Arity, f.Relation, ent.arity))
+					ErrBadFrame, f.Arity, f.Relation, ent.Arity()))
 				return
 			}
-			// Deletes can fail synchronously: in locked mode the exact
-			// tracker rejects absent values on the spot (absorber mode
-			// reports the same failure as a sticky error at the drain).
-			// Either way it goes back as an ERROR frame naming the
-			// relation, matching the HTTP ingest path's semantics.
-			var delErr error
-			if ent.arity == 1 {
-				if f.Del {
-					delErr = ent.rel.DeleteBatch(f.Vals)
-				} else {
-					ent.rel.InsertBatch(f.Vals)
-				}
-			} else {
-				rows = rows[:0]
-				for i := 0; i+ent.arity <= len(f.Vals); i += ent.arity {
-					rows = append(rows, f.Vals[i:i+ent.arity])
-				}
-				if f.Del {
-					delErr = ent.rel.DeleteTupleBatch(rows)
-				} else {
-					ent.rel.InsertTupleBatch(rows)
-				}
-			}
-			if delErr != nil {
-				fail(f.Seq, f.Relation, delErr)
+			// A synchronous Apply failure (a locked-mode sticky
+			// durability error, a router with every target down) goes
+			// back as an ERROR frame naming the relation, matching the
+			// HTTP ingest path's semantics.
+			if err := ent.Apply(f.Del, f.Arity, f.Vals); err != nil {
+				fail(f.Seq, f.Relation, err)
 				return
 			}
 			c.srv.batches.Add(1)
 			c.srv.rows.Add(int64(f.Rows()))
-			if !c.send(ackMsg{seq: f.Seq, rel: ent.rel}) {
+			if !c.send(ackMsg{seq: f.Seq, rel: ent}) {
 				return
 			}
 		case KindFlush:
@@ -394,7 +373,7 @@ func (c *srvConn) readLoop() {
 // GOODBYE instead of further ACKs.
 func (c *srvConn) ackLoop() {
 	var (
-		touched []*engine.Relation
+		touched []SinkRelation
 		top     uint64
 		have    bool
 	)
@@ -468,7 +447,7 @@ func (c *srvConn) ackLoop() {
 }
 
 // drainAll drains every touched relation; the first failure names it.
-func (c *srvConn) drainAll(rels []*engine.Relation) (string, error) {
+func (c *srvConn) drainAll(rels []SinkRelation) (string, error) {
 	for _, r := range rels {
 		if err := r.Drain(); err != nil {
 			return r.Name(), err
@@ -477,7 +456,7 @@ func (c *srvConn) drainAll(rels []*engine.Relation) (string, error) {
 	return "", nil
 }
 
-func containsRel(rels []*engine.Relation, r *engine.Relation) bool {
+func containsRel(rels []SinkRelation, r SinkRelation) bool {
 	for _, x := range rels {
 		if x == r {
 			return true

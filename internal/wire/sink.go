@@ -1,0 +1,92 @@
+package wire
+
+import "amstrack/internal/engine"
+
+// Sink is the destination a wire server stages batches into. The amsd
+// daemon plugs the engine in directly (EngineSink); the ingest-router
+// daemon plugs its routing core in, so upstream clients speak the exact
+// same protocol to a router that they would to a single node. The
+// server's ACK contract is defined in terms of this interface: an ACK is
+// sent only after Apply has accepted the batch AND Drain has returned
+// nil for every relation the acked window touched — whatever "durable"
+// means for the sink (OS-owned oplog records for an engine, downstream
+// node ACKs for a router), an acked batch has reached it.
+type Sink interface {
+	// IngestMode names the write path for the WELCOME frame ("locked",
+	// "absorber", or a sink-specific label such as "routed").
+	IngestMode() string
+	// Relation resolves a relation by name. The server caches the result
+	// per connection, so implementations may return a stateful
+	// per-stream handle; returned values must be comparable (the ack
+	// coalescer dedups touched relations by equality).
+	Relation(name string) (SinkRelation, error)
+}
+
+// SinkRelation is one relation's staging surface within a Sink.
+type SinkRelation interface {
+	Name() string
+	Arity() int
+	// Apply stages one batch. vals is the server's decode scratch,
+	// row-major (rows×arity), reused for the next frame: an
+	// implementation that retains the values past the call must copy
+	// them. A non-nil error is terminal for the stream.
+	Apply(del bool, arity int, vals []uint64) error
+	// Drain is the ack barrier: after it returns nil, every batch
+	// Apply accepted before the call is durable in the sink's terms.
+	Drain() error
+}
+
+// EngineSink adapts an engine to the Sink interface — the classic amsd
+// wiring, staging straight into the absorber (or the locked path) with
+// Relation.Drain as the barrier.
+func EngineSink(eng *engine.Engine) Sink { return engineSink{eng} }
+
+type engineSink struct{ eng *engine.Engine }
+
+func (s engineSink) IngestMode() string { return s.eng.Options().IngestMode.String() }
+
+func (s engineSink) Relation(name string) (SinkRelation, error) {
+	rel, err := s.eng.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &engineRel{rel: rel, arity: rel.Arity()}, nil
+}
+
+// engineRel caches the relation handle and arity per connection and owns
+// the row-splitting scratch, so steady-state tuple batches allocate
+// nothing per frame.
+type engineRel struct {
+	rel   *engine.Relation
+	arity int
+	rows  [][]uint64
+}
+
+func (r *engineRel) Name() string { return r.rel.Name() }
+func (r *engineRel) Arity() int   { return r.arity }
+
+func (r *engineRel) Apply(del bool, arity int, vals []uint64) error {
+	if arity == 1 {
+		// Deletes can fail synchronously: in locked mode the sticky
+		// durability error surfaces on the spot (absorber mode reports
+		// the same failure at the drain). Either way it goes back as an
+		// ERROR frame naming the relation, matching HTTP ingest.
+		if del {
+			return r.rel.DeleteBatch(vals)
+		}
+		r.rel.InsertBatch(vals)
+		return nil
+	}
+	rows := r.rows[:0]
+	for i := 0; i+arity <= len(vals); i += arity {
+		rows = append(rows, vals[i:i+arity])
+	}
+	r.rows = rows
+	if del {
+		return r.rel.DeleteTupleBatch(rows)
+	}
+	r.rel.InsertTupleBatch(rows)
+	return nil
+}
+
+func (r *engineRel) Drain() error { return r.rel.Drain() }

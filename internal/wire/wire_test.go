@@ -309,7 +309,7 @@ func TestWireProtoVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf []byte
-	body, err := readFrame(nc, &buf)
+	body, err := ReadFrame(nc, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestWireSeqRegression(t *testing.T) {
 	}
 	var buf []byte
 	for {
-		body, err := readFrame(nc, &buf)
+		body, err := ReadFrame(nc, &buf)
 		if err != nil {
 			t.Fatalf("stream ended without ERROR: %v", err)
 		}
