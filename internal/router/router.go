@@ -86,14 +86,16 @@ const (
 	// lets the first probe or delivery correct it.
 	StateHealthy NodeState = iota
 	// StateSuspect stops routing NEW work to the node but keeps probing
-	// it; one successful probe restores healthy. Suspect is cheap to
-	// enter (a single failed delivery) because under linearity moving a
-	// node's arcs to its neighbors changes nothing but load.
+	// it; one successful probe restores healthy — unless the node owes a
+	// rejoin audit (work it might hold was failed over elsewhere), in
+	// which case the audit gates the way back exactly as from down.
+	// Suspect is cheap to enter (a single failed delivery) because under
+	// linearity moving a node's arcs to its neighbors changes nothing
+	// but load.
 	StateSuspect
-	// StateDown is suspect after DownAfter consecutive failures. The
-	// difference is ceremony on the way back: a down node must pass the
-	// rejoin audit (recovered Seq == router's acked ledger, per
-	// relation) before it routes again.
+	// StateDown is suspect after DownAfter consecutive failures. A down
+	// node always passes through the rejoin audit (recovered Seq ==
+	// router's acked ledger, per relation) before it routes again.
 	StateDown
 	// StateQuarantined is the audit-failed terminal state: the node's
 	// recovered state disagrees with the acked ledger, so routing to it
@@ -124,13 +126,27 @@ type node struct {
 	queue chan *subBatch
 
 	// Guarded by Router.mu.
-	state    NodeState
-	fails    int
-	lastErr  string
-	reasons  []string // quarantine reasons
-	draining bool
-	sess     *session // nil when no wire session is up
-	httpOnly bool     // node advertises no wire listener
+	state   NodeState
+	fails   int
+	lastErr string
+	reasons []string // quarantine reasons
+	// needsAudit is set whenever the router disposes of work the node
+	// might still hold — a session torn down with pending batches, or an
+	// HTTP send that errored after the request may have reached the node
+	// — and cleared only by a passed rejoin audit. While set, NO path
+	// (probe success, late ack) may restore the node to healthy without
+	// the audit: a node that crashes and answers /healthz again within a
+	// couple of probe cycles is exactly as dangerous as one that was
+	// down for an hour.
+	needsAudit bool
+	// reconciling holds the node quiescent while a teardown's reconcile
+	// reads its stats: probes skip it and it is not alive for routing,
+	// so no new session can stage un-acked batches that would inflate
+	// the computed surplus and wrongly promote old pending work.
+	reconciling bool
+	draining    bool
+	sess        *session // nil when no wire session is up
+	httpOnly    bool     // node advertises no wire listener
 }
 
 // acct is the router's acked ledger for one (node, relation): base is
@@ -261,7 +277,7 @@ func (r *Router) Close() error {
 // aliveLocked reports whether a member currently accepts routed work.
 func (r *Router) aliveLocked(member string) bool {
 	n := r.nodes[member]
-	return n != nil && n.state == StateHealthy && !n.draining
+	return n != nil && n.state == StateHealthy && !n.draining && !n.reconciling
 }
 
 // liveCountLocked counts routable members.
@@ -387,7 +403,10 @@ func (r *Router) adoptRelation(sc coord.Schema) (*relState, error) {
 }
 
 // defineOn replays a schema define onto one member via the same JSON
-// body DefineRequest accepts.
+// body DefineRequest accepts. A 409 means the member already has the
+// relation — a concurrent adopter (another caller of Relation/Define on
+// this router, or a peer router) won the define race — which is success
+// for an idempotent define, not an error to surface upstream.
 func (r *Router) defineOn(member string, sc coord.Schema) error {
 	return postJSON(r.opts.Client, member+"/v1/relations", map[string]any{
 		"name":     sc.Relation,
@@ -395,7 +414,7 @@ func (r *Router) defineOn(member string, sc coord.Schema) error {
 		"chain_a":  sc.ChainA,
 		"chain_b":  sc.ChainB,
 		"chain_ab": sc.ChainAB,
-	}, http.StatusCreated)
+	}, http.StatusCreated, http.StatusConflict)
 }
 
 // route partitions one upstream batch by each row's primary attribute
@@ -499,16 +518,27 @@ func (r *Router) failover(sb *subBatch, cause error) {
 	// not hammered (budget × pause bounds a batch's total retry cost).
 	pause := time.Duration(sb.attempts) * 10 * time.Millisecond
 	pause = pause/2 + time.Duration(r.rng.Uint64n(uint64(pause/2)+1))
+	attempts := sb.attempts
+	// Re-enqueue from a dedicated goroutine: failover runs on sender and
+	// read-loop goroutines, and enqueue blocks on the target's bounded
+	// queue — a sender parked in another sender's full queue would
+	// deadlock both delivery loops (neither queue can drain). The caller
+	// is always a r.done-tracked goroutine, so the counter is positive
+	// when this Add races Close's Wait.
+	r.done.Add(1)
 	r.mu.Unlock()
 
-	select {
-	case <-time.After(pause):
-	case <-r.stop:
-	}
-	for owner, part := range parts {
-		nsb := &subBatch{rel: sb.rel, del: sb.del, vals: part, attempts: sb.attempts}
-		r.enqueue(owner, nsb)
-	}
+	go func() {
+		defer r.done.Done()
+		select {
+		case <-time.After(pause):
+		case <-r.stop:
+		}
+		for owner, part := range parts {
+			nsb := &subBatch{rel: sb.rel, del: sb.del, vals: part, attempts: attempts}
+			r.enqueue(owner, nsb)
+		}
+	}()
 }
 
 // failLocked records a terminal batch failure: the relation goes sticky
@@ -532,7 +562,11 @@ func (r *Router) noteAcked(n *node, sb *subBatch) {
 	}
 	sb.rel.inflight--
 	n.fails = 0
-	if n.state == StateSuspect {
+	// A late ack only vouches for the batches THIS stream delivered; it
+	// says nothing about work a previous teardown failed over elsewhere,
+	// so an audit-owing (or mid-reconcile) node stays out of the ring
+	// until the ledger is re-verified.
+	if n.state == StateSuspect && !n.needsAudit && !n.reconciling {
 		n.state = StateHealthy
 	}
 	r.cond.Broadcast()
@@ -618,6 +652,10 @@ func (r *Router) deliver(n *node, sb *subBatch) {
 		if err := r.httpSend(n, sb); err != nil {
 			r.mu.Lock()
 			r.markFailureLocked(n, err)
+			// The POST may have been applied server-side before the error
+			// (a torn response); the batch is about to be failed over, so
+			// only the rejoin audit can rule out the double-apply.
+			n.needsAudit = true
 			r.mu.Unlock()
 			r.failover(sb, err)
 			return
@@ -681,9 +719,9 @@ func (r *Router) probeOnce() {
 
 	for _, n := range members {
 		r.mu.Lock()
-		state, draining := n.state, n.draining
+		skip := n.state == StateQuarantined || n.draining || n.reconciling
 		r.mu.Unlock()
-		if state == StateQuarantined || draining {
+		if skip {
 			continue
 		}
 		err := r.probeNode(n)
@@ -692,7 +730,16 @@ func (r *Router) probeOnce() {
 		case err != nil:
 			r.markFailureLocked(n, err)
 			r.mu.Unlock()
-		case n.state == StateDown:
+		case n.state == StateQuarantined || n.draining || n.reconciling:
+			// Changed under us while the probe was in flight; a teardown's
+			// reconcile (or an operator drain) owns the node now.
+			r.mu.Unlock()
+		case n.state == StateDown || n.needsAudit:
+			// Any rejoin with unverified failed-over work passes through
+			// the audit — not just recovery from down. A node that crashed
+			// and answered /healthz again within DownAfter probe cycles is
+			// only suspect, but its recovered oplog may hold the very ops
+			// the router failed over elsewhere.
 			r.mu.Unlock()
 			r.rejoinAudit(n)
 		default:
@@ -763,6 +810,14 @@ func (r *Router) rejoinAudit(n *node) {
 		}
 	}
 	r.mu.Lock()
+	if n.reconciling || n.state == StateQuarantined {
+		// A teardown's reconcile took the node over (or quarantined it)
+		// while our stats were in flight; its verdict wins and a later
+		// probe re-audits.
+		r.mu.Unlock()
+		return
+	}
+	n.needsAudit = false
 	r.markHealthyLocked(n)
 	r.mu.Unlock()
 }
@@ -815,6 +870,9 @@ type NodeHealth struct {
 	Reasons []string `json:"quarantine_reasons,omitempty"`
 	Queue   int      `json:"queue_depth"`
 	Wire    bool     `json:"wire_session"`
+	// Audit reports that the node owes a rejoin audit before it may
+	// route again, regardless of its probe state.
+	Audit bool `json:"needs_audit,omitempty"`
 }
 
 // Health snapshots every member, sorted by name.
@@ -827,7 +885,7 @@ func (r *Router) Health() []NodeHealth {
 		out = append(out, NodeHealth{
 			Node: m, State: n.state.String(), Fails: n.fails, LastErr: n.lastErr,
 			Reasons: append([]string(nil), n.reasons...),
-			Queue:   len(n.queue), Wire: n.sess != nil,
+			Queue:   len(n.queue), Wire: n.sess != nil, Audit: n.needsAudit,
 		})
 	}
 	return out

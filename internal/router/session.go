@@ -284,12 +284,27 @@ func (s *session) teardown(cause error) {
 	pending := s.pending
 	s.pending = nil
 	r.markFailureLocked(s.n, cause)
+	if len(pending) > 0 {
+		// The node may hold any prefix of pending, so (a) it owes the
+		// rejoin audit before ANY path restores it to healthy — even a
+		// probe that succeeds on the very next tick — and (b) it is held
+		// quiescent until reconcile's stat reads finish, so no probe
+		// rejoin or fresh session can stage new un-acked batches that
+		// would inflate the computed surplus and wrongly promote old
+		// pending work to acked.
+		s.n.needsAudit = true
+		s.n.reconciling = true
+	}
 	r.mu.Unlock()
 
 	if len(pending) == 0 {
 		return
 	}
 	r.reconcile(s.n, pending, cause)
+	r.mu.Lock()
+	s.n.reconciling = false
+	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // reconcile implements the prefix walk described on teardown. pending
@@ -350,6 +365,19 @@ func (r *Router) reconcile(n *node, pending []pendingBatch, cause error) {
 			r.noteAcked(n, sb)
 		case rec.surplus == 0:
 			r.failover(sb, cause)
+		case rec.surplus < 0:
+			// The node answered with FEWER ops than the acked ledger:
+			// acked data did not survive. This batch was certainly not
+			// applied, but the durability promise already broke — report
+			// the loss as what it is, never as a partial batch.
+			r.mu.Lock()
+			r.quarantineLocked(n, fmt.Sprintf(
+				"relation %q: node recovered %d fewer ops than the acked ledger; acked data was lost",
+				sb.rel.name, -rec.surplus))
+			r.failLocked(sb, fmt.Errorf("node %s lost acked data (relation %q is %d ops short of the ledger): %w",
+				n.base, sb.rel.name, -rec.surplus, cause))
+			rec.surplus = 0
+			r.mu.Unlock()
 		default:
 			// 0 < surplus < rows: the node died mid-batch. Neither
 			// resending (prefix would double) nor dropping (suffix
@@ -419,7 +447,8 @@ func statOnce(client *http.Client, node, rel string) (coord.Stat, error) {
 }
 
 // postJSON / getJSON are the router's tiny JSON round-trip helpers.
-func postJSON(client *http.Client, url string, body any, wantStatus int) error {
+// Any of wantStatus is success.
+func postJSON(client *http.Client, url string, body any, wantStatus ...int) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -430,10 +459,12 @@ func postJSON(client *http.Client, url string, body any, wantStatus int) error {
 	}
 	defer resp.Body.Close()
 	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if resp.StatusCode != wantStatus {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(rb)))
+	for _, want := range wantStatus {
+		if resp.StatusCode == want {
+			return nil
+		}
 	}
-	return nil
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(rb)))
 }
 
 func getJSON(client *http.Client, url string, out any) error {
