@@ -19,6 +19,7 @@
 //	amsbench -experiment wireingest        # HTTP JSON vs amswire streaming ingest
 //	amsbench -experiment coordserve        # coordinator: per-query pull vs cached daemon
 //	amsbench -experiment routedingest      # partitioned fleet: direct vs routed amswire ingest
+//	amsbench -experiment skimacc           # skimmed (exact-HH + tail sketch) vs plain sketch accuracy
 //	amsbench -experiment all               # everything above
 //
 // Output is aligned text on stdout; -csv DIR additionally writes one CSV
@@ -27,8 +28,8 @@
 // machine-readable results for experiments that support it (fastjoin →
 // BENCH_fastjoin.json, engineingest → BENCH_engine.json, ckpttail →
 // BENCH_ckpt.json, wireingest → BENCH_wire.json, coordserve →
-// BENCH_coord.json, routedingest → BENCH_router.json), so CI can track
-// the perf trajectory.
+// BENCH_coord.json, routedingest → BENCH_router.json, skimacc →
+// BENCH_skim.json), so CI can track the perf trajectory.
 package main
 
 import (
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, coordserve, routedingest, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig2..fig15, figures, convergence, sec44, lemma23, thm43, joinacc, chainacc, deletions, fastacc, fastjoin, engineingest, ckpttail, wireingest, coordserve, routedingest, skimacc, all)")
 		seed       = flag.Uint64("seed", 1, "data set seed")
 		csvDir     = flag.String("csv", "", "directory to additionally write CSV files into")
 		trials     = flag.Int("trials", 5, "trials per cell for the join accuracy study")
@@ -346,6 +347,31 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 			}
 			return nil
 
+		case name == "skimacc":
+			// Equal-memory skew robustness: 3072-word budget, the skimmed
+			// scheme spending 288 of them (96 slots x 3 words) on the exact
+			// heavy-hitter table; every stream gets a 10% deletion wave.
+			r, err := experiments.RunSkimAcc(nil, 3072, 6, 96, trials, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("skimacc", "Skimmed (exact-HH + tail sketch) vs plain sketch at equal memory (3072 words, 96 hitters)", r.Table()); err != nil {
+				return err
+			}
+			fmt.Printf("zipf1.5 self-join relerr: plain %.4f, skimmed %.4f -> ratio %.3f\n\n",
+				r.UnskimRelErrZipf15, r.SkimRelErrZipf15, r.SkimRelErrZipf15/r.UnskimRelErrZipf15)
+			if jsonOut {
+				data, err := r.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile("BENCH_skim.json", data, 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote BENCH_skim.json")
+			}
+			return nil
+
 		case name == "deletions":
 			r, err := experiments.RunDeletions(
 				[]string{"zipf1.0", "uniform", "selfsimilar", "genesis"},
@@ -361,7 +387,7 @@ func run(experiment string, seed uint64, csvDir string, trials int, jsonOut bool
 	}
 
 	if experiment == "all" {
-		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest", "coordserve", "routedingest"} {
+		for _, name := range []string{"table1", "figures", "fig15", "convergence", "sec44", "lemma23", "thm43", "joinacc", "chainacc", "deletions", "fastacc", "fastjoin", "engineingest", "ckpttail", "wireingest", "coordserve", "routedingest", "skimacc"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -3,7 +3,7 @@
 // committed baseline and fails — exit 1 — when the gated hot-path cost
 // regressed beyond the tolerance. CI runs it after each experiment, so a
 // PR that slows a gated hot path by more than the tolerance cannot merge
-// silently. Six gated experiments:
+// silently. Seven gated experiments:
 //
 //   - fastjoin (BENCH_fastjoin.json): the fast join signature's streamed
 //     update cost, normalized as fast_ns_per_update ÷ flat_ns_per_update;
@@ -24,7 +24,13 @@
 //     per-row toll, normalized as routed_ns_per_row ÷ direct_ns_per_row
 //     at 4 concurrent amswire clients — what the consistent-hash router
 //     (ring partition, re-framing, second hop, composed ack ladder)
-//     charges over a direct single-node stream.
+//     charges over a direct single-node stream;
+//   - skimacc (BENCH_skim.json): an ACCURACY gate, not a timing one —
+//     the skimmed estimator's zipf(1.5) self-join relative error,
+//     normalized as skim_relerr_zipf15 ÷ unskim_relerr_zipf15 at equal
+//     memory. The skimming acceptance line is hard-coded on top of the
+//     baseline comparison: any measurement with ratio ≥ 1 (skimming not
+//     strictly beating the plain sketch on skew) fails outright.
 //
 // The file's "experiment" field selects the gate; bench and baseline
 // must agree on it.
@@ -47,6 +53,7 @@
 //	benchgate -bench BENCH_wire.json -baseline BENCH_wire.baseline.json [-max-regress 0.5]
 //	benchgate -bench BENCH_coord.json -baseline BENCH_coord.baseline.json [-max-regress 0.5]
 //	benchgate -bench BENCH_router.json -baseline BENCH_router.baseline.json [-max-regress 0.5]
+//	benchgate -bench BENCH_skim.json -baseline BENCH_skim.baseline.json [-max-regress 0.5]
 package main
 
 import (
@@ -81,6 +88,11 @@ type benchFile struct {
 	// routedingest: 4-client amswire ingest, direct node vs routed fleet.
 	DirectNsPerRow float64 `json:"direct_ns_per_row"`
 	RoutedNsPerRow float64 `json:"routed_ns_per_row"`
+	// skimacc: zipf(1.5) self-join relative error, plain vs skimmed
+	// sketch at equal memory (dimensionless, smaller is better — the
+	// normalized metric is an error ratio rather than a time ratio).
+	UnskimRelErrZipf15 float64 `json:"unskim_relerr_zipf15"`
+	SkimRelErrZipf15   float64 `json:"skim_relerr_zipf15"`
 }
 
 // pair returns (fast-path, reference-path) nanoseconds for the file's
@@ -97,6 +109,8 @@ func (b *benchFile) pair() (fast, ref float64) {
 		return b.CachedNsPerQuery, b.PullNsPerQuery
 	case "routedingest":
 		return b.RoutedNsPerRow, b.DirectNsPerRow
+	case "skimacc":
+		return b.SkimRelErrZipf15, b.UnskimRelErrZipf15
 	default:
 		return b.FastNsPerUpdate, b.FlatNsPerUpdate
 	}
@@ -126,8 +140,8 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" && b.Experiment != "coordserve" && b.Experiment != "routedingest" {
-		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, wireingest, coordserve, or routedingest", path, b.Experiment)
+	if b.Experiment != "fastjoin" && b.Experiment != "engineingest" && b.Experiment != "ckpttail" && b.Experiment != "wireingest" && b.Experiment != "coordserve" && b.Experiment != "routedingest" && b.Experiment != "skimacc" {
+		return nil, fmt.Errorf("%s: experiment %q, want fastjoin, engineingest, ckpttail, wireingest, coordserve, routedingest, or skimacc", path, b.Experiment)
 	}
 	fast, ref := b.pair()
 	if fast <= 0 || ref <= 0 {
@@ -195,6 +209,14 @@ func run(benchPath, basePath string, maxRegress float64, metric string, updateBa
 		curFast, curRef, baseFast, baseRef)
 	if regress > maxRegress {
 		return fmt.Errorf("%s hot-path cost regressed %.1f%% > %.0f%% tolerance", cur.Experiment, 100*regress, 100*maxRegress)
+	}
+	if cur.Experiment == "skimacc" {
+		// The skimming acceptance line, independent of the baseline: at
+		// equal memory the skimmed estimator must beat the plain sketch
+		// on zipf(1.5) STRICTLY, or the exact-HH budget is wasted.
+		if ratio := curFast / curRef; ratio >= 1 {
+			return fmt.Errorf("skimacc: skimmed zipf1.5 relerr %.4g is not strictly below unskimmed %.4g (ratio %.3f >= 1)", curFast, curRef, ratio)
+		}
 	}
 	return nil
 }

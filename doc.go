@@ -102,6 +102,28 @@
 // synopses for the same ops; DESIGN.md §7 has the architecture and
 // measured numbers.
 //
+// # Skew-robust skimming
+//
+// Zipf-skewed streams are where relative error degrades: the variance
+// bounds scale with SJ(F)·SJ(G), and on skewed data the self-join sizes
+// are dominated by a few heavy values. Defining a relation with
+// engine.Schema.SkimHitters > 0 puts a small deterministic space-saving
+// table in front of the sketches and answers
+// exact(hitters) + sketch(cross + tail) instead — same total memory,
+// variance driven by the residual tail. The sketches stay
+// ingest-complete (every op flows into them), so the table only ever
+// improves the answer: its guaranteed mass (count − err) is what gets
+// skimmed, which means unskewed streams gracefully degrade to the plain
+// sketch instead of paying for inflated table counts. The trade-off is
+// in the merge: the table is the one synopsis here that merges LOSSILY —
+// demoted hitters fall back to the sketch estimate, so merged skimmed
+// answers agree with single-node ingest within tolerance rather than
+// bit-exactly, while the signature and sketch halves remain bit-exact —
+// and skimmed bundle exchange requires fleet-wide agreement on Shards
+// in addition to Seed. Estimate responses name the estimator that
+// answered ("skimmed", "sketch", "signature"). DESIGN.md §13 has the
+// decomposition and the merge contract.
+//
 // # Multi-node estimation
 //
 // Every synopsis here is a linear function of its relation's frequency

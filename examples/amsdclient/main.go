@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"time"
 	"os"
 
 	"amstrack/internal/amsd"
@@ -57,7 +58,7 @@ func main() {
 	// One shared client for the whole session: keep-alives mean the
 	// batched ingest loop below reuses a single TCP connection instead of
 	// paying a dial per POST.
-	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	hc := &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 	defer hc.CloseIdleConnections()
 
 	// Cap every response read: even against a trusted daemon, a client

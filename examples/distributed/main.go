@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"time"
 
 	"amstrack/internal/amsd"
 	"amstrack/internal/dist"
@@ -32,6 +33,16 @@ import (
 	"amstrack/internal/exact"
 	"amstrack/internal/join"
 )
+
+// httpClient is the coordinator's one shared client: keep-alive
+// connections are reused across every bundle pull, and the Timeout
+// bounds each exchange — http.DefaultClient would wait forever on a
+// wedged node. Every fetch in the repo goes through a client like this;
+// internal/hygiene enforces the Timeout at test time.
+var httpClient = &http.Client{
+	Timeout:   30 * time.Second,
+	Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+}
 
 func main() {
 	// Every node MUST share these: signatures only combine across equal
@@ -120,7 +131,7 @@ func main() {
 	remote := fetchBundle(nodes[1].URL, "orders")
 	blob, err := remote.MarshalBinary()
 	check(err)
-	resp, err := http.Post(nodes[0].URL+"/v1/join/remote?relation=lineitems", "application/octet-stream", bytes.NewReader(blob))
+	resp, err := httpClient.Post(nodes[0].URL+"/v1/join/remote?relation=lineitems", "application/octet-stream", bytes.NewReader(blob))
 	check(err)
 	body, err := readCapped(resp.Body)
 	resp.Body.Close()
@@ -143,7 +154,7 @@ func readCapped(r io.Reader) ([]byte, error) {
 }
 
 func fetchBundle(nodeURL, rel string) *engine.RelationBundle {
-	resp, err := http.Get(nodeURL + "/v1/signatures/" + url.PathEscape(rel))
+	resp, err := httpClient.Get(nodeURL + "/v1/signatures/" + url.PathEscape(rel))
 	check(err)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

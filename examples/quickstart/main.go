@@ -4,9 +4,9 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"amstrack"
+	"amstrack/internal/dist"
 )
 
 func main() {
@@ -20,11 +20,14 @@ func main() {
 	}
 	reference := amstrack.NewExact() // the full histogram the sketch replaces
 
-	// Stream a million Zipf-ish values (rand.Zipf from the stdlib).
-	rng := rand.New(rand.NewSource(7))
-	zipf := rand.NewZipf(rng, 1.2, 1, 100000)
-	for i := 0; i < 1_000_000; i++ {
-		v := zipf.Uint64()
+	// Stream a million Zipf-ish values. internal/dist draws from the
+	// repo's own deterministic generator (xrand), so this example prints
+	// the same numbers on every run and platform — math/rand would not.
+	zipf, err := dist.NewZipf(1.2, 100000, 7)
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range dist.Take(zipf, 1_000_000) {
 		sketch.Insert(v)
 		reference.Insert(v)
 	}

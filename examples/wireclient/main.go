@@ -64,7 +64,7 @@ func main() {
 	// One shared keep-alive client for the control plane AND the HTTP
 	// contrast run below — the JSON loop reuses its connection, so the
 	// wire-vs-HTTP race measures encoding + request cycle, not dials.
-	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	hc := &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 	defer hc.CloseIdleConnections()
 
 	// Cap every response read — a client should bound what it buffers

@@ -260,6 +260,11 @@ type DefineRequest struct {
 	ChainA  []string   `json:"chain_a,omitempty"`
 	ChainB  []string   `json:"chain_b,omitempty"`
 	ChainAB [][]string `json:"chain_ab,omitempty"`
+	// SkimHitters opts the relation into skew-robust skimming: a
+	// heavy-hitter table of that many slots in front of the sketches,
+	// self-join and join estimates answered as exact(hitters) +
+	// sketched tail (DESIGN.md §13). 0 = plain sketches.
+	SkimHitters int `json:"skim_hitters,omitempty"`
 }
 
 // DefineBody is its response.
@@ -274,7 +279,7 @@ func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), fmt.Errorf("decode request: %w", err))
 		return
 	}
-	schema := engine.Schema{Attrs: req.Attrs, EndA: req.ChainA, EndB: req.ChainB}
+	schema := engine.Schema{Attrs: req.Attrs, EndA: req.ChainA, EndB: req.ChainB, SkimHitters: req.SkimHitters}
 	for _, p := range req.ChainAB {
 		if len(p) != 2 {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("chain_ab entry %v must name exactly two attributes", p))
@@ -295,11 +300,12 @@ func (s *Server) handleDefine(w http.ResponseWriter, r *http.Request) {
 // router (or any other tier) can read a node's schema and replay the
 // exact define elsewhere.
 type SchemaBody struct {
-	Relation string     `json:"relation"`
-	Attrs    []string   `json:"attrs"`
-	ChainA   []string   `json:"chain_a,omitempty"`
-	ChainB   []string   `json:"chain_b,omitempty"`
-	ChainAB  [][]string `json:"chain_ab,omitempty"`
+	Relation    string     `json:"relation"`
+	Attrs       []string   `json:"attrs"`
+	ChainA      []string   `json:"chain_a,omitempty"`
+	ChainB      []string   `json:"chain_b,omitempty"`
+	ChainAB     [][]string `json:"chain_ab,omitempty"`
+	SkimHitters int        `json:"skim_hitters,omitempty"`
 }
 
 func (s *Server) handleRelationSchema(w http.ResponseWriter, r *http.Request) {
@@ -309,7 +315,7 @@ func (s *Server) handleRelationSchema(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sc := rel.Schema()
-	body := SchemaBody{Relation: rel.Name(), Attrs: sc.Attrs, ChainA: sc.EndA, ChainB: sc.EndB}
+	body := SchemaBody{Relation: rel.Name(), Attrs: sc.Attrs, ChainA: sc.EndA, ChainB: sc.EndB, SkimHitters: sc.SkimHitters}
 	for _, p := range sc.Middle {
 		body.ChainAB = append(body.ChainAB, []string{p[0], p[1]})
 	}
@@ -462,11 +468,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// SelfJoinBody is the GET /v1/selfjoin response.
+// SelfJoinBody is the GET /v1/selfjoin response. Estimator names which
+// synopsis answered: "skimmed" (heavy-hitter table + sketched tail),
+// "sketch" (dedicated Fast-AMS sketch), or "signature" (NoSketch
+// engines).
 type SelfJoinBody struct {
-	Relation string  `json:"relation"`
-	Len      int64   `json:"len"`
-	Estimate float64 `json:"estimate"`
+	Relation  string  `json:"relation"`
+	Len       int64   `json:"len"`
+	Estimate  float64 `json:"estimate"`
+	Estimator string  `json:"estimator"`
 }
 
 func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
@@ -480,10 +490,12 @@ func (s *Server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
+	est, estimator := rel.SelfJoinEstimateDetail()
 	writeJSON(w, http.StatusOK, SelfJoinBody{
-		Relation: name,
-		Len:      rel.Len(),
-		Estimate: rel.SelfJoinEstimate(),
+		Relation:  name,
+		Len:       rel.Len(),
+		Estimate:  est,
+		Estimator: estimator,
 	})
 }
 
@@ -498,6 +510,9 @@ type JoinBody struct {
 	Fact11   float64 `json:"fact11"`
 	SJF      float64 `json:"sjf"`
 	SJG      float64 `json:"sjg"`
+	// Estimator names which estimator produced Estimate: "skimmed" when
+	// both sides carried heavy-hitter tables, "sketch" otherwise.
+	Estimator string `json:"estimator"`
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -514,7 +529,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JoinBody{
 		F: f, G: g,
 		Estimate: je.Estimate, Sigma: je.Sigma, Fact11: je.Fact11,
-		SJF: je.SJF, SJG: je.SJG,
+		SJF: je.SJF, SJG: je.SJG, Estimator: je.Estimator,
 	})
 }
 
@@ -592,7 +607,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, _ *http.Request) {
 		out.Pairs = append(out.Pairs, JoinBody{
 			F: p.F, G: p.G,
 			Estimate: p.Estimate, Sigma: p.Sigma, Fact11: p.Fact11,
-			SJF: p.SJF, SJG: p.SJG,
+			SJF: p.SJF, SJG: p.SJG, Estimator: p.Estimator,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -737,6 +752,6 @@ func (s *Server) handleJoinRemote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JoinBody{
 		F: name, G: "(remote bundle)",
 		Estimate: je.Estimate, Sigma: je.Sigma, Fact11: je.Fact11,
-		SJF: je.SJF, SJG: je.SJG,
+		SJF: je.SJF, SJG: je.SJG, Estimator: je.Estimator,
 	})
 }

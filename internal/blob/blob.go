@@ -46,6 +46,7 @@ const (
 	MagicRelBundle    uint32 = 0xA0517009 // engine.RelationBundle (multi-node exchange)
 	MagicChainBundle  uint32 = 0xA051700A // engine.ChainBundle (per-attribute chain synopsis set)
 	MagicWireFrame    uint32 = 0xA051700B // wire.Frame (amswire streaming-ingest protocol)
+	MagicSpaceSaving  uint32 = 0xA051700C // core.SpaceSaving (heavy-hitter table for skimmed synopses)
 )
 
 // PeekMagic returns the frame magic of data without verifying the frame

@@ -46,11 +46,12 @@ func (fx *Fetcher) ListRelations(node string) ([]string, error) {
 // in the same field shapes the define endpoint accepts — fetch it from
 // one node, POST it to another, and the two relations are mergeable.
 type Schema struct {
-	Relation string     `json:"relation"`
-	Attrs    []string   `json:"attrs"`
-	ChainA   []string   `json:"chain_a,omitempty"`
-	ChainB   []string   `json:"chain_b,omitempty"`
-	ChainAB  [][]string `json:"chain_ab,omitempty"`
+	Relation    string     `json:"relation"`
+	Attrs       []string   `json:"attrs"`
+	ChainA      []string   `json:"chain_a,omitempty"`
+	ChainB      []string   `json:"chain_b,omitempty"`
+	ChainAB     [][]string `json:"chain_ab,omitempty"`
+	SkimHitters int        `json:"skim_hitters,omitempty"`
 }
 
 // FetchSchema GETs one relation's schema from one node. ErrNotFound

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"amstrack/internal/blob"
+	"amstrack/internal/xrand"
+)
+
+// SpaceSaving is a deterministic, deletion-aware space-saving table
+// (Metwally–Agrawal–El Abbadi) tracking the ~capacity most frequent
+// values of a stream. It is the exact half of a skimmed synopsis: the
+// hitters it reports are estimated EXACTLY (count − err ≤ f_v ≤ count
+// under insert-only streams) and subtracted from the sketch estimate,
+// which then only has to absorb the low-frequency tail — the Rafiei–Deng
+// skimming decomposition that cuts variance on skewed data at equal
+// memory.
+//
+// Everything about the table is a pure function of the multiset of
+// updates and (capacity, seed): eviction victims are picked by
+// (count, seeded hash, value) and serialization orders entries
+// canonically, so two replicas that saw the same ops hold — and
+// marshal — identical bytes. That determinism is what lets the engine
+// checkpoint, replay, and merge HH state with the same bit-identity
+// discipline as the linear sketches (see DESIGN.md §13 for where the
+// lossy merge deliberately relaxes it).
+//
+// The table is not safe for concurrent use; the engine keeps one per
+// shard under the shard's existing write discipline.
+type SpaceSaving struct {
+	capacity int
+	seed     uint64
+	m        map[uint64]ssCell
+}
+
+type ssCell struct {
+	count int64 // estimated frequency: true f_v ≤ count (insert-only)
+	err   int64 // overestimation bound: count − err ≤ true f_v (insert-only)
+}
+
+// Hitter is one reported heavy hitter. Count is the table's frequency
+// estimate for Value; Err bounds the overestimation inherited from
+// evicted entries (0 for values that never shared a cell).
+type Hitter struct {
+	Value uint64
+	Count int64
+	Err   int64
+}
+
+// NewSpaceSaving returns an empty table holding at most capacity
+// entries. The seed only breaks eviction ties; tables merge across any
+// capacities but only across equal seeds.
+func NewSpaceSaving(capacity int, seed uint64) (*SpaceSaving, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: space-saving capacity %d < 1", capacity)
+	}
+	return &SpaceSaving{capacity: capacity, seed: seed, m: make(map[uint64]ssCell, capacity)}, nil
+}
+
+// Capacity returns the maximum number of tracked values.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// Seed returns the tie-break seed.
+func (s *SpaceSaving) Seed() uint64 { return s.seed }
+
+// Len returns the number of currently tracked values.
+func (s *SpaceSaving) Len() int { return len(s.m) }
+
+// MemoryWords returns the table's budgeted storage in 64-bit words:
+// three per slot (value, count, err), full capacity, occupied or not —
+// the figure the equal-memory comparisons in the skimacc experiment
+// charge against the sketch budget.
+func (s *SpaceSaving) MemoryWords() int { return 3 * s.capacity }
+
+// Insert counts one occurrence of v. If v is untracked and the table is
+// full, the minimum entry is evicted (deterministic tie-break) and v
+// inherits its count as overestimation error — standard space-saving.
+func (s *SpaceSaving) Insert(v uint64) {
+	if c, ok := s.m[v]; ok {
+		c.count++
+		s.m[v] = c
+		return
+	}
+	if len(s.m) < s.capacity {
+		s.m[v] = ssCell{count: 1}
+		return
+	}
+	victim, min := s.victim()
+	delete(s.m, victim)
+	s.m[v] = ssCell{count: min + 1, err: min}
+}
+
+// Delete removes one occurrence of v. Untracked values are ignored —
+// their mass lives in the sketch (which sees every op), so nothing is
+// lost; the table's estimate for them was already "not a hitter". A
+// tracked value whose count reaches zero leaves the table.
+func (s *SpaceSaving) Delete(v uint64) {
+	c, ok := s.m[v]
+	if !ok {
+		return
+	}
+	c.count--
+	if c.count <= 0 {
+		delete(s.m, v)
+		return
+	}
+	if c.err > c.count {
+		c.err = c.count
+	}
+	s.m[v] = c
+}
+
+// victim returns the entry to evict: minimum count, ties broken by the
+// seeded hash of the value and then the value itself, so every replica
+// evicts the same entry.
+func (s *SpaceSaving) victim() (value uint64, count int64) {
+	first := true
+	var vh uint64
+	for v, c := range s.m {
+		h := xrand.Mix64(s.seed ^ v)
+		if first || c.count < count || (c.count == count && (h < vh || (h == vh && v < value))) {
+			value, count, vh, first = v, c.count, h, false
+		}
+	}
+	return value, count
+}
+
+// Count returns the table's frequency estimate for v and whether v is
+// currently tracked.
+func (s *SpaceSaving) Count(v uint64) (int64, bool) {
+	c, ok := s.m[v]
+	return c.count, ok
+}
+
+// Frequencies returns the estimated frequency map of the tracked
+// values — the f̂ vector the skimmed estimators subtract from the
+// sketch. The map is a fresh copy.
+func (s *SpaceSaving) Frequencies() map[uint64]int64 {
+	out := make(map[uint64]int64, len(s.m))
+	for v, c := range s.m {
+		out[v] = c.count
+	}
+	return out
+}
+
+// SkimFrequencies returns the GUARANTEED frequency mass of the tracked
+// values — count − err, the part of each estimate that cannot come from
+// evicted strangers — omitting entries where nothing is guaranteed.
+// This is the f̂ vector the skimmed estimators subtract: it stays
+// unbiased for any deterministic f̂, and using only the reliable part
+// keeps the subtraction from INJECTING variance on unskewed streams,
+// where space-saving counts are dominated by inherited error (on a
+// uniform stream count ≈ n/capacity but count − err ≈ 0, so skimming
+// gracefully degrades to the plain sketch instead of exploding).
+func (s *SpaceSaving) SkimFrequencies() map[uint64]int64 {
+	out := make(map[uint64]int64, len(s.m))
+	for v, c := range s.m {
+		if g := c.count - c.err; g > 0 {
+			out[v] = g
+		}
+	}
+	return out
+}
+
+// Items returns the tracked entries in canonical order: count
+// descending, then value ascending. The order is a pure function of the
+// entry set; serialization uses it so equal tables marshal to equal
+// bytes.
+func (s *SpaceSaving) Items() []Hitter {
+	out := make([]Hitter, 0, len(s.m))
+	for v, c := range s.m {
+		out = append(out, Hitter{Value: v, Count: c.count, Err: c.err})
+	}
+	sortHitters(out)
+	return out
+}
+
+func sortHitters(hs []Hitter) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Count != hs[j].Count {
+			return hs[i].Count > hs[j].Count
+		}
+		return hs[i].Value < hs[j].Value
+	})
+}
+
+// Clone returns an independent deep copy.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	m := make(map[uint64]ssCell, len(s.m))
+	for v, c := range s.m {
+		m[v] = c
+	}
+	return &SpaceSaving{capacity: s.capacity, seed: s.seed, m: m}
+}
+
+// errSeedMismatch: tables with different tie-break seeds would evict
+// differently and drift; refuse to merge them.
+var errSeedMismatch = errors.New("core: space-saving seed mismatch")
+
+// Merge folds other into s under the lossy skim-merge rule: union the
+// entry sets, summing count and err for shared values, then keep the
+// top-capacity entries in canonical order and DROP the rest. The
+// dropped ("demoted") hitters lose exactness, never mass — every update
+// behind them also flowed into the companion sketch, which is
+// ingest-complete, so demotion just moves a value's estimate from the
+// exact table back to the sketch (DESIGN.md §13). Result capacity is
+// the receiver's; seeds must match.
+func (s *SpaceSaving) Merge(other *SpaceSaving) error {
+	if other.seed != s.seed {
+		return fmt.Errorf("%w: %#x vs %#x", errSeedMismatch, s.seed, other.seed)
+	}
+	s.MergeItems(other.Items())
+	return nil
+}
+
+// MergeItems applies the Merge rule to an explicit entry list (the form
+// the engine uses when splitting a relation-level table back into
+// per-shard tables): union, sum shared, keep top-capacity canonically,
+// drop the rest.
+func (s *SpaceSaving) MergeItems(items []Hitter) {
+	for _, h := range items {
+		c := s.m[h.Value]
+		c.count += h.Count
+		c.err += h.Err
+		s.m[h.Value] = c
+	}
+	if len(s.m) <= s.capacity {
+		return
+	}
+	all := s.Items()
+	for _, h := range all[s.capacity:] {
+		delete(s.m, h.Value)
+	}
+}
+
+const spaceSavingVersion = 1
+
+// MarshalBinary encodes the table as a versioned blob frame
+// (blob.MagicSpaceSaving). Entries are written in canonical order, so
+// equal tables produce equal bytes and any accepted input re-marshals
+// byte-identically.
+func (s *SpaceSaving) MarshalBinary() ([]byte, error) {
+	b := blob.NewBuilder(blob.MagicSpaceSaving, spaceSavingVersion, 24+24*len(s.m))
+	b.U64(uint64(s.capacity))
+	b.U64(s.seed)
+	b.U32(uint32(len(s.m)))
+	for _, h := range s.Items() {
+		b.U64(h.Value)
+		b.I64(h.Count)
+		b.I64(h.Err)
+	}
+	return b.Seal(), nil
+}
+
+// UnmarshalBinary decodes a table, replacing s. It rejects anything a
+// well-formed marshal cannot produce — bad counts, duplicate or
+// out-of-canonical-order entries, occupancy over capacity — so every
+// accepted blob re-marshals to exactly the input bytes.
+func (s *SpaceSaving) UnmarshalBinary(data []byte) error {
+	_, payload, err := blob.Open(blob.MagicSpaceSaving, spaceSavingVersion, data)
+	if err != nil {
+		return err
+	}
+	c := blob.NewCursor(payload)
+	capacity := c.Int()
+	seed := c.U64()
+	n := int(c.U32())
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if capacity < 1 {
+		return fmt.Errorf("core: space-saving blob: capacity %d < 1", capacity)
+	}
+	if n > capacity {
+		return fmt.Errorf("core: space-saving blob: %d entries exceed capacity %d", n, capacity)
+	}
+	m := make(map[uint64]ssCell, n)
+	prev := Hitter{Count: int64(^uint64(0) >> 1)} // sorts before everything
+	for i := 0; i < n; i++ {
+		h := Hitter{Value: c.U64(), Count: c.I64(), Err: c.I64()}
+		if c.Err() != nil {
+			return c.Err()
+		}
+		if h.Count < 1 || h.Err < 0 || h.Err > h.Count {
+			return fmt.Errorf("core: space-saving blob: entry %d has count=%d err=%d", i, h.Count, h.Err)
+		}
+		if i > 0 && !(prev.Count > h.Count || (prev.Count == h.Count && prev.Value < h.Value)) {
+			return fmt.Errorf("core: space-saving blob: entry %d out of canonical order", i)
+		}
+		m[h.Value] = ssCell{count: h.Count, err: h.Err}
+		prev = h
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	s.capacity, s.seed, s.m = capacity, seed, m
+	return nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"amstrack/internal/exact"
+	"amstrack/internal/xrand"
+)
+
+func TestSpaceSavingBasics(t *testing.T) {
+	s, err := NewSpaceSaving(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpaceSaving(0, 1); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	for i := 0; i < 5; i++ {
+		s.Insert(10)
+	}
+	s.Insert(20)
+	s.Insert(20)
+	s.Insert(30)
+	if c, ok := s.Count(10); !ok || c != 5 {
+		t.Fatalf("Count(10) = %d,%v want 5,true", c, ok)
+	}
+	// Table full; a new value evicts the minimum (30, count 1) and
+	// inherits its count as error.
+	s.Insert(40)
+	if _, ok := s.Count(30); ok {
+		t.Fatal("30 should have been evicted")
+	}
+	if c, ok := s.Count(40); !ok || c != 2 {
+		t.Fatalf("Count(40) = %d,%v want 2,true", c, ok)
+	}
+	items := s.Items()
+	if len(items) != 3 || items[0].Value != 10 || items[0].Count != 5 {
+		t.Fatalf("canonical head = %+v", items)
+	}
+	for _, h := range items {
+		if h.Err < 0 || h.Err > h.Count {
+			t.Fatalf("entry %+v violates 0 ≤ err ≤ count", h)
+		}
+	}
+	// Deletes: tracked values decrement and vanish at zero; untracked
+	// values are ignored.
+	s.Delete(40)
+	s.Delete(40)
+	if _, ok := s.Count(40); ok {
+		t.Fatal("40 should be gone after deleting to zero")
+	}
+	s.Delete(999) // no-op
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d want 2", s.Len())
+	}
+	if s.MemoryWords() != 9 {
+		t.Fatalf("MemoryWords = %d want 9", s.MemoryWords())
+	}
+}
+
+// TestSpaceSavingOverestimation checks the space-saving guarantee on an
+// insert-only stream: for every tracked value, count − err ≤ f_v ≤ count.
+func TestSpaceSavingOverestimation(t *testing.T) {
+	s, _ := NewSpaceSaving(32, 7)
+	truth := exact.NewHistogram()
+	r := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		v := r.Uint64n(256) * r.Uint64n(4) // skewed-ish
+		s.Insert(v)
+		truth.Insert(v)
+	}
+	freqs := truth.Frequencies()
+	for _, h := range s.Items() {
+		f := freqs[h.Value]
+		if f > h.Count || f < h.Count-h.Err {
+			t.Fatalf("value %d: true %d outside [%d, %d]", h.Value, f, h.Count-h.Err, h.Count)
+		}
+	}
+}
+
+// TestSpaceSavingDeterminism: two tables fed the same stream hold the
+// same entries and marshal to the same bytes, whatever the map
+// iteration did internally.
+func TestSpaceSavingDeterminism(t *testing.T) {
+	mk := func() *SpaceSaving {
+		s, _ := NewSpaceSaving(16, 99)
+		r := xrand.New(11)
+		for i := 0; i < 50000; i++ {
+			v := r.Uint64n(200)
+			if r.Uint64n(10) == 0 {
+				s.Delete(v)
+			} else {
+				s.Insert(v)
+			}
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same stream, different table bytes")
+	}
+	var back SpaceSaving
+	if err := back.UnmarshalBinary(ab); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, rb) {
+		t.Fatal("round trip not byte-identical")
+	}
+	if back.Capacity() != 16 || back.Seed() != 99 {
+		t.Fatalf("round trip lost config: cap=%d seed=%d", back.Capacity(), back.Seed())
+	}
+}
+
+// TestSpaceSavingBoundaryChurn tortures the table right at its capacity
+// boundary: a domain slightly larger than the capacity with a heavy
+// insert/delete churn, so evictions, re-admissions and delete-to-zero
+// removals all fire constantly. The table must stay within invariants
+// and remain a pure function of the stream.
+func TestSpaceSavingBoundaryChurn(t *testing.T) {
+	const cap = 8
+	run := func() *SpaceSaving {
+		s, _ := NewSpaceSaving(cap, 5)
+		r := xrand.New(21)
+		for i := 0; i < 100000; i++ {
+			v := r.Uint64n(cap + 3)
+			if r.Uint64n(3) == 0 {
+				s.Delete(v)
+			} else {
+				s.Insert(v)
+			}
+			if s.Len() > cap {
+				t.Fatalf("op %d: table overflowed to %d entries", i, s.Len())
+			}
+		}
+		return s
+	}
+	a, b := run(), run()
+	ab, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("churned tables diverged")
+	}
+	for _, h := range a.Items() {
+		if h.Count < 1 || h.Err < 0 || h.Err > h.Count {
+			t.Fatalf("invariant violated: %+v", h)
+		}
+	}
+}
+
+// TestSpaceSavingMerge: the lossy merge rule — union, sum shared, keep
+// top-capacity canonically — is order-independent and seed-guarded.
+func TestSpaceSavingMerge(t *testing.T) {
+	feed := func(s *SpaceSaving, seed uint64) {
+		r := xrand.New(seed)
+		for i := 0; i < 5000; i++ {
+			s.Insert(r.Uint64n(40))
+		}
+	}
+	a1, _ := NewSpaceSaving(12, 4)
+	a2, _ := NewSpaceSaving(12, 4)
+	b1, _ := NewSpaceSaving(12, 4)
+	b2, _ := NewSpaceSaving(12, 4)
+	feed(a1, 1)
+	feed(b1, 1)
+	feed(a2, 2)
+	feed(b2, 2)
+	if err := a1.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	am, _ := a1.MarshalBinary()
+	bm, _ := b2.MarshalBinary()
+	if !bytes.Equal(am, bm) {
+		t.Fatal("merge is order-dependent")
+	}
+	if a1.Len() > a1.Capacity() {
+		t.Fatalf("merge overflowed capacity: %d", a1.Len())
+	}
+	other, _ := NewSpaceSaving(12, 5)
+	if err := a1.Merge(other); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	// Disjoint unions under capacity are exact.
+	d1, _ := NewSpaceSaving(8, 4)
+	d2, _ := NewSpaceSaving(8, 4)
+	d1.Insert(1)
+	d1.Insert(1)
+	d2.Insert(2)
+	u, _ := NewSpaceSaving(16, 4)
+	u.MergeItems(d1.Items())
+	u.MergeItems(d2.Items())
+	if c, _ := u.Count(1); c != 2 {
+		t.Fatalf("disjoint union lost mass: %d", c)
+	}
+	if u.Len() != 2 {
+		t.Fatalf("disjoint union Len = %d", u.Len())
+	}
+}
+
+func TestSpaceSavingUnmarshalRejects(t *testing.T) {
+	s, _ := NewSpaceSaving(4, 1)
+	s.Insert(1)
+	s.Insert(1)
+	s.Insert(2)
+	good, _ := s.MarshalBinary()
+	var back SpaceSaving
+	// Truncations and corruptions must error, never panic.
+	for i := 0; i < len(good); i++ {
+		_ = back.UnmarshalBinary(good[:i])
+	}
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		_ = back.UnmarshalBinary(bad)
+	}
+	if err := back.UnmarshalBinary(good); err != nil {
+		t.Fatal(err)
+	}
+}

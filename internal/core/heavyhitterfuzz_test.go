@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpaceSaving hammers the heavy-hitter blob decoder — the section
+// skimmed checkpoints and relation bundles embed — with arbitrary
+// bytes. Two properties: corrupt or truncated input never panics, and
+// any ACCEPTED input re-marshals to exactly the bytes that were
+// decoded (the canonical-encoding property the engine's byte-identity
+// guarantees lean on).
+func FuzzSpaceSaving(f *testing.F) {
+	seedTables := func() [][]byte {
+		var out [][]byte
+		a, _ := NewSpaceSaving(1, 0)
+		out = append(out, mustMarshalSS(a))
+		b, _ := NewSpaceSaving(8, 42)
+		for i := uint64(0); i < 40; i++ {
+			b.Insert(i % 11)
+		}
+		b.Delete(3)
+		out = append(out, mustMarshalSS(b))
+		return out
+	}
+	for _, s := range seedTables() {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s SpaceSaving
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted blob failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted blob is not canonical: %d in, %d out", len(data), len(re))
+		}
+	})
+}
+
+func mustMarshalSS(s *SpaceSaving) []byte {
+	b, err := s.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

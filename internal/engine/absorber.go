@@ -397,6 +397,20 @@ func (g *ingester) absorb(shard int) {
 				}
 			}
 		}
+		if sh.hh != nil {
+			// Heavy-hitter updates are per-op in msg order — the table
+			// is the one order-SENSITIVE synopsis, and the same msg.ops
+			// slice is forwarded to the log writer below, so per-shard
+			// apply order equals per-shard log order and replay
+			// reconstructs the table bit-exactly.
+			for _, op := range msg.ops {
+				if op.del {
+					sh.hh.Delete(op.v)
+				} else {
+					sh.hh.Insert(op.v)
+				}
+			}
+		}
 		sh.ops += uint64(len(msg.ops))
 		if g.logCh != nil {
 			g.logCh <- logMsg{ops: msg.ops, epoch: g.shardEpochs[shard]}
@@ -616,6 +630,33 @@ func (g *ingester) snapshotSigQuiesced() join.Signature {
 	return fresh
 }
 
+// snapshotHH unions the per-shard heavy-hitter tables with the same
+// drain + on-absorber clone discipline as snapshotSig. Callers check
+// r.skims() first.
+func (g *ingester) snapshotHH() *core.SpaceSaving {
+	fresh := g.r.newRelHH()
+	direct := func() *core.SpaceSaving {
+		g.waitStopped()
+		for i := range g.r.shards {
+			fresh.MergeItems(g.r.shards[i].hh.Items())
+		}
+		return fresh
+	}
+	if !g.flushAllSlots(false) {
+		return direct()
+	}
+	clones := make([][]core.Hitter, len(g.r.shards))
+	if !g.barrier(func(shard int, sh *sigShard) {
+		clones[shard] = sh.hh.Items()
+	}) {
+		return direct()
+	}
+	for _, c := range clones {
+		fresh.MergeItems(c)
+	}
+	return fresh
+}
+
 // snapshotChain merges the shard chain sets with read-your-writes
 // semantics, via the same drain + on-absorber clone barrier as
 // snapshotSig. Nil when the schema declares no chain synopses.
@@ -668,6 +709,7 @@ type relSnap struct {
 	sig    join.Signature
 	sketch *core.FastTugOfWar // nil when the engine runs without sketches
 	chain  *shardChain        // nil when the schema declares no chains
+	hh     *core.SpaceSaving  // nil unless the relation skims
 	seq    uint64             // op-sequence counter at the same cut
 }
 
@@ -691,6 +733,7 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 	sigs := make([]join.Signature, n)
 	chains := make([]*shardChain, n)
 	sketches := make([]*core.FastTugOfWar, n)
+	hhs := make([][]core.Hitter, n)
 	seqs := make([]uint64, n)
 	errs := make([]error, n)
 	if !g.barrier(func(shard int, sh *sigShard) {
@@ -701,6 +744,9 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 			cc := g.r.newEmptyChain()
 			cc.merge(sh.chain)
 			chains[shard] = cc
+		}
+		if sh.hh != nil {
+			hhs[shard] = sh.hh.Items()
 		}
 		if g.r.sketch != nil {
 			sketches[shard], errs[shard] = g.r.sketch.ShardSnapshot(shard)
@@ -738,6 +784,14 @@ func (g *ingester) fence(newEpoch uint64) (relSnap, error) {
 			if err := snap.sketch.Merge(sk); err != nil {
 				return relSnap{}, err
 			}
+		}
+	}
+	if g.r.skims() {
+		// Per-shard tables hold disjoint key sets (shardOf is a pure
+		// function of the value), so this union is exact, never lossy.
+		snap.hh = g.r.newRelHH()
+		for _, items := range hhs {
+			snap.hh.MergeItems(items)
 		}
 	}
 	return snap, nil

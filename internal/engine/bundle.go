@@ -41,6 +41,18 @@ type RelationBundle struct {
 	// single-attribute, chainless schema. Chainless bundles marshal as
 	// version-1 frames, byte-identical to pre-chain exports.
 	Chain *ChainBundle
+	// HH is the relation's heavy-hitter table (version 4), present
+	// exactly when the exporting relation was defined with SkimHitters >
+	// 0. Unlike everything else in the bundle it merges LOSSILY: demoted
+	// hitters fall back to the (ingest-complete) sketch estimate, so a
+	// merged bundle's skimmed answers can differ from single-node ingest
+	// within the documented tolerance while its sketch and signature
+	// halves stay bit-identical (DESIGN.md §13).
+	HH *core.SpaceSaving
+	// SkimHitters is the exporting relation's configured skim budget —
+	// the number the importer writes into its schema so a re-export
+	// round-trips. 0 exactly when HH is nil.
+	SkimHitters int
 	// Epoch and Seq are the freshness stamp (version 3). Epoch is the
 	// exporting engine's durability-log generation (0 for in-memory
 	// engines); Seq is the relation's logical version — mutation ops
@@ -207,11 +219,15 @@ func checkChainShape(k *int, seed *uint64, gotK int, gotSeed uint64) error {
 }
 
 // SelfJoinEstimate estimates SJ(R) from the bundle, preferring the
+// skimmed estimator when a heavy-hitter section rides along, then the
 // dedicated sketch — mirroring Relation.SelfJoinEstimate, so bounds
 // computed from a shipped bundle match bounds the exporting node would
 // attach itself.
 func (b *RelationBundle) SelfJoinEstimate() float64 {
 	if b.Sketch != nil {
+		if b.HH != nil {
+			return core.SkimmedEstimate(b.Sketch, b.HH)
+		}
 		return b.Sketch.Estimate()
 	}
 	return b.Sig.SelfJoinEstimate()
@@ -247,6 +263,22 @@ func (b *RelationBundle) Merge(other *RelationBundle) error {
 			return err
 		}
 	}
+	// Heavy-hitter sections must agree in presence and shape: mixing a
+	// skimmed and an unskimmed partition would silently degrade the
+	// merged table's coverage, and unequal capacities or budgets mean the
+	// exporting engines disagree on the relation's definition.
+	if (b.HH == nil) != (other.HH == nil) {
+		return fmt.Errorf("%w: one bundle carries a heavy-hitter section, the other does not", ErrIncompatible)
+	}
+	if b.HH != nil {
+		if b.HH.Capacity() != other.HH.Capacity() || b.SkimHitters != other.SkimHitters {
+			return fmt.Errorf("%w: heavy-hitter shapes differ (capacity %d/%d, budget %d/%d)",
+				ErrIncompatible, b.HH.Capacity(), other.HH.Capacity(), b.SkimHitters, other.SkimHitters)
+		}
+		if err := b.HH.Merge(other.HH); err != nil {
+			return fmt.Errorf("%w: %v", ErrIncompatible, err)
+		}
+	}
 	b.Rows += other.Rows
 	// The stamp merges like the counters: Seq is op counts, so disjoint
 	// partitions sum to exactly the union's Seq — a coordinator's merged
@@ -261,13 +293,17 @@ func (b *RelationBundle) Merge(other *RelationBundle) error {
 
 // relBundleVersion is the newest bundle frame version: version 2 added
 // the schema + chain section; version 3 added the (Epoch, Seq)
-// freshness stamp and an explicit chain-presence flag. Unstamped
-// bundles still marshal in the old framing — chainless as version 1,
-// chain-carrying as version 2, both byte-identical to pre-stamp
-// exports — so the canonical-encoding property (equal bundles → equal
-// bytes) holds across the upgrade, and a version-3 frame with a zero
-// stamp is rejected as non-canonical.
-const relBundleVersion = 3
+// freshness stamp and an explicit chain-presence flag; version 4
+// appended the heavy-hitter section (skim budget + table blob) after
+// the chain section. Bundles without an HH table still marshal in the
+// old framings — chainless as version 1, chain-carrying as version 2,
+// stamped as version 3, all byte-identical to pre-skim exports — so the
+// canonical-encoding property (equal bundles → equal bytes) holds
+// across every upgrade. Non-canonical frames are rejected: a version-3
+// frame with a zero stamp, or a version-4 frame at all without an HH
+// section (version 4 always carries one; its stamp MAY be zero since
+// the HH section alone forces the version).
+const relBundleVersion = 4
 
 // MarshalBinary packs the bundle as one blob: the signature blob, the
 // optional sketch blob, the row count, then (version 3) the freshness
@@ -285,8 +321,10 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 	}
 	version := uint8(1)
 	switch {
-	case b.stamped():
+	case b.HH != nil:
 		version = relBundleVersion
+	case b.stamped():
+		version = 3
 	case b.Chain != nil:
 		version = 2
 	}
@@ -317,6 +355,14 @@ func (b *RelationBundle) MarshalBinary() ([]byte, error) {
 		if err := buildChain(bb, &shardChain{ends: b.Chain.Ends, mids: b.Chain.Mids}); err != nil {
 			return nil, err
 		}
+	}
+	if version >= 4 {
+		hhBlob, err := b.HH.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		bb.U64(uint64(b.SkimHitters))
+		bb.Bytes(hhBlob)
 	}
 	return bb.Seal(), nil
 }
@@ -368,15 +414,27 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 			return err
 		}
 	}
+	var skimHitters uint64
+	var hhBlob []byte
+	if version >= 4 {
+		// Version 4 frames ALWAYS carry the heavy-hitter section — an
+		// HH-less bundle marshals as version ≤ 3, so a version-4 frame
+		// without one would be non-canonical (and simply fails to
+		// decode: the section is part of the fixed layout).
+		skimHitters = c.U64()
+		hhBlob = c.Bytes()
+	}
 	if err := c.Close(); err != nil {
 		return fmt.Errorf("engine: relation bundle: %w", err)
 	}
 	if hasSketch > 1 {
 		return fmt.Errorf("engine: relation bundle: sketch flag %d out of range {0,1}", hasSketch)
 	}
-	if version >= 3 && epoch == 0 && seq == 0 {
+	if version == 3 && epoch == 0 && seq == 0 {
 		// Zero-stamp bundles marshal in the unstamped framing; a
 		// version-3 frame carrying one is non-canonical by construction.
+		// (Version 4 accepts a zero stamp: the HH section alone forces
+		// the version.)
 		return errors.New("engine: relation bundle: version 3 frame without a freshness stamp")
 	}
 	sig, err := join.UnmarshalSignature(sigBlob)
@@ -390,8 +448,24 @@ func (b *RelationBundle) UnmarshalBinary(data []byte) error {
 			return fmt.Errorf("engine: relation bundle: %w", err)
 		}
 	}
+	var hh *core.SpaceSaving
+	if version >= 4 {
+		if skimHitters < 1 || skimHitters > maxSkimHitters {
+			return fmt.Errorf("engine: relation bundle: skim budget %d out of range [1, %d]", skimHitters, maxSkimHitters)
+		}
+		hh = &core.SpaceSaving{}
+		if err := hh.UnmarshalBinary(hhBlob); err != nil {
+			return fmt.Errorf("engine: relation bundle: %w", err)
+		}
+		// The exporting relation's table capacity is its budget rounded
+		// up to a shard multiple, so it can never be below the budget.
+		if hh.Capacity() < int(skimHitters) {
+			return fmt.Errorf("engine: relation bundle: heavy-hitter capacity %d below skim budget %d", hh.Capacity(), skimHitters)
+		}
+	}
 	b.Sig, b.Sketch, b.Rows, b.Chain = sig, sketch, rows, chain
 	b.Epoch, b.Seq = epoch, seq
+	b.HH, b.SkimHitters = hh, int(skimHitters)
 	return nil
 }
 
@@ -472,6 +546,10 @@ func (r *Relation) exportBundle(epoch uint64) ([]byte, error) {
 			b.Chain.Ends, b.Chain.Mids = sc.ends, sc.mids
 		}
 	}
+	if r.skims() {
+		b.HH = r.snapshotHH()
+		b.SkimHitters = r.schema.SkimHitters
+	}
 	return b.MarshalBinary()
 }
 
@@ -495,6 +573,11 @@ func (e *Engine) ImportRelation(name string, data []byte) error {
 	if b.Chain != nil {
 		schema = b.Chain.Schema
 	}
+	// The skim budget travels outside the chain schema (it is synopsis
+	// configuration, not schema identity), so restore it explicitly —
+	// a skimmed bundle imports as a skimmed relation and re-exports the
+	// same framing.
+	schema.SkimHitters = b.SkimHitters
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.rels[name]; ok {
@@ -614,6 +697,30 @@ func (r *Relation) absorbBundle(b *RelationBundle) error {
 		if err := r.sketch.Absorb(b.Sketch); err != nil {
 			return fmt.Errorf("%w: self-join sketch shape mismatch", ErrIncompatible)
 		}
+	}
+	// Heavy-hitter presence must match in both directions too: absorbing
+	// an unskimmed partition into a skimmed relation would leave that
+	// partition's hitters invisible to the exact half (its mass counted
+	// only by the sketch), skewing skimmed answers; the reverse silently
+	// drops a table the exporter paid for.
+	if r.skims() && b.HH == nil {
+		return fmt.Errorf("%w: bundle carries no heavy-hitter table but the relation skims", ErrIncompatible)
+	}
+	if !r.skims() && b.HH != nil {
+		return fmt.Errorf("%w: bundle carries a heavy-hitter table but the relation does not skim", ErrIncompatible)
+	}
+	if r.skims() {
+		if b.HH.Seed() != r.eng.hhSeed() {
+			return fmt.Errorf("%w: heavy-hitter seed mismatch (bundle %#x, engine %#x)", ErrIncompatible, b.HH.Seed(), r.eng.hhSeed())
+		}
+		if b.SkimHitters != r.schema.SkimHitters || b.HH.Capacity() != r.skimCap() {
+			return fmt.Errorf("%w: heavy-hitter shapes differ (budget %d/%d, capacity %d/%d)",
+				ErrIncompatible, b.SkimHitters, r.schema.SkimHitters, b.HH.Capacity(), r.skimCap())
+		}
+		// The lossy fold: the bundle's hitters scatter onto their owning
+		// shards and compete for slots there; demoted entries fall back
+		// to the sketch, which absorbed the full partition above.
+		r.scatterHH(b.HH)
 	}
 	// The absorbed ops advance the relation's logical version by the
 	// bundle's own op count (zero for pre-stamp bundles), mirroring
@@ -739,16 +846,26 @@ func (e *Engine) EstimateJoinBundle(local string, data []byte) (JoinEstimate, er
 		return JoinEstimate{}, err
 	}
 	sf := r.snapshotSig()
-	est, err := join.EstimateJoin(sf, b.Sig)
+	var est float64
+	estimator := "sketch"
+	if r.skims() && b.HH != nil {
+		// Both sides carry exact halves: answer with the skimmed join,
+		// like EstimateJoin does between two local skimmed relations.
+		est, err = join.SkimmedJoin(sf, b.Sig, r.snapshotHH().SkimFrequencies(), b.HH.SkimFrequencies())
+		estimator = "skimmed"
+	} else {
+		est, err = join.EstimateJoin(sf, b.Sig)
+	}
 	if err != nil {
 		return JoinEstimate{}, fmt.Errorf("%w: %v", ErrIncompatible, err)
 	}
 	sjF, sjG := r.selfJoinFrom(sf), b.SelfJoinEstimate()
 	return JoinEstimate{
-		Estimate: est,
-		Sigma:    join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
-		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
-		SJF:      sjF,
-		SJG:      sjG,
+		Estimate:  est,
+		Sigma:     join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
+		Fact11:    exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:       sjF,
+		SJG:       sjG,
+		Estimator: estimator,
 	}, nil
 }

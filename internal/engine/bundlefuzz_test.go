@@ -36,11 +36,33 @@ func FuzzRelationBundle(f *testing.F) {
 		}
 		return data
 	}
+	mkSkim := func(opts Options) []byte {
+		e, err := New(opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		r, err := e.DefineSchema("r", Schema{SkimHitters: 6})
+		if err != nil {
+			f.Fatal(err)
+		}
+		r.InsertBatch([]uint64{1, 2, 3, 4, 5, 6, 7, 1, 2, 3, 1, 1})
+		_ = r.DeleteBatch([]uint64{1, 2})
+		data, err := e.ExportRelation("r")
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
 	fast := mk(Options{SignatureWords: 64, SignatureRows: 4, Seed: 3, SketchS1: 16, SketchS2: 2})
 	flat := mk(Options{SignatureWords: 64, Seed: 3, Scheme: SchemeFlat, NoSketch: true})
+	skim := mkSkim(Options{SignatureWords: 64, SignatureRows: 4, Seed: 3, SketchS1: 16, SketchS2: 2, Shards: 2})
 	f.Add([]byte{})
 	f.Add(fast)
 	f.Add(flat)
+	f.Add(skim)
+	for _, cut := range []int{8, len(skim) / 2, len(skim) - 1} {
+		f.Add(append([]byte(nil), skim[:cut]...))
+	}
 	for _, cut := range []int{1, 4, 8, len(fast) / 2, len(fast) - 1} {
 		f.Add(append([]byte(nil), fast[:cut]...))
 	}

@@ -832,6 +832,15 @@ func (r *Relation) applyRecovered(op stream.Op) {
 			r.sketch.Insert(op.Value)
 		}
 	}
+	if s.hh != nil {
+		// Same per-op order as the live paths (the log is written in
+		// apply order), so the replayed table is bit-identical.
+		if del {
+			s.hh.Delete(op.Value)
+		} else {
+			s.hh.Insert(op.Value)
+		}
+	}
 	if s.chain != nil && 1+len(op.Rest) == r.arity {
 		tuple := make([]uint64, 0, r.arity)
 		tuple = append(tuple, op.Value)

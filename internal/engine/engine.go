@@ -396,6 +396,14 @@ func (e *Engine) ensureChainFam() (*join.ChainFamily, error) {
 	return fam, nil
 }
 
+// hhSeed derives the heavy-hitter tie-break seed from the master seed —
+// a disjoint stream like the sketch's and the chains', shared by every
+// node built on the same Seed so skimmed tables evict identically and
+// merge across partitions.
+func (e *Engine) hhSeed() uint64 {
+	return xrand.Mix64(e.opts.Seed ^ 0x5c1b_b0a7_ab1e_0001)
+}
+
 // newSignature builds an empty signature of the configured scheme.
 func (e *Engine) newSignature() join.Signature {
 	if e.fastFam != nil {
@@ -440,6 +448,15 @@ type sigShard struct {
 	mu    sync.Mutex
 	sig   join.Signature
 	chain *shardChain // nil unless the schema declares chain synopses
+	// hh is the shard's slice of the relation's heavy-hitter table, nil
+	// unless the schema sets SkimHitters. Shards key by shardOf(value),
+	// so the per-shard tables track DISJOINT value sets and the
+	// relation-level table is their exact union. Updated per op, in op
+	// order, under the same discipline as the other synopses; unlike
+	// them it is order-sensitive, so its bit-exact recovery guarantee
+	// holds where per-shard apply order equals per-shard log order —
+	// always in absorber mode, single-writer in locked mode (§13).
+	hh *core.SpaceSaving
 	// ops counts the mutation ops this shard has applied (a batch of n
 	// rows counts n). The per-relation sum is the relation's Seq — its
 	// logical version. Guarded by whatever guards the shard's synopses:
@@ -479,6 +496,13 @@ func (e *Engine) newRelation(name string, schema Schema) (*Relation, error) {
 				return nil, err
 			}
 			r.shards[i].chain = sc
+		}
+		if schema.SkimHitters > 0 {
+			hh, err := core.NewSpaceSaving(r.skimPerShard(), e.hhSeed())
+			if err != nil {
+				return nil, err
+			}
+			r.shards[i].hh = hh
 		}
 	}
 	if !e.opts.NoSketch {
@@ -539,7 +563,12 @@ func (e *Engine) DefineSchema(name string, schema Schema) (*Relation, error) {
 		return nil, err
 	}
 	e.rels[name] = r
-	if e.opts.Dir != "" && !schema.legacy() {
+	// Skimming relations persist like non-legacy schemas even when their
+	// attribute set is the legacy one: SkimHitters travels in
+	// checkpoints (not the oplog), so a crash right after the define
+	// must find it there or recovery would resurrect the relation
+	// unskimmed.
+	if e.opts.Dir != "" && (!schema.legacy() || schema.SkimHitters > 0) {
 		if _, err := e.checkpointLocked(); err != nil {
 			// Unwind the registration: leaving the relation defined with
 			// its schema unpersisted would hand a crash-recovery exactly
@@ -635,6 +664,66 @@ func (r *Relation) shardOf(v uint64) *sigShard {
 	return &r.shards[xrand.Mix64(v)&r.mask]
 }
 
+// skims reports whether the relation maintains skimmed synopses.
+func (r *Relation) skims() bool { return r.schema.SkimHitters > 0 }
+
+// skimPerShard is each shard's slice of the heavy-hitter budget,
+// rounded up so the budget never silently shrinks.
+func (r *Relation) skimPerShard() int {
+	return (r.schema.SkimHitters + len(r.shards) - 1) / len(r.shards)
+}
+
+// skimCap is the relation-level heavy-hitter table capacity — the exact
+// union of the per-shard tables, and the capacity checkpoints and
+// bundles carry. Nodes merging skimmed bundles must agree on it, which
+// means agreeing on (SkimHitters, Shards).
+func (r *Relation) skimCap() int { return r.skimPerShard() * len(r.shards) }
+
+// newRelHH builds an empty relation-level heavy-hitter table.
+func (r *Relation) newRelHH() *core.SpaceSaving {
+	hh, err := core.NewSpaceSaving(r.skimCap(), r.eng.hhSeed())
+	if err != nil {
+		// The shard tables were built from the same config.
+		panic(fmt.Sprintf("engine: hh snapshot: %v", err))
+	}
+	return hh
+}
+
+// snapshotHH unions the per-shard heavy-hitter tables into one
+// relation-level table (exact: the shards track disjoint value sets).
+// Returns nil when the relation does not skim. Synchronization mirrors
+// snapshotSig: shard locks in locked mode, a drain + on-absorber clone
+// barrier in absorber mode.
+func (r *Relation) snapshotHH() *core.SpaceSaving {
+	if !r.skims() {
+		return nil
+	}
+	if r.ing != nil {
+		return r.ing.snapshotHH()
+	}
+	fresh := r.newRelHH()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		fresh.MergeItems(s.hh.Items())
+		s.mu.Unlock()
+	}
+	return fresh
+}
+
+// snapshotHHQuiesced reads the shard tables with no synchronization;
+// legal only while the relation is quiesced.
+func (r *Relation) snapshotHHQuiesced() *core.SpaceSaving {
+	if !r.skims() {
+		return nil
+	}
+	fresh := r.newRelHH()
+	for i := range r.shards {
+		fresh.MergeItems(r.shards[i].hh.Items())
+	}
+	return fresh
+}
+
 // Insert adds a tuple with the given joining-attribute value. In durable
 // engines the op is logged before the synopses see it (locked mode) or
 // group-committed by the absorber's log writer; log write errors are
@@ -655,6 +744,9 @@ func (r *Relation) Insert(v uint64) {
 	if s.chain != nil {
 		one := [1]uint64{v}
 		s.chain.insert(&r.plan, one[:])
+	}
+	if s.hh != nil {
+		s.hh.Insert(v)
 	}
 	s.ops++
 	s.mu.Unlock()
@@ -728,6 +820,13 @@ func (r *Relation) applyTupleLocked(vals []uint64, del bool) {
 			s.chain.insert(&r.plan, vals)
 		}
 	}
+	if s.hh != nil {
+		if del {
+			s.hh.Delete(vals[0])
+		} else {
+			s.hh.Insert(vals[0])
+		}
+	}
 	s.ops++
 	s.mu.Unlock()
 }
@@ -752,6 +851,9 @@ func (r *Relation) Delete(v uint64) error {
 	if s.chain != nil {
 		one := [1]uint64{v}
 		s.chain.delete(&r.plan, one[:])
+	}
+	if s.hh != nil {
+		s.hh.Delete(v)
 	}
 	s.ops++
 	s.mu.Unlock()
@@ -934,6 +1036,15 @@ func (r *Relation) applyShardBatch(s *sigShard, vs []uint64, del bool) {
 			}
 		}
 	}
+	if s.hh != nil {
+		for _, v := range vs {
+			if del {
+				s.hh.Delete(v)
+			} else {
+				s.hh.Insert(v)
+			}
+		}
+	}
 	s.ops += uint64(len(vs))
 }
 
@@ -1080,13 +1191,31 @@ func (r *Relation) newEmptyChain() *shardChain {
 // the paper). Absorber mode drains first, so the estimate covers the
 // caller's own staged writes.
 func (r *Relation) SelfJoinEstimate() float64 {
+	est, _ := r.SelfJoinEstimateDetail()
+	return est
+}
+
+// SelfJoinEstimateDetail returns the self-join estimate together with
+// the name of the estimator that answered: "skimmed" (exact heavy
+// hitters + sketched tail, DESIGN.md §13) for skimming relations with a
+// sketch, "sketch" for the dedicated Fast-AMS sketch, "signature" for
+// the join signature's own counters.
+func (r *Relation) SelfJoinEstimateDetail() (float64, string) {
 	if r.ing != nil {
 		r.ing.drain()
 	}
-	if r.sketch != nil {
-		return r.sketch.Estimate()
+	if r.sketch == nil {
+		return r.snapshotSig().SelfJoinEstimate(), "signature"
 	}
-	return r.snapshotSig().SelfJoinEstimate()
+	if r.skims() {
+		sk, err := r.sketch.Snapshot()
+		if err == nil {
+			return core.SkimmedEstimate(sk, r.snapshotHH()), "skimmed"
+		}
+		// Snapshot failure is a family invariant violation; fall through
+		// to the plain sketch estimate rather than answer nothing.
+	}
+	return r.sketch.Estimate(), "sketch"
 }
 
 // Signature returns a point-in-time copy of the relation's join
@@ -1099,11 +1228,21 @@ type JoinEstimate struct {
 	Sigma    float64 // Lemma 4.4 one-standard-deviation bound (from SJ estimates)
 	Fact11   float64 // Fact 1.1 upper bound (SJ(F)+SJ(G))/2, from estimates
 	SJF, SJG float64 // the self-join estimates used for the bounds
+	// Estimator names the estimator that produced Estimate: "skimmed"
+	// (both relations skim: exact hitter×hitter + sketched cross/tail,
+	// DESIGN.md §13) or "sketch" (the plain signature estimate). Sigma
+	// always carries the plain Lemma 4.4 bound — for skimmed answers it
+	// is conservative, since the skimmed variance is driven by the
+	// residual self-joins rather than the full ones.
+	Estimator string
 }
 
 // EstimateJoin estimates the join size of two defined relations, with the
 // paper's error bounds attached. Both schemes carry the same Lemma 4.4
 // variance bound at equal memory, so σ = √(2·SJ(F)·SJ(G)/k) either way.
+// When BOTH relations skim, the estimate is the skimmed decomposition
+// and the answer says so in Estimator; if only one skims, the plain
+// estimate answers (the decomposition needs both hitter tables).
 func (e *Engine) EstimateJoin(f, g string) (JoinEstimate, error) {
 	rf, err := e.Get(f)
 	if err != nil {
@@ -1114,17 +1253,24 @@ func (e *Engine) EstimateJoin(f, g string) (JoinEstimate, error) {
 		return JoinEstimate{}, err
 	}
 	sf, sg := rf.snapshotSig(), rg.snapshotSig()
-	est, err := join.EstimateJoin(sf, sg)
+	est, estimator := 0.0, "sketch"
+	if rf.skims() && rg.skims() {
+		est, err = join.SkimmedJoin(sf, sg, rf.snapshotHH().SkimFrequencies(), rg.snapshotHH().SkimFrequencies())
+		estimator = "skimmed"
+	} else {
+		est, err = join.EstimateJoin(sf, sg)
+	}
 	if err != nil {
 		return JoinEstimate{}, err
 	}
 	sjF, sjG := rf.selfJoinFrom(sf), rg.selfJoinFrom(sg)
 	return JoinEstimate{
-		Estimate: est,
-		Sigma:    join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
-		Fact11:   exact.JoinUpperBound(int64(sjF), int64(sjG)),
-		SJF:      sjF,
-		SJG:      sjG,
+		Estimate:  est,
+		Sigma:     join.ErrorBound(sjF, sjG, e.opts.SignatureWords),
+		Fact11:    exact.JoinUpperBound(int64(sjF), int64(sjG)),
+		SJF:       sjF,
+		SJG:       sjG,
+		Estimator: estimator,
 	}, nil
 }
 
@@ -1283,25 +1429,47 @@ const flagNoSketch uint32 = 1 << 0
 // monotone again from there).
 const engineBlobVersion = 3
 
+// engineBlobVersionSkim is version 4: a per-relation skim section
+// (SkimHitters + heavy-hitter table, between the schema and chain
+// sections). An engine WRITES version 4 only when at least one relation
+// skims — engines without skimming keep producing byte-identical
+// version-3 checkpoints, the compatibility contract of DESIGN.md §13.
+const engineBlobVersionSkim = 4
+
+// writeVersion picks the checkpoint version for the current relation
+// set. Caller holds e.mu (any mode).
+func (e *Engine) writeVersion() uint8 {
+	for _, r := range e.rels {
+		if r.skims() {
+			return engineBlobVersionSkim
+		}
+	}
+	return engineBlobVersion
+}
+
 // marshalLocked serializes under the engine lock. quiesced tells it the
 // caller holds every relation quiesced (Checkpoint), in which case
 // absorber-mode shard state may be read directly; otherwise snapshots go
 // through the drain-barrier path.
 func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
-	b, names := e.marshalHeader(epoch)
+	version := e.writeVersion()
+	b, names := e.marshalHeader(version, epoch)
 	for _, n := range names {
 		r := e.rels[n]
 		var sig join.Signature
 		var chain *shardChain
+		var hh *core.SpaceSaving
 		if quiesced && r.ing != nil {
 			// Under pause the slots are held: the barrier-based snapshot
 			// would self-deadlock, and direct reads are exactly what the
 			// quiescence licenses.
 			sig = r.ing.snapshotSigQuiesced()
 			chain = r.ing.snapshotChainQuiesced()
+			hh = r.snapshotHHQuiesced()
 		} else {
 			sig = r.snapshotSig()
 			chain = r.snapshotChain()
+			hh = r.snapshotHH()
 		}
 		var seq uint64
 		if quiesced {
@@ -1316,7 +1484,7 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 				return nil, err
 			}
 		}
-		if err := buildRelationBlob(b, n, r, sig, sk, chain, seq); err != nil {
+		if err := buildRelationBlob(b, version, n, r, sig, sk, hh, chain, seq); err != nil {
 			return nil, err
 		}
 	}
@@ -1327,10 +1495,11 @@ func (e *Engine) marshalLocked(epoch uint64, quiesced bool) ([]byte, error) {
 // relation, cut by the pause-free checkpoint): the live shard state is
 // never touched, so ingest keeps mutating it while the blob is built.
 func (e *Engine) marshalSnaps(epoch uint64, snaps map[string]relSnap) ([]byte, error) {
-	b, names := e.marshalHeader(epoch)
+	version := e.writeVersion()
+	b, names := e.marshalHeader(version, epoch)
 	for _, n := range names {
 		snap := snaps[n]
-		if err := buildRelationBlob(b, n, e.rels[n], snap.sig, snap.sketch, snap.chain, snap.seq); err != nil {
+		if err := buildRelationBlob(b, version, n, e.rels[n], snap.sig, snap.sketch, snap.hh, snap.chain, snap.seq); err != nil {
 			return nil, err
 		}
 	}
@@ -1340,8 +1509,8 @@ func (e *Engine) marshalSnaps(epoch uint64, snaps map[string]relSnap) ([]byte, e
 // marshalHeader builds the checkpoint blob header (engine configuration
 // plus relation count) and returns the builder with the sorted relation
 // names the per-relation sections must follow.
-func (e *Engine) marshalHeader(epoch uint64) (*blob.Builder, []string) {
-	b := blob.NewBuilder(blob.MagicEngine, engineBlobVersion, 1024)
+func (e *Engine) marshalHeader(version uint8, epoch uint64) (*blob.Builder, []string) {
+	b := blob.NewBuilder(blob.MagicEngine, version, 1024)
 	b.U64(uint64(e.opts.SignatureWords))
 	b.U64(e.opts.Seed)
 	b.U32(uint32(e.opts.Scheme))
@@ -1368,7 +1537,7 @@ func (e *Engine) marshalHeader(epoch uint64) (*blob.Builder, []string) {
 // already-materialized synopsis snapshots. seq is the op-sequence
 // counter at the same cut as the snapshots (exact: the fence visit and
 // the quiesced read both capture it with the synopses).
-func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signature, sk *core.FastTugOfWar, chain *shardChain, seq uint64) error {
+func buildRelationBlob(b *blob.Builder, version uint8, name string, r *Relation, sig join.Signature, sk *core.FastTugOfWar, hh *core.SpaceSaving, chain *shardChain, seq uint64) error {
 	sigBlob, err := sig.MarshalBinary()
 	if err != nil {
 		return err
@@ -1386,6 +1555,21 @@ func buildRelationBlob(b *blob.Builder, name string, r *Relation, sig join.Signa
 		b.Bytes(skBlob)
 	}
 	buildSchema(b, r.schema)
+	if version >= engineBlobVersionSkim {
+		// The skim section sits between schema and chain so decoding
+		// knows the full relation shape before building it.
+		if hh == nil {
+			b.U32(0)
+		} else {
+			hhBlob, err := hh.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			b.U32(1)
+			b.U64(uint64(r.schema.SkimHitters))
+			b.Bytes(hhBlob)
+		}
+	}
 	if err := buildChain(b, chain); err != nil {
 		return err
 	}
@@ -1465,7 +1649,7 @@ func (e *Engine) UnmarshalBinary(data []byte) error {
 // sections). Runtime-only knobs (Shards, Dir) are taken from runtime
 // rather than the blob.
 func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
-	version, payload, err := blob.Open(blob.MagicEngine, engineBlobVersion, data)
+	version, payload, err := blob.Open(blob.MagicEngine, engineBlobVersionSkim, data)
 	if err != nil {
 		return nil, fmt.Errorf("engine: checkpoint blob: %w", err)
 	}
@@ -1532,9 +1716,26 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		}
 		schema := Schema{Attrs: []string{legacyAttr}}
 		var endBlobs, midBlobs [][]byte
+		var hhBlob []byte
 		if version >= 2 {
 			if schema, err = readSchema(c); err != nil {
 				return nil, fmt.Errorf("engine: checkpoint blob: relation %q: %w", name, err)
+			}
+			if version >= engineBlobVersionSkim {
+				switch skims := c.U32(); skims {
+				case 0:
+				case 1:
+					hitters := c.U64()
+					hhBlob = c.Bytes()
+					if c.Err() == nil && (hitters < 1 || hitters > maxSkimHitters) {
+						return nil, fmt.Errorf("engine: checkpoint blob: relation %q: skim hitters %d out of range", name, hitters)
+					}
+					schema.SkimHitters = int(hitters)
+				default:
+					if c.Err() == nil {
+						return nil, fmt.Errorf("engine: checkpoint blob: relation %q: skim flag %d", name, skims)
+					}
+				}
 			}
 			if endBlobs, midBlobs, err = readChainBlobs(c); err != nil {
 				return nil, fmt.Errorf("engine: checkpoint blob: relation %q: %w", name, err)
@@ -1572,6 +1773,11 @@ func unmarshalEngine(data []byte, runtime Options) (*Engine, error) {
 		if err := r.loadChain(endBlobs, midBlobs); err != nil {
 			return nil, fmt.Errorf("engine: relation %q: %w", name, err)
 		}
+		if hhBlob != nil {
+			if err := r.loadHH(hhBlob); err != nil {
+				return nil, fmt.Errorf("engine: relation %q: %w", name, err)
+			}
+		}
 		if version >= 3 {
 			// The whole recovered count lands on shard 0 — only the
 			// per-relation sum is meaningful, and replay bumps whatever
@@ -1608,6 +1814,43 @@ func (r *Relation) loadSignature(data []byte) error {
 		return fmt.Errorf("signature family mismatch: %w", err)
 	}
 	return nil
+}
+
+// loadHH decodes a checkpointed relation-level heavy-hitter table and
+// splits it back into the per-shard tables via shardOf. The
+// relation-level table is the exact disjoint union of the shard tables
+// (shardOf is value-deterministic), so — at an unchanged shard count —
+// the split restores each shard's table bit-exactly; replaying the
+// post-checkpoint log tail then reproduces the live state, which is the
+// kill-and-recover guarantee the skim torture tests pin. With a
+// DIFFERENT runtime shard count the split still lands every entry on
+// its (new) owning shard deterministically, trimming per the lossy
+// merge rule if a shard's share exceeds its slice of the budget.
+func (r *Relation) loadHH(data []byte) error {
+	var hh core.SpaceSaving
+	if err := hh.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if hh.Seed() != r.eng.hhSeed() {
+		return fmt.Errorf("heavy-hitter table seed mismatch: blob %#x, engine %#x", hh.Seed(), r.eng.hhSeed())
+	}
+	r.scatterHH(&hh)
+	return nil
+}
+
+// scatterHH folds a relation-level hitter table into the per-shard
+// tables, splitting by the same value hash shardOf routes with. The
+// caller must hold the shards quiet (recovery is single-threaded;
+// absorbBundle quiesces).
+func (r *Relation) scatterHH(hh *core.SpaceSaving) {
+	groups := make([][]core.Hitter, len(r.shards))
+	for _, h := range hh.Items() {
+		i := xrand.Mix64(h.Value) & r.mask
+		groups[i] = append(groups[i], h)
+	}
+	for i, g := range groups {
+		r.shards[i].hh.MergeItems(g)
+	}
 }
 
 // loadChain decodes a chain section and merges it into shard 0's chain

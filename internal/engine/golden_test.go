@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amstrack/internal/xrand"
+)
+
+// The skimming PR's compatibility promise: relations that do NOT skim
+// keep producing exactly the bytes they produced before the feature
+// existed — same checkpoint framing (version 3), same RelationBundle
+// framing (version 3 stamped). The fixtures under testdata/ were
+// generated from the pre-skimming tree; this test replays the same
+// deterministic workload and demands byte identity. Regenerate (only
+// when a deliberate framing change is being made) with
+//
+//	AMSTRACK_UPDATE_GOLDEN=1 go test -run TestUnskimmedGoldenBytes ./internal/engine
+func TestUnskimmedGoldenBytes(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SignatureWords: 256, SignatureRows: 4, Seed: 1234, SketchS1: 128, SketchS2: 4, Shards: 4, Dir: dir}
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	gold, err := e.Define("gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := e.DefineSchema("mid", Schema{Attrs: []string{"a", "b"}, Middle: [][2]string{{"a", "b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	var vals []uint64
+	for i := 0; i < 4096; i++ {
+		vals = append(vals, r.Uint64n(512))
+	}
+	gold.InsertBatch(vals)
+	if err := gold.DeleteBatch(vals[:512]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		mid.InsertTuple(r.Uint64n(64), r.Uint64n(64))
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt, err := os.ReadFile(filepath.Join(dir, "checkpoint.blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldB, err := e.ExportRelation("gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	midB, err := e.ExportRelation("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixtures := map[string][]byte{
+		"golden_unskimmed_ckpt.bin":        ckpt,
+		"golden_unskimmed_gold_bundle.bin": goldB,
+		"golden_unskimmed_mid_bundle.bin":  midB,
+	}
+	if os.Getenv("AMSTRACK_UPDATE_GOLDEN") != "" {
+		for name, data := range fixtures {
+			if err := os.WriteFile(filepath.Join("testdata", name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Log("golden fixtures rewritten")
+		return
+	}
+	for name, got := range fixtures {
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with AMSTRACK_UPDATE_GOLDEN=1)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: unskimmed output drifted from pre-skimming bytes (len %d vs %d)", name, len(got), len(want))
+		}
+	}
+}

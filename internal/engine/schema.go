@@ -45,16 +45,37 @@ type Schema struct {
 	// Middle lists [aAttr, bAttr] pairs that maintain a chain-MIDDLE
 	// signature: the A-side sign of aAttr times the B-side sign of bAttr.
 	Middle [][2]string
+	// SkimHitters > 0 turns on SKIMMED synopses for the relation
+	// (DESIGN.md §13): a deterministic space-saving heavy-hitter table
+	// of about that many entries rides next to the (still
+	// ingest-complete) signature and sketch, keyed by the primary
+	// attribute, and self-join/join estimates are answered as
+	// exact(hitters) + sketch(cross + tail) — the skew-robust
+	// decomposition. The budget is split evenly across the engine's
+	// shards (rounded up), so the effective table capacity is
+	// ceil(SkimHitters/Shards)·Shards. Zero means no skimming — the
+	// relation's checkpoints and bundles stay byte-identical to
+	// pre-skimming framings. Unlike the attribute declarations,
+	// SkimHitters is NOT part of bundle schema identity; skim
+	// compatibility is checked against the HH section itself.
+	SkimHitters int
 }
+
+// maxSkimHitters caps the heavy-hitter budget: the table is the exact
+// half of a small synopsis, not a histogram.
+const maxSkimHitters = 1 << 20
 
 // normalizeSchema fills the legacy default and validates: unique
 // non-empty attribute names, every chain declaration referencing a
 // declared attribute, no duplicate declarations. The returned schema owns
 // its slices.
 func normalizeSchema(s Schema) (Schema, error) {
+	if s.SkimHitters < 0 || s.SkimHitters > maxSkimHitters {
+		return s, fmt.Errorf("engine: schema skim hitters %d outside [0, %d]", s.SkimHitters, maxSkimHitters)
+	}
 	if len(s.Attrs) == 0 {
 		if len(s.EndA)+len(s.EndB)+len(s.Middle) == 0 {
-			return Schema{Attrs: []string{legacyAttr}}, nil
+			return Schema{Attrs: []string{legacyAttr}, SkimHitters: s.SkimHitters}, nil
 		}
 		return s, errors.New("engine: schema declares chain synopses but no attributes")
 	}
@@ -62,10 +83,11 @@ func normalizeSchema(s Schema) (Schema, error) {
 		return s, fmt.Errorf("engine: schema has %d attributes, max %d", len(s.Attrs), maxArity)
 	}
 	out := Schema{
-		Attrs:  append([]string(nil), s.Attrs...),
-		EndA:   append([]string(nil), s.EndA...),
-		EndB:   append([]string(nil), s.EndB...),
-		Middle: append([][2]string(nil), s.Middle...),
+		Attrs:       append([]string(nil), s.Attrs...),
+		EndA:        append([]string(nil), s.EndA...),
+		EndB:        append([]string(nil), s.EndB...),
+		Middle:      append([][2]string(nil), s.Middle...),
+		SkimHitters: s.SkimHitters,
 	}
 	seen := map[string]bool{}
 	for _, a := range out.Attrs {

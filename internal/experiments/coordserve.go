@@ -105,7 +105,7 @@ func RunCoordServe(k int, seed uint64) (*CoordServeResult, error) {
 	d, err := coord.NewDaemon(coord.Config{
 		Nodes:     urls,
 		Relations: []string{"orders", "lineitems"},
-		Fetcher:   coord.NewFetcher(&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0),
+		Fetcher:   coord.NewFetcher(&http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0),
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +156,7 @@ func timeCoordQueries(path string, clients int, nodeURLs []string, daemonURL str
 		// pool — N coordinators, not one shared proxy.
 		fxs := make([]*coord.Fetcher, clients)
 		for c := range fxs {
-			fxs[c] = coord.NewFetcher(&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0)
+			fxs[c] = coord.NewFetcher(&http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}, 1, 0)
 		}
 		query = func(c int) error {
 			_, err := coord.Coordinate(fxs[c], nodeURLs, "orders", "lineitems", true, nil)
@@ -165,7 +165,7 @@ func timeCoordQueries(path string, clients int, nodeURLs []string, daemonURL str
 	case "cached":
 		hcs := make([]*http.Client, clients)
 		for c := range hcs {
-			hcs[c] = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+			hcs[c] = &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 		}
 		url := daemonURL + "/v1/join?f=orders&g=lineitems"
 		query = func(c int) error {

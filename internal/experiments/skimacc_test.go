@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSkimAccZipfRegression is the accuracy regression the PR gates on:
+// at equal total memory, the skimmed estimator must beat the plain
+// sketch on the skewed zipf(1.5) set — self-join AND join — with the
+// same parameters CI runs (modulo trials). If this starts failing, the
+// skim decomposition has stopped paying for its table.
+func TestSkimAccZipfRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial accuracy sweep")
+	}
+	r, err := RunSkimAcc([]string{"zipf1.5"}, 3072, 6, 96, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkimRelErrZipf15 >= r.UnskimRelErrZipf15 {
+		t.Fatalf("skimmed zipf1.5 self-join relerr %.4g not below unskimmed %.4g",
+			r.SkimRelErrZipf15, r.UnskimRelErrZipf15)
+	}
+	row := r.Datasets[0]
+	if row.SkimJoinErr >= row.UnskimJoinErr {
+		t.Fatalf("skimmed zipf1.5 join relerr %.4g not below unskimmed %.4g",
+			row.SkimJoinErr, row.UnskimJoinErr)
+	}
+	if row.HittersUsed < 1 || row.HittersUsed > 96 {
+		t.Fatalf("hitters used = %d, want within (0, 96]", row.HittersUsed)
+	}
+}
+
+// TestSkimAccOutput smoke-tests the two render paths: the table names
+// every dataset, and the JSON carries the benchgate pair under the keys
+// cmd/benchgate reads.
+func TestSkimAccOutput(t *testing.T) {
+	r, err := RunSkimAcc([]string{"zipf1.5"}, 768, 6, 24, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab := r.Table().String(); !strings.Contains(tab, "zipf1.5") {
+		t.Fatalf("table missing dataset row:\n%s", tab)
+	}
+	blob, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string  `json:"experiment"`
+		Unskim     float64 `json:"unskim_relerr_zipf15"`
+		Skim       float64 `json:"skim_relerr_zipf15"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Experiment != "skimacc" {
+		t.Fatalf("experiment = %q", decoded.Experiment)
+	}
+	if decoded.Unskim != r.UnskimRelErrZipf15 || decoded.Skim != r.SkimRelErrZipf15 {
+		t.Fatal("JSON benchgate pair does not match result fields")
+	}
+}
+
+// TestSkimAccRejectsBadBudgets pins the parameter validation.
+func TestSkimAccRejectsBadBudgets(t *testing.T) {
+	cases := []struct{ k, s2, hitters, trials int }{
+		{3072, 6, 96, 0}, // no trials
+		{3070, 6, 96, 1}, // rows don't divide budget
+		{3072, 6, 95, 1}, // table words don't divide into rows
+		{288, 6, 96, 1},  // table eats the whole budget
+		{3072, 6, 0, 1},  // no hitter slots
+	}
+	for _, c := range cases {
+		if _, err := RunSkimAcc([]string{"zipf1.5"}, c.k, c.s2, c.hitters, c.trials, 1); err == nil {
+			t.Fatalf("RunSkimAcc(%+v) accepted invalid parameters", c)
+		}
+	}
+}

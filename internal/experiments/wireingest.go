@@ -177,7 +177,7 @@ func timeWireIngest(k int, transport string, clients int, distName string, seed 
 		// connection of its own — N loaders, not one pooled proxy.
 		hcs := make([]*http.Client, clients)
 		for c := range hcs {
-			hcs[c] = &http.Client{Transport: &http.Transport{}}
+			hcs[c] = &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{}}
 		}
 		url := "http://" + addr + "/v1/ingest"
 		send = func(c int, vals []uint64) error {

@@ -1,0 +1,148 @@
+// Package hygiene holds repo-wide lint-style tests: invariants that are
+// about how code is written, not what it computes, enforced by parsing
+// the tree so they cannot quietly rot. go vet won't catch these.
+package hygiene
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHTTPClientsHaveTimeouts enumerates every *http.Client constructed
+// outside test files and requires an explicit Timeout, and bans the
+// zero-Timeout escape hatches (http.DefaultClient and the package-level
+// http.Get/Post/... helpers that use it). A client without a deadline
+// turns one wedged peer into a goroutine leak — the distributed example,
+// the router's probe loop, and every coordinator fetcher in this repo
+// talk to nodes that are expected to fail.
+func TestHTTPClientsHaveTimeouts(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	var violations []string
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		httpName, ok := importName(file, "net/http")
+		if !ok {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isSelector(n.Type, httpName, "Client") {
+					return true
+				}
+				if !hasField(n, "Timeout") {
+					violations = append(violations,
+						fmt.Sprintf("%s:%d: http.Client literal without an explicit Timeout",
+							rel, fset.Position(n.Pos()).Line))
+				}
+			case *ast.SelectorExpr:
+				if isSelector(n, httpName, "DefaultClient") {
+					violations = append(violations,
+						fmt.Sprintf("%s:%d: http.DefaultClient has no Timeout; construct a client",
+							rel, fset.Position(n.Pos()).Line))
+				}
+			case *ast.CallExpr:
+				for _, helper := range []string{"Get", "Post", "PostForm", "Head"} {
+					if isSelector(n.Fun, httpName, helper) {
+						violations = append(violations,
+							fmt.Sprintf("%s:%d: package-level http.%s uses DefaultClient (no Timeout); use a shared client",
+								rel, fset.Position(n.Pos()).Line, helper))
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// importName returns the name the file refers to pkgPath by, honoring
+// aliases, and whether the file imports it at all.
+func importName(file *ast.File, pkgPath string) (string, bool) {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != pkgPath {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		return path.Base(p), true
+	}
+	return "", false
+}
+
+func isSelector(e ast.Expr, pkg, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == name
+}
+
+func hasField(lit *ast.CompositeLit, field string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return true
+		}
+	}
+	return false
+}

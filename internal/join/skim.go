@@ -1,0 +1,74 @@
+package join
+
+import "fmt"
+
+// Skimmed join estimation. With f = f̂ + r and g = ĝ + s (hats: the
+// relations' deterministic heavy-hitter frequency estimates, residuals
+// r, s), the join size decomposes as
+//
+//	⟨f,g⟩ = ⟨f̂,ĝ⟩ + ⟨f̂,s⟩ + ⟨r,ĝ⟩ + ⟨r,s⟩
+//
+// The first term is computed exactly from the two tables; the cross and
+// tail terms come from the signatures. Both signatures are
+// INGEST-COMPLETE (every tuple flowed into them), so by per-row
+// bilinearity of the inner-product estimator,
+//
+//	Y_j(S_F, S_G) − Y_j(Ŝ_F, Ŝ_G)
+//
+// — the full-signature term minus the term of two scratch signatures
+// loaded from f̂ and ĝ via SetFrequencies — has expectation exactly
+// ⟨f,g⟩ − ⟨f̂,ĝ⟩, for ANY deterministic f̂, ĝ. Adding back ⟨f̂,ĝ⟩ gives an
+// unbiased estimate of the join size whose variance is driven by the
+// residual self-joins SJ(r)·SJ(s) instead of SJ(f)·SJ(g) (Lemma 4.4
+// applied to the residual vectors), the skew-robustness win.
+
+// SkimmedJoin estimates |F ⋈ G| from two ingest-complete signatures and
+// the relations' heavy-hitter frequency vectors: the exact hitter×hitter
+// dot product plus the mean over rows of Y_j(S_F,S_G) − Y_j(Ŝ_F,Ŝ_G).
+// Signatures must come from one family; either scheme works.
+func SkimmedJoin(a, b Signature, fa, fb map[uint64]int64) (float64, error) {
+	exact := 0.0
+	for v, f := range fa {
+		if g, ok := fb[v]; ok {
+			exact += float64(f) * float64(g)
+		}
+	}
+	sa, err := scratchFrom(a, fa)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := scratchFrom(b, fb)
+	if err != nil {
+		return 0, err
+	}
+	full, err := joinTerms(a, b)
+	if err != nil {
+		return 0, err
+	}
+	skim, err := joinTerms(sa, sb)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for j := range full {
+		sum += full[j] - skim[j]
+	}
+	return exact + sum/float64(len(full)), nil
+}
+
+// scratchFrom builds a signature from s's own family loaded with the
+// frequency vector freq — the Ŝ term of the skimmed estimator.
+func scratchFrom(s Signature, freq map[uint64]int64) (Signature, error) {
+	switch t := s.(type) {
+	case *FastTWSignature:
+		n := t.Family().NewSignature()
+		n.SetFrequencies(freq)
+		return n, nil
+	case *TWSignature:
+		n := t.Family().NewSignature()
+		n.SetFrequencies(freq)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("join: skimmed estimation: unsupported signature scheme %T", s)
+	}
+}

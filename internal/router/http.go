@@ -88,18 +88,20 @@ func (r *Router) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (r *Router) handleDefine(w http.ResponseWriter, req *http.Request) {
 	var body struct {
-		Name    string     `json:"name"`
-		Attrs   []string   `json:"attrs"`
-		ChainA  []string   `json:"chain_a"`
-		ChainB  []string   `json:"chain_b"`
-		ChainAB [][]string `json:"chain_ab"`
+		Name        string     `json:"name"`
+		Attrs       []string   `json:"attrs"`
+		ChainA      []string   `json:"chain_a"`
+		ChainB      []string   `json:"chain_b"`
+		ChainAB     [][]string `json:"chain_ab"`
+		SkimHitters int        `json:"skim_hitters"`
 	}
 	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	sc := coord.Schema{Relation: body.Name, Attrs: body.Attrs,
-		ChainA: body.ChainA, ChainB: body.ChainB, ChainAB: body.ChainAB}
+		ChainA: body.ChainA, ChainB: body.ChainB, ChainAB: body.ChainAB,
+		SkimHitters: body.SkimHitters}
 	if err := r.Define(sc); err != nil {
 		writeErr(w, http.StatusBadGateway, err)
 		return

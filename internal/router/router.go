@@ -38,7 +38,9 @@ type Options struct {
 	// before its failure is surfaced upstream as a sticky error.
 	FailoverBudget int
 	// Client issues node HTTP requests (probes, stats, HTTP-fallback
-	// ingest). http.DefaultClient if nil.
+	// ingest). A shared keep-alive client with a 30 s Timeout if nil —
+	// never http.DefaultClient, whose zero Timeout would let one wedged
+	// node pin a prober goroutine forever.
 	Client *http.Client
 	// Fetcher drives the admin verbs (schemas, bundles, rebalance).
 	// Built from Client with modest retries if nil.
@@ -67,7 +69,7 @@ func (o Options) withDefaults() Options {
 		o.FailoverBudget = 4
 	}
 	if o.Client == nil {
-		o.Client = http.DefaultClient
+		o.Client = &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
 	}
 	if o.Fetcher == nil {
 		o.Fetcher = coord.NewFetcher(o.Client, 2, 50*time.Millisecond)
@@ -409,11 +411,12 @@ func (r *Router) adoptRelation(sc coord.Schema) (*relState, error) {
 // for an idempotent define, not an error to surface upstream.
 func (r *Router) defineOn(member string, sc coord.Schema) error {
 	return postJSON(r.opts.Client, member+"/v1/relations", map[string]any{
-		"name":     sc.Relation,
-		"attrs":    sc.Attrs,
-		"chain_a":  sc.ChainA,
-		"chain_b":  sc.ChainB,
-		"chain_ab": sc.ChainAB,
+		"name":         sc.Relation,
+		"attrs":        sc.Attrs,
+		"chain_a":      sc.ChainA,
+		"chain_b":      sc.ChainB,
+		"chain_ab":     sc.ChainAB,
+		"skim_hitters": sc.SkimHitters,
 	}, http.StatusCreated, http.StatusConflict)
 }
 
